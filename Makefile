@@ -1,0 +1,31 @@
+# Convenience targets for the PPoPP '95 reproduction.
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure of the paper (writes to stdout).
+reproduce:
+	python -m repro table1
+	python -m repro figure7
+	python -m repro table2
+	python -m repro ablations
+	python -m repro opcounts
+	python -m repro claims
+	python -m repro costs
+	python -m repro table1c
+	python -m repro table2c
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

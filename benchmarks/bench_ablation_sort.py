@@ -1,0 +1,23 @@
+"""Ablation A1: sort routine inside the sorting baseline.
+
+The paper's footnote says the comparison implementation used a
+linear-time radix sort for k >= 64 (flattening the lattice advantage to
+a constant factor).  In Python the trade-off inverts -- timsort runs in
+C while our radix sort is interpreted -- which is exactly the kind of
+platform effect EXPERIMENTS.md documents.
+"""
+
+import pytest
+
+from repro.bench.workloads import PAPER_P, TABLE1_BLOCK_SIZES
+from repro.core.baselines.sorting import sorting_access_table
+
+RANK = PAPER_P // 2
+
+
+@pytest.mark.parametrize("k", TABLE1_BLOCK_SIZES)
+@pytest.mark.parametrize("sort", ["timsort", "radix"])
+@pytest.mark.benchmark(max_time=0.25, min_rounds=3)
+def test_sort_choice(benchmark, k, sort):
+    benchmark.group = f"ablation-sort k={k}"
+    benchmark(sorting_access_table, PAPER_P, k, 0, 99, RANK, sort=sort)

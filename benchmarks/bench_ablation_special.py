@@ -1,0 +1,24 @@
+"""Ablation A3: lattice algorithm vs Hiranandani special case.
+
+Both are O(k) when ``s mod pk < k``; the comparison shows the general
+lattice method costs about the same as the restricted prior method on
+the inputs where the latter applies (s = k//2 + 1 here).
+"""
+
+import pytest
+
+from repro.bench.workloads import PAPER_P, TABLE1_BLOCK_SIZES
+from repro.core.access import compute_access_table
+from repro.core.baselines.special import special_access_table
+
+RANK = PAPER_P // 2
+
+
+@pytest.mark.parametrize("k", [k for k in TABLE1_BLOCK_SIZES if k >= 8])
+@pytest.mark.parametrize("alg", ["lattice", "special"])
+@pytest.mark.benchmark(max_time=0.25, min_rounds=3)
+def test_special_case(benchmark, k, alg):
+    benchmark.group = f"ablation-special k={k}"
+    s = k // 2 + 1
+    fn = compute_access_table if alg == "lattice" else special_access_table
+    benchmark(fn, PAPER_P, k, 0, s, RANK)

@@ -1,0 +1,28 @@
+"""Figure 7: the s=7 construction-time series (paper Section 6.1).
+
+The s=7 column of Table 1 as its own benchmark series, matching the
+figure the paper plots.  ``python -m repro.bench.figure7`` draws the
+ASCII version of the plot from the same workload.
+"""
+
+import pytest
+
+from repro.bench.workloads import PAPER_P, TABLE1_BLOCK_SIZES
+from repro.core.access import compute_access_table
+from repro.core.baselines.sorting import sorting_access_table
+
+RANK = PAPER_P // 2
+
+
+@pytest.mark.parametrize("k", TABLE1_BLOCK_SIZES)
+@pytest.mark.benchmark(max_time=0.25, min_rounds=3)
+def test_figure7_lattice(benchmark, k):
+    benchmark.group = f"figure7 k={k}"
+    benchmark(compute_access_table, PAPER_P, k, 0, 7, RANK)
+
+
+@pytest.mark.parametrize("k", TABLE1_BLOCK_SIZES)
+@pytest.mark.benchmark(max_time=0.25, min_rounds=3)
+def test_figure7_sorting(benchmark, k):
+    benchmark.group = f"figure7 k={k}"
+    benchmark(sorting_access_table, PAPER_P, k, 0, 7, RANK)

@@ -1,0 +1,60 @@
+"""FSM amortization: one transition table vs per-section reconstruction.
+
+Section 6.1 notes that when distribution parameters are compile-time
+constants the basis computation "would have to be executed only once".
+The FSM module carries that further: transitions depend only on
+``(p, k, s)``, so a compiler handling many sections (different ``l``,
+all processors) can pay the construction once.  These benchmarks
+measure the break-even.
+"""
+
+import pytest
+
+from repro.bench.workloads import PAPER_P
+from repro.core.access import compute_access_table
+from repro.core.fsm import AccessFSM
+
+K, S = 64, 9
+LOWER_BOUNDS = list(range(0, 160, 10))  # 16 sections sharing (p, k, s)
+
+
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_fsm_construction(benchmark):
+    benchmark.group = "fsm"
+    fsm = benchmark(AccessFSM, PAPER_P, K, S)
+    assert len(fsm.states) == PAPER_P * K
+
+
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_many_sections_via_fsm(benchmark):
+    """16 sections x 32 ranks through one shared FSM."""
+    benchmark.group = "fsm-many-sections"
+    fsm = AccessFSM(PAPER_P, K, S)
+
+    def run():
+        total = 0
+        for l in LOWER_BOUNDS:
+            for m in range(PAPER_P):
+                _, gaps = fsm.table_for(l, m)
+                total += len(gaps)
+        return total
+
+    total = benchmark(run)
+    assert total == len(LOWER_BOUNDS) * PAPER_P * K
+
+
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_many_sections_via_full_algorithm(benchmark):
+    """The same 16 x 32 tables, each built from scratch by Figure 5."""
+    benchmark.group = "fsm-many-sections"
+
+    def run():
+        total = 0
+        for l in LOWER_BOUNDS:
+            for m in range(PAPER_P):
+                table = compute_access_table(PAPER_P, K, l, S, m)
+                total += table.length
+        return total
+
+    total = benchmark(run)
+    assert total == len(LOWER_BOUNDS) * PAPER_P * K

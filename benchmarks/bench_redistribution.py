@@ -1,0 +1,54 @@
+"""Redistribution benchmarks: cyclic(k1) -> cyclic(k2) whole-array moves.
+
+Not a paper table -- the downstream workload (ScaLAPACK-style
+block-scattered libraries, cited in the paper's introduction) that the
+access-sequence machinery enables.  Measures schedule construction and
+execution for representative block-size changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import Block, CyclicK, ProcessorGrid
+from repro.machine.vm import VirtualMachine
+from repro.runtime.exec import distribute
+from repro.runtime.redistribute import plan_redistribution, redistribute
+
+P, N = 8, 8192
+
+PAIRS = [
+    ("cyclic1-to-block", CyclicK(1), Block()),
+    ("block-to-cyclic1", Block(), CyclicK(1)),
+    ("cyclic4-to-cyclic32", CyclicK(4), CyclicK(32)),
+    ("cyclic32-to-cyclic4", CyclicK(32), CyclicK(4)),
+]
+IDS = [name for name, _, _ in PAIRS]
+
+
+def _arrays(src_dist, dst_dist):
+    grid = ProcessorGrid("P", (P,))
+    src = DistributedArray("S", (N,), grid, (AxisMap(src_dist, grid_axis=0),))
+    dst = DistributedArray("D", (N,), grid, (AxisMap(dst_dist, grid_axis=0),))
+    return src, dst
+
+
+@pytest.mark.parametrize(("name", "src_dist", "dst_dist"), PAIRS, ids=IDS)
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_plan(benchmark, name, src_dist, dst_dist):
+    benchmark.group = f"redistribution-plan {name}"
+    src, dst = _arrays(src_dist, dst_dist)
+    _, stats = benchmark(plan_redistribution, dst, src)
+    assert stats.elements == N
+
+
+@pytest.mark.parametrize(("name", "src_dist", "dst_dist"), PAIRS, ids=IDS)
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_execute(benchmark, name, src_dist, dst_dist):
+    benchmark.group = f"redistribution-exec {name}"
+    src, dst = _arrays(src_dist, dst_dist)
+    schedule, _ = plan_redistribution(dst, src)
+    vm = VirtualMachine(P)
+    distribute(vm, src, np.arange(N, dtype=float))
+    distribute(vm, dst, np.zeros(N))
+    benchmark(redistribute, vm, dst, src, schedule)

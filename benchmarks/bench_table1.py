@@ -1,0 +1,39 @@
+"""Table 1: ΔM-table construction, Lattice vs Sorting (paper Section 6.1).
+
+One benchmark per (algorithm, k, stride-column) cell of the paper's
+grid.  Groups are per-(k, stride) so ``--benchmark-group-by=group``
+shows the head-to-head comparison the paper tabulates.
+"""
+
+import pytest
+
+from repro.bench.workloads import PAPER_P, TABLE1_BLOCK_SIZES, table1_strides
+from repro.core.access import compute_access_table
+from repro.core.baselines.sorting import sorting_access_table
+
+CASES = [
+    (k, label, s)
+    for k in TABLE1_BLOCK_SIZES
+    for label, s in table1_strides(k).items()
+]
+IDS = [f"k{k}-{label}" for k, label, _ in CASES]
+
+#: The rank measured; construction cost is essentially rank-independent
+#: and the harness module reports the max over all ranks.
+RANK = PAPER_P // 2
+
+
+@pytest.mark.parametrize(("k", "label", "s"), CASES, ids=IDS)
+@pytest.mark.benchmark(max_time=0.25, min_rounds=3)
+def test_lattice(benchmark, k, label, s):
+    benchmark.group = f"table1 k={k} {label}"
+    table = benchmark(compute_access_table, PAPER_P, k, 0, s, RANK)
+    assert table.length <= k
+
+
+@pytest.mark.parametrize(("k", "label", "s"), CASES, ids=IDS)
+@pytest.mark.benchmark(max_time=0.25, min_rounds=3)
+def test_sorting(benchmark, k, label, s):
+    benchmark.group = f"table1 k={k} {label}"
+    table = benchmark(sorting_access_table, PAPER_P, k, 0, s, RANK)
+    assert table.length <= k

@@ -1,0 +1,21 @@
+"""Shared configuration for the pytest-benchmark suites.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index).  Benchmarks are capped to keep the
+whole suite runnable in a few minutes; the ``repro.bench`` harness
+modules produce the paper-formatted tables from the same workloads.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks never need hypothesis; keep collection tidy.
+    pass
+
+
+@pytest.fixture(scope="session")
+def paper_p():
+    from repro.bench.workloads import PAPER_P
+
+    return PAPER_P

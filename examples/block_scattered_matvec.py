@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Block-scattered dense linear algebra: distributed y = A @ x.
+
+The paper's introduction cites Dongarra, van de Geijn & Walker on the
+importance of the block-scattered (cyclic(k)) distribution for scalable
+dense linear algebra.  This example runs a matrix-vector product on the
+simulated machine with the matrix rows distributed cyclic(k):
+
+* each rank owns the rows the cyclic(k) map assigns it (enumerated with
+  the paper's access machinery -- a degenerate section with stride 1);
+* ``x`` is replicated via an allgather (the standard matvec pattern);
+* each rank computes its local row blocks with NumPy and the result is
+  collected and checked against a sequential ``A @ x``.
+
+Run:  python examples/block_scattered_matvec.py
+"""
+
+import numpy as np
+
+from repro.core import iter_global_indices, local_allocation_size
+from repro.distribution import CyclicLayout
+from repro.machine import VirtualMachine, allgather, machine_report
+
+P, K, N = 4, 3, 64  # 4 ranks, cyclic(3) rows, 64x64 matrix
+RNG = np.random.default_rng(7)
+
+
+def main() -> None:
+    layout = CyclicLayout(P, K)
+    host_a = RNG.random((N, N))
+    host_x = RNG.random(N)
+
+    vm = VirtualMachine(P)
+
+    # --- Distribute: each rank stores its owned rows contiguously in
+    # local row order (exactly the compressed local storage the access
+    # sequence walks).
+    for rank in range(P):
+        rows = list(iter_global_indices(P, K, 0, 1, rank, N - 1))
+        local_rows = local_allocation_size(P, K, N, rank)
+        assert len(rows) == local_rows
+        proc = vm.processors[rank]
+        arena = proc.allocate("A_rows", local_rows * N)
+        for slot, row in enumerate(rows):
+            arena[slot * N : (slot + 1) * N] = host_a[row]
+        xbuf = proc.allocate("x", N)
+        # Rank 0 owns the authoritative x; others start empty.
+        if rank == 0:
+            xbuf[:] = host_x
+
+    # --- Replicate x (allgather of each rank's share; here rank 0
+    # broadcasts its full copy through the collective layer).
+    copies = allgather(vm, [vm.processors[r].memory("x").copy() for r in range(P)])
+    for rank in range(P):
+        vm.processors[rank].memory("x")[:] = copies[rank][0]
+
+    # --- Local compute: y_local = A_local @ x  (vectorized per rank).
+    def compute(ctx):
+        a_rows = ctx.memory("A_rows").reshape(-1, N)
+        y = a_rows @ ctx.memory("x")
+        ctx.allocate("y", len(y))
+        ctx.memory("y")[:] = y
+        return y
+
+    vm.run(compute)
+
+    # --- Collect y back to a host image using the same row enumeration.
+    got = np.zeros(N)
+    for rank in range(P):
+        rows = list(iter_global_indices(P, K, 0, 1, rank, N - 1))
+        got[rows] = vm.processors[rank].memory("y")[: len(rows)]
+
+    want = host_a @ host_x
+    assert np.allclose(got, want)
+    report = machine_report(vm)
+    print(f"distributed y = A @ x with rows cyclic({K}) over {P} ranks  [ok]")
+    print(f"max |error| = {np.abs(got - want).max():.3e}")
+    print(f"messages exchanged (x replication): {report['messages']}, "
+          f"bytes: {report['bytes']}")
+    owned = [layout.allocation_size(N, m) for m in range(P)]
+    print(f"rows per rank: {owned} (balanced by the cyclic map)")
+
+
+if __name__ == "__main__":
+    main()

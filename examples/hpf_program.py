@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compile and run a mini-HPF program end to end.
+
+The program below exercises the paper's whole pipeline: templates,
+affine alignments, a cyclic(k) distribution, a strided fill (which uses
+the ΔM tables and node-code shape (d)), and a section-to-section copy
+whose communication sets are generated at compile time.
+
+Run:  python examples/hpf_program.py
+"""
+
+import numpy as np
+
+from repro.lang import compile_source
+from repro.machine import machine_report
+from repro.runtime import distribute
+
+SOURCE = """
+! Mini-HPF: the paper's setting
+PROCESSORS P(4)
+TEMPLATE   T(640)
+REAL       A(320)
+REAL       B(320)
+ALIGN      A(i) WITH T(i)        ! identity alignment
+ALIGN      B(j) WITH T(2*j+1)    ! affine alignment onto odd cells
+DISTRIBUTE T(CYCLIC(8)) ONTO P
+
+A(4:319:9)  = 100.0              ! the paper's strided fill
+A(0:312:8)  = B(3:237:6)         ! block-size-preserving strided copy
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    print("Compiled statements:")
+    for stmt in program.statements:
+        extra = ""
+        if stmt.schedule is not None:
+            extra = (f"   [commsets: {stmt.schedule.communicated_elements} "
+                     f"remote / {stmt.schedule.total_elements} total]")
+        print(f"  {stmt.description}{extra}")
+
+    vm = program.make_machine()
+    host_b = np.arange(320, dtype=float)
+    distribute(vm, program.arrays["B"], host_b)
+
+    program.run(vm)
+
+    got = program.image(vm, "A")
+    ref = np.zeros(320)
+    ref[4:320:9] = 100.0
+    ref[0:313:8] = host_b[3:238:6]
+    assert np.array_equal(got, ref)
+
+    report = machine_report(vm)
+    print("\nRun verified against sequential semantics  [ok]")
+    print(f"machine: {report['ranks']} ranks, {report['messages']} messages, "
+          f"{report['bytes']} bytes moved")
+    print(f"A[0:40] = {got[:40]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Reproduce the paper's illustrations (Figures 1-4 and 6) as ASCII art.
+
+* Figure 1: cyclic(8) layout over 4 processors with the section
+  A(0::9) boxed;
+* Figure 2/3: the section lattice on the (offset, row) plane and the
+  basis vectors R = (4,1), L = (5,-1);
+* Figure 4: the R/L line segments (described textually);
+* Figure 6: the points the algorithm visits for p=4, k=8, l=4, s=9, m=1.
+
+Run:  python examples/layout_gallery.py
+"""
+
+from repro.distribution import RegularSection
+from repro.viz import (
+    describe_basis,
+    render_lattice_plane,
+    render_layout,
+    render_walk,
+)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 1: cyclic(8) over 4 processors, section l=0, s=9 boxed")
+    print("=" * 72)
+    print(render_layout(4, 8, 160, section=RegularSection(0, 159, 9)))
+
+    print()
+    print("=" * 72)
+    print("Figures 2-3: the section lattice {(b,a): 32a + b = 9i} and its basis")
+    print("=" * 72)
+    print(render_lattice_plane(4, 8, 9, rows=10))
+    print()
+    print(describe_basis(4, 8, 9))
+
+    print()
+    print("=" * 72)
+    print("Figure 6: points visited by the algorithm (p=4, k=8, l=4, s=9, m=1)")
+    print("          {x} = visited on processor 1, [x] = other section elements")
+    print("=" * 72)
+    print(render_walk(4, 8, 4, 9, 1, 320))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Why cyclic(k): load balance of triangular workloads + redistribution.
+
+The paper's introduction motivates cyclic(k) through Dongarra, van de
+Geijn & Walker's scalable dense linear algebra: factorizations shrink
+their active region every step, so BLOCK distributions idle more and
+more processors, while block-scattered (cyclic(k)) mappings keep the
+shrinking triangle spread over everyone.  This example quantifies that
+with the trapezoid machinery, then performs the classic supporting
+runtime operation -- redistributing an array from cyclic(1) to BLOCK --
+and prints the traffic matrix the communication sets induce.
+
+Run:  python examples/lu_panel_workload.py
+"""
+
+import numpy as np
+
+from repro.distribution import (
+    AxisMap,
+    Block,
+    CyclicK,
+    DistributedArray,
+    ProcessorGrid,
+    RegularSection,
+)
+from repro.machine import VirtualMachine
+from repro.runtime import (
+    Trapezoid,
+    collect,
+    distribute,
+    plan_redistribution,
+    redistribute,
+    traffic_matrix,
+    trapezoid_local_counts,
+)
+
+N = 96  # matrix order
+PR = PC = 2
+
+
+def build(name: str, kr: int, kc: int) -> DistributedArray:
+    grid = ProcessorGrid("G", (PR, PC))
+    return DistributedArray(
+        name, (N, N), grid,
+        (AxisMap(CyclicK(kr), grid_axis=0), AxisMap(CyclicK(kc), grid_axis=1)),
+    )
+
+
+def main() -> None:
+    # --- Part 1: trailing-submatrix load balance over LU steps.
+    cyclic = build("C", 4, 4)
+    blocky = build("B", N // PR, N // PC)  # BLOCK x BLOCK
+    print(f"{N}x{N} matrix on a {PR}x{PC} grid; trailing submatrix "
+          f"A(step:, step:) work per rank:\n")
+    print(f"{'step':>6} {'cyclic(4) max/min':>20} {'BLOCK max/min':>16}")
+    for step in (0, N // 4, N // 2, 3 * N // 4):
+        trap = Trapezoid(
+            RegularSection(step, N - 1, 1), 0, step, 0, N - 1
+        )  # full trailing rows x [step, N)
+        c = trapezoid_local_counts(cyclic, trap)
+        b = trapezoid_local_counts(blocky, trap)
+        c_ratio = max(c) / max(min(c), 1)
+        b_ratio = max(b) / max(min(b), 1)
+        print(f"{step:>6} {c_ratio:>20.2f} {b_ratio:>16.2f}")
+    print("\ncyclic(k) keeps the shrinking active region balanced; BLOCK "
+          "degenerates\n(idle ranks -> min goes to 0, shown as a huge ratio).")
+
+    # --- Part 2: redistribute a vector cyclic(1) -> BLOCK for a solve phase.
+    p = PR * PC
+    grid1 = ProcessorGrid("P", (p,))
+    src = DistributedArray("x_cyc", (N,), grid1, (AxisMap(CyclicK(1), grid_axis=0),))
+    dst = DistributedArray("x_blk", (N,), grid1, (AxisMap(Block(), grid_axis=0),))
+    schedule, stats = plan_redistribution(dst, src)
+    vm = VirtualMachine(p)
+    host = np.arange(N, dtype=float)
+    distribute(vm, src, host)
+    distribute(vm, dst, np.zeros(N))
+    redistribute(vm, dst, src, schedule=schedule)
+    assert np.array_equal(collect(vm, dst), host)
+
+    print(f"\nredistribution cyclic(1) -> BLOCK of {N} elements: "
+          f"{stats.remote_elements} moved remotely "
+          f"({100 * (1 - stats.locality):.0f}%), {stats.messages} messages, "
+          f"max fan-out {stats.max_fan_out}")
+    print("element traffic matrix (senders x receivers):")
+    print(traffic_matrix(schedule, p))
+
+
+if __name__ == "__main__":
+    main()

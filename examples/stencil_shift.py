@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Shift-style communication: a 1-D Jacobi sweep over a cyclic(k) array.
+
+The update ``A(1:n-2) = (B(0:n-3) + B(2:n-1)) / 2`` needs the two
+shifted copies of ``B`` -- precisely the array statements whose
+communication sets the access-sequence machinery generates.  With a
+cyclic(k) distribution the shifts cross block boundaries every k
+elements, so the generated schedules are non-trivial; the example
+prints the traffic they induce and verifies several sweeps against a
+sequential NumPy reference.
+
+Run:  python examples/stencil_shift.py
+"""
+
+import numpy as np
+
+from repro.distribution import (
+    AxisMap,
+    CyclicK,
+    DistributedArray,
+    ProcessorGrid,
+    RegularSection,
+)
+from repro.machine import VirtualMachine
+from repro.runtime import collect, compute_comm_schedule, distribute, execute_copy
+
+P, K, N, SWEEPS = 4, 8, 256, 5
+
+
+def build(name: str) -> DistributedArray:
+    grid = ProcessorGrid("P", (P,))
+    return DistributedArray(name, (N,), grid, (AxisMap(CyclicK(K), grid_axis=0),))
+
+
+def main() -> None:
+    a = build("A")
+    left = build("LEFT")   # holds B shifted left
+    right = build("RIGHT")  # holds B shifted right
+
+    vm = VirtualMachine(P)
+    rng = np.random.default_rng(11)
+    host = rng.random(N)
+    distribute(vm, a, host)
+    distribute(vm, left, np.zeros(N))
+    distribute(vm, right, np.zeros(N))
+
+    interior = RegularSection(1, N - 2, 1)
+    from_left = RegularSection(0, N - 3, 1)
+    from_right = RegularSection(2, N - 1, 1)
+
+    # Compile-time schedules (reused every sweep, as the paper's
+    # Section 6.1 recommends for compile-time-constant parameters).
+    sched_l = compute_comm_schedule(left, interior, a, from_left)
+    sched_r = compute_comm_schedule(right, interior, a, from_right)
+    print(f"shift schedules: left moves {sched_l.communicated_elements} "
+          f"elements remotely, right moves {sched_r.communicated_elements} "
+          f"(of {sched_l.total_elements} each)")
+
+    ref = host.copy()
+    for sweep in range(SWEEPS):
+        execute_copy(vm, left, interior, a, from_left, schedule=sched_l)
+        execute_copy(vm, right, interior, a, from_right, schedule=sched_r)
+
+        # Local compute phase: average the two shifted copies.
+        def jacobi(ctx):
+            mem_a = ctx.memory("A")
+            mem_l = ctx.memory("LEFT")
+            mem_r = ctx.memory("RIGHT")
+            for idx, addr in a.local_section_elements((interior,), ctx.rank):
+                mem_a[addr] = 0.5 * (mem_l[addr] + mem_r[addr])
+
+        vm.run(jacobi)
+        ref[1:-1] = 0.5 * (ref[:-2] + ref[2:])
+
+    got = collect(vm, a)
+    assert np.allclose(got, ref)
+    print(f"{SWEEPS} Jacobi sweeps verified against NumPy  [ok]")
+    print(f"total network traffic: {vm.network.stats.messages} messages, "
+          f"{vm.network.stats.bytes} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Distributed transpose: the classic communication-heavy array statement.
+
+``Q = TRANSPOSE(M)`` written in the mini-HPF language, compiled to a
+tensor-product communication schedule (per-dimension 1-D access
+machinery), executed on the simulated machine, and verified against
+NumPy.  The traffic heatmap shows the all-to-all-ish pattern a
+transpose induces on a 2x2 grid, and how the choice of block sizes
+changes the local fraction.
+
+Run:  python examples/transpose_demo.py
+"""
+
+import numpy as np
+
+from repro.lang import compile_source
+from repro.runtime import distribute, traffic_matrix
+from repro.viz import render_traffic
+
+N = 48
+
+SOURCE = f"""
+PROCESSORS P(2, 2)
+TEMPLATE   T({N}, {N})
+REAL       M({N}, {N})
+REAL       Q({N}, {N})
+ALIGN      M(i, j) WITH T(i, j)
+ALIGN      Q(i, j) WITH T(i, j)
+DISTRIBUTE T(CYCLIC(4), CYCLIC(4)) ONTO P
+
+Q(0:{N - 1}, 0:{N - 1}) = TRANSPOSE(M(0:{N - 1}, 0:{N - 1}))
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    stmt = program.statements[0]
+    print(f"compiled: {stmt.description}")
+    sched = stmt.schedule
+    print(f"schedule: {sched.total_elements} elements, "
+          f"{sched.communicated_elements} cross the network "
+          f"({100 * sched.communicated_elements / sched.total_elements:.0f}%)")
+
+    vm = program.make_machine()
+    host_m = np.arange(N * N, dtype=float).reshape(N, N)
+    distribute(vm, program.arrays["M"], host_m)
+    program.run(vm)
+    got = program.image(vm, "Q")
+    assert np.array_equal(got, host_m.T)
+    print("Q == M.T verified against NumPy  [ok]\n")
+
+    # Element traffic between ranks (2x2 grid, row-major ranks).
+    matrix = np.zeros((4, 4), dtype=np.int64)
+    for tr in sched.locals_ + sched.transfers:
+        matrix[tr.source, tr.dest] += len(tr)
+    print(render_traffic(matrix, label="transpose elements"))
+    print("\nDiagonal ranks (0, 3) keep their diagonal blocks; "
+          "off-diagonal ranks swap entire blocks --")
+    print("the square-grid transpose pattern block-scattered libraries "
+          "schedule around.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Benchmark harness library.
+
+Each experiment module is runnable: ``python -m repro.bench.table1``,
+``python -m repro.bench.figure7``, ``python -m repro.bench.table2``,
+``python -m repro.bench.ablations``.  The pytest-benchmark suites under
+``benchmarks/`` wrap the same workloads for statistical reporting.
+"""
+
+from .report import ascii_plot, format_markdown, format_table
+from .timers import Timing, max_over_ranks, time_us
+from .workloads import (
+    PAPER_P,
+    TABLE1_BLOCK_SIZES,
+    TABLE2_ACCESSES_PER_PROC,
+    TABLE2_BLOCK_SIZES,
+    TABLE2_STRIDES,
+    Table1Case,
+    Table2Case,
+    table1_cases,
+    table1_strides,
+    table2_cases,
+)
+
+__all__ = [
+    "Timing",
+    "time_us",
+    "max_over_ranks",
+    "format_table",
+    "format_markdown",
+    "ascii_plot",
+    "PAPER_P",
+    "TABLE1_BLOCK_SIZES",
+    "TABLE2_BLOCK_SIZES",
+    "TABLE2_STRIDES",
+    "TABLE2_ACCESSES_PER_PROC",
+    "Table1Case",
+    "Table2Case",
+    "table1_cases",
+    "table1_strides",
+    "table2_cases",
+]

@@ -1,0 +1,78 @@
+"""Sensitivity experiments for the paper's Section 6.1 side claims.
+
+Two claims precede the main tables:
+
+* "The lower bound of the regular section has almost no influence on
+  the running time of the algorithm" -- so every Table 1 cell uses
+  ``l = 0``;
+* "the effects of varying the number of processors are only minor" --
+  so every cell uses ``p = 32``.
+
+These harnesses vary exactly those knobs and report the spread, letting
+EXPERIMENTS.md confirm (or bound) the claims on this platform.  Run with
+``python -m repro.bench.claims``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..core.access import compute_access_table
+from .report import format_table
+from .timers import time_us
+
+__all__ = ["run_lower_bound_claim", "run_processor_claim", "main"]
+
+LOWER_BOUNDS = (0, 1, 17, 1_000, 1_000_003)
+PROCESSOR_COUNTS = (4, 8, 16, 32, 64, 128)
+
+
+def run_lower_bound_claim(
+    *, p: int = 32, k: int = 64, s: int = 99, repeats: int = 3
+) -> list[tuple[int, float]]:
+    """Construction time as ``l`` varies (everything else fixed)."""
+    m = p // 2
+    out = []
+    for l in LOWER_BOUNDS:
+        t = time_us(lambda: compute_access_table(p, k, l, s, m), repeats=repeats)
+        out.append((l, t.best_us))
+    return out
+
+
+def run_processor_claim(
+    *, k: int = 64, s: int = 99, repeats: int = 3
+) -> list[tuple[int, float]]:
+    """Construction time as ``p`` varies (k fixed -- the per-processor
+    work is O(k + log), so p should matter only through the gcd)."""
+    out = []
+    for p in PROCESSOR_COUNTS:
+        m = p // 2
+        t = time_us(lambda: compute_access_table(p, k, 0, s, m), repeats=repeats)
+        out.append((p, t.best_us))
+    return out
+
+
+def spread(rows: list[tuple[int, float]]) -> float:
+    times = [t for _, t in rows]
+    return max(times) / min(times)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point; see the module docstring for what it prints."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    rows = run_lower_bound_claim(repeats=args.repeats)
+    print("Claim 1: lower bound l has almost no influence (k=64, s=99, p=32)")
+    print(format_table(["l", "Lattice (us)"], rows))
+    print(f"max/min spread: {spread(rows):.2f}x\n")
+
+    rows = run_processor_claim(repeats=args.repeats)
+    print("Claim 2: processor count has only minor effects (k=64, s=99)")
+    print(format_table(["p", "Lattice (us)"], rows))
+    print(f"max/min spread: {spread(rows):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

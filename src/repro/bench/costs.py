@@ -1,0 +1,103 @@
+"""Modeled communication costs of runtime schedules (simulated iPSC).
+
+Applies the alpha-beta-hop cost model (:mod:`repro.machine.costmodel`)
+to the schedules the runtime generates -- redistribution and transpose
+-- under the iPSC/860's hypercube topology vs an ideal crossbar.  This
+is the "what would this schedule cost on the paper's machine" figure;
+wall-clock Python timing of the same operations lives in
+``benchmarks/bench_redistribution.py`` and ``bench_runtime.py``.
+
+Run with ``python -m repro.bench.costs``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..distribution.align import Alignment
+from ..distribution.array import AxisMap, DistributedArray
+from ..distribution.dist import Block, CyclicK, ProcessorGrid
+from ..distribution.section import RegularSection
+from ..machine.costmodel import CostModel, estimate_superstep
+from ..machine.topology import CrossbarTopology, HypercubeTopology
+from ..runtime.commsets2d import compute_comm_schedule_2d
+from ..runtime.redistribute import plan_redistribution
+from .report import format_table
+
+__all__ = ["run_redistribution_costs", "run_transpose_costs", "main"]
+
+
+def _vector(name: str, n: int, p: int, dist) -> DistributedArray:
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(name, (n,), grid, (AxisMap(dist, grid_axis=0),))
+
+
+def run_redistribution_costs(
+    *, n: int = 4096, cube_dim: int = 5, model: CostModel | None = None
+) -> list[tuple[str, int, int, float, float]]:
+    """Per-pair ``(label, remote_elements, messages, hypercube_us,
+    crossbar_us)`` for representative redistribution patterns."""
+    p = 1 << cube_dim
+    cube = HypercubeTopology(cube_dim)
+    xbar = CrossbarTopology(p)
+    pairs = [
+        ("cyclic(1)->block", CyclicK(1), Block()),
+        ("block->cyclic(1)", Block(), CyclicK(1)),
+        ("cyclic(4)->cyclic(32)", CyclicK(4), CyclicK(32)),
+        ("cyclic(32)->cyclic(4)", CyclicK(32), CyclicK(4)),
+        ("cyclic(8)->cyclic(8)", CyclicK(8), CyclicK(8)),
+    ]
+    out = []
+    for label, src_dist, dst_dist in pairs:
+        src = _vector("S", n, p, src_dist)
+        dst = _vector("D", n, p, dst_dist)
+        schedule, stats = plan_redistribution(dst, src)
+        cube_est = estimate_superstep(schedule.transfers, p, cube, model)
+        xbar_est = estimate_superstep(schedule.transfers, p, xbar, model)
+        out.append(
+            (label, stats.remote_elements, stats.messages,
+             cube_est.time_us, xbar_est.time_us)
+        )
+    return out
+
+
+def run_transpose_costs(
+    *, n: int = 256, model: CostModel | None = None
+) -> list[tuple[str, int, float]]:
+    """Transpose schedule cost on a 2x2 grid for several block sizes."""
+    grid = ProcessorGrid("G", (2, 2))
+    cube = HypercubeTopology(2)
+    out = []
+    for k in (1, 4, 16, 64):
+        a = DistributedArray(
+            "A", (n, n), grid,
+            (AxisMap(CyclicK(k), grid_axis=0), AxisMap(CyclicK(k), grid_axis=1)),
+        )
+        sec = (RegularSection(0, n - 1, 1), RegularSection(0, n - 1, 1))
+        schedule = compute_comm_schedule_2d(a, sec, a, sec, rhs_dims=(1, 0))
+        est = estimate_superstep(schedule.transfers, 4, cube, model)
+        out.append((f"cyclic({k})", schedule.communicated_elements, est.time_us))
+    return out
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point; see the module docstring for what it prints."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=4096)
+    args = parser.parse_args(argv)
+
+    print("Modeled redistribution cost (alpha=70us, beta=0.36us/B, "
+          "gamma=10us/hop; 32-rank 5-cube vs crossbar)")
+    rows = run_redistribution_costs(n=args.n)
+    print(format_table(
+        ["pattern", "remote elems", "messages", "hypercube (us)", "crossbar (us)"],
+        rows,
+    ))
+    print()
+    print("Modeled transpose cost (2x2 grid = 2-cube, 256x256 array)")
+    rows = run_transpose_costs()
+    print(format_table(["distribution", "remote elems", "modeled (us)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Figure 7: the s=7 column of Table 1 plotted against block size.
+
+Regenerates the paper's Figure 7 -- construction time vs ``k`` for the
+lattice algorithm and the sorting baseline at ``s = 7`` -- as an ASCII
+plot plus the underlying data rows.  Run with::
+
+    python -m repro.bench.figure7 [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .report import ascii_plot, format_table
+from .table1 import _measure
+from .workloads import PAPER_P, TABLE1_BLOCK_SIZES
+
+__all__ = ["run_figure7", "main"]
+
+
+def run_figure7(
+    *,
+    p: int = PAPER_P,
+    s: int = 7,
+    block_sizes=TABLE1_BLOCK_SIZES,
+    full: bool = False,
+    repeats: int = 3,
+) -> list[tuple[int, float, float]]:
+    """Per-k ``(k, lattice_us, sorting_us)`` series at stride ``s``."""
+    out = []
+    for k in block_sizes:
+        lat, srt = _measure(p, k, 0, s, full=full, repeats=repeats)
+        out.append((k, lat, srt))
+    return out
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point; see the module docstring for what it prints."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    data = run_figure7(full=not args.quick, repeats=args.repeats)
+    print("Figure 7: construction time vs block size (s=7, p=32)")
+    print(format_table(
+        ["k", "Lattice (us)", "Sorting (us)", "speedup"],
+        [(k, lat, srt, srt / lat) for k, lat, srt in data],
+    ))
+    print()
+    print(ascii_plot(
+        {
+            "Lattice": [(k, lat) for k, lat, _ in data],
+            "Sorting": [(k, srt) for k, _, srt in data],
+        },
+        logy=True,
+        title="time (us, log scale) vs k   [paper: Sorting diverges above Lattice]",
+    ))
+
+
+if __name__ == "__main__":
+    main()

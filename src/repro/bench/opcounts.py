@@ -1,0 +1,143 @@
+"""Platform-independent operation counts for the two table constructions.
+
+Wall-clock comparisons in Python are skewed: the sorting baseline's sort
+runs in C (timsort) while the lattice walk is interpreted, which shifts
+the small-``k`` crossover relative to the paper's C implementations (see
+EXPERIMENTS.md).  This module counts *abstract operations* instead --
+the quantities the paper's complexity analysis is about:
+
+* **lattice**: lattice points examined during the basis walk (the paper
+  proves at most ``2k + 1``) plus the two O(k) scan loops;
+* **sorting**: comparisons performed by the sort (merge-sort count, the
+  comparison-model cost ``Theta(k log k)``) plus the same scan loops.
+
+The counting walkers mirror the production code paths; the test suite
+asserts they produce the same tables, so the counts describe the real
+algorithms.  Run with ``python -m repro.bench.opcounts``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..core.access import compute_access_table, start_location
+from ..core.euclid import extended_gcd
+from ..core.lattice import compute_rl_basis
+from .report import format_table
+from .workloads import PAPER_P, TABLE1_BLOCK_SIZES
+
+__all__ = ["lattice_op_counts", "sorting_op_counts", "main"]
+
+
+def lattice_op_counts(p: int, k: int, l: int, s: int, m: int) -> dict[str, int]:
+    """Operation counts of the Figure 5 algorithm.
+
+    ``points_examined`` counts iterations of the doubly nested walk loop
+    (Section 5.1 proves <= 2k + 1); ``scan_iterations`` counts the two
+    O(k) scans (start location and min/max of the initial cycle).
+    """
+    pk = p * k
+    d, x, _ = extended_gcd(s, pk)
+    period = pk // d
+
+    info = start_location(p, k, l, s, m)
+    start, length = info.start, info.length
+    lo_i = k * m - l
+    scan_iterations = len(range(lo_i + (-lo_i) % d, lo_i + k, d))
+    scan_iterations += len(range(d, k, d))  # min/max scan for the basis
+
+    points = 0
+    if length > 1:
+        basis = compute_rl_basis(p, k, s)
+        (br, _), (bl, _) = basis.r.vector, basis.l.vector
+        offset = start % pk
+        hi, lo = k * (m + 1), k * m
+        i = 0
+        while i < length:
+            while i < length and offset + br < hi:
+                offset += br
+                i += 1
+                points += 1
+            if i == length:
+                break
+            offset -= bl
+            points += 1
+            if offset < lo:
+                offset += br
+                points += 1
+            i += 1
+    return {
+        "length": length,
+        "points_examined": points,
+        "scan_iterations": scan_iterations,
+        "total": points + scan_iterations,
+    }
+
+
+class _CountingKey:
+    """Wrapper that counts comparisons made on it."""
+
+    __slots__ = ("value", "counter")
+
+    def __init__(self, value: int, counter: list[int]) -> None:
+        self.value = value
+        self.counter = counter
+
+    def __lt__(self, other: "_CountingKey") -> bool:
+        self.counter[0] += 1
+        return self.value < other.value
+
+
+def sorting_op_counts(p: int, k: int, l: int, s: int, m: int) -> dict[str, int]:
+    """Operation counts of the Chatterjee et al. baseline: comparisons
+    made by the sort plus the same O(k) scan loops."""
+    pk = p * k
+    d, x, _ = extended_gcd(s, pk)
+    period = pk // d
+    lo_i = k * m - l
+    first = lo_i + (-lo_i) % d
+    indices = [l + ((i // d) * x % period) * s for i in range(first, lo_i + k, d)]
+    scan_iterations = len(indices)
+
+    counter = [0]
+    keyed = [_CountingKey(v, counter) for v in indices]
+    keyed.sort()
+    gap_scan = max(len(indices) - 1, 0)
+    return {
+        "length": len(indices),
+        "comparisons": counter[0],
+        "scan_iterations": scan_iterations + gap_scan,
+        "total": counter[0] + scan_iterations + gap_scan,
+    }
+
+
+def run_opcounts(
+    *, p: int = PAPER_P, s: int = 99, block_sizes=TABLE1_BLOCK_SIZES
+) -> list[tuple[int, int, int, float]]:
+    """Per-k ``(k, lattice_total, sorting_total, ratio)``, max over ranks."""
+    out = []
+    for k in block_sizes:
+        lat = max(
+            lattice_op_counts(p, k, 0, s, m)["total"] for m in range(p)
+        )
+        srt = max(
+            sorting_op_counts(p, k, 0, s, m)["total"] for m in range(p)
+        )
+        out.append((k, lat, srt, srt / lat if lat else float("inf")))
+    return out
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point; see the module docstring for what it prints."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stride", type=int, default=99)
+    args = parser.parse_args(argv)
+    rows = run_opcounts(s=args.stride)
+    print(f"Abstract operation counts, max over ranks (p={PAPER_P}, s={args.stride})")
+    print(format_table(
+        ["k", "Lattice ops (O(k))", "Sorting ops (O(k log k))", "ratio"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Formatting helpers that print paper-style result tables.
+
+Emits plain-text tables (aligned columns, like Table 1 / Table 2 in the
+paper) and the same data as Markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_markdown", "format_csv", "ascii_plot"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Aligned plain-text table."""
+    cells = [[_stringify(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt_row(row):
+        return "  ".join(text.rjust(w) for text, w in zip(row, widths))
+
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_markdown(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-flavoured Markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """RFC-4180-ish CSV (quoted only when needed) for downstream plotting."""
+
+    def cell(value) -> str:
+        text = _stringify(value)
+        if any(ch in text for ch in ',"\n'):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    lines.extend(",".join(cell(v) for v in row) for row in rows)
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Minimal scatter/line plot for Figure 7 style comparisons.
+
+    ``series`` maps a label to ``(x, y)`` points; each series is drawn
+    with its own glyph.  Axes are annotated with min/max values.
+    """
+    import math
+
+    glyphs = "ox+*#@"
+    all_pts = [pt for pts in series.values() for pt in pts]
+    if not all_pts:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _ in all_pts]
+    ys = [y for _, y in all_pts]
+    if logy:
+        if min(ys) <= 0:
+            raise ValueError("log-scale plot requires positive y values")
+        transform = math.log10
+    else:
+        transform = float
+    ty = [transform(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, pts) in zip(glyphs, series.items()):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((transform(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{10 ** y_hi:.0f}" if logy else f"{y_hi:.0f}"
+    y_lo_label = f"{10 ** y_lo:.0f}" if logy else f"{y_lo:.0f}"
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+    for i, row in enumerate(grid):
+        prefix = y_hi_label if i == 0 else (y_lo_label if i == height - 1 else "")
+        lines.append(prefix.rjust(margin) + " |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(
+        " " * margin + f"  {x_lo:<10.0f}" + f"{x_hi:>{width - 10}.0f}"
+    )
+    legend = "   ".join(
+        f"{glyph} = {label}" for glyph, label in zip(glyphs, series.keys())
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Table 1: table-construction times, Lattice vs Sorting.
+
+Regenerates the paper's Table 1 -- execution time in microseconds to
+build the ΔM table for every ``(k, s)`` cell of the paper's grid,
+reported as the maximum over all 32 simulated processors (the paper's
+convention).  Run with::
+
+    python -m repro.bench.table1 [--quick]
+
+``--quick`` times a single representative rank instead of the max over
+all 32 (about 30x faster, same shape).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from ..core.access import compute_access_table
+from ..core.baselines.sorting import sorting_access_table
+from .report import format_markdown, format_table
+from .timers import Timing, max_over_ranks, time_us
+from .workloads import PAPER_P, TABLE1_BLOCK_SIZES, table1_strides
+
+__all__ = ["Table1Row", "run_table1", "main"]
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    k: int
+    results: dict  # label -> (lattice_us, sorting_us)
+
+
+def _measure(
+    p: int, k: int, l: int, s: int, *, full: bool, repeats: int
+) -> tuple[float, float]:
+    def lattice_fn(m: int):
+        return lambda: compute_access_table(p, k, l, s, m)
+
+    def sorting_fn(m: int):
+        return lambda: sorting_access_table(p, k, l, s, m)
+
+    if full:
+        lat = max_over_ranks(lattice_fn, p, repeats=repeats)
+        srt = max_over_ranks(sorting_fn, p, repeats=repeats)
+    else:
+        m = p // 2
+        lat = time_us(lattice_fn(m), repeats=repeats)
+        srt = time_us(sorting_fn(m), repeats=repeats)
+    return lat.best_us, srt.best_us
+
+
+def run_table1(
+    *,
+    p: int = PAPER_P,
+    l: int = 0,
+    block_sizes=TABLE1_BLOCK_SIZES,
+    full: bool = False,
+    repeats: int = 3,
+) -> list[Table1Row]:
+    """Measure every Table 1 cell; see module docstring."""
+    rows = []
+    for k in block_sizes:
+        results = {}
+        for label, s in table1_strides(k, p).items():
+            results[label] = _measure(p, k, l, s, full=full, repeats=repeats)
+        rows.append(Table1Row(k, results))
+    return rows
+
+
+def render(rows: list[Table1Row], *, markdown: bool = False) -> str:
+    labels = list(rows[0].results.keys())
+    headers = ["Block size"] + [
+        f"{label} {alg}" for label in labels for alg in ("Lattice", "Sorting")
+    ]
+    body = []
+    for row in rows:
+        cells: list = [f"k={row.k}"]
+        for label in labels:
+            lat, srt = row.results[label]
+            cells.extend([lat, srt])
+        body.append(cells)
+    fmt = format_markdown if markdown else format_table
+    return fmt(headers, body)
+
+
+def render_speedups(rows: list[Table1Row], *, markdown: bool = False) -> str:
+    labels = list(rows[0].results.keys())
+    headers = ["Block size"] + [f"{label} speedup" for label in labels]
+    body = []
+    for row in rows:
+        cells: list = [f"k={row.k}"]
+        for label in labels:
+            lat, srt = row.results[label]
+            cells.append(srt / lat)
+        body.append(cells)
+    fmt = format_markdown if markdown else format_table
+    return fmt(headers, body)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point; see the module docstring for what it prints."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="time one representative rank instead of max over all")
+    parser.add_argument("--markdown", action="store_true")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    rows = run_table1(full=not args.quick, repeats=args.repeats)
+    print("Table 1: table-construction time in microseconds "
+          f"(p={PAPER_P}, l=0; {'max over ranks' if not args.quick else 'one rank'})")
+    print(render(rows, markdown=args.markdown))
+    print()
+    print("Sorting/Lattice speedup (paper: grows with k, ~5-9x at k=512)")
+    print(render_speedups(rows, markdown=args.markdown))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Timing discipline for the reproduction benchmarks.
+
+The paper reports microseconds from ``dclock`` on the iPSC/860,
+maximums over 32 processors.  Here we time on one host with
+``time.perf_counter_ns`` using a min-of-repeats discipline (the standard
+way to suppress scheduler noise -- see the "no optimization without
+measuring" guidance in the project's HPC guides), and take maxima over
+simulated processor ranks where the paper did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Timing", "time_us", "max_over_ranks"]
+
+
+@dataclass(frozen=True, slots=True)
+class Timing:
+    """One measurement: best (min) and mean over repeats, in microseconds."""
+
+    best_us: float
+    mean_us: float
+    repeats: int
+
+
+def time_us(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 5,
+    number: int | None = None,
+    target_ns: int = 2_000_000,
+) -> Timing:
+    """Time ``fn`` and return microseconds per call.
+
+    ``number`` calls are made per repeat; when ``None`` it is calibrated
+    so one repeat lasts roughly ``target_ns`` (default 2 ms), keeping
+    short functions measurable without making long ones crawl.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if number is None:
+        number = 1
+        while True:
+            t0 = time.perf_counter_ns()
+            for _ in range(number):
+                fn()
+            elapsed = time.perf_counter_ns() - t0
+            if elapsed >= target_ns or number >= 1 << 16:
+                break
+            number *= 4
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        for _ in range(number):
+            fn()
+        samples.append((time.perf_counter_ns() - t0) / number / 1000.0)
+    return Timing(min(samples), sum(samples) / len(samples), repeats)
+
+
+def max_over_ranks(
+    make_fn: Callable[[int], Callable[[], object]],
+    p: int,
+    *,
+    repeats: int = 3,
+    number: int | None = None,
+) -> Timing:
+    """The paper's reporting convention: run the per-rank computation for
+    every rank ``m`` and report the maximum of the per-rank best times."""
+    timings = [time_us(make_fn(m), repeats=repeats, number=number) for m in range(p)]
+    worst = max(timings, key=lambda t: t.best_us)
+    return worst

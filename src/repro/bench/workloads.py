@@ -1,0 +1,93 @@
+"""The paper's benchmark parameter grids (Section 6).
+
+Table 1 / Figure 7: ``p = 32``, ``l = 0``, block sizes ``k = 4..512``
+(powers of two; the paper omits k=1,2 as negligible), strides
+``s in {7, 99, k+1, pk-1, pk+1}`` -- the last two chosen because they
+produce reversely / properly sorted access sequences, stressing the
+sorting baseline.
+
+Table 2: node-code execution with 10,000 assignments per processor,
+``k in {4, 32, 256}``, ``s in {3, 15, 99}``, upper bound scaled with the
+stride to keep the access count constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PAPER_P",
+    "TABLE1_BLOCK_SIZES",
+    "TABLE2_BLOCK_SIZES",
+    "TABLE2_STRIDES",
+    "TABLE2_ACCESSES_PER_PROC",
+    "table1_strides",
+    "table1_cases",
+    "Table1Case",
+    "Table2Case",
+    "table2_cases",
+]
+
+#: Number of processors in every paper experiment.
+PAPER_P = 32
+
+#: Table 1 block sizes (k = 4 .. 512, powers of two).
+TABLE1_BLOCK_SIZES = (4, 8, 16, 32, 64, 128, 256, 512)
+
+TABLE2_BLOCK_SIZES = (4, 32, 256)
+TABLE2_STRIDES = (3, 15, 99)
+TABLE2_ACCESSES_PER_PROC = 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Case:
+    label: str  # column label, e.g. "s=pk-1"
+    k: int
+    s: int
+    p: int = PAPER_P
+    l: int = 0
+
+
+def table1_strides(k: int, p: int = PAPER_P) -> dict[str, int]:
+    """The five stride columns of Table 1 for a given block size."""
+    return {
+        "s=7": 7,
+        "s=99": 99,
+        "s=k+1": k + 1,
+        "s=pk-1": p * k - 1,
+        "s=pk+1": p * k + 1,
+    }
+
+
+def table1_cases(
+    block_sizes=TABLE1_BLOCK_SIZES, p: int = PAPER_P
+) -> list[Table1Case]:
+    """All (k, stride-column) cells of Table 1 as Table1Case records."""
+    out = []
+    for k in block_sizes:
+        for label, s in table1_strides(k, p).items():
+            out.append(Table1Case(label, k, s, p))
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Case:
+    k: int
+    s: int
+    p: int = PAPER_P
+    l: int = 0
+    accesses_per_proc: int = TABLE2_ACCESSES_PER_PROC
+
+    @property
+    def upper(self) -> int:
+        """Upper bound scaled in proportion to the stride so that each
+        processor performs ``accesses_per_proc`` assignments (Section 6.2)."""
+        total = self.accesses_per_proc * self.p
+        return self.l + (total - 1) * self.s
+
+
+def table2_cases(
+    block_sizes=TABLE2_BLOCK_SIZES, strides=TABLE2_STRIDES, p: int = PAPER_P
+) -> list[Table2Case]:
+    """All (k, s) cells of Table 2 as Table2Case records."""
+    return [Table2Case(k, s, p) for k in block_sizes for s in strides]

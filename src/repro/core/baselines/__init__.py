@@ -1,0 +1,22 @@
+"""Baseline algorithms the paper compares against (Sections 2 and 7).
+
+* :mod:`repro.core.baselines.sorting` -- Chatterjee et al. (PPoPP '93):
+  ``O(k log k + min(log s, log p))`` via sorting the initial cycle.
+* :mod:`repro.core.baselines.special` -- Hiranandani et al. (ICS '94):
+  ``O(k)`` but only when ``s mod pk < k``.
+* :mod:`repro.core.baselines.naive` -- brute-force enumeration oracle
+  used as ground truth by the test suite.
+"""
+
+from .naive import enumerate_local_elements, naive_access_table
+from .sorting import lsd_radix_sort, sorting_access_table
+from .special import SpecialCaseInapplicable, special_access_table
+
+__all__ = [
+    "enumerate_local_elements",
+    "naive_access_table",
+    "sorting_access_table",
+    "lsd_radix_sort",
+    "special_access_table",
+    "SpecialCaseInapplicable",
+]

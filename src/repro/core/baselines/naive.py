@@ -1,0 +1,79 @@
+"""Brute-force enumeration oracle.
+
+These functions enumerate every element of the section ``A(l:u:s)``
+directly and filter by ownership, so they are ``O((u - l) / s)`` instead
+of ``O(k)`` -- far too slow for a runtime system but ideal as ground
+truth: every fast algorithm in :mod:`repro.core` is tested against them.
+"""
+
+from __future__ import annotations
+
+from ..access import AccessTable
+from ..euclid import gcd
+
+__all__ = ["enumerate_local_elements", "naive_access_table"]
+
+
+def _local_address(index: int, p: int, k: int, m: int) -> int:
+    row, b = divmod(index, p * k)
+    return row * k + (b - k * m)
+
+
+def enumerate_local_elements(
+    p: int, k: int, l: int, u: int, s: int, m: int
+) -> list[tuple[int, int]]:
+    """All ``(global_index, local_address)`` pairs of ``A(l:u:s)`` owned by
+    processor ``m``, in increasing index order.
+
+    Fortran triplet semantics: elements are ``l, l+s, ...`` while
+    ``<= u`` (for ``s > 0``) or ``>= u`` (for ``s < 0``; the returned
+    order is still the traversal order ``l, l+s, ...``).
+    """
+    if p <= 0 or k <= 0:
+        raise ValueError(f"need p > 0 and k > 0, got p={p}, k={k}")
+    if s == 0:
+        raise ValueError("stride must be nonzero")
+    if not 0 <= m < p:
+        raise ValueError(f"processor number m={m} out of range [0, {p})")
+    pk = p * k
+    lo, hi = k * m, k * (m + 1)
+    out = []
+    i = l
+    while (s > 0 and i <= u) or (s < 0 and i >= u):
+        if lo <= i % pk < hi:
+            out.append((i, _local_address(i, p, k, m)))
+        i += s
+    return out
+
+
+def naive_access_table(p: int, k: int, l: int, s: int, m: int) -> AccessTable:
+    """Compute the cyclic ΔM table by plain enumeration (ground truth).
+
+    Enumerates one full period (``pk / gcd(s, pk)`` section steps) past
+    the starting location and differences the local addresses.
+    """
+    if s <= 0:
+        raise ValueError(f"stride must be positive, got s={s}")
+    pk = p * k
+    d = gcd(s, pk)
+    period = pk // d
+    lo, hi = k * m, k * (m + 1)
+
+    # Scan up to two periods from l to find the start and one full cycle.
+    owned: list[int] = []
+    for j in range(2 * period + 1):
+        idx = l + j * s
+        if lo <= idx % pk < hi:
+            owned.append(idx)
+    if not owned:
+        return AccessTable(p, k, l, s, m, None, 0, (), ())
+    start = min(owned)
+    ordered = sorted(i for i in owned if i >= start)
+    # Per period each owned offset appears exactly once; cycle length is
+    # the number of distinct offsets.
+    length = len({i % pk for i in owned})
+    window = ordered[: length + 1]
+    addrs = [_local_address(i, p, k, m) for i in window]
+    gaps = tuple(addrs[t + 1] - addrs[t] for t in range(length))
+    index_gaps = tuple(window[t + 1] - window[t] for t in range(length))
+    return AccessTable(p, k, l, s, m, start, length, gaps, index_gaps)

@@ -1,0 +1,133 @@
+"""The sorting-based algorithm of Chatterjee et al. (PPoPP '93).
+
+For each block offset of processor ``m``, solve the linear Diophantine
+equation for the smallest section element landing on that offset (these
+are the same solutions the lattice algorithm's start-location scan
+computes); then **sort** the resulting indices to obtain the access
+order and scan once to produce the memory-gap table.  The sort makes
+this ``O(k log k + min(log s, log p))`` -- the term the lattice method
+removes.
+
+Per the paper's Section 6.1, their implementation switched to a
+linear-time LSD radix sort for ``k >= 64``; both sorts are provided here
+and the dispatch threshold mirrors the paper (``radix_threshold=64``).
+The segments shared with the lattice algorithm (extended Euclid and the
+per-offset solution loop) are coded identically to
+:func:`repro.core.access.start_location`, as the paper did for its
+timing comparison.
+"""
+
+from __future__ import annotations
+
+from ..access import AccessTable
+from ..euclid import extended_gcd
+
+__all__ = ["sorting_access_table", "lsd_radix_sort"]
+
+#: Block size at and above which the radix sort is used, following the
+#: paper's note that the comparison implementation used radix for k >= 64.
+RADIX_THRESHOLD = 64
+
+
+def lsd_radix_sort(values: list[int], *, radix_bits: int = 8) -> list[int]:
+    """Stable LSD radix sort of nonnegative integers.
+
+    Linear in ``len(values)`` times the number of ``radix_bits``-wide
+    digits of the maximum value.  Used by the sorting baseline for large
+    block sizes, mirroring the implementation the paper timed.
+    """
+    if radix_bits <= 0:
+        raise ValueError(f"radix_bits must be positive, got {radix_bits}")
+    if not values:
+        return []
+    if any(v < 0 for v in values):
+        raise ValueError("radix sort requires nonnegative values")
+    out = list(values)
+    radix = 1 << radix_bits
+    mask = radix - 1
+    shift = 0
+    max_value = max(out)
+    while max_value >> shift:
+        counts = [0] * radix
+        for v in out:
+            counts[(v >> shift) & mask] += 1
+        total = 0
+        for digit in range(radix):
+            counts[digit], total = total, total + counts[digit]
+        scratch: list[int] = [0] * len(out)
+        for v in out:
+            digit = (v >> shift) & mask
+            scratch[counts[digit]] = v
+            counts[digit] += 1
+        out = scratch
+        shift += radix_bits
+    return out
+
+
+def sorting_access_table(
+    p: int,
+    k: int,
+    l: int,
+    s: int,
+    m: int,
+    *,
+    sort: str = "auto",
+) -> AccessTable:
+    """Chatterjee et al.'s table construction.
+
+    ``sort`` selects the sorting routine: ``"timsort"`` (Python's
+    built-in comparison sort), ``"radix"`` (LSD radix sort), or
+    ``"auto"`` (radix when ``k >= RADIX_THRESHOLD``, as in the paper).
+    """
+    if p <= 0 or k <= 0:
+        raise ValueError(f"need p > 0 and k > 0, got p={p}, k={k}")
+    if s <= 0:
+        raise ValueError(f"stride must be positive, got s={s}")
+    if not 0 <= m < p:
+        raise ValueError(f"processor number m={m} out of range [0, {p})")
+    if sort not in ("auto", "timsort", "radix"):
+        raise ValueError(f"unknown sort {sort!r}")
+
+    pk = p * k
+    d, x, _ = extended_gcd(s, pk)
+    period = pk // d
+
+    # Smallest section element for every solvable offset of processor m
+    # (identical to the lattice algorithm's start-location scan, except
+    # every solution is retained).
+    lo = k * m - l
+    first = lo + (-lo) % d
+    indices: list[int] = []
+    for i in range(first, lo + k, d):
+        j = (i // d) * x % period
+        indices.append(l + j * s)
+
+    length = len(indices)
+    if length == 0:
+        return AccessTable(p, k, l, s, m, None, 0, (), ())
+    if length == 1:
+        return AccessTable(
+            p, k, l, s, m, indices[0], 1, (k * s // d,), (pk * s // d,)
+        )
+
+    if sort == "radix" or (sort == "auto" and k >= RADIX_THRESHOLD):
+        shift = min(indices)
+        indices = [v + shift for v in lsd_radix_sort([v - shift for v in indices])]
+    else:
+        indices.sort()
+
+    # Linear scan: local-memory gaps between consecutive sorted indices,
+    # closing the cycle with the first element of the next period (whose
+    # local address is start_local + k*s/d).
+    def local(idx: int) -> int:
+        row, b = divmod(idx, pk)
+        return row * k + (b - k * m)
+
+    addrs = [local(idx) for idx in indices]
+    gaps = [addrs[t + 1] - addrs[t] for t in range(length - 1)]
+    gaps.append(addrs[0] + k * s // d - addrs[-1])
+    index_gaps = [indices[t + 1] - indices[t] for t in range(length - 1)]
+    index_gaps.append(indices[0] + pk * s // d - indices[-1])
+    return AccessTable(
+        p, k, l, s, m, indices[0], length, tuple(gaps), tuple(index_gaps)
+    )

@@ -1,0 +1,108 @@
+"""Counting and bound utilities for bounded sections ``A(l:u:s)``.
+
+The access-sequence algorithms deliberately ignore the upper bound ``u``
+(the ΔM table is independent of it -- paper Section 2); a runtime system
+still needs to know *how many* elements each processor owns and where
+its last access lands.  These are O(k) per processor, using the same
+per-offset congruence solutions as the start-location scan.
+"""
+
+from __future__ import annotations
+
+from .euclid import ceil_div, extended_gcd
+
+__all__ = [
+    "local_count",
+    "last_location",
+    "owner_histogram",
+    "local_allocation_size",
+    "section_length",
+]
+
+
+def section_length(l: int, u: int, s: int) -> int:
+    """Number of elements of the Fortran triplet ``l:u:s``.
+
+    ``max(0, (u - l + s) // s)`` with Fortran semantics; works for
+    negative strides too.  Raises on ``s == 0``.
+    """
+    if s == 0:
+        raise ValueError("stride must be nonzero")
+    if s > 0:
+        return 0 if u < l else (u - l) // s + 1
+    return 0 if u > l else (l - u) // (-s) + 1
+
+
+def _solution_bases(p: int, k: int, l: int, s: int, m: int) -> list[int]:
+    """Smallest nonnegative ``j`` per solvable offset of processor ``m``."""
+    pk = p * k
+    d, x, _ = extended_gcd(s, pk)
+    period = pk // d
+    lo = k * m - l
+    first = lo + (-lo) % d
+    return [(i // d) * x % period for i in range(first, lo + k, d)]
+
+
+def local_count(p: int, k: int, l: int, u: int, s: int, m: int) -> int:
+    """Number of elements of ``A(l:u:s)`` owned by processor ``m``.
+
+    O(k): for each solvable offset with smallest step ``j0``, the owned
+    steps are ``j0, j0+T, j0+2T, ...`` (``T = pk/gcd(s,pk)``), of which
+    ``ceil((n - j0) / T)`` fall below the section length ``n``.
+    """
+    if s <= 0:
+        raise ValueError(f"stride must be positive, got s={s}; normalize first")
+    n = section_length(l, u, s)
+    if n == 0:
+        return 0
+    pk = p * k
+    d, _, _ = extended_gcd(s, pk)
+    period = pk // d
+    total = 0
+    for j0 in _solution_bases(p, k, l, s, m):
+        if j0 < n:
+            total += ceil_div(n - j0, period)
+    return total
+
+
+def last_location(p: int, k: int, l: int, u: int, s: int, m: int) -> int | None:
+    """Global index of the last element of ``A(l:u:s)`` on processor ``m``,
+    or ``None`` when the processor owns no element of the section."""
+    if s <= 0:
+        raise ValueError(f"stride must be positive, got s={s}; normalize first")
+    n = section_length(l, u, s)
+    if n == 0:
+        return None
+    pk = p * k
+    d, _, _ = extended_gcd(s, pk)
+    period = pk // d
+    best: int | None = None
+    for j0 in _solution_bases(p, k, l, s, m):
+        if j0 < n:
+            j_last = j0 + (n - 1 - j0) // period * period
+            idx = l + j_last * s
+            if best is None or idx > best:
+                best = idx
+    return best
+
+
+def owner_histogram(p: int, k: int, l: int, u: int, s: int) -> list[int]:
+    """Per-processor element counts for ``A(l:u:s)`` (sums to the section
+    length).  O(p*k)."""
+    return [local_count(p, k, l, u, s, m) for m in range(p)]
+
+
+def local_allocation_size(p: int, k: int, n: int, m: int) -> int:
+    """Local storage cells processor ``m`` needs for an array of ``n``
+    elements distributed ``cyclic(k)`` (full rows contribute ``k`` cells,
+    plus the partial last row's share)."""
+    if n < 0:
+        raise ValueError(f"array size must be nonnegative, got {n}")
+    if k <= 0 or p <= 0:
+        raise ValueError(f"need p > 0 and k > 0, got p={p}, k={k}")
+    if not 0 <= m < p:
+        raise ValueError(f"processor number m={m} out of range [0, {p})")
+    pk = p * k
+    full_rows, rem = divmod(n, pk)
+    tail = min(max(rem - k * m, 0), k)
+    return full_rows * k + tail

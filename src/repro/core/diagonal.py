@@ -1,0 +1,143 @@
+"""Diagonal array sections -- the paper's Section 8 future-work item.
+
+The paper closes: "Some of the problems that require investigation are
+compiling programs that access diagonal or trapezoidal array sections
+... in the presence of cyclic(k) distributions."  This module provides
+that extension for two-dimensional arrays: the access
+
+    A(r0 + t*rs,  c0 + t*cs)      for t = 0 .. count-1
+
+(a generalized diagonal: ``rs = cs = 1`` is the main diagonal,
+``rs = 1, cs = -1`` an anti-diagonal) touches, on each processor, the
+iterations ``t`` whose row *and* column land in that processor's blocks.
+
+Ownership along one dimension is periodic in ``t`` with period
+``pk/gcd(step, pk)`` (the 1-D theory), so the owned ``t``-set per
+dimension is a union of arithmetic progressions; the processor's
+diagonal iterations are the CRT intersections of one progression from
+each dimension -- computed here with :func:`repro.core.euclid.crt_pair`
+in O(k_row * k_col) per processor, independent of ``count``.
+
+A brute-force enumerator is included as the test oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .euclid import crt_pair, extended_gcd
+
+__all__ = ["DiagonalAccess", "diagonal_iterations", "diagonal_iterations_brute"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiagonalAccess:
+    """The access ``A(r0 + t*rs, c0 + t*cs)``, ``t in [0, count)``.
+
+    Distribution parameters per dimension: ``(p_row, k_row)`` and
+    ``(p_col, k_col)``; the owning processor of iteration ``t`` is the
+    grid coordinate pair of its row and column owners.
+    """
+
+    p_row: int
+    k_row: int
+    p_col: int
+    k_col: int
+    r0: int
+    rs: int
+    c0: int
+    cs: int
+    count: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("p_row", self.p_row), ("k_row", self.k_row),
+                            ("p_col", self.p_col), ("k_col", self.k_col)):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.rs == 0 and self.cs == 0:
+            raise ValueError("at least one of rs, cs must be nonzero")
+        if self.count < 0:
+            raise ValueError(f"count must be nonnegative, got {self.count}")
+
+    def row(self, t: int) -> int:
+        return self.r0 + t * self.rs
+
+    def col(self, t: int) -> int:
+        return self.c0 + t * self.cs
+
+
+def _owned_progressions(
+    p: int, k: int, start: int, step: int, m: int
+) -> list[tuple[int, int]]:
+    """Arithmetic progressions of ``t`` with ``start + t*step`` owned by
+    coordinate ``m`` under ``cyclic(k)`` over ``p``.
+
+    Returns ``(base, period)`` pairs with ``0 <= base < period``; the
+    owned set is the union of ``{base, base+period, ...}``.  ``step``
+    may be negative or zero (zero: ownership is t-independent, returning
+    ``(0, 1)`` when owned and nothing otherwise).
+    """
+    pk = p * k
+    lo, hi = k * m, k * (m + 1)
+    if step == 0:
+        return [(0, 1)] if lo <= start % pk < hi else []
+    d, x, _ = extended_gcd(step, pk)
+    period = pk // d
+    out = []
+    # t*step ≡ c - start (mod pk) for each block offset c of processor m.
+    delta0 = lo - start
+    first = delta0 + (-delta0) % d
+    for delta in range(first, hi - start, d):
+        base = (delta // d) * x % period
+        out.append((base, period))
+    return out
+
+
+def diagonal_iterations(access: DiagonalAccess, coords: tuple[int, int]) -> list[int]:
+    """All iterations ``t`` whose element is owned by grid coordinates
+    ``(row_coord, col_coord)``, ascending.
+
+    CRT-intersects the row-owned and column-owned progressions; cost is
+    O(k_row * k_col + result) independent of ``count``.
+    """
+    mr, mc = coords
+    if not 0 <= mr < access.p_row:
+        raise ValueError(f"row coordinate {mr} out of range [0, {access.p_row})")
+    if not 0 <= mc < access.p_col:
+        raise ValueError(f"col coordinate {mc} out of range [0, {access.p_col})")
+    rows = _owned_progressions(
+        access.p_row, access.k_row, access.r0, access.rs, mr
+    )
+    cols = _owned_progressions(
+        access.p_col, access.k_col, access.c0, access.cs, mc
+    )
+    out: list[int] = []
+    for rb, rp in rows:
+        for cb, cp in cols:
+            merged = crt_pair(rb, rp, cb, cp)
+            if merged is None:
+                continue
+            base, period = merged
+            if base < access.count:
+                out.extend(range(base, access.count, period))
+    out.sort()
+    return out
+
+
+def diagonal_iterations_brute(
+    access: DiagonalAccess, coords: tuple[int, int]
+) -> list[int]:
+    """O(count) oracle for :func:`diagonal_iterations`."""
+    mr, mc = coords
+    pk_r = access.p_row * access.k_row
+    pk_c = access.p_col * access.k_col
+    out = []
+    for t in range(access.count):
+        row_off = access.row(t) % pk_r
+        col_off = access.col(t) % pk_c
+        if (
+            access.k_row * mr <= row_off < access.k_row * (mr + 1)
+            and access.k_col * mc <= col_off < access.k_col * (mc + 1)
+        ):
+            out.append(t)
+    return out

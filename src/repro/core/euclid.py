@@ -1,0 +1,186 @@
+"""Integer number theory used by the access-sequence algorithms.
+
+This module implements the extended Euclid's algorithm and the linear
+congruence / Diophantine machinery that both the lattice algorithm
+(Kennedy, Nedeljkovic & Sethi, PPoPP '95, Figure 5 line 3) and the
+sorting baseline (Chatterjee et al., PPoPP '93) share.  The paper's
+Section 2 reduces the start-location problem to solving the family
+
+    s * j - p*k * q = i        for i in [k*m - l, k*m - l + k)
+
+which has solutions iff gcd(s, p*k) divides i; the smallest nonnegative
+``j`` is obtained from the Bezout coefficient of ``s``.
+
+All functions operate on plain Python integers (arbitrary precision) so
+they remain exact for any distribution parameters.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = [
+    "ExtendedGcd",
+    "extended_gcd",
+    "gcd",
+    "lcm",
+    "mod_inverse",
+    "CongruenceSolution",
+    "solve_linear_congruence",
+    "smallest_nonnegative_solution",
+    "DiophantineSolution",
+    "solve_linear_diophantine",
+    "crt_pair",
+    "ceil_div",
+    "floor_div",
+]
+
+
+class ExtendedGcd(NamedTuple):
+    """Result of the extended Euclid's algorithm: ``a*x + b*y == g``."""
+
+    g: int
+    x: int
+    y: int
+
+
+def extended_gcd(a: int, b: int) -> ExtendedGcd:
+    """Return ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y == g``.
+
+    ``g`` is nonnegative.  This is the EXTENDED-EUCLID call in line 3 of
+    the paper's Figure 5, with ``a = s`` and ``b = p*k``.
+
+    >>> extended_gcd(9, 32)
+    ExtendedGcd(g=1, x=-7, y=2)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return ExtendedGcd(old_r, old_x, old_y)
+
+
+def gcd(a: int, b: int) -> int:
+    """Nonnegative greatest common divisor (``gcd(0, 0) == 0``)."""
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple; ``lcm(x, 0) == 0``."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a // gcd(a, b) * b)
+
+
+def mod_inverse(a: int, n: int) -> int:
+    """Inverse of ``a`` modulo ``n`` in ``[0, n)``.
+
+    Raises :class:`ValueError` when ``gcd(a, n) != 1`` or ``n <= 0``.
+    """
+    if n <= 0:
+        raise ValueError(f"modulus must be positive, got {n}")
+    g, x, _ = extended_gcd(a, n)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {n} (gcd={g})")
+    return x % n
+
+
+class CongruenceSolution(NamedTuple):
+    """Solutions of ``a*j ≡ c (mod n)``: ``j = base + t*period``, t ∈ Z."""
+
+    base: int
+    period: int
+
+
+def solve_linear_congruence(a: int, c: int, n: int) -> CongruenceSolution | None:
+    """Solve ``a*j ≡ c (mod n)`` for ``j``.
+
+    Returns the smallest nonnegative solution ``base`` and the solution
+    ``period`` (``n // gcd(a, n)``), or ``None`` when no solution exists
+    (i.e. when ``gcd(a, n)`` does not divide ``c``).
+    """
+    if n <= 0:
+        raise ValueError(f"modulus must be positive, got {n}")
+    g, x, _ = extended_gcd(a, n)
+    if c % g != 0:
+        return None
+    period = n // g
+    base = (c // g) * x % period
+    return CongruenceSolution(base, period)
+
+
+def smallest_nonnegative_solution(a: int, c: int, n: int) -> int | None:
+    """Smallest ``j >= 0`` with ``a*j ≡ c (mod n)``, or ``None``."""
+    sol = solve_linear_congruence(a, c, n)
+    return None if sol is None else sol.base
+
+
+class DiophantineSolution(NamedTuple):
+    """Solutions of ``a*x + b*y == c``.
+
+    The full solution set is ``x = x0 + t*step_x``, ``y = y0 - t*step_y``
+    for integer ``t``, with ``step_x = b // g`` and ``step_y = a // g``.
+    """
+
+    x0: int
+    y0: int
+    step_x: int
+    step_y: int
+
+
+def solve_linear_diophantine(a: int, b: int, c: int) -> DiophantineSolution | None:
+    """General solution of ``a*x + b*y == c`` or ``None`` if unsolvable.
+
+    When ``a == b == 0`` the equation is solvable only for ``c == 0``
+    (with every ``(x, y)``; we return the zero solution with zero steps).
+    """
+    if a == 0 and b == 0:
+        return DiophantineSolution(0, 0, 0, 0) if c == 0 else None
+    g, x, y = extended_gcd(a, b)
+    if c % g != 0:
+        return None
+    scale = c // g
+    return DiophantineSolution(x * scale, y * scale, b // g, a // g)
+
+
+def crt_pair(r1: int, n1: int, r2: int, n2: int) -> CongruenceSolution | None:
+    """Combine ``j ≡ r1 (mod n1)`` and ``j ≡ r2 (mod n2)``.
+
+    Returns the combined congruence (smallest nonnegative representative
+    and modulus ``lcm(n1, n2)``) or ``None`` when incompatible.  Used by
+    the communication-set machinery to intersect ownership windows.
+    """
+    if n1 <= 0 or n2 <= 0:
+        raise ValueError("moduli must be positive")
+    g, x, _ = extended_gcd(n1, n2)
+    if (r2 - r1) % g != 0:
+        return None
+    m = n1 // g * n2
+    t = (r2 - r1) // g * x % (n2 // g)
+    return CongruenceSolution((r1 + n1 * t) % m, m)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for integers with positive divisor semantics.
+
+    Matches the ``ceil`` the paper uses in Figure 5 line 7; works for
+    negative ``a`` and ``b`` like mathematical ceiling of ``a / b``.
+    """
+    if b == 0:
+        raise ZeroDivisionError("ceil_div by zero")
+    return -((-a) // b)
+
+
+def floor_div(a: int, b: int) -> int:
+    """Mathematical floor of ``a / b`` (Python's ``//`` already floors)."""
+    if b == 0:
+        raise ZeroDivisionError("floor_div by zero")
+    return a // b

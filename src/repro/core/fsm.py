@@ -1,0 +1,165 @@
+"""The finite-state-machine view of the access sequence (paper Section 2).
+
+Chatterjee et al. "visualize the table containing the offset and memory
+gap sequences as the transition diagram of a finite state machine", and
+the paper notes the key factoring: *state transitions depend only on
+``p``, ``k`` and ``s``*, whereas a processor's start state also depends
+on the section lower bound ``l`` and the processor number ``m``.
+
+:class:`AccessFSM` materializes that machine once per ``(p, k, s)``:
+
+* states are all row offsets ``b in [0, p*k)``.  For a section with
+  lower bound ``l`` only the residue class ``l mod gcd(s, pk)`` is ever
+  reached (consecutive section offsets differ by multiples of ``d``),
+  but the transition *function* is class-independent -- which is exactly
+  why the machine can be built once and shared across sections;
+* ``transition(b)`` gives the next row offset on the *same processor*
+  plus the local-memory and global-index gaps, via Theorem 3's three-way
+  R/L case analysis (the theorem's proof never uses the residue class,
+  only the lattice and the block ranges);
+* ``start_state(l, m)`` gives processor ``m``'s entry state.
+
+The per-processor slices of this machine are the Section-6.2
+offset-indexed tables (:mod:`repro.core.offsets`); the FSM form is what
+a compiler caches when many sections share ``(p, k, s)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .access import start_location
+from .euclid import extended_gcd
+from .lattice import compute_rl_basis
+
+__all__ = ["Transition", "AccessFSM"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One FSM edge: from a row offset to the next on the same processor."""
+
+    next_offset: int
+    memory_gap: int
+    index_gap: int
+
+
+class AccessFSM:
+    """Transition system of the access sequence for ``(p, k, s)``.
+
+    Construction cost: one extended Euclid call, one R/L basis
+    computation, and one O(p*k) sweep over the row offsets.
+    """
+
+    def __init__(self, p: int, k: int, s: int) -> None:
+        if p <= 0 or k <= 0:
+            raise ValueError(f"need p > 0 and k > 0, got p={p}, k={k}")
+        if s <= 0:
+            raise ValueError(f"stride must be positive, got s={s}")
+        self.p = p
+        self.k = k
+        self.s = s
+        pk = p * k
+        self.pk = pk
+        d, _, _ = extended_gcd(s, pk)
+        self.d = d
+        self._transitions: list[Transition] = []
+
+        period_gap = Transition(0, k * s // d, pk * s // d)
+        degenerate = s % pk == 0 or len(range(d, k, d)) == 0
+        if degenerate:
+            # No lattice point has an offset in (0, k): every per-processor
+            # cycle has length <= 1, so each state self-loops after one
+            # full period.
+            self._transitions = [
+                Transition(b, period_gap.memory_gap, period_gap.index_gap)
+                for b in range(pk)
+            ]
+            return
+
+        basis = compute_rl_basis(p, k, s)
+        (br, ar), (bl, al) = basis.r.vector, basis.l.vector
+        gap_r, idx_r = ar * k + br, basis.r.i * s
+        gap_l, idx_l = -(al * k + bl), -basis.l.i * s
+        for b in range(pk):
+            m = b // k
+            hi, lo = k * (m + 1), k * m
+            if b + br < hi:
+                # Equation 1.
+                self._transitions.append(Transition(b + br, gap_r, idx_r))
+                continue
+            nb = b - bl
+            gap, idx = gap_l, idx_l
+            if nb < lo:
+                # Equation 3.
+                nb += br
+                gap += gap_r
+                idx += idx_r
+            self._transitions.append(Transition(nb, gap, idx))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def states(self) -> range:
+        """All row offsets (state ids)."""
+        return range(self.pk)
+
+    def reachable_states(self, l: int) -> list[int]:
+        """States a section with lower bound ``l`` can occupy: the
+        residue class ``l mod d``."""
+        return list(range(l % self.d, self.pk, self.d))
+
+    def transition(self, b: int) -> Transition:
+        """The edge leaving row offset ``b``."""
+        if not 0 <= b < self.pk:
+            raise ValueError(f"offset {b} out of range [0, {self.pk})")
+        return self._transitions[b]
+
+    def start_state(self, l: int, m: int) -> int | None:
+        """Processor ``m``'s entry state for lower bound ``l`` (``None``
+        when the processor owns no section elements)."""
+        info = start_location(self.p, self.k, l, self.s, m)
+        return None if info.start is None else info.start % self.pk
+
+    def processor_states(self, m: int, l: int = 0) -> list[int]:
+        """The reachable states inside processor ``m``'s block range for
+        lower bound ``l``."""
+        if not 0 <= m < self.p:
+            raise ValueError(f"processor {m} out of range [0, {self.p})")
+        lo, hi = self.k * m, self.k * (m + 1)
+        first = lo + (l % self.d - lo) % self.d
+        return list(range(first, hi, self.d))
+
+    def table_for(self, l: int, m: int) -> tuple[int | None, list[int]]:
+        """The visit-order ΔM table for processor ``m``: the paper's
+        AM array, read off the FSM by following transitions from the
+        start state once around the cycle.  Returns ``(start, gaps)``."""
+        state = self.start_state(l, m)
+        if state is None:
+            return None, []
+        gaps = []
+        b = state
+        for _ in range(len(self.processor_states(m, l))):
+            tr = self.transition(b)
+            gaps.append(tr.memory_gap)
+            b = tr.next_offset
+        assert b == state, "transitions must cycle through the processor's states"
+        return state, gaps
+
+    def render(self, m: int | None = None, l: int = 0) -> str:
+        """Text rendering of the transition diagram (one line per
+        reachable state of the class ``l mod d``)."""
+        states = (
+            self.reachable_states(l) if m is None else self.processor_states(m, l)
+        )
+        lines = [f"AccessFSM(p={self.p}, k={self.k}, s={self.s}): "
+                 f"{len(states)} states"]
+        for b in states:
+            tr = self.transition(b)
+            lines.append(
+                f"  offset {b:>4} -> {tr.next_offset:<4}  "
+                f"gap {tr.memory_gap:>5}  index +{tr.index_gap}"
+            )
+        return "\n".join(lines)

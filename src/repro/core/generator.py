@@ -1,0 +1,129 @@
+"""Table-free address generation from the R/L basis alone (Section 6.2).
+
+The paper points out (citing its companion ICS '95 work) that the
+algorithm can be modified to return only the two basis vectors, after
+which every processor generates its local addresses *on demand* with
+the same two comparisons used in Figure 5 lines 35 and 44 -- trading the
+``O(k)`` table memory for a small per-access cost.  This module provides
+that generator, both as plain iterators and as a resumable cursor
+object, and is benchmarked against the materialized table in ablation
+A2 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .access import start_location
+from .euclid import extended_gcd
+from .lattice import compute_rl_basis
+
+__all__ = ["RLCursor", "iter_global_indices", "iter_local_addresses"]
+
+
+@dataclass
+class RLCursor:
+    """Resumable access-sequence cursor for processor ``m``.
+
+    Holds only O(1) state: the current global index, its row offset, and
+    the basis step parameters.  ``advance()`` moves to the next owned
+    section element using Theorem 3's three-way case analysis.
+
+    Attributes mirror :class:`repro.core.access.AccessTable` semantics:
+    ``index`` is the current global array index, ``local`` the current
+    local memory address on processor ``m``.
+    """
+
+    p: int
+    k: int
+    l: int
+    s: int
+    m: int
+
+    def __post_init__(self) -> None:
+        p, k, l, s, m = self.p, self.k, self.l, self.s, self.m
+        info = start_location(p, k, l, s, m)
+        self.length = info.length
+        self.index: int | None = info.start
+        pk = p * k
+        self._pk = pk
+        self._lo = k * m
+        self._hi = k * (m + 1)
+        d, _, _ = extended_gcd(s, pk)
+        self._period_local = k * s // d
+        self._period_index = pk * s // d
+        if info.length > 1:
+            basis = compute_rl_basis(p, k, s)
+            (self._br, ar) = basis.r.vector[0], basis.r.vector[1]
+            self._ar = ar
+            (self._bl, self._al) = basis.l.vector
+            self._gap_r = self._ar * k + self._br
+            self._gap_l = -(self._al * k + self._bl)
+            self._idx_r = basis.r.i * s
+            self._idx_l = -basis.l.i * s
+        if info.start is not None:
+            row, b = divmod(info.start, pk)
+            self._offset = b
+            self.local: int | None = row * k + (b - self._lo)
+        else:
+            self._offset = 0
+            self.local = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.index is None
+
+    def advance(self) -> None:
+        """Step to the next owned section element (Theorem 3)."""
+        if self.index is None:
+            raise RuntimeError("cursor is empty: processor owns no elements")
+        if self.length == 1:
+            self.index += self._period_index
+            self.local += self._period_local
+            return
+        if self._offset + self._br < self._hi:
+            # Equation 1: step R.
+            self._offset += self._br
+            self.index += self._idx_r
+            self.local += self._gap_r
+            return
+        # Equation 2: step -L ...
+        offset = self._offset - self._bl
+        index = self.index + self._idx_l
+        local = self.local + self._gap_l
+        if offset < self._lo:
+            # ... Equation 3: adjusted by +R.
+            offset += self._br
+            index += self._idx_r
+            local += self._gap_r
+        self._offset, self.index, self.local = offset, index, local
+
+
+def iter_global_indices(
+    p: int, k: int, l: int, s: int, m: int, u: int | None = None
+) -> Iterator[int]:
+    """Stream the global indices of ``A(l:u:s)`` owned by processor ``m``
+    in increasing order, using O(1) memory.
+
+    When ``u`` is ``None`` the stream is unbounded.
+    """
+    cursor = RLCursor(p, k, l, s, m)
+    if cursor.is_empty:
+        return
+    while u is None or cursor.index <= u:
+        yield cursor.index
+        cursor.advance()
+
+
+def iter_local_addresses(
+    p: int, k: int, l: int, s: int, m: int, u: int | None = None
+) -> Iterator[int]:
+    """Stream the local memory addresses corresponding to
+    :func:`iter_global_indices`."""
+    cursor = RLCursor(p, k, l, s, m)
+    if cursor.is_empty:
+        return
+    while u is None or cursor.index <= u:
+        yield cursor.local
+        cursor.advance()

@@ -1,0 +1,221 @@
+"""The integer lattice of regular-section accesses (paper Sections 3-4).
+
+Treat each array element as a point in the plane: the x-axis is the
+offset of the element within its row of ``p*k`` template cells, the
+y-axis is the row number.  For a section with stride ``s`` (and, w.l.o.g.,
+lower bound 0 -- Theorem 1 shows the lattice is independent of ``l``),
+the set
+
+    A = {(b, a) in Z^2 : p*k*a + b = i*s  for some integer i}
+
+is an integer lattice (Theorem 1).  This module provides:
+
+* :class:`LatticePoint` -- a point together with its section index ``i``;
+* primitive/basis predicates (``is_primitive_vector``,
+  ``is_basis`` -- the ``|a1*i2 - a2*i1| = 1`` determinant test);
+* a generic basis construction via the extended Euclid's algorithm;
+* the **R/L basis** of Section 4 (:func:`compute_rl_basis`): ``R`` is the
+  lattice point with the smallest positive section index whose offset
+  lies in ``(0, k)``; ``L`` corresponds to the largest index of the
+  initial cycle taken relative to the first point of the next cycle.
+  Theorem 2 proves ``{R, L}`` is a basis; Theorem 3 proves the step
+  between consecutive local accesses is always ``R``, ``-L`` or ``R-L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from .euclid import extended_gcd, gcd
+
+__all__ = [
+    "LatticePoint",
+    "SectionLattice",
+    "RLBasis",
+    "compute_rl_basis",
+    "is_primitive_vector",
+    "is_basis",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LatticePoint:
+    """A lattice point ``(b, a)`` with ``p*k*a + b == i*s``.
+
+    ``b`` is the offset coordinate (x-axis), ``a`` the row coordinate
+    (y-axis) and ``i`` the regular-section index the point corresponds
+    to (the element is the ``i``-th element of the section).
+    """
+
+    b: int
+    a: int
+    i: int
+
+    def __add__(self, other: "LatticePoint") -> "LatticePoint":
+        return LatticePoint(self.b + other.b, self.a + other.a, self.i + other.i)
+
+    def __sub__(self, other: "LatticePoint") -> "LatticePoint":
+        return LatticePoint(self.b - other.b, self.a - other.a, self.i - other.i)
+
+    def __neg__(self) -> "LatticePoint":
+        return LatticePoint(-self.b, -self.a, -self.i)
+
+    def scale(self, t: int) -> "LatticePoint":
+        return LatticePoint(self.b * t, self.a * t, self.i * t)
+
+    @property
+    def vector(self) -> tuple[int, int]:
+        """The geometric ``(b, a)`` pair, as printed in the paper."""
+        return (self.b, self.a)
+
+
+class RLBasis(NamedTuple):
+    """The Section-4 basis.  ``r.a >= 0`` and ``l.a <= 0`` by construction."""
+
+    r: LatticePoint
+    l: LatticePoint
+
+
+def is_primitive_vector(point: LatticePoint) -> bool:
+    """True when no other lattice point lies strictly between the origin
+    and ``point`` -- equivalently ``gcd(a, i) == 1`` (Section 3)."""
+    return gcd(point.a, point.i) == 1
+
+
+def is_basis(p1: LatticePoint, p2: LatticePoint) -> bool:
+    """Determinant test of Section 3: ``|a1*i2 - a2*i1| == 1``."""
+    return abs(p1.a * p2.i - p2.a * p1.i) == 1
+
+
+class SectionLattice:
+    """The lattice ``A`` for distribution parameters ``(p, k)`` and stride ``s``.
+
+    The lattice does not depend on the section lower bound (Theorem 1),
+    so only ``p``, ``k`` and ``s`` parameterize it.
+    """
+
+    def __init__(self, p: int, k: int, s: int) -> None:
+        if p <= 0 or k <= 0:
+            raise ValueError(f"need p > 0 and k > 0, got p={p}, k={k}")
+        if s <= 0:
+            raise ValueError(
+                f"stride must be positive, got {s}; normalize the section first"
+            )
+        self.p = p
+        self.k = k
+        self.s = s
+        self.row_length = p * k
+        self.d = gcd(s, self.row_length)
+
+    def point(self, i: int) -> LatticePoint:
+        """The lattice point for section index ``i`` (element ``i*s``)."""
+        idx = i * self.s
+        return LatticePoint(idx % self.row_length, idx // self.row_length, i)
+
+    def contains(self, b: int, a: int) -> bool:
+        """Membership: ``(b, a)`` in ``A`` iff ``p*k*a + b ≡ 0 (mod s)``
+        and the quotient is integral."""
+        value = self.row_length * a + b
+        return value % self.s == 0
+
+    def index_of(self, b: int, a: int) -> int:
+        """Section index ``i`` of a member point; raises if not a member."""
+        value = self.row_length * a + b
+        if value % self.s != 0:
+            raise ValueError(f"({b}, {a}) is not in the lattice")
+        return value // self.s
+
+    def euclid_basis(self) -> tuple[LatticePoint, LatticePoint]:
+        """Generic basis from Section 3's constructive method.
+
+        First vector: ``i1 = 1`` giving ``(s mod pk, s div pk)``, which is
+        primitive since ``gcd(a1, 1) == 1``.  Second vector from Bezout
+        coefficients with ``a1*i2 - a2*i1 == 1``.
+        """
+        pk = self.row_length
+        a1 = self.s // pk
+        b1 = self.s % pk
+        first = LatticePoint(b1, a1, 1)
+        # Find i2, a2 with a1*i2 - a2*1 = 1  =>  a2 = a1*i2 - 1, any i2.
+        # Choose i2 = 1 => a2 = a1 - 1; b2 = i2*s - pk*a2.
+        i2 = 1
+        a2 = a1 * i2 - 1
+        b2 = i2 * self.s - pk * a2
+        second = LatticePoint(b2, a2, i2)
+        assert is_basis(first, second)
+        return first, second
+
+    def iter_initial_cycle(self, processor: int | None = None) -> Iterator[LatticePoint]:
+        """Yield the lattice points of the initial cycle in index order.
+
+        The cycle contains indices ``i = 0 .. pk/d - 1`` (after which the
+        offset pattern repeats, shifted by ``s/d`` rows).  When
+        ``processor`` is given, only points whose offset falls in that
+        processor's block range ``[k*m, k*(m+1))`` are yielded.  This is
+        an O(pk/d) enumeration used by tests and diagrams, not by the
+        linear-time algorithm itself.
+        """
+        lo = hi = None
+        if processor is not None:
+            if not 0 <= processor < self.p:
+                raise ValueError(f"processor {processor} out of range [0, {self.p})")
+            lo, hi = self.k * processor, self.k * (processor + 1)
+        for i in range(self.row_length // self.d):
+            pt = self.point(i)
+            if lo is None or lo <= pt.b < hi:
+                yield pt
+
+
+def compute_rl_basis(p: int, k: int, s: int) -> RLBasis:
+    """Compute the Section-4 basis vectors ``R`` and ``L``.
+
+    ``R = (b_r, a_r)`` is the lattice point with the smallest positive
+    section index ``i_r`` whose offset satisfies ``0 <= b_r < k`` (the
+    smallest positive access on processor 0).  ``L = (b_l, a_l)`` is
+    taken from the *largest* index of the initial cycle with offset in
+    ``[0, k)``, relative to the first point of the next cycle (index
+    ``pk*s/d`` at coordinates ``(0, s/d)``), hence ``a_l <= 0`` and its
+    section index ``i_l < 0``.
+
+    This mirrors lines 19-30 of Figure 5, including the simplification
+    the paper describes: solvable offsets are exactly the multiples of
+    ``d = gcd(s, pk)`` and are visited directly.
+
+    Raises :class:`ValueError` when the lattice degenerates to a single
+    generator (``pk | s``) or when no positive offset in ``(0, k)`` is
+    solvable (cycle length <= 1 on processor 0) -- callers handle those
+    as the paper's special cases.
+    """
+    if p <= 0 or k <= 0 or s <= 0:
+        raise ValueError(f"need positive p, k, s; got p={p}, k={k}, s={s}")
+    pk = p * k
+    d, x, _ = extended_gcd(s, pk)
+    if s % pk == 0:
+        raise ValueError(
+            "pk divides s: the lattice is generated by a single vector "
+            "(every access lands on offset 0); handle as a special case"
+        )
+    period = pk // d
+    smallest: int | None = None
+    largest: int | None = None
+    # Offsets in (0, k) with solutions are d, 2d, ...; for each, the
+    # smallest positive index is ((i/d)*x mod period) * s.
+    for offset in range(d, k, d):
+        j = (offset // d) * x % period
+        if j == 0:
+            j = period  # index 0 is the origin; take the next occurrence
+        loc = j * s
+        if smallest is None or loc < smallest:
+            smallest = loc
+        if largest is None or loc > largest:
+            largest = loc
+    if smallest is None:
+        raise ValueError(
+            f"no solvable offset in (0, {k}) for s={s}, pk={pk} (d={d}); "
+            "cycle length is <= 1 on processor 0 -- special case"
+        )
+    r = LatticePoint(smallest % pk, smallest // pk, smallest // s)
+    # First point of the next cycle: index pk*s/d at (0, s/d).
+    l = LatticePoint(largest % pk, largest // pk - s // d, largest // s - pk // d)
+    return RLBasis(r, l)

@@ -1,0 +1,133 @@
+"""Offset-indexed tables for node-code shape 8(d) (Section 6.2).
+
+The ΔM table produced by Figure 5 is indexed by *visit order*: entry 0
+is the gap taken from the starting location, whatever block offset that
+happens to be.  The two-table node code of Figure 8(d), by contrast,
+indexes by **local offset**: ``deltaM[o]`` is the gap leaving the
+element at local offset ``o`` and ``NextOffset[o]`` is the local offset
+the walk lands on.  The paper's Section 6.2 gives the modified loop body
+
+    AM[offset - k*m]         = a_r*k + b_r
+    NextOffset[offset - k*m] = offset - k*m + b_r
+    offset                   = offset + b_r
+
+(and the analogous changes for Equations 2 and 3).  The start slot is
+``startoffset = start mod k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .access import start_location
+from .euclid import extended_gcd
+from .lattice import compute_rl_basis
+
+__all__ = ["OffsetTables", "compute_offset_tables"]
+
+#: Sentinel stored in unvisited slots of the offset-indexed tables.
+UNUSED = -1
+
+
+@dataclass(frozen=True, slots=True)
+class OffsetTables:
+    """Local-offset-indexed access tables for node code 8(d).
+
+    ``delta_m[o]`` / ``next_offset[o]`` are only meaningful for offsets
+    the walk visits; unvisited slots hold :data:`UNUSED`.  ``length`` is
+    the number of visited offsets (the cycle length) and
+    ``start_offset`` the local offset of the starting location
+    (``start mod k``).
+    """
+
+    p: int
+    k: int
+    l: int
+    s: int
+    m: int
+    start: int | None
+    start_offset: int | None
+    length: int
+    delta_m: tuple[int, ...]
+    next_offset: tuple[int, ...]
+
+    @property
+    def start_local(self) -> int | None:
+        if self.start is None:
+            return None
+        pk = self.p * self.k
+        row, b = divmod(self.start, pk)
+        return row * self.k + (b - self.k * self.m)
+
+    def local_addresses(self, count: int) -> list[int]:
+        """First ``count`` local addresses, walked through the tables."""
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.start is None:
+            if count:
+                raise ValueError("processor owns no section elements")
+            return []
+        out = []
+        addr = self.start_local
+        o = self.start_offset
+        for _ in range(count):
+            out.append(addr)
+            addr += self.delta_m[o]
+            o = self.next_offset[o]
+        return out
+
+
+def compute_offset_tables(p: int, k: int, l: int, s: int, m: int) -> OffsetTables:
+    """Figure 5 with the Section 6.2 modifications for code shape 8(d)."""
+    if s <= 0:
+        raise ValueError(f"stride must be positive, got s={s}")
+    pk = p * k
+    d, _, _ = extended_gcd(s, pk)
+
+    info = start_location(p, k, l, s, m)
+    start, length = info.start, info.length
+    if length == 0:
+        return OffsetTables(p, k, l, s, m, None, None, 0, (), ())
+    start_offset = start % k
+    delta_m = [UNUSED] * k
+    next_offset = [UNUSED] * k
+    if length == 1:
+        delta_m[start_offset] = k * s // d
+        next_offset[start_offset] = start_offset
+        return OffsetTables(
+            p, k, l, s, m, start, start_offset, 1,
+            tuple(delta_m), tuple(next_offset),
+        )
+
+    basis = compute_rl_basis(p, k, s)
+    (br, ar), (bl, al) = basis.r.vector, basis.l.vector
+    gap_r = ar * k + br
+    gap_l = -(al * k + bl)
+
+    offset = start % pk
+    lo, hi = k * m, k * (m + 1)
+    i = 0
+    while i < length:
+        while i < length and offset + br < hi:
+            slot = offset - lo
+            delta_m[slot] = gap_r
+            next_offset[slot] = slot + br
+            offset += br
+            i += 1
+        if i == length:
+            break
+        slot = offset - lo
+        gap = gap_l
+        new_offset = offset - bl
+        if new_offset < lo:
+            gap += gap_r
+            new_offset += br
+        delta_m[slot] = gap
+        next_offset[slot] = new_offset - lo
+        offset = new_offset
+        i += 1
+
+    return OffsetTables(
+        p, k, l, s, m, start, start_offset, length,
+        tuple(delta_m), tuple(next_offset),
+    )

@@ -1,0 +1,75 @@
+"""Affine alignments of array axes to template axes (paper Section 2).
+
+HPF allows array element ``A(i)`` to be aligned to template cell
+``a*i + b`` for arbitrary integers ``a != 0`` and ``b`` (identity
+alignment is ``a=1, b=0``).  Chatterjee et al. showed -- and the paper
+relies on -- the fact that the access problem under any affine
+alignment reduces to two applications of the identity-alignment
+algorithm; :mod:`repro.distribution.localize` implements that scheme on
+top of this module's pure alignment algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .section import RegularSection
+
+__all__ = ["Alignment", "IDENTITY"]
+
+
+@dataclass(frozen=True, slots=True)
+class Alignment:
+    """The affine map ``i -> a*i + b`` from array axis to template axis."""
+
+    a: int = 1
+    b: int = 0
+
+    def __post_init__(self) -> None:
+        if self.a == 0:
+            raise ValueError("alignment coefficient a must be nonzero")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def apply(self, index: int) -> int:
+        """Template cell holding array element ``index``."""
+        return self.a * index + self.b
+
+    def invert(self, cell: int) -> int | None:
+        """Array index aligned to template ``cell``, or ``None`` when the
+        cell holds no array element."""
+        offset = cell - self.b
+        if offset % self.a != 0:
+            return None
+        return offset // self.a
+
+    def apply_section(self, section: RegularSection) -> RegularSection:
+        """Image of an array section on the template axis."""
+        return section.affine_image(self.a, self.b)
+
+    def allocation_section(self, extent: int) -> RegularSection:
+        """Template cells occupied by an array of ``extent`` elements:
+        the section ``b : a*(extent-1)+b : a``."""
+        if extent <= 0:
+            raise ValueError(f"array extent must be positive, got {extent}")
+        return RegularSection(self.b, self.a * (extent - 1) + self.b, self.a)
+
+    def compose(self, inner: "Alignment") -> "Alignment":
+        """``self ∘ inner``: align through an intermediate axis.
+
+        If ``B(j) = A(inner(j))`` and ``A`` is aligned by ``self``, then
+        ``B`` is aligned by the composition ``j -> self(inner(j))``.
+        """
+        return Alignment(self.a * inner.a, self.a * inner.b + self.b)
+
+    def __str__(self) -> str:
+        if self.is_identity:
+            return "i"
+        sign = "+" if self.b >= 0 else "-"
+        return f"{self.a}*i {sign} {abs(self.b)}"
+
+
+#: The identity alignment ``i -> i``.
+IDENTITY = Alignment(1, 0)

@@ -1,0 +1,190 @@
+"""HPF distribution kinds, templates, and processor grids (paper Section 1).
+
+HPF maps data in two steps: arrays are *aligned* to templates, and
+templates are *distributed* onto processor grids.  The distribution
+formats supported here are the ones HPF defines per dimension:
+
+* ``BLOCK``        -- contiguous chunks, ``cyclic(ceil(n/p))``;
+* ``CYCLIC``       -- round-robin single elements, ``cyclic(1)``;
+* ``CYCLIC(k)``    -- the general block-cyclic format this paper targets;
+* ``*`` (collapsed) -- the dimension is not distributed;
+* ``REPLICATED``   -- every processor holds a full copy (alignment
+  ``*`` onto a processor dimension).
+
+Every distributed format reduces to ``cyclic(k)`` for some ``k``
+(Section 1: "Both of these are just special cases of the cyclic(k)
+distribution"), which is why the access-sequence algorithm covers all
+of HPF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from ..core.euclid import ceil_div
+
+__all__ = [
+    "Distribution",
+    "Block",
+    "Cyclic",
+    "CyclicK",
+    "Collapsed",
+    "Replicated",
+    "Template",
+    "ProcessorGrid",
+]
+
+
+class Distribution:
+    """Base class for per-dimension distribution formats."""
+
+    #: True when the format assigns template cells to processors (False
+    #: for collapsed/replicated dimensions).
+    partitions: bool = True
+
+    def block_size(self, extent: int, nprocs: int) -> int:
+        """The equivalent ``cyclic(k)`` block size for this format."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Block(Distribution):
+    """HPF ``BLOCK``: one contiguous chunk of ``ceil(n/p)`` per processor."""
+
+    def block_size(self, extent: int, nprocs: int) -> int:
+        if extent <= 0 or nprocs <= 0:
+            raise ValueError(f"need positive extent and nprocs, got {extent}, {nprocs}")
+        return ceil_div(extent, nprocs)
+
+    def describe(self) -> str:
+        return "BLOCK"
+
+
+@dataclass(frozen=True, slots=True)
+class Cyclic(Distribution):
+    """HPF ``CYCLIC``: round-robin, ``cyclic(1)``."""
+
+    def block_size(self, extent: int, nprocs: int) -> int:
+        return 1
+
+    def describe(self) -> str:
+        return "CYCLIC"
+
+
+@dataclass(frozen=True, slots=True)
+class CyclicK(Distribution):
+    """HPF ``CYCLIC(k)``: blocks of ``k`` dealt round-robin."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"cyclic block size must be positive, got {self.k}")
+
+    def block_size(self, extent: int, nprocs: int) -> int:
+        return self.k
+
+    def describe(self) -> str:
+        return f"CYCLIC({self.k})"
+
+
+@dataclass(frozen=True, slots=True)
+class Collapsed(Distribution):
+    """HPF ``*``: the dimension stays whole on every owning processor."""
+
+    partitions = False
+
+    def block_size(self, extent: int, nprocs: int) -> int:
+        return extent
+
+    def describe(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True, slots=True)
+class Replicated(Distribution):
+    """Every processor holds the full extent (HPF replication alignment)."""
+
+    partitions = False
+
+    def block_size(self, extent: int, nprocs: int) -> int:
+        return extent
+
+    def describe(self) -> str:
+        return "REPLICATED"
+
+
+@dataclass(frozen=True, slots=True)
+class Template:
+    """An HPF template: an abstract indexed space arrays align to."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("template must have at least one dimension")
+        if any(extent <= 0 for extent in self.shape):
+            raise ValueError(f"template extents must be positive, got {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return prod(self.shape)
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorGrid:
+    """A (possibly multidimensional) grid of abstract processors.
+
+    Ranks are linearized row-major (last axis fastest), matching the
+    paper's flat processor numbering for the one-dimensional case.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("processor grid must have at least one dimension")
+        if any(extent <= 0 for extent in self.shape):
+            raise ValueError(f"grid extents must be positive, got {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return prod(self.shape)
+
+    def linearize(self, coords: tuple[int, ...]) -> int:
+        """Row-major rank of grid coordinates."""
+        if len(coords) != len(self.shape):
+            raise ValueError(f"expected {len(self.shape)} coordinates, got {coords}")
+        rank = 0
+        for c, extent in zip(coords, self.shape):
+            if not 0 <= c < extent:
+                raise ValueError(f"coordinate {c} out of range [0, {extent})")
+            rank = rank * extent + c
+        return rank
+
+    def coordinates(self, rank: int) -> tuple[int, ...]:
+        """Inverse of :meth:`linearize`."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        coords = []
+        for extent in reversed(self.shape):
+            rank, c = divmod(rank, extent)
+            coords.append(c)
+        return tuple(reversed(coords))

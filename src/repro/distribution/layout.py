@@ -1,0 +1,151 @@
+"""Coordinate algebra of the ``cyclic(k)`` layout (paper Sections 1-3).
+
+An array distributed ``cyclic(k)`` over ``p`` processors is visualized
+as a matrix whose rows hold ``p*k`` consecutive elements, each row split
+into ``p`` blocks of ``k``; block ``m`` of every row lives on processor
+``m``.  For element index ``i`` (zero-based, as in the paper):
+
+* row            ``i div pk``
+* offset in row  ``i mod pk``
+* owner          ``(i mod pk) div k``
+* block offset   ``(i mod pk) mod k``  (offset *within* the block)
+* block number   ``i div pk``          (per-processor block = row)
+* local address  ``row * k + block offset``
+
+Figure 1's example: with ``p=4, k=8``, element 108 has offset 4 in
+block 3 of processor 1 -- see :func:`tests.test_paper_examples`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["CyclicLayout", "ElementCoords"]
+
+
+@dataclass(frozen=True, slots=True)
+class ElementCoords:
+    """Full coordinates of one element under a :class:`CyclicLayout`."""
+
+    index: int
+    row: int
+    offset_in_row: int
+    owner: int
+    block_offset: int
+    local_address: int
+
+
+@dataclass(frozen=True, slots=True)
+class CyclicLayout:
+    """The ``cyclic(k)`` layout of a one-dimensional template.
+
+    ``p`` is the number of processors and ``k`` the block size.  All
+    index math is exact integer arithmetic; indices may be any integers
+    (negative rows arise in lattice constructions).
+    """
+
+    p: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise ValueError(f"number of processors must be positive, got {self.p}")
+        if self.k <= 0:
+            raise ValueError(f"block size must be positive, got {self.k}")
+
+    @property
+    def row_length(self) -> int:
+        """Elements per row: ``p * k``."""
+        return self.p * self.k
+
+    # ------------------------------------------------------------------
+    # Global index -> coordinates
+    # ------------------------------------------------------------------
+
+    def row(self, index: int) -> int:
+        return index // self.row_length
+
+    def offset_in_row(self, index: int) -> int:
+        return index % self.row_length
+
+    def owner(self, index: int) -> int:
+        return index % self.row_length // self.k
+
+    def block_offset(self, index: int) -> int:
+        return index % self.row_length % self.k
+
+    def local_address(self, index: int) -> int:
+        """Local memory address of ``index`` on its owning processor."""
+        row, b = divmod(index, self.row_length)
+        return row * self.k + b % self.k
+
+    def local_address_on(self, index: int, m: int) -> int:
+        """Local address of ``index`` assuming processor ``m`` owns it.
+
+        Unlike :meth:`local_address` this keeps the algebraic form
+        ``row*k + (offset_in_row - k*m)`` used by the access-sequence
+        algorithms; it raises when ``m`` is not the owner.
+        """
+        if self.owner(index) != m:
+            raise ValueError(
+                f"element {index} is owned by processor {self.owner(index)}, not {m}"
+            )
+        row, b = divmod(index, self.row_length)
+        return row * self.k + (b - self.k * m)
+
+    def coords(self, index: int) -> ElementCoords:
+        row, b = divmod(index, self.row_length)
+        owner, block_offset = divmod(b, self.k)
+        return ElementCoords(index, row, b, owner, block_offset, row * self.k + block_offset)
+
+    def plane_point(self, index: int) -> tuple[int, int]:
+        """The paper's Section-3 plane coordinates ``(x, y) = (offset, row)``.
+
+        E.g. element 108 with ``p=4, k=8`` sits at ``(12, 3)``.
+        """
+        return (self.offset_in_row(index), self.row(index))
+
+    # ------------------------------------------------------------------
+    # Coordinates -> global index
+    # ------------------------------------------------------------------
+
+    def local_to_global(self, m: int, local: int) -> int:
+        """Global index stored at local address ``local`` on processor ``m``."""
+        if not 0 <= m < self.p:
+            raise ValueError(f"processor {m} out of range [0, {self.p})")
+        row, block_offset = divmod(local, self.k)
+        return row * self.row_length + self.k * m + block_offset
+
+    def from_plane(self, b: int, a: int) -> int:
+        """Global index of plane point ``(b, a)``; ``b`` must be in
+        ``[0, p*k)``."""
+        if not 0 <= b < self.row_length:
+            raise ValueError(f"offset {b} out of range [0, {self.row_length})")
+        return a * self.row_length + b
+
+    # ------------------------------------------------------------------
+    # Per-processor extents
+    # ------------------------------------------------------------------
+
+    def block_range(self, m: int) -> tuple[int, int]:
+        """Half-open row-offset range ``[k*m, k*(m+1))`` of processor ``m``."""
+        if not 0 <= m < self.p:
+            raise ValueError(f"processor {m} out of range [0, {self.p})")
+        return (self.k * m, self.k * (m + 1))
+
+    def allocation_size(self, n: int, m: int) -> int:
+        """Local cells processor ``m`` needs for a template of ``n`` cells."""
+        if n < 0:
+            raise ValueError(f"template size must be nonnegative, got {n}")
+        full_rows, rem = divmod(n, self.row_length)
+        tail = min(max(rem - self.k * m, 0), self.k)
+        return full_rows * self.k + tail
+
+    def owned_indices(self, n: int, m: int) -> Iterator[int]:
+        """All template indices in ``[0, n)`` owned by ``m``, ascending."""
+        lo, _ = self.block_range(m)
+        row_start = lo
+        while row_start < n:
+            yield from range(row_start, min(row_start + self.k, n))
+            row_start += self.row_length

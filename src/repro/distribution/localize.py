@@ -1,0 +1,222 @@
+"""Access sequences under affine alignment: the two-application scheme.
+
+Paper, Section 2: "Chatterjee et al. show that the memory access problem
+for any affine alignment can be solved by two applications of the access
+sequence computation algorithm for the identity alignment."  This module
+implements that scheme:
+
+1. **Application 1 (allocation):** the array's elements occupy template
+   cells ``b, a+b, 2a+b, ...`` -- a regular section with stride ``a``.
+   Its access table describes, per processor, which *template-local*
+   addresses hold array elements.  Compressed array storage assigns the
+   array element at the ``r``-th such address local slot ``r``; the rank
+   function :class:`RankFunction` computes ``r`` from a template-local
+   address in O(1) using the allocation table's periodic structure.
+
+2. **Application 2 (section):** the array section ``A(l:u:s)`` touches
+   template cells ``a*l+b : a*u+b : a*s`` -- another regular section.
+   Its access table enumerates the touched template-local addresses in
+   order; mapping each through the rank function yields array-local
+   slots, and differencing those gives the array-local gap table.
+
+The combined gap table is periodic with the *section* table's cycle
+length, because one section period spans an integral number of
+allocation periods (``d_alloc * s / d_sect`` of them).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..core.access import AccessTable, compute_access_table
+from ..core.counting import local_count
+from ..core.euclid import extended_gcd
+from .align import Alignment
+from .section import RegularSection
+
+__all__ = ["RankFunction", "LocalizedTable", "localize_section", "localized_elements"]
+
+
+class RankFunction:
+    """Rank of a template-local address within an allocation sequence.
+
+    Built from the allocation sequence's access table on one processor:
+    the first-cycle addresses ``c_0 < c_1 < ... < c_{L-1}`` and the
+    period span ``P`` satisfy ``c_{t + q*L} = c_t + q*P``, so
+
+        rank(addr) = q * L + position_in_cycle(addr - q * P)
+
+    Lookups are O(1) via a residue dictionary.
+    """
+
+    def __init__(self, table: AccessTable) -> None:
+        if table.is_empty:
+            raise ValueError("allocation sequence is empty on this processor")
+        self.table = table
+        d, _, _ = extended_gcd(table.s, table.pk)
+        self.period_span = table.k * table.s // d
+        addrs = table.local_addresses(table.length)
+        self.first = addrs[0]
+        self._position = {addr - self.first: t for t, addr in enumerate(addrs)}
+        self.cycle = addrs
+
+    def rank(self, addr: int) -> int:
+        """Array-local slot of the element stored at template-local
+        ``addr``; raises KeyError if no allocation point lives there."""
+        delta = addr - self.first
+        q, r = divmod(delta, self.period_span)
+        if r not in self._position:
+            raise KeyError(f"template-local address {addr} holds no array element")
+        return q * self.table.length + self._position[r]
+
+    def unrank(self, slot: int) -> int:
+        """Template-local address of array-local ``slot`` (inverse of
+        :meth:`rank`)."""
+        if slot < 0:
+            raise ValueError(f"slot must be nonnegative, got {slot}")
+        q, t = divmod(slot, self.table.length)
+        return self.cycle[t] + q * self.period_span
+
+    def floor_rank(self, addr: int) -> int:
+        """Number of allocation points with address ``<= addr`` minus one
+        (i.e. rank of the last allocation point at or before ``addr``);
+        ``-1`` when ``addr`` precedes the first point."""
+        delta = addr - self.first
+        if delta < 0:
+            return -1
+        q, r = divmod(delta, self.period_span)
+        rel = [a - self.first for a in self.cycle]
+        pos = bisect_right(rel, r) - 1
+        return q * self.table.length + pos
+
+
+@dataclass(frozen=True, slots=True)
+class LocalizedTable:
+    """Array-local access sequence for a section under affine alignment.
+
+    ``start_index`` is the global *array* index of the first owned
+    section element (in template traversal order), ``start_slot`` its
+    array-local storage slot, ``gaps`` the periodic slot gaps and
+    ``index_gaps`` the matching array-index gaps.  For alignments with
+    ``a > 0`` template order equals array-index order; for ``a < 0`` it
+    is the reverse (use :meth:`reversed_in_index_order`).
+    """
+
+    p: int
+    k: int
+    m: int
+    alignment: Alignment
+    start_index: int | None
+    start_slot: int | None
+    length: int
+    gaps: tuple[int, ...]
+    index_gaps: tuple[int, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.length == 0
+
+    def slots(self, count: int) -> list[int]:
+        """First ``count`` array-local slots of the sequence."""
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.is_empty:
+            if count:
+                raise ValueError("processor owns no section elements")
+            return []
+        out = []
+        slot = self.start_slot
+        for t in range(count):
+            out.append(slot)
+            slot += self.gaps[t % self.length]
+        return out
+
+    def indices(self, count: int) -> list[int]:
+        """First ``count`` global array indices of the sequence."""
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.is_empty:
+            if count:
+                raise ValueError("processor owns no section elements")
+            return []
+        out = []
+        idx = self.start_index
+        for t in range(count):
+            out.append(idx)
+            idx += self.index_gaps[t % self.length]
+        return out
+
+
+def localize_section(
+    p: int,
+    k: int,
+    extent: int,
+    alignment: Alignment,
+    section: RegularSection,
+    m: int,
+) -> LocalizedTable:
+    """Two-application access sequence for ``A(section)`` on processor ``m``.
+
+    ``extent`` is the array's size ``n`` (elements ``0..n-1``); the
+    section must lie within ``[0, extent)``.  The sequence follows
+    *template* order, i.e. increasing array index when ``alignment.a > 0``
+    and decreasing when ``a < 0``.
+    """
+    norm = section.normalized()
+    if norm.is_empty:
+        return LocalizedTable(p, k, m, alignment, None, None, 0, (), ())
+    if norm.lower < 0 or norm.upper >= extent:
+        raise IndexError(f"section {section} outside array extent {extent}")
+
+    # Application 1: allocation sequence (template stride |a|).
+    alloc = alignment.allocation_section(extent).normalized()
+    alloc_table = compute_access_table(p, k, alloc.lower, alloc.stride, m)
+    if alloc_table.is_empty:
+        # Processor holds no array elements at all, hence none of the section.
+        return LocalizedTable(p, k, m, alignment, None, None, 0, (), ())
+    ranks = RankFunction(alloc_table)
+
+    # Application 2: the section's image on the template axis, in
+    # template (increasing-cell) order.
+    image = alignment.apply_section(norm).normalized()
+    sec_table = compute_access_table(p, k, image.lower, image.stride, m)
+    if sec_table.is_empty:
+        return LocalizedTable(p, k, m, alignment, None, None, 0, (), ())
+
+    # Map one cycle (plus the wrap point) of template-local addresses to
+    # array-local slots and difference them.
+    template_addrs = sec_table.local_addresses(sec_table.length + 1)
+    slots = [ranks.rank(addr) for addr in template_addrs]
+    gaps = tuple(slots[t + 1] - slots[t] for t in range(sec_table.length))
+
+    cells = sec_table.global_indices(sec_table.length + 1)
+    indices = [alignment.invert(c) for c in cells]
+    if any(i is None for i in indices):
+        raise AssertionError("section image cell holds no array element")
+    index_gaps = tuple(indices[t + 1] - indices[t] for t in range(sec_table.length))
+
+    return LocalizedTable(
+        p, k, m, alignment,
+        indices[0], slots[0], sec_table.length, gaps, index_gaps,
+    )
+
+
+def localized_elements(
+    p: int,
+    k: int,
+    extent: int,
+    alignment: Alignment,
+    section: RegularSection,
+    m: int,
+) -> list[tuple[int, int]]:
+    """All ``(array_index, array_local_slot)`` pairs of the section owned
+    by processor ``m``, in template order.  Bounded by the section's
+    upper end; used by the runtime and as a convenient oracle target."""
+    table = localize_section(p, k, extent, alignment, section, m)
+    if table.is_empty:
+        return []
+    norm = section.normalized()
+    image = alignment.apply_section(norm).normalized()
+    count = local_count(p, k, image.lower, image.upper, image.stride, m)
+    return list(zip(table.indices(count), table.slots(count)))

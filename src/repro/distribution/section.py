@@ -1,0 +1,156 @@
+"""Regular array sections (Fortran 90 subscript triplets).
+
+A regular section ``A(l:u:s)`` denotes the elements ``l, l+s, l+2s, ...``
+up to and including ``u`` (for ``s > 0``; downward for ``s < 0``).  The
+paper treats sections with ``s > 0`` and notes negative strides "can be
+treated analogously" -- :meth:`RegularSection.normalized` performs that
+reduction, reversing the traversal direction while preserving the
+element set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.euclid import crt_pair, gcd
+
+__all__ = ["RegularSection"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegularSection:
+    """A Fortran-90 triplet ``l:u:s`` over global array indices."""
+
+    lower: int
+    upper: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stride == 0:
+            raise ValueError("section stride must be nonzero")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self.stride > 0:
+            return 0 if self.upper < self.lower else (self.upper - self.lower) // self.stride + 1
+        return 0 if self.upper > self.lower else (self.lower - self.upper) // (-self.stride) + 1
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def last(self) -> int | None:
+        """The final element in traversal order, or ``None`` if empty."""
+        n = len(self)
+        return None if n == 0 else self.lower + (n - 1) * self.stride
+
+    def __contains__(self, index: int) -> bool:
+        n = len(self)
+        if n == 0:
+            return False
+        offset = index - self.lower
+        if offset % self.stride != 0:
+            return False
+        j = offset // self.stride
+        return 0 <= j < n
+
+    def __iter__(self) -> Iterator[int]:
+        for j in range(len(self)):
+            yield self.lower + j * self.stride
+
+    def element(self, j: int) -> int:
+        """The ``j``-th element in traversal order."""
+        if not 0 <= j < len(self):
+            raise IndexError(f"element {j} out of range for section of length {len(self)}")
+        return self.lower + j * self.stride
+
+    def position_of(self, index: int) -> int:
+        """Traversal position of ``index``; raises if not a member."""
+        if index not in self:
+            raise ValueError(f"{index} is not an element of {self}")
+        return (index - self.lower) // self.stride
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def normalized(self) -> "RegularSection":
+        """Equivalent section with positive stride (element set preserved,
+        traversal order reversed when ``stride < 0``)."""
+        if self.stride > 0:
+            return self
+        if self.is_empty:
+            return RegularSection(self.lower, self.lower - 1, -self.stride)
+        return RegularSection(self.last, self.lower, -self.stride)
+
+    def reversed(self) -> "RegularSection":
+        """Same element set, opposite traversal order."""
+        if self.is_empty:
+            return RegularSection(self.upper, self.lower, -self.stride)
+        return RegularSection(self.last, self.lower, -self.stride)
+
+    def affine_image(self, a: int, b: int) -> "RegularSection":
+        """The image section ``{a*i + b : i in self}`` (``a != 0``).
+
+        Used for alignment composition: a section of an array aligned by
+        ``i -> a*i + b`` touches exactly this section of the template.
+        """
+        if a == 0:
+            raise ValueError("affine coefficient a must be nonzero")
+        return RegularSection(a * self.lower + b, a * self.upper + b, a * self.stride)
+
+    def compose(self, inner: "RegularSection") -> "RegularSection":
+        """Section-of-a-section: ``self.element(j)`` for ``j`` in ``inner``.
+
+        ``inner`` indexes traversal positions of ``self`` and must lie in
+        ``[0, len(self))``.
+        """
+        n = len(self)
+        for j in (inner.lower, inner.last if not inner.is_empty else inner.lower):
+            if not 0 <= j < n:
+                raise IndexError(
+                    f"inner section {inner} indexes outside [0, {n}) of {self}"
+                )
+        return RegularSection(
+            self.lower + inner.lower * self.stride,
+            self.lower + inner.upper * self.stride,
+            self.stride * inner.stride,
+        )
+
+    def intersect(self, other: "RegularSection") -> "RegularSection":
+        """Set intersection of two sections -- itself a regular section.
+
+        Solved with the Chinese Remainder Theorem on the two stride
+        congruences; the result has positive stride ``lcm(|s1|, |s2|)``.
+        Returns an empty section when the congruences are incompatible or
+        the ranges do not overlap.
+        """
+        a, b = self.normalized(), other.normalized()
+        lo = max(a.lower, b.lower)
+        hi = min(a.upper if not a.is_empty else a.lower - 1,
+                 b.upper if not b.is_empty else b.lower - 1)
+        if a.is_empty or b.is_empty or lo > hi:
+            return RegularSection(lo, lo - 1, 1)
+        merged = crt_pair(a.lower % a.stride, a.stride, b.lower % b.stride, b.stride)
+        if merged is None:
+            return RegularSection(lo, lo - 1, 1)
+        step = merged.period
+        first = lo + (merged.base - lo) % step
+        # first is the smallest member of both congruence classes >= lo,
+        # but it must also belong to both sections' index ranges (it does:
+        # ranges were clamped) and actual membership classes.
+        if first > hi:
+            return RegularSection(lo, lo - 1, 1)
+        last = first + (hi - first) // step * step
+        return RegularSection(first, last, step)
+
+    def gcd_stride_with(self, other: "RegularSection") -> int:
+        return gcd(abs(self.stride), abs(other.stride))
+
+    def __str__(self) -> str:
+        return f"{self.lower}:{self.upper}:{self.stride}"

@@ -1,0 +1,50 @@
+"""Mini-HPF front end: parser + compiler onto the runtime."""
+
+from .ast_nodes import (
+    AlignDirective,
+    ArrayDecl,
+    CombineAssign,
+    CopyAssign,
+    DistributeDirective,
+    FillAssign,
+    ProcessorsDecl,
+    Program,
+    SectionRef,
+    TemplateDecl,
+    Term,
+    TransposeAssign,
+    Triplet,
+)
+from .compiler import (
+    CompileError,
+    CompiledProgram,
+    LoweredStatement,
+    compile_program,
+    compile_source,
+)
+from .parser import ParseError, parse_affine, parse_program, parse_triplet
+
+__all__ = [
+    "parse_program",
+    "parse_triplet",
+    "parse_affine",
+    "ParseError",
+    "compile_program",
+    "compile_source",
+    "CompileError",
+    "CompiledProgram",
+    "LoweredStatement",
+    "Program",
+    "ProcessorsDecl",
+    "TemplateDecl",
+    "ArrayDecl",
+    "AlignDirective",
+    "DistributeDirective",
+    "Triplet",
+    "SectionRef",
+    "FillAssign",
+    "CopyAssign",
+    "Term",
+    "CombineAssign",
+    "TransposeAssign",
+]

@@ -1,0 +1,237 @@
+"""AST for the mini-HPF data-parallel language.
+
+The language covers the subset of HPF the paper's problem lives in:
+declarations of processor arrangements, templates, and real arrays
+(one- or two-dimensional); ``ALIGN``/``DISTRIBUTE`` directives with
+per-dimension affine alignments and block-cyclic formats; and
+array-assignment statements -- scalar fills, section copies, scaled
+sums, and the ``TRANSPOSE`` intrinsic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+__all__ = [
+    "Node",
+    "ProcessorsDecl",
+    "TemplateDecl",
+    "ArrayDecl",
+    "AlignDirective",
+    "DistributeDirective",
+    "Triplet",
+    "SectionRef",
+    "FillAssign",
+    "CopyAssign",
+    "Term",
+    "CombineAssign",
+    "TransposeAssign",
+    "AffineRef",
+    "ForallTerm",
+    "ForallAssign",
+    "Program",
+]
+
+
+class Node:
+    """Base class for AST nodes (structural; no behaviour)."""
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorsDecl(Node):
+    """``PROCESSORS P(4)`` or ``PROCESSORS P(2, 2)``."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return prod(self.shape)
+
+
+@dataclass(frozen=True, slots=True)
+class TemplateDecl(Node):
+    """``TEMPLATE T(320)`` or ``TEMPLATE T(64, 64)``."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return prod(self.shape)
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayDecl(Node):
+    """``REAL A(320)`` or ``REAL A(64, 64)``."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return prod(self.shape)
+
+
+@dataclass(frozen=True, slots=True)
+class AlignDirective(Node):
+    """``ALIGN A(i) WITH T(2*i+1)`` / ``ALIGN A(i, j) WITH T(i, 3*j)``.
+
+    ``coefficients[d]`` is the affine pair ``(a, b)`` for dimension
+    ``d``; dimension ``d`` of the array aligns to dimension ``d`` of the
+    template (no dimension permutation in directives -- use the
+    TRANSPOSE intrinsic in statements instead).
+    """
+
+    array: str
+    template: str
+    coefficients: tuple[tuple[int, int], ...]
+
+    @property
+    def a(self) -> int:
+        """First-dimension coefficient (1-D convenience)."""
+        return self.coefficients[0][0]
+
+    @property
+    def b(self) -> int:
+        """First-dimension offset (1-D convenience)."""
+        return self.coefficients[0][1]
+
+
+@dataclass(frozen=True, slots=True)
+class DistributeDirective(Node):
+    """``DISTRIBUTE T(CYCLIC(8)) ONTO P`` /
+    ``DISTRIBUTE T(CYCLIC(2), BLOCK) ONTO P``.
+
+    ``formats[d]`` is ``"BLOCK"``, ``"CYCLIC"``, ``"CYCLIC(k)"``, or
+    ``"*"`` (collapsed); partitioned dimensions map onto the processor
+    grid's axes in order.
+    """
+
+    template: str
+    formats: tuple[str, ...]
+    ks: tuple[int | None, ...]
+    processors: str
+
+    @property
+    def format(self) -> str:
+        """First-dimension format (1-D convenience)."""
+        return self.formats[0]
+
+    @property
+    def k(self) -> int | None:
+        return self.ks[0]
+
+
+@dataclass(frozen=True, slots=True)
+class Triplet(Node):
+    """``l:u:s`` (stride defaults to 1)."""
+
+    lower: int
+    upper: int
+    stride: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SectionRef(Node):
+    """``A(l:u:s)`` or ``A(l0:u0:s0, l1:u1:s1)``."""
+
+    array: str
+    triplets: tuple[Triplet, ...]
+
+    @property
+    def triplet(self) -> Triplet:
+        """First-dimension triplet (1-D convenience)."""
+        return self.triplets[0]
+
+    @property
+    def rank(self) -> int:
+        return len(self.triplets)
+
+
+@dataclass(frozen=True, slots=True)
+class FillAssign(Node):
+    """``A(sections) = 100.0``"""
+
+    target: SectionRef
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class CopyAssign(Node):
+    """``A(sections) = B(sections)`` (elementwise, matching ranks)."""
+
+    target: SectionRef
+    source: SectionRef
+
+
+@dataclass(frozen=True, slots=True)
+class Term(Node):
+    """One scaled section term ``coef * B(l:u:s)`` of a combine RHS."""
+
+    coef: float
+    section: SectionRef
+
+
+@dataclass(frozen=True, slots=True)
+class CombineAssign(Node):
+    """``A(sec) = c1*B(sec1) + c2*C(sec2) + ...`` (rank-1 only)."""
+
+    target: SectionRef
+    terms: tuple[Term, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class TransposeAssign(Node):
+    """``A(sec0, sec1) = TRANSPOSE(B(sec0', sec1'))`` (rank-2 only)."""
+
+    target: SectionRef
+    source: SectionRef
+
+
+@dataclass(frozen=True, slots=True)
+class AffineRef(Node):
+    """An indexed reference ``A(a*i + b)`` inside a FORALL body."""
+
+    array: str
+    a: int
+    b: int
+
+
+@dataclass(frozen=True, slots=True)
+class ForallTerm(Node):
+    """``coef * B(a*i+b)`` inside a FORALL right-hand side."""
+
+    coef: float
+    ref: AffineRef
+
+
+@dataclass(frozen=True, slots=True)
+class ForallAssign(Node):
+    """``FORALL (i = l:u:s) A(f(i)) = expr`` with affine subscripts.
+
+    ``value`` is set for scalar RHS; otherwise ``terms`` holds the
+    scaled references.  HPF FORALL semantics: the whole RHS is evaluated
+    for every iteration before any store (which the runtime's staged
+    combines provide).  Desugars to a section statement because an
+    affine image of a triplet is a triplet.
+    """
+
+    var: str
+    triplet: Triplet
+    target: AffineRef
+    value: float | None
+    terms: tuple[ForallTerm, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Program(Node):
+    """A parsed program: declarations, directives, then statements."""
+
+    processors: tuple[ProcessorsDecl, ...]
+    templates: tuple[TemplateDecl, ...]
+    arrays: tuple[ArrayDecl, ...]
+    aligns: tuple[AlignDirective, ...]
+    distributes: tuple[DistributeDirective, ...]
+    statements: tuple[Node, ...]

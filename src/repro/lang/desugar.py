@@ -1,0 +1,60 @@
+"""FORALL desugaring: affine-indexed loops become section statements.
+
+``FORALL (i = l:u:s) A(a*i+b) = ...`` touches, for each reference, the
+affine image of the iteration triplet -- itself a triplet
+``a*l+b : a*last+b : a*s`` (``last`` is the final iterate, so the image
+is exact even when ``u`` is not hit).  HPF FORALL semantics (full RHS
+evaluation before any store) coincide with array-assignment semantics,
+so the desugared statement is equivalent; both the compiler and the
+reference interpreter lower through this module.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AffineRef,
+    CombineAssign,
+    FillAssign,
+    ForallAssign,
+    SectionRef,
+    Term,
+    Triplet,
+)
+
+__all__ = ["desugar_forall", "iteration_count"]
+
+
+def iteration_count(triplet: Triplet) -> int:
+    """Number of iterates of ``l:u:s`` (Fortran triplet semantics)."""
+    l, u, s = triplet.lower, triplet.upper, triplet.stride
+    if s > 0:
+        return 0 if u < l else (u - l) // s + 1
+    return 0 if u > l else (l - u) // (-s) + 1
+
+
+def _image(ref: AffineRef, triplet: Triplet) -> SectionRef:
+    count = iteration_count(triplet)
+    last = triplet.lower + (count - 1) * triplet.stride
+    return SectionRef(
+        ref.array,
+        (
+            Triplet(
+                ref.a * triplet.lower + ref.b,
+                ref.a * last + ref.b,
+                ref.a * triplet.stride,
+            ),
+        ),
+    )
+
+
+def desugar_forall(stmt: ForallAssign) -> FillAssign | CombineAssign | None:
+    """Equivalent section statement, or ``None`` for empty iteration sets."""
+    if iteration_count(stmt.triplet) == 0:
+        return None
+    target = _image(stmt.target, stmt.triplet)
+    if stmt.value is not None:
+        return FillAssign(target, stmt.value)
+    terms = tuple(
+        Term(term.coef, _image(term.ref, stmt.triplet)) for term in stmt.terms
+    )
+    return CombineAssign(target, terms)

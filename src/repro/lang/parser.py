@@ -1,0 +1,361 @@
+"""Line-oriented parser for the mini-HPF language.
+
+Grammar (one construct per line; ``!`` starts a comment; case-insensitive
+keywords, case-sensitive identifiers)::
+
+    PROCESSORS P(4)                        ! or P(2, 2)
+    TEMPLATE   T(320)                      ! or T(64, 64)
+    REAL       A(320)                      ! or A(64, 64)
+    ALIGN      A(i) WITH T(2*i+1)          ! per-dim affine expressions
+    ALIGN      M(i, j) WITH T(i, 3*j)
+    DISTRIBUTE T(CYCLIC(8)) ONTO P         ! BLOCK, CYCLIC, CYCLIC(k), *
+    DISTRIBUTE T(CYCLIC(2), BLOCK) ONTO P
+
+    A(4:319:9)          = 100.0            ! fill
+    A(0:312:8)          = B(3:237:6)       ! copy
+    A(0:9)              = 0.5*B(0:9) + 0.5*C(1:10)   ! scaled sum (rank-1)
+    M(0:63, 0:63)       = N(0:63, 0:63)    ! 2-D copy
+    M(0:63, 0:63)       = TRANSPOSE(N(0:63, 0:63))   ! distributed transpose
+    FORALL (i = 1:62) A(i) = 0.5*A(i-1) + 0.5*A(i+1) ! affine-indexed loop
+
+Errors carry line numbers; :class:`ParseError` is the single exception
+type raised.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast_nodes import (
+    AffineRef,
+    AlignDirective,
+    ArrayDecl,
+    CombineAssign,
+    CopyAssign,
+    DistributeDirective,
+    FillAssign,
+    ForallAssign,
+    ForallTerm,
+    ProcessorsDecl,
+    Program,
+    SectionRef,
+    TemplateDecl,
+    Term,
+    TransposeAssign,
+    Triplet,
+)
+
+__all__ = ["ParseError", "parse_program", "parse_triplet", "parse_affine"]
+
+_IDENT = r"[A-Za-z_][A-Za-z_0-9]*"
+_INT = r"[+-]?\d+"
+_SHAPE = rf"{_INT}(?:\s*,\s*{_INT})*"
+
+_PROCESSORS = re.compile(rf"^PROCESSORS\s+({_IDENT})\s*\(\s*({_SHAPE})\s*\)$", re.I)
+_TEMPLATE = re.compile(rf"^TEMPLATE\s+({_IDENT})\s*\(\s*({_SHAPE})\s*\)$", re.I)
+_REAL = re.compile(rf"^REAL\s+({_IDENT})\s*\(\s*({_SHAPE})\s*\)$", re.I)
+_ALIGN = re.compile(
+    rf"^ALIGN\s+({_IDENT})\s*\(\s*({_IDENT}(?:\s*,\s*{_IDENT})*)\s*\)"
+    rf"\s+WITH\s+({_IDENT})\s*\(\s*(.+?)\s*\)$",
+    re.I,
+)
+_DISTRIBUTE = re.compile(
+    rf"^DISTRIBUTE\s+({_IDENT})\s*\(\s*(.+?)\s*\)\s+ONTO\s+({_IDENT})$", re.I
+)
+_CYCLIC_K = re.compile(rf"^CYCLIC\s*\(\s*({_INT})\s*\)$", re.I)
+_TRIPLET = rf"{_INT}\s*:\s*{_INT}(?:\s*:\s*{_INT})?"
+_SECTION = re.compile(
+    rf"^({_IDENT})\s*\(\s*({_TRIPLET}(?:\s*,\s*{_TRIPLET})*)\s*\)$"
+)
+_TRANSPOSE = re.compile(r"^TRANSPOSE\s*\(\s*(.+?)\s*\)$", re.I)
+_FORALL = re.compile(
+    rf"^FORALL\s*\(\s*({_IDENT})\s*=\s*({_TRIPLET})\s*\)\s+(.+)$", re.I
+)
+_AFFINE_REF = re.compile(rf"^({_IDENT})\s*\(\s*([^():]+?)\s*\)$")
+_FLOAT = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?$")
+
+
+class ParseError(ValueError):
+    """Syntax error with source line context."""
+
+    def __init__(self, lineno: int, line: str, why: str) -> None:
+        super().__init__(f"line {lineno}: {why}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.why = why
+
+
+def parse_triplet(text: str, lineno: int = 0) -> Triplet:
+    """Parse ``l:u`` or ``l:u:s`` into a :class:`Triplet`."""
+    parts = [part.strip() for part in text.split(":")]
+    if len(parts) not in (2, 3) or not all(re.fullmatch(_INT, p) for p in parts):
+        raise ParseError(lineno, text, "malformed triplet (want l:u or l:u:s)")
+    l, u = int(parts[0]), int(parts[1])
+    s = int(parts[2]) if len(parts) == 3 else 1
+    if s == 0:
+        raise ParseError(lineno, text, "triplet stride must be nonzero")
+    return Triplet(l, u, s)
+
+
+def parse_affine(expr: str, var: str, lineno: int = 0) -> tuple[int, int]:
+    """Parse an affine alignment expression in ``var`` -> ``(a, b)``.
+
+    Accepts ``i``, ``-i``, ``3*i``, ``i+4``, ``2*i-5``, ``-i+9``; a bare
+    constant is rejected (alignments must mention the index).
+    """
+    text = expr.replace(" ", "")
+    pattern = re.compile(
+        rf"^(?P<coef>[+-]?\d*\*?)?{re.escape(var)}(?P<off>[+-]\d+)?$"
+    )
+    match = pattern.fullmatch(text)
+    if not match:
+        raise ParseError(lineno, expr, f"malformed affine expression in {var!r}")
+    coef_text = (match.group("coef") or "").rstrip("*")
+    if coef_text in ("", "+"):
+        a = 1
+    elif coef_text == "-":
+        a = -1
+    else:
+        a = int(coef_text)
+    if a == 0:
+        raise ParseError(lineno, expr, "alignment coefficient must be nonzero")
+    b = int(match.group("off") or 0)
+    return a, b
+
+
+def _split_top(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` characters not nested inside parentheses."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == sep and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current).strip())
+    return parts
+
+
+def _split_top_commas(text: str) -> list[str]:
+    """Split on commas not nested inside parentheses."""
+    return _split_top(text, ",")
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    return tuple(int(part.strip()) for part in text.split(","))
+
+
+def _parse_section(text: str, lineno: int) -> SectionRef | None:
+    match = _SECTION.fullmatch(text.strip())
+    if not match:
+        return None
+    name, body = match.groups()
+    triplets = tuple(
+        parse_triplet(part, lineno) for part in _split_top_commas(body)
+    )
+    return SectionRef(name, triplets)
+
+
+def _parse_rhs(target: SectionRef, rhs_text: str, raw: str, lineno: int):
+    """Parse an assignment right-hand side.
+
+    Grammar: ``scalar`` | ``section`` | ``TRANSPOSE(section)`` |
+    ``term (+ term)*`` with ``term = [scalar *] section`` (rank-1).
+    """
+    if _FLOAT.fullmatch(rhs_text):
+        return FillAssign(target, float(rhs_text))
+    if match := _TRANSPOSE.fullmatch(rhs_text):
+        inner = _parse_section(match.group(1), lineno)
+        if inner is None:
+            raise ParseError(lineno, raw, "TRANSPOSE argument must be a section")
+        return TransposeAssign(target, inner)
+    single = _parse_section(rhs_text, lineno)
+    if single is not None:
+        return CopyAssign(target, single)
+
+    terms: list[Term] = []
+    for part in _split_top(rhs_text, "+"):
+        part = part.strip()
+        if not part:
+            raise ParseError(lineno, raw, "empty term in right-hand side")
+        coef = 1.0
+        body = part
+        if "*" in part:
+            coef_text, body = (piece.strip() for piece in part.split("*", 1))
+            if not _FLOAT.fullmatch(coef_text):
+                raise ParseError(
+                    lineno, raw, f"malformed coefficient {coef_text!r}"
+                )
+            coef = float(coef_text)
+        section = _parse_section(body, lineno)
+        if section is None:
+            raise ParseError(
+                lineno, raw,
+                "right-hand side must be a scalar, a section, TRANSPOSE(...), "
+                "or a sum of scaled sections",
+            )
+        terms.append(Term(coef, section))
+    return CombineAssign(target, tuple(terms))
+
+
+def _parse_distribute_formats(
+    body: str, raw: str, lineno: int
+) -> tuple[tuple[str, ...], tuple[int | None, ...]]:
+    formats: list[str] = []
+    ks: list[int | None] = []
+    for part in _split_top_commas(body):
+        upper = part.upper().replace(" ", "")
+        if kmatch := _CYCLIC_K.fullmatch(part):
+            k = int(kmatch.group(1))
+            if k <= 0:
+                raise ParseError(lineno, raw, "cyclic block size must be positive")
+            formats.append(f"CYCLIC({k})")
+            ks.append(k)
+        elif upper == "BLOCK":
+            formats.append("BLOCK")
+            ks.append(None)
+        elif upper == "CYCLIC":
+            formats.append("CYCLIC")
+            ks.append(None)
+        elif upper == "*":
+            formats.append("*")
+            ks.append(None)
+        else:
+            raise ParseError(lineno, raw, f"unknown distribution format {part!r}")
+    return tuple(formats), tuple(ks)
+
+
+def _parse_affine_ref(text: str, var: str, lineno: int, raw: str) -> AffineRef | None:
+    """Parse ``A(2*i+1)`` into an :class:`AffineRef` (``None`` if the text
+    is not an indexed reference)."""
+    match = _AFFINE_REF.fullmatch(text.strip())
+    if not match:
+        return None
+    name, expr = match.groups()
+    a, b = parse_affine(expr, var, lineno)
+    return AffineRef(name, a, b)
+
+
+def _parse_forall(match: re.Match, raw: str, lineno: int) -> ForallAssign:
+    """Parse a FORALL statement: ``FORALL (i = l:u:s) A(f(i)) = rhs``."""
+    var, triplet_text, body = match.groups()
+    triplet = parse_triplet(triplet_text, lineno)
+    if "=" not in body:
+        raise ParseError(lineno, raw, "FORALL body must be an assignment")
+    lhs_text, rhs_text = (part.strip() for part in body.split("=", 1))
+    target = _parse_affine_ref(lhs_text, var, lineno, raw)
+    if target is None:
+        raise ParseError(
+            lineno, raw, f"FORALL left-hand side must be A(affine({var}))"
+        )
+    if _FLOAT.fullmatch(rhs_text):
+        return ForallAssign(var, triplet, target, float(rhs_text), ())
+    terms: list[ForallTerm] = []
+    for part in _split_top(rhs_text, "+"):
+        part = part.strip()
+        if not part:
+            raise ParseError(lineno, raw, "empty term in FORALL right-hand side")
+        coef = 1.0
+        body_text = part
+        # A coefficient exists when the part is "<float> * rest".
+        if "*" in part:
+            head, tail = (piece.strip() for piece in part.split("*", 1))
+            if _FLOAT.fullmatch(head):
+                coef = float(head)
+                body_text = tail
+        ref = _parse_affine_ref(body_text, var, lineno, raw)
+        if ref is None:
+            raise ParseError(
+                lineno, raw,
+                f"FORALL terms must be [scalar *] B(affine({var}))",
+            )
+        terms.append(ForallTerm(coef, ref))
+    return ForallAssign(var, triplet, target, None, tuple(terms))
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program; declarations may appear in any order but
+    must precede their first use."""
+    processors: list[ProcessorsDecl] = []
+    templates: list[TemplateDecl] = []
+    arrays: list[ArrayDecl] = []
+    aligns: list[AlignDirective] = []
+    distributes: list[DistributeDirective] = []
+    statements: list = []
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("!", 1)[0].strip()
+        if not line:
+            continue
+
+        if match := _PROCESSORS.fullmatch(line):
+            name, shape = match.group(1), _parse_shape(match.group(2))
+            if any(extent <= 0 for extent in shape):
+                raise ParseError(lineno, raw, "processor counts must be positive")
+            processors.append(ProcessorsDecl(name, shape))
+            continue
+        if match := _TEMPLATE.fullmatch(line):
+            name, shape = match.group(1), _parse_shape(match.group(2))
+            if any(extent <= 0 for extent in shape):
+                raise ParseError(lineno, raw, "template sizes must be positive")
+            templates.append(TemplateDecl(name, shape))
+            continue
+        if match := _REAL.fullmatch(line):
+            name, shape = match.group(1), _parse_shape(match.group(2))
+            if any(extent <= 0 for extent in shape):
+                raise ParseError(lineno, raw, "array sizes must be positive")
+            arrays.append(ArrayDecl(name, shape))
+            continue
+        if match := _ALIGN.fullmatch(line):
+            array, vars_text, template, exprs_text = match.groups()
+            variables = [v.strip() for v in vars_text.split(",")]
+            exprs = _split_top_commas(exprs_text)
+            if len(exprs) != len(variables):
+                raise ParseError(
+                    lineno, raw,
+                    f"ALIGN arity mismatch: {len(variables)} index variables, "
+                    f"{len(exprs)} expressions",
+                )
+            if len(set(variables)) != len(variables):
+                raise ParseError(lineno, raw, "duplicate index variables in ALIGN")
+            coefficients = tuple(
+                parse_affine(expr, var, lineno)
+                for var, expr in zip(variables, exprs)
+            )
+            aligns.append(AlignDirective(array, template, coefficients))
+            continue
+        if match := _DISTRIBUTE.fullmatch(line):
+            template, body, procs = match.groups()
+            formats, ks = _parse_distribute_formats(body, raw, lineno)
+            distributes.append(DistributeDirective(template, formats, ks, procs))
+            continue
+
+        if match := _FORALL.fullmatch(line):
+            statements.append(_parse_forall(match, raw, lineno))
+            continue
+
+        # Assignment statements.
+        if "=" in line:
+            lhs_text, rhs_text = (part.strip() for part in line.split("=", 1))
+            target = _parse_section(lhs_text, lineno)
+            if target is None:
+                raise ParseError(
+                    lineno, raw, "left-hand side must be a section A(l:u:s)"
+                )
+            statements.append(_parse_rhs(target, rhs_text, raw, lineno))
+            continue
+
+        raise ParseError(lineno, raw, "unrecognized construct")
+
+    return Program(
+        tuple(processors),
+        tuple(templates),
+        tuple(arrays),
+        tuple(aligns),
+        tuple(distributes),
+        tuple(statements),
+    )

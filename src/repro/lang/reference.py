@@ -1,0 +1,107 @@
+"""Reference interpreter: sequential NumPy semantics for mini-HPF.
+
+Executes a parsed :class:`Program` on plain host arrays, ignoring all
+mapping directives -- the *specification* the distributed execution must
+match.  The differential test suite compiles random programs, runs both
+this interpreter and the virtual machine, and compares images; any
+divergence is a bug in the mapping/runtime stack, never in the program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ast_nodes import (
+    CombineAssign,
+    CopyAssign,
+    FillAssign,
+    ForallAssign,
+    Program,
+    SectionRef,
+    TransposeAssign,
+)
+from .desugar import desugar_forall
+
+__all__ = ["ReferenceInterpreter", "interpret"]
+
+
+def _indexer(ref: SectionRef) -> tuple[slice, ...]:
+    """NumPy basic-slicing equivalent of a section (positive strides).
+
+    Triplet upper bounds are inclusive; negative strides traverse
+    downward, which NumPy expresses with a downward slice whose stop may
+    need to be ``None`` when it would cross -1.
+    """
+    out = []
+    for t in ref.triplets:
+        if t.stride > 0:
+            out.append(slice(t.lower, t.upper + 1, t.stride))
+        else:
+            stop = t.upper - 1
+            out.append(slice(t.lower, None if stop < 0 else stop, t.stride))
+    return tuple(out)
+
+
+class ReferenceInterpreter:
+    """Holds the host arrays and executes statements in order."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.arrays: dict[str, np.ndarray] = {
+            decl.name: np.zeros(decl.shape) for decl in program.arrays
+        }
+
+    def set_array(self, name: str, values: np.ndarray) -> None:
+        if name not in self.arrays:
+            raise KeyError(f"unknown array {name!r}")
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.arrays[name].shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: {values.shape} vs "
+                f"{self.arrays[name].shape}"
+            )
+        self.arrays[name] = values.copy()
+
+    def run(self) -> dict[str, np.ndarray]:
+        for stmt in self.program.statements:
+            self._execute(stmt)
+        return self.arrays
+
+    def _execute(self, stmt) -> None:
+        # Fortran array-assignment semantics: the whole RHS is evaluated
+        # before any element is stored.  NumPy does NOT guarantee this
+        # for overlapping strided self-assignment (``a[0:5:2] = a[0:3]``
+        # writes through the overlap), so RHS views are copied explicitly.
+        if isinstance(stmt, ForallAssign):
+            lowered = desugar_forall(stmt)
+            if lowered is None:
+                return
+            stmt = lowered
+        if isinstance(stmt, FillAssign):
+            self.arrays[stmt.target.array][_indexer(stmt.target)] = stmt.value
+        elif isinstance(stmt, CopyAssign):
+            value = self.arrays[stmt.source.array][_indexer(stmt.source)].copy()
+            self.arrays[stmt.target.array][_indexer(stmt.target)] = value
+        elif isinstance(stmt, TransposeAssign):
+            value = self.arrays[stmt.source.array][_indexer(stmt.source)].copy()
+            self.arrays[stmt.target.array][_indexer(stmt.target)] = value.T
+        elif isinstance(stmt, CombineAssign):
+            total = None
+            for term in stmt.terms:
+                value = term.coef * self.arrays[term.section.array][
+                    _indexer(term.section)
+                ]
+                total = value if total is None else total + value
+            self.arrays[stmt.target.array][_indexer(stmt.target)] = total
+        else:  # pragma: no cover - parser produces only these kinds
+            raise TypeError(f"unsupported statement {stmt!r}")
+
+
+def interpret(
+    program: Program, inputs: dict[str, np.ndarray] | None = None
+) -> dict[str, np.ndarray]:
+    """One-shot convenience: initialize, run, return final host images."""
+    interp = ReferenceInterpreter(program)
+    for name, values in (inputs or {}).items():
+        interp.set_array(name, values)
+    return interp.run()

@@ -1,0 +1,57 @@
+"""Deterministic SPMD machine simulator (substitute for the iPSC/860).
+
+See DESIGN.md Section 2 for the substitution rationale.  The machine is
+bulk-synchronous: node programs run per rank within a superstep and
+messages cross superstep barriers.
+"""
+
+from .collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+from .costmodel import CostModel, MessageCost, SuperstepEstimate, estimate_superstep
+from .network import Message, Network, NetworkStats
+from .processor import MemoryStats, Processor
+from .topology import (
+    CrossbarTopology,
+    HypercubeTopology,
+    RingTopology,
+    Topology,
+    weighted_traffic,
+)
+from .trace import AccessTrace, TracingMemory, machine_report
+from .vm import NodeContext, VirtualMachine
+
+__all__ = [
+    "VirtualMachine",
+    "NodeContext",
+    "Processor",
+    "MemoryStats",
+    "Network",
+    "NetworkStats",
+    "Message",
+    "broadcast",
+    "scatter",
+    "gather",
+    "allgather",
+    "reduce",
+    "allreduce",
+    "alltoall",
+    "AccessTrace",
+    "TracingMemory",
+    "machine_report",
+    "Topology",
+    "HypercubeTopology",
+    "RingTopology",
+    "CrossbarTopology",
+    "weighted_traffic",
+    "CostModel",
+    "MessageCost",
+    "SuperstepEstimate",
+    "estimate_superstep",
+]

@@ -1,0 +1,129 @@
+"""Collective operations built on the point-to-point fabric.
+
+BSP-style collectives: each is a pair of phases (contribute, combine)
+run through :meth:`repro.machine.vm.VirtualMachine.bsp` semantics.  The
+implementations favour clarity over simulated-network optimality; the
+instrumentation in :class:`repro.machine.network.NetworkStats` still
+reports realistic message/byte counts for the naive algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .vm import VirtualMachine
+
+__all__ = ["broadcast", "gather", "allgather", "reduce", "allreduce", "alltoall", "scatter"]
+
+
+def broadcast(vm: VirtualMachine, values: Sequence[Any], root: int) -> list[Any]:
+    """Root's value to every rank.  ``values`` holds each rank's local
+    candidate (only ``values[root]`` is used).  Returns per-rank results."""
+    _check_root(vm, root)
+
+    def send_phase(ctx):
+        if ctx.rank == root:
+            for dest in range(ctx.p):
+                ctx.send(dest, "bcast", values[root])
+
+    def recv_phase(ctx):
+        return ctx.recv(root, "bcast")
+
+    _, results = vm.bsp(send_phase, recv_phase)
+    return results
+
+
+def scatter(vm: VirtualMachine, chunks: Sequence[Any], root: int) -> list[Any]:
+    """Rank ``root`` sends ``chunks[i]`` to rank ``i``."""
+    _check_root(vm, root)
+    if len(chunks) != vm.p:
+        raise ValueError(f"need {vm.p} chunks, got {len(chunks)}")
+
+    def send_phase(ctx):
+        if ctx.rank == root:
+            for dest in range(ctx.p):
+                ctx.send(dest, "scatter", chunks[dest])
+
+    def recv_phase(ctx):
+        return ctx.recv(root, "scatter")
+
+    _, results = vm.bsp(send_phase, recv_phase)
+    return results
+
+
+def gather(vm: VirtualMachine, values: Sequence[Any], root: int) -> list[Any] | None:
+    """Every rank's value to ``root``.  Returns the gathered list (in the
+    root's slot of the per-rank results); other ranks get ``None``."""
+    _check_root(vm, root)
+
+    def send_phase(ctx):
+        ctx.send(root, "gather", values[ctx.rank])
+
+    def recv_phase(ctx):
+        if ctx.rank != root:
+            return None
+        return [ctx.recv(src, "gather") for src in range(ctx.p)]
+
+    _, results = vm.bsp(send_phase, recv_phase)
+    return results[root]
+
+
+def allgather(vm: VirtualMachine, values: Sequence[Any]) -> list[list[Any]]:
+    """Every rank receives every rank's value."""
+
+    def send_phase(ctx):
+        for dest in range(ctx.p):
+            ctx.send(dest, "allgather", values[ctx.rank])
+
+    def recv_phase(ctx):
+        return [ctx.recv(src, "allgather") for src in range(ctx.p)]
+
+    _, results = vm.bsp(send_phase, recv_phase)
+    return results
+
+
+def reduce(
+    vm: VirtualMachine,
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+    root: int,
+) -> Any:
+    """Fold every rank's value with ``op`` at ``root``."""
+    gathered = gather(vm, values, root)
+    acc = gathered[0]
+    for v in gathered[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+def allreduce(
+    vm: VirtualMachine, values: Sequence[Any], op: Callable[[Any, Any], Any]
+) -> list[Any]:
+    """Reduce then broadcast; every rank gets the folded value."""
+    total = reduce(vm, values, op, root=0)
+    return broadcast(vm, [total] * vm.p, root=0)
+
+
+def alltoall(vm: VirtualMachine, matrix: Sequence[Sequence[Any]]) -> list[list[Any]]:
+    """``matrix[src][dest]`` is delivered to ``dest``; rank ``r`` receives
+    ``[matrix[src][r] for src in range(p)]``.  The personalized exchange
+    underlying array-assignment communication."""
+    if len(matrix) != vm.p or any(len(row) != vm.p for row in matrix):
+        raise ValueError(f"need a {vm.p}x{vm.p} matrix of payloads")
+
+    def send_phase(ctx):
+        for dest in range(ctx.p):
+            ctx.send(dest, "alltoall", matrix[ctx.rank][dest])
+
+    def recv_phase(ctx):
+        return [ctx.recv(src, "alltoall") for src in range(ctx.p)]
+
+    _, results = vm.bsp(send_phase, recv_phase)
+    return results
+
+
+def _check_root(vm: VirtualMachine, root: int) -> None:
+    if not 0 <= root < vm.p:
+        raise ValueError(f"root {root} out of range [0, {vm.p})")

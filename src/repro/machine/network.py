@@ -1,0 +1,124 @@
+"""Deterministic message-passing fabric for the SPMD simulator.
+
+Substitutes for the iPSC/860's interconnect (see DESIGN.md).  Messages
+are delivered in FIFO order per ``(source, destination, tag)`` channel;
+delivery is deterministic because node programs execute in
+bulk-synchronous supersteps (:mod:`repro.machine.vm`): everything sent
+during superstep ``t`` is available to receives in superstep ``t + 1``.
+
+Byte accounting uses ``numpy`` buffer sizes when available and
+``sys.getsizeof`` otherwise, so benchmarks can report traffic volumes.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Message", "Network", "NetworkStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    source: int
+    dest: int
+    tag: Any
+    payload: Any
+
+    @property
+    def nbytes(self) -> int:
+        payload = self.payload
+        if isinstance(payload, np.ndarray):
+            return payload.nbytes
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        return sys.getsizeof(payload)
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    bytes: int = 0
+    per_channel: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, msg: Message) -> None:
+        self.messages += 1
+        self.bytes += msg.nbytes
+        key = (msg.source, msg.dest)
+        self.per_channel[key] = self.per_channel.get(key, 0) + 1
+
+
+class Network:
+    """Point-to-point channels between ``p`` ranks with BSP delivery.
+
+    ``send`` enqueues into the *pending* buffer; :meth:`deliver` (called
+    by the VM at superstep barriers) moves pending messages into the
+    receivable queues.  ``recv`` raises :class:`LookupError` when no
+    matching message has been delivered -- in a correct BSP program that
+    is a programming error, not a race.
+    """
+
+    def __init__(self, p: int) -> None:
+        if p <= 0:
+            raise ValueError(f"need at least one rank, got p={p}")
+        self.p = p
+        self._pending: list[Message] = []
+        self._queues: dict[tuple[int, int, Any], deque[Message]] = {}
+        self.stats = NetworkStats()
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.p:
+            raise ValueError(f"{what} rank {rank} out of range [0, {self.p})")
+
+    def send(self, source: int, dest: int, tag: Any, payload: Any) -> None:
+        self._check_rank(source, "source")
+        self._check_rank(dest, "destination")
+        msg = Message(source, dest, tag, payload)
+        self._pending.append(msg)
+        self.stats.record(msg)
+
+    def deliver(self) -> int:
+        """Barrier: make all pending messages receivable.  Returns the
+        number of messages delivered."""
+        n = len(self._pending)
+        for msg in self._pending:
+            key = (msg.source, msg.dest, msg.tag)
+            self._queues.setdefault(key, deque()).append(msg)
+        self._pending.clear()
+        return n
+
+    def recv(self, dest: int, source: int, tag: Any) -> Any:
+        """Receive the next delivered message on ``(source, dest, tag)``."""
+        key = (source, dest, tag)
+        queue = self._queues.get(key)
+        if not queue:
+            raise LookupError(
+                f"rank {dest}: no delivered message from {source} with tag {tag!r} "
+                "(BSP programs may only receive what a previous superstep sent)"
+            )
+        return queue.popleft().payload
+
+    def probe(self, dest: int, source: int, tag: Any) -> bool:
+        """True when a matching delivered message is waiting."""
+        queue = self._queues.get((source, dest, tag))
+        return bool(queue)
+
+    def drain(self, dest: int, tag: Any) -> list[tuple[int, Any]]:
+        """Receive every delivered message for ``dest`` with ``tag``, as
+        ``(source, payload)`` pairs in source order."""
+        out = []
+        for source in range(self.p):
+            key = (source, dest, tag)
+            queue = self._queues.get(key)
+            while queue:
+                out.append((source, queue.popleft().payload))
+        return out
+
+    @property
+    def idle(self) -> bool:
+        """No pending and no undelivered messages remain."""
+        return not self._pending and all(not q for q in self._queues.values())

@@ -1,0 +1,138 @@
+"""Interconnect topology models for the simulated machine.
+
+The paper's measurements were taken on an Intel iPSC/860 *hypercube*.
+The table-construction algorithms are communication-free, so topology
+never affects the paper's numbers -- but the surrounding runtime
+(communication sets, shifts, transposes) does move data, and a topology
+model lets the benchmarks report distance-weighted traffic the way an
+iPSC user would reason about it.
+
+Models provided:
+
+* :class:`HypercubeTopology` -- ranks are hypercube corners, distance is
+  the Hamming distance of the rank ids (the iPSC routing metric);
+* :class:`RingTopology` -- distance is the shorter way around a ring;
+* :class:`CrossbarTopology` -- unit distance between distinct ranks
+  (an idealized full crossbar, the implicit default elsewhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .network import NetworkStats
+
+__all__ = [
+    "Topology",
+    "HypercubeTopology",
+    "RingTopology",
+    "CrossbarTopology",
+    "weighted_traffic",
+]
+
+
+class Topology:
+    """Base class: a distance metric over ranks."""
+
+    p: int
+
+    def distance(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.p:
+            raise ValueError(f"rank {rank} out of range [0, {self.p})")
+
+    def diameter(self) -> int:
+        """Maximum distance between any two ranks."""
+        return max(
+            self.distance(a, b) for a in range(self.p) for b in range(self.p)
+        )
+
+
+@dataclass(frozen=True)
+class HypercubeTopology(Topology):
+    """A ``2**dim``-node hypercube; distance = Hamming(a ^ b).
+
+    The iPSC/860 model: the paper's 32 processors form a 5-cube.
+    """
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.dim < 0:
+            raise ValueError(f"dimension must be nonnegative, got {self.dim}")
+
+    @property
+    def p(self) -> int:
+        return 1 << self.dim
+
+    def distance(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        return (a ^ b).bit_count()
+
+    def neighbors(self, rank: int) -> list[int]:
+        """The ``dim`` ranks one hop away."""
+        self._check(rank)
+        return [rank ^ (1 << bit) for bit in range(self.dim)]
+
+    def route(self, a: int, b: int) -> list[int]:
+        """One dimension-ordered (e-cube) route from ``a`` to ``b``,
+        inclusive of both endpoints -- the iPSC routing discipline."""
+        self._check(a)
+        self._check(b)
+        path = [a]
+        current = a
+        diff = a ^ b
+        bit = 0
+        while diff:
+            if diff & 1:
+                current ^= 1 << bit
+                path.append(current)
+            diff >>= 1
+            bit += 1
+        return path
+
+
+@dataclass(frozen=True)
+class RingTopology(Topology):
+    """A bidirectional ring of ``p`` ranks."""
+
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise ValueError(f"need at least one rank, got {self.p}")
+
+    def distance(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        around = abs(a - b)
+        return min(around, self.p - around)
+
+
+@dataclass(frozen=True)
+class CrossbarTopology(Topology):
+    """Idealized full crossbar: unit distance between distinct ranks."""
+
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise ValueError(f"need at least one rank, got {self.p}")
+
+    def distance(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        return 0 if a == b else 1
+
+
+def weighted_traffic(stats: NetworkStats, topology: Topology) -> int:
+    """Total message-hops: each recorded channel's message count weighted
+    by its topological distance.  An iPSC-style cost figure for the
+    communication a schedule induces."""
+    total = 0
+    for (src, dst), count in stats.per_channel.items():
+        total += count * topology.distance(src, dst)
+    return total

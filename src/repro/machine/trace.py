@@ -1,0 +1,84 @@
+"""Execution tracing and statistics for the simulated machine.
+
+Benchmarks and integration tests use these helpers to assert *what* a
+node program touched (exact local addresses, in order) and to report
+aggregate machine activity (message counts, bytes, memory traffic) in
+the spirit of the paper's per-processor measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .vm import VirtualMachine
+
+__all__ = ["AccessTrace", "TracingMemory", "machine_report"]
+
+
+@dataclass
+class AccessTrace:
+    """Ordered record of loads/stores against one local arena."""
+
+    reads: list[int] = field(default_factory=list)
+    writes: list[int] = field(default_factory=list)
+
+    @property
+    def addresses(self) -> list[int]:
+        """All touched addresses in program order (reads and writes merged
+        is not tracked; most node codes are write-only or read-only)."""
+        return self.writes if self.writes else self.reads
+
+
+class TracingMemory:
+    """A local-memory proxy that records every indexed access.
+
+    Wraps a NumPy arena; integer and array indexing are both recorded.
+    Node-code templates accept any object with ``__getitem__`` /
+    ``__setitem__`` and ``len``, so tests can substitute this for the raw
+    arena to check the paper's claim that the ΔM walk touches exactly
+    the owned section elements in increasing order.
+    """
+
+    def __init__(self, arena: np.ndarray, trace: AccessTrace | None = None) -> None:
+        self.arena = arena
+        self.trace = trace if trace is not None else AccessTrace()
+
+    def __len__(self) -> int:
+        return len(self.arena)
+
+    def _record(self, log: list[int], index) -> None:
+        if isinstance(index, (int, np.integer)):
+            log.append(int(index))
+        else:
+            log.extend(int(i) for i in np.asarray(index).ravel())
+
+    def __getitem__(self, index):
+        self._record(self.trace.reads, index)
+        return self.arena[index]
+
+    def __setitem__(self, index, value) -> None:
+        self._record(self.trace.writes, index)
+        self.arena[index] = value
+
+
+def machine_report(vm: VirtualMachine) -> dict:
+    """Aggregate activity summary of a virtual machine run."""
+    net = vm.network.stats
+    return {
+        "ranks": vm.p,
+        "messages": net.messages,
+        "bytes": net.bytes,
+        "channels": dict(net.per_channel),
+        "memory": [
+            {
+                "rank": proc.rank,
+                "reads": proc.stats.reads,
+                "writes": proc.stats.writes,
+                "allocations": proc.stats.allocations,
+                "allocated_cells": proc.stats.allocated_cells,
+            }
+            for proc in vm.processors
+        ],
+    }

@@ -1,0 +1,132 @@
+"""Bulk-synchronous SPMD virtual machine.
+
+The paper's experiments ran SPMD node programs on a 32-node iPSC/860;
+this module provides the deterministic stand-in (see DESIGN.md's
+substitution table).  A *node program* is a Python callable
+``fn(ctx, *args)`` executed once per rank.  Execution is
+bulk-synchronous: within one superstep every rank runs to completion in
+rank order, sends are buffered, and a barrier delivers them for the
+next superstep.  ``ctx.barrier()`` may also be called *inside* a node
+program -- it splits the program into supersteps using generator-style
+re-execution-free coroutines (the node function simply returns, and the
+next phase function receives the delivered messages).
+
+For programs that need receives of same-step sends, use
+:meth:`VirtualMachine.bsp` with explicit phase functions -- the idiom
+all of :mod:`repro.runtime` uses (compute send sets / exchange / apply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from .network import Network
+from .processor import Processor
+
+__all__ = ["NodeContext", "VirtualMachine"]
+
+
+@dataclass
+class NodeContext:
+    """Per-rank view handed to node programs."""
+
+    vm: "VirtualMachine"
+    rank: int
+
+    @property
+    def p(self) -> int:
+        return self.vm.p
+
+    @property
+    def processor(self) -> Processor:
+        return self.vm.processors[self.rank]
+
+    def memory(self, name: str):
+        return self.processor.memory(name)
+
+    def allocate(self, name: str, size: int, **kw):
+        return self.processor.allocate(name, size, **kw)
+
+    def send(self, dest: int, tag: Any, payload: Any) -> None:
+        self.vm.network.send(self.rank, dest, tag, payload)
+
+    def recv(self, source: int, tag: Any) -> Any:
+        return self.vm.network.recv(self.rank, source, tag)
+
+    def probe(self, source: int, tag: Any) -> bool:
+        return self.vm.network.probe(self.rank, source, tag)
+
+    def drain(self, tag: Any) -> list[tuple[int, Any]]:
+        return self.vm.network.drain(self.rank, tag)
+
+
+class VirtualMachine:
+    """A simulated ``p``-rank distributed-memory machine."""
+
+    def __init__(self, p: int) -> None:
+        if p <= 0:
+            raise ValueError(f"need at least one rank, got p={p}")
+        self.p = p
+        self.processors = [Processor(rank) for rank in range(p)]
+        self.network = Network(p)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
+        """Run one superstep: ``fn(ctx, *args)`` on every rank, then a
+        barrier.  Returns the per-rank return values."""
+        results = [fn(NodeContext(self, rank), *args) for rank in range(self.p)]
+        self.network.deliver()
+        return results
+
+    def bsp(self, *phases: Callable[..., Any]) -> list[list[Any]]:
+        """Run a sequence of supersteps.  Messages sent during phase ``t``
+        are receivable during phase ``t + 1``.  Returns per-phase,
+        per-rank results."""
+        if not phases:
+            raise ValueError("need at least one phase")
+        return [self.run(phase) for phase in phases]
+
+    def run_spmd(
+        self, fn: Callable[..., Any], per_rank_args: Sequence[tuple] | None = None
+    ) -> list[Any]:
+        """Superstep with per-rank argument tuples."""
+        if per_rank_args is not None and len(per_rank_args) != self.p:
+            raise ValueError(
+                f"need {self.p} argument tuples, got {len(per_rank_args)}"
+            )
+        results = []
+        for rank in range(self.p):
+            args = per_rank_args[rank] if per_rank_args is not None else ()
+            results.append(fn(NodeContext(self, rank), *args))
+        self.network.deliver()
+        return results
+
+    # ------------------------------------------------------------------
+    # Whole-machine conveniences
+    # ------------------------------------------------------------------
+
+    def allocate_all(self, name: str, sizes: Iterable[int], **kw) -> None:
+        """Allocate a named arena on every rank (``sizes`` per rank)."""
+        sizes = list(sizes)
+        if len(sizes) != self.p:
+            raise ValueError(f"need {self.p} sizes, got {len(sizes)}")
+        for proc, size in zip(self.processors, sizes):
+            proc.allocate(name, size, **kw)
+
+    def memories(self, name: str) -> list:
+        return [proc.memory(name) for proc in self.processors]
+
+    def reset_stats(self) -> None:
+        from .network import NetworkStats
+        from .processor import MemoryStats
+
+        self.network.stats = NetworkStats()
+        for proc in self.processors:
+            proc.stats = MemoryStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualMachine(p={self.p})"

@@ -1,0 +1,80 @@
+"""HPF runtime: access plans, node-code shapes, communication, execution."""
+
+from .address import AccessPlan, flat_local_addresses, make_array_plan, make_plan
+from .codegen import (
+    SHAPES,
+    fill_descending,
+    fill_shape_a,
+    fill_shape_b,
+    fill_shape_c,
+    fill_shape_d,
+    fill_vectorized,
+    get_shape,
+    materialize_addresses,
+)
+from .commsets import CommSchedule, Transfer, compute_comm_schedule
+from .commsets2d import CommSchedule2D, Transfer2D, compute_comm_schedule_2d
+from .emit_c import emit_harness, emit_node_code, emit_timing_harness
+from .exec import (
+    collect,
+    distribute,
+    execute_combine,
+    execute_copy,
+    execute_copy_2d,
+    execute_fill,
+    execute_transpose,
+)
+from .redistribute import (
+    RedistributionStats,
+    plan_redistribution,
+    redistribute,
+    traffic_matrix,
+)
+from .sections_io import gather_section, reduce_section, scatter_section
+from .triangular import (
+    Trapezoid,
+    trapezoid_local_counts,
+    trapezoid_local_elements,
+)
+
+__all__ = [
+    "AccessPlan",
+    "make_plan",
+    "make_array_plan",
+    "flat_local_addresses",
+    "fill_descending",
+    "SHAPES",
+    "get_shape",
+    "fill_shape_a",
+    "fill_shape_b",
+    "fill_shape_c",
+    "fill_shape_d",
+    "fill_vectorized",
+    "materialize_addresses",
+    "CommSchedule",
+    "Transfer",
+    "compute_comm_schedule",
+    "distribute",
+    "collect",
+    "execute_copy",
+    "execute_fill",
+    "execute_combine",
+    "execute_copy_2d",
+    "execute_transpose",
+    "CommSchedule2D",
+    "Transfer2D",
+    "compute_comm_schedule_2d",
+    "RedistributionStats",
+    "plan_redistribution",
+    "redistribute",
+    "traffic_matrix",
+    "Trapezoid",
+    "trapezoid_local_counts",
+    "trapezoid_local_elements",
+    "gather_section",
+    "scatter_section",
+    "reduce_section",
+    "emit_node_code",
+    "emit_harness",
+    "emit_timing_harness",
+]

@@ -1,0 +1,146 @@
+"""Communication sets for array-assignment statements.
+
+For a statement ``A(la:ua:sa) = B(lb:ub:sb)`` over differently mapped
+arrays, iteration ``t`` reads ``B(lb + t*sb)`` from its owner ``q`` and
+writes ``A(la + t*sa)`` on its owner ``r``; whenever ``q != r`` the
+value must be communicated.  "Generating local addresses and
+communication sets" is exactly the companion problem of the paper's
+Chatterjee et al. reference, and the access-sequence machinery makes the
+enumeration efficient: each sender enumerates only *its own* elements of
+the RHS section (O(#local elements) after an O(k) table construction)
+and computes the LHS owner/address arithmetically.
+
+Rank-1 arrays on rank-1 grids are supported directly; multidimensional
+statements decompose per-dimension at the :mod:`repro.runtime.exec`
+level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..distribution.array import DistributedArray
+from ..distribution.localize import localized_elements
+from ..distribution.section import RegularSection
+
+__all__ = ["Transfer", "CommSchedule", "compute_comm_schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One sender->receiver element list.
+
+    Parallel tuples: ``iterations[t]`` is the iteration number,
+    ``src_slots[t]`` the sender-local B slot, ``dst_slots[t]`` the
+    receiver-local A slot.
+    """
+
+    source: int
+    dest: int
+    iterations: tuple[int, ...]
+    src_slots: tuple[int, ...]
+    dst_slots: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class CommSchedule:
+    """All transfers of one array-assignment statement.
+
+    ``locals_`` are the ``q == r`` fast-path copies (no network);
+    ``transfers`` the cross-processor messages, keyed for deterministic
+    iteration.
+    """
+
+    n_iterations: int
+    locals_: list[Transfer] = field(default_factory=list)
+    transfers: list[Transfer] = field(default_factory=list)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(len(t) for t in self.locals_) + sum(len(t) for t in self.transfers)
+
+    @property
+    def communicated_elements(self) -> int:
+        return sum(len(t) for t in self.transfers)
+
+    def sends_from(self, rank: int) -> list[Transfer]:
+        return [t for t in self.transfers if t.source == rank]
+
+    def receives_at(self, rank: int) -> list[Transfer]:
+        return [t for t in self.transfers if t.dest == rank]
+
+
+def _check_rank1(array: DistributedArray, role: str) -> None:
+    if array.rank != 1:
+        raise ValueError(f"{role} array {array.name} must be rank-1 (got rank {array.rank})")
+    if array.grid.rank != 1:
+        raise ValueError(
+            f"{role} array {array.name} must be mapped onto a rank-1 grid"
+        )
+    if not array.axis_maps[0].distribution.partitions:
+        raise ValueError(f"{role} array {array.name} dimension 0 is not distributed")
+
+
+def compute_comm_schedule(
+    a: DistributedArray,
+    sec_a: RegularSection,
+    b: DistributedArray,
+    sec_b: RegularSection,
+) -> CommSchedule:
+    """Communication schedule for ``A(sec_a) = B(sec_b)``.
+
+    The two sections must have equal lengths (conformable statement).
+    Enumeration cost: each sending rank walks its own RHS elements once.
+    """
+    _check_rank1(a, "LHS")
+    _check_rank1(b, "RHS")
+    if len(sec_a) != len(sec_b):
+        raise ValueError(
+            f"non-conformable sections: |{sec_a}| = {len(sec_a)} vs "
+            f"|{sec_b}| = {len(sec_b)}"
+        )
+    n = len(sec_a)
+    schedule = CommSchedule(n_iterations=n)
+    if n == 0:
+        return schedule
+
+    dim_a = a._dims[0]
+    dim_b = b._dims[0]
+    p_b = b.grid.size
+
+    # Pre-resolve per-destination LHS rank functions lazily via the
+    # DistributedArray cache (dim.local_slot builds them on demand).
+    buckets: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+    for q in range(p_b):
+        pairs = localized_elements(
+            dim_b.layout.p,
+            dim_b.layout.k,
+            dim_b.extent,
+            dim_b.axis_map.alignment,
+            sec_b,
+            q,
+        )
+        for b_index, b_slot in pairs:
+            t = sec_b.position_of(b_index)
+            a_index = sec_a.element(t)
+            r = dim_a.owner(a_index)
+            a_slot = dim_a.local_slot(a_index, r)
+            buckets.setdefault((q, r), []).append((t, b_slot, a_slot))
+
+    for (q, r), triples in sorted(buckets.items()):
+        triples.sort()
+        transfer = Transfer(
+            source=q,
+            dest=r,
+            iterations=tuple(t for t, _, _ in triples),
+            src_slots=tuple(bs for _, bs, _ in triples),
+            dst_slots=tuple(asl for _, _, asl in triples),
+        )
+        if q == r:
+            schedule.locals_.append(transfer)
+        else:
+            schedule.transfers.append(transfer)
+    return schedule

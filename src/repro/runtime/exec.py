@@ -1,0 +1,351 @@
+"""Execute array statements on the virtual machine.
+
+Ties the whole system together: distributed-array descriptors supply
+local shapes, the access-sequence machinery supplies traversal plans and
+communication schedules, and the SPMD machine runs the node programs.
+
+* :func:`distribute` / :func:`collect` move whole arrays between a
+  sequential NumPy "host" image and per-rank local memories (used for
+  initialization and verification);
+* :func:`execute_fill` runs ``A(l:u:s) = value`` with any node-code
+  shape from Figure 8;
+* :func:`execute_copy` runs ``A(sec_a) = B(sec_b)`` with generated
+  communication (pack / exchange / unpack supersteps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distribution.array import DistributedArray
+from ..distribution.section import RegularSection
+from ..machine.vm import VirtualMachine
+from .address import flat_local_addresses, make_array_plan
+from .codegen import get_shape, materialize_addresses
+from .commsets import CommSchedule, compute_comm_schedule
+
+__all__ = [
+    "distribute",
+    "collect",
+    "execute_fill",
+    "execute_copy",
+    "execute_combine",
+    "execute_copy_2d",
+    "execute_transpose",
+]
+
+
+def _check_vm(vm: VirtualMachine, array: DistributedArray) -> None:
+    if vm.p != array.grid.size:
+        raise ValueError(
+            f"machine has {vm.p} ranks but {array.name} is mapped onto "
+            f"{array.grid.size}"
+        )
+
+
+def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) -> None:
+    """Scatter a host image into per-rank local memories (named after the
+    array).  Replicated axes receive full copies."""
+    _check_vm(vm, array)
+    values = np.asarray(values)
+    if values.shape != array.shape:
+        raise ValueError(
+            f"host image shape {values.shape} != array shape {array.shape}"
+        )
+    for rank in range(vm.p):
+        local = np.zeros(array.local_size(rank), dtype=values.dtype)
+        for idx in np.ndindex(*array.shape):
+            if array.is_local(idx, rank):
+                local[array.local_address(idx, rank)] = values[idx]
+        proc = vm.processors[rank]
+        proc.allocate(array.name, len(local), dtype=values.dtype)
+        proc.memory(array.name)[:] = local
+
+
+def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np.ndarray:
+    """Gather per-rank local memories back into one host image.
+
+    Replicated elements are taken from the lowest owning rank; the
+    integration tests separately assert replica coherence.
+    """
+    _check_vm(vm, array)
+    out = np.zeros(array.shape, dtype=dtype)
+    for idx in np.ndindex(*array.shape):
+        rank = array.owners(idx)[0]
+        out[idx] = vm.processors[rank].memory(array.name)[array.local_address(idx, rank)]
+    return out
+
+
+def execute_fill(
+    vm: VirtualMachine,
+    array: DistributedArray,
+    sections: tuple[RegularSection, ...],
+    value,
+    shape: str = "d",
+) -> int:
+    """Run ``A(sections) = value`` on every rank; returns elements written.
+
+    Rank-1 arrays use the requested node-code shape directly (the
+    paper's Figure 8 experiment); multidimensional arrays traverse the
+    per-dimension plans with vectorized address materialization (outer
+    dims) around the requested shape is not meaningful there, so they
+    always use the vectorized path.
+    """
+    _check_vm(vm, array)
+    if len(sections) != array.rank:
+        raise ValueError(
+            f"need {array.rank} sections for {array.name}, got {len(sections)}"
+        )
+    fill = get_shape(shape)
+    total = 0
+    if array.rank == 1:
+        for rank in range(vm.p):
+            plan = make_array_plan(array, 0, sections[0], rank)
+            if plan.is_empty:
+                continue
+            if shape == "d" and plan.start_offset is None:
+                raise ValueError(
+                    "shape 'd' requires identity alignment; use shapes a/b/c/v"
+                )
+            memory = vm.processors[rank].memory(array.name)
+            total += fill(memory, plan, value)
+        return total
+    replicated = any(
+        array.is_replicated_over_axis(axis) for axis in range(array.grid.rank)
+    )
+    for rank in range(vm.p):
+        memory = vm.processors[rank].memory(array.name)
+        if replicated:
+            # Slow path: per-element ownership bookkeeping so each logical
+            # element is counted once (at its lowest owner) even though it
+            # is written on every holding rank.
+            pairs = array.local_section_elements(sections, rank)
+            for idx, addr in pairs:
+                memory[addr] = value
+            total += sum(1 for idx, _ in pairs if array.owners(idx)[0] == rank)
+        else:
+            # Fast path (the Section-2 reduction, vectorized): outer-sum of
+            # the per-dimension 1-D slot vectors, one fancy-indexed store.
+            addrs = flat_local_addresses(array, sections, rank)
+            if len(addrs):
+                memory[addrs] = value
+            total += len(addrs)
+    return total
+
+
+def execute_copy(
+    vm: VirtualMachine,
+    a: DistributedArray,
+    sec_a: RegularSection,
+    b: DistributedArray,
+    sec_b: RegularSection,
+    schedule: CommSchedule | None = None,
+) -> CommSchedule:
+    """Run ``A(sec_a) = B(sec_b)`` with generated communication.
+
+    Three supersteps: local copies + packed sends, then delivery, then
+    unpack into LHS local memory.  A precomputed ``schedule`` may be
+    passed (the compile-time-constants case the paper discusses);
+    otherwise one is computed here.
+    """
+    _check_vm(vm, a)
+    _check_vm(vm, b)
+    if schedule is None:
+        schedule = compute_comm_schedule(a, sec_a, b, sec_b)
+    tag = ("copy", a.name, b.name)
+
+    # Fortran semantics: the RHS is read in full before any element is
+    # stored.  All payloads -- remote sends AND local copies -- are
+    # gathered (fancy indexing copies) before the first write, so
+    # aliased self-copies like A(0:n-2) = A(1:n-1) stay correct.
+    def pack_phase(ctx):
+        src_mem = ctx.memory(b.name)
+        dst_mem = ctx.memory(a.name)
+        for tr in schedule.sends_from(ctx.rank):
+            payload = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+            ctx.send(tr.dest, tag, payload)
+        staged = [
+            (tr, src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy())
+            for tr in schedule.locals_
+            if tr.source == ctx.rank
+        ]
+        for tr, values in staged:
+            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = values
+
+    def unpack_phase(ctx):
+        dst_mem = ctx.memory(a.name)
+        for tr in schedule.receives_at(ctx.rank):
+            payload = ctx.recv(tr.source, tag)
+            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = payload
+
+    vm.bsp(pack_phase, unpack_phase)
+    return schedule
+
+
+def execute_combine(
+    vm: VirtualMachine,
+    a: DistributedArray,
+    sec_a: RegularSection,
+    terms: list[tuple[float, DistributedArray, RegularSection]],
+    schedules: list[CommSchedule] | None = None,
+) -> list[CommSchedule]:
+    """Run ``A(sec_a) = sum_t coef_t * T_t(sec_t)`` with communication.
+
+    Each term contributes one communication schedule (identical in shape
+    to :func:`execute_copy`'s); destination slots are zeroed once and
+    every arriving contribution accumulates scaled.  Aliasing is safe:
+    a term may read from ``A`` itself (e.g. ``A(1:n-2) = 0.5*A(0:n-3) +
+    0.5*A(2:n-1)``) because each rank stages its local contributions
+    before zeroing its destination slots, and remote payloads are packed
+    from every rank's memory before any destination is zeroed on that
+    rank.
+
+    Pass precomputed ``schedules`` (one per term, in order) to skip the
+    compile-time set generation, as with :func:`execute_copy`.
+    """
+    _check_vm(vm, a)
+    if not terms:
+        raise ValueError("need at least one term")
+    for _, src, _ in terms:
+        _check_vm(vm, src)
+    if schedules is None:
+        schedules = [
+            compute_comm_schedule(a, sec_a, src, sec_src)
+            for _, src, sec_src in terms
+        ]
+    if len(schedules) != len(terms):
+        raise ValueError(
+            f"need one schedule per term: {len(terms)} terms, "
+            f"{len(schedules)} schedules"
+        )
+
+    # Destination slots owned by each rank (zeroed exactly once).
+    dim_a = a._dims[0]
+    dst_slots_by_rank: dict[int, np.ndarray] = {}
+    for rank in range(vm.p):
+        from ..distribution.localize import localized_elements
+
+        pairs = localized_elements(
+            dim_a.layout.p, dim_a.layout.k, dim_a.extent,
+            dim_a.axis_map.alignment, sec_a, rank,
+        )
+        dst_slots_by_rank[rank] = np.asarray(
+            [slot for _, slot in pairs], dtype=np.int64
+        )
+
+    def tag(t: int) -> tuple:
+        return ("combine", a.name, t)
+
+    def pack_phase(ctx):
+        staged = []
+        for t, ((coef, src, _), sched) in enumerate(zip(terms, schedules)):
+            src_mem = ctx.memory(src.name)
+            for tr in sched.sends_from(ctx.rank):
+                payload = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+                ctx.send(tr.dest, tag(t), payload)
+            for tr in sched.locals_:
+                if tr.source == ctx.rank:
+                    values = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+                    staged.append((coef, tr.dst_slots, values))
+        dst_mem = ctx.memory(a.name)
+        dst_mem[dst_slots_by_rank[ctx.rank]] = 0.0
+        for coef, dst_slots, values in staged:
+            np.add.at(
+                dst_mem, np.asarray(dst_slots, dtype=np.int64), coef * values
+            )
+
+    def unpack_phase(ctx):
+        dst_mem = ctx.memory(a.name)
+        for t, ((coef, _, _), sched) in enumerate(zip(terms, schedules)):
+            for tr in sched.receives_at(ctx.rank):
+                payload = ctx.recv(tr.source, tag(t))
+                np.add.at(
+                    dst_mem, np.asarray(tr.dst_slots, dtype=np.int64),
+                    coef * payload,
+                )
+
+    vm.bsp(pack_phase, unpack_phase)
+    return schedules
+
+
+def execute_copy_2d(
+    vm: VirtualMachine,
+    a: DistributedArray,
+    secs_a,
+    b: DistributedArray,
+    secs_b,
+    schedule=None,
+    rhs_dims: tuple[int, int] = (0, 1),
+):
+    """Run the 2-D statement ``A(secs_a) = B(secs_b)`` with communication.
+
+    The tensor-product schedule of
+    :func:`repro.runtime.commsets2d.compute_comm_schedule_2d`; the same
+    pack / exchange / unpack supersteps as :func:`execute_copy`.
+    ``rhs_dims=(1, 0)`` pairs LHS dimension 0 with RHS dimension 1 --
+    the distributed transpose (see :func:`execute_transpose`).
+    """
+    from .commsets2d import compute_comm_schedule_2d
+
+    _check_vm(vm, a)
+    _check_vm(vm, b)
+    if schedule is None:
+        schedule = compute_comm_schedule_2d(
+            a, tuple(secs_a), b, tuple(secs_b), rhs_dims
+        )
+    tag = ("copy2d", a.name, b.name)
+
+    # Read-before-write staging, as in execute_copy (a rank may carry
+    # several local transfers in 2-D, so all are gathered first).
+    def pack_phase(ctx):
+        src_mem = ctx.memory(b.name)
+        dst_mem = ctx.memory(a.name)
+        for tr in schedule.sends_from(ctx.rank):
+            payload = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+            ctx.send(tr.dest, tag, payload)
+        staged = [
+            (tr, src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy())
+            for tr in schedule.locals_
+            if tr.source == ctx.rank
+        ]
+        for tr, values in staged:
+            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = values
+
+    def unpack_phase(ctx):
+        dst_mem = ctx.memory(a.name)
+        for tr in schedule.receives_at(ctx.rank):
+            payload = ctx.recv(tr.source, tag)
+            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = payload
+
+    vm.bsp(pack_phase, unpack_phase)
+    return schedule
+
+
+def execute_transpose(
+    vm: VirtualMachine,
+    a: DistributedArray,
+    b: DistributedArray,
+    schedule=None,
+):
+    """Distributed transpose: ``A(i, j) = B(j, i)`` over whole arrays.
+
+    The classic communication-intensive array statement; requires
+    ``A.shape == (B.shape[1], B.shape[0])``.  Built on the transposed
+    tensor-product schedule (``rhs_dims=(1, 0)``).
+    """
+    if a.rank != 2 or b.rank != 2:
+        raise ValueError("transpose requires rank-2 arrays")
+    if a.shape != (b.shape[1], b.shape[0]):
+        raise ValueError(
+            f"shape mismatch for transpose: {a.name}{list(a.shape)} vs "
+            f"{b.name}{list(b.shape)}^T"
+        )
+    secs_a = (
+        RegularSection(0, a.shape[0] - 1, 1),
+        RegularSection(0, a.shape[1] - 1, 1),
+    )
+    secs_b = (
+        RegularSection(0, b.shape[0] - 1, 1),
+        RegularSection(0, b.shape[1] - 1, 1),
+    )
+    return execute_copy_2d(vm, a, secs_a, b, secs_b, schedule, rhs_dims=(1, 0))

@@ -1,0 +1,193 @@
+"""Section-level gather/scatter between ranks and a root image.
+
+The runtime's statements keep data distributed; tools at the edges of a
+program (I/O, validation, front-ends) need *section views* on one rank:
+
+* :func:`gather_section` -- assemble ``A(sections)`` as a dense array on
+  a root rank (every owner sends its elements once);
+* :func:`scatter_section` -- the inverse: a root-held dense array is
+  written into the owners' local memories;
+* :func:`reduce_section` -- a fold over the section's elements without
+  materializing it anywhere (each rank folds locally, the root combines
+  partial results).
+
+All three enumerate per-rank elements with the access-sequence
+machinery (vectorized flat addresses), not per-element ownership tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..distribution.array import DistributedArray
+from ..distribution.section import RegularSection
+from ..machine.vm import VirtualMachine
+from .address import flat_local_addresses
+
+__all__ = ["gather_section", "scatter_section", "reduce_section"]
+
+
+def _section_shape(sections: tuple[RegularSection, ...]) -> tuple[int, ...]:
+    return tuple(len(sec) for sec in sections)
+
+
+def _positions(
+    array: DistributedArray,
+    sections: tuple[RegularSection, ...],
+    rank: int,
+) -> np.ndarray:
+    """Flat positions (row-major over the section's iteration space) of
+    the elements ``rank`` owns, aligned with
+    :func:`flat_local_addresses`' odometer order."""
+    from ..distribution.localize import localized_elements
+
+    coords = array.grid.coordinates(rank)
+    shape = _section_shape(sections)
+    per_dim: list[np.ndarray] = []
+    for sec, dim in zip(sections, array._dims):
+        norm = sec.normalized()
+        if norm.is_empty:
+            return np.empty(0, dtype=np.int64)
+        if dim.layout is None:
+            pos = np.arange(len(norm), dtype=np.int64)
+        else:
+            coord = coords[dim.axis_map.grid_axis]
+            pairs = localized_elements(
+                dim.layout.p, dim.layout.k, dim.extent,
+                dim.axis_map.alignment, sec, coord,
+            )
+            pos = np.asarray(
+                [sec.position_of(g) for g, _ in pairs], dtype=np.int64
+            )
+        per_dim.append(pos)
+    if any(p.size == 0 for p in per_dim):
+        return np.empty(0, dtype=np.int64)
+    acc = per_dim[0]
+    for pos, extent in zip(per_dim[1:], shape[1:]):
+        acc = acc[..., None] * extent + pos
+    return acc.reshape(-1)
+
+
+def _check(vm: VirtualMachine, array: DistributedArray, sections, root: int):
+    if vm.p != array.grid.size:
+        raise ValueError(
+            f"machine has {vm.p} ranks but {array.name} is mapped onto "
+            f"{array.grid.size}"
+        )
+    if len(sections) != array.rank:
+        raise ValueError(
+            f"need {array.rank} sections for {array.name}, got {len(sections)}"
+        )
+    if not 0 <= root < vm.p:
+        raise ValueError(f"root {root} out of range [0, {vm.p})")
+
+
+def gather_section(
+    vm: VirtualMachine,
+    array: DistributedArray,
+    sections: tuple[RegularSection, ...],
+    root: int = 0,
+) -> np.ndarray:
+    """Dense image of ``A(sections)`` assembled on ``root``.
+
+    Shape is the per-dimension section lengths; element ``[t0, t1, ...]``
+    is ``A(sections[0].element(t0), ...)``.
+    """
+    _check(vm, array, sections, root)
+    shape = _section_shape(sections)
+    tag = ("gather_section", array.name)
+
+    def send_phase(ctx):
+        addrs = flat_local_addresses(array, tuple(sections), ctx.rank)
+        positions = _positions(array, tuple(sections), ctx.rank)
+        values = ctx.memory(array.name)[addrs] if len(addrs) else np.empty(0)
+        ctx.send(root, tag, (positions, values))
+
+    def assemble_phase(ctx):
+        if ctx.rank != root:
+            return None
+        out = np.zeros(int(np.prod(shape)) if shape else 0)
+        for src in range(ctx.p):
+            positions, values = ctx.recv(src, tag)
+            if len(positions):
+                out[positions] = values
+        return out.reshape(shape)
+
+    _, results = vm.bsp(send_phase, assemble_phase)
+    return results[root]
+
+
+def scatter_section(
+    vm: VirtualMachine,
+    array: DistributedArray,
+    sections: tuple[RegularSection, ...],
+    values: np.ndarray,
+    root: int = 0,
+) -> None:
+    """Write a root-held dense image into ``A(sections)``.
+
+    ``values`` must have the section's shape; in this BSP simulation the
+    root's payload is addressed directly (the root packs one message per
+    owning rank).
+    """
+    _check(vm, array, sections, root)
+    shape = _section_shape(sections)
+    values = np.asarray(values, dtype=float)
+    if values.shape != shape:
+        raise ValueError(f"values shape {values.shape} != section shape {shape}")
+    flat = values.reshape(-1)
+    tag = ("scatter_section", array.name)
+
+    def pack_phase(ctx):
+        if ctx.rank != root:
+            return
+        for dest in range(ctx.p):
+            positions = _positions(array, tuple(sections), dest)
+            ctx.send(dest, tag, flat[positions] if len(positions) else np.empty(0))
+
+    def unpack_phase(ctx):
+        payload = ctx.recv(root, tag)
+        addrs = flat_local_addresses(array, tuple(sections), ctx.rank)
+        if len(addrs):
+            ctx.memory(array.name)[addrs] = payload
+
+    vm.bsp(pack_phase, unpack_phase)
+
+
+def reduce_section(
+    vm: VirtualMachine,
+    array: DistributedArray,
+    sections: tuple[RegularSection, ...],
+    op: Callable[[np.ndarray], float] = np.sum,
+    combine: Callable[[float, float], float] = float.__add__,
+    root: int = 0,
+) -> float:
+    """Fold ``A(sections)`` without materializing it: each rank applies
+    ``op`` to its owned values, the root combines the partials.
+
+    Defaults compute the section's sum.  Note ``op`` must be decomposable
+    under ``combine`` (sum/add, max/max, ...).
+    """
+    _check(vm, array, sections, root)
+    tag = ("reduce_section", array.name)
+
+    def local_phase(ctx):
+        addrs = flat_local_addresses(array, tuple(sections), ctx.rank)
+        partial = float(op(ctx.memory(array.name)[addrs])) if len(addrs) else None
+        ctx.send(root, tag, partial)
+
+    def combine_phase(ctx):
+        if ctx.rank != root:
+            return None
+        total = None
+        for src in range(ctx.p):
+            partial = ctx.recv(src, tag)
+            if partial is None:
+                continue
+            total = partial if total is None else combine(total, partial)
+        return total
+
+    _, results = vm.bsp(local_phase, combine_phase)
+    return results[root]

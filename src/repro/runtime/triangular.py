@@ -1,0 +1,148 @@
+"""Triangular and trapezoidal iteration spaces (paper Section 8).
+
+The paper's future work names "diagonal or trapezoidal array sections".
+A trapezoidal loop nest over a 2-D array touches, in row ``i``, the
+column section ``lo(i) : hi(i) : s`` where the bounds are affine in
+``i`` -- the lower-triangular update of an LU factorization
+(``A(i, i:n-1)``) being the canonical instance.
+
+Per row this is exactly the paper's 1-D problem with a *varying lower
+bound*; the key cost observation is the one the paper makes in Section
+6.1: the transition structure depends only on ``(p, k, s)``, so one
+:class:`repro.core.fsm.AccessFSM` serves every row, and each row costs
+only its start-location solve plus its owned elements.
+
+:func:`trapezoid_local_elements` enumerates a rank's elements of the
+trapezoid; :func:`trapezoid_local_counts` gives the per-rank load (the
+load-balance figure block-cyclic distributions exist to improve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.counting import local_count, section_length
+from ..core.generator import RLCursor
+from ..distribution.array import DistributedArray
+from ..distribution.section import RegularSection
+
+__all__ = ["Trapezoid", "trapezoid_local_elements", "trapezoid_local_counts"]
+
+
+@dataclass(frozen=True, slots=True)
+class Trapezoid:
+    """Row ``i`` in ``rows`` touches columns ``col_lo(i) : col_hi(i) : col_stride``
+    with affine bounds ``col_lo(i) = a_lo*i + b_lo`` (clamped to
+    ``[0, ncols)``) and likewise for ``col_hi``.
+
+    ``a_lo = 1, b_lo = 0, a_hi = 0, b_hi = ncols-1`` is the upper
+    triangle ``A(i, i:)``; ``a_lo = 0, b_lo = 0, a_hi = 1, b_hi = 0``
+    the lower triangle ``A(i, :i+1)``.
+    """
+
+    rows: RegularSection
+    a_lo: int
+    b_lo: int
+    a_hi: int
+    b_hi: int
+    col_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.col_stride <= 0:
+            raise ValueError(
+                f"column stride must be positive, got {self.col_stride}"
+            )
+
+    def col_section(self, i: int, ncols: int) -> RegularSection:
+        lo = min(max(self.a_lo * i + self.b_lo, 0), ncols - 1)
+        hi = min(max(self.a_hi * i + self.b_hi, 0), ncols - 1)
+        return RegularSection(lo, hi, self.col_stride)
+
+
+def _dims(array: DistributedArray):
+    if array.rank != 2:
+        raise ValueError(f"{array.name} must be rank-2, got rank {array.rank}")
+    dim_r, dim_c = array._dims
+    for dim, name in ((dim_r, "row"), (dim_c, "column")):
+        if dim.layout is None:
+            raise ValueError(f"{array.name}: {name} dimension is not distributed")
+        if not dim.axis_map.alignment.is_identity:
+            raise ValueError(
+                f"{array.name}: trapezoids require identity alignment on the "
+                f"{name} dimension"
+            )
+    return dim_r, dim_c
+
+
+def trapezoid_local_elements(
+    array: DistributedArray, trap: Trapezoid, rank: int
+) -> list[tuple[tuple[int, int], int]]:
+    """``((i, j), flat_local_address)`` pairs of the trapezoid owned by
+    ``rank``, rows ascending then columns ascending.
+
+    Cost: O(owned rows * (log + owned columns)) -- each owned row pays
+    one start-location solve (via :class:`RLCursor`) plus its elements;
+    no per-row table is materialized.
+    """
+    dim_r, dim_c = _dims(array)
+    nrows, ncols = array.shape
+    rc = array.grid.coordinates(rank)
+    mr = rc[dim_r.axis_map.grid_axis]
+    mc = rc[dim_c.axis_map.grid_axis]
+    lshape = array.local_shape(rank)
+
+    rows = trap.rows.normalized()
+    if rows.is_empty:
+        return []
+    if rows.lower < 0 or rows.upper >= nrows:
+        raise IndexError(f"row section {trap.rows} outside extent {nrows}")
+
+    out: list[tuple[tuple[int, int], int]] = []
+    p_r, k_r = dim_r.layout.p, dim_r.layout.k
+    p_c, k_c = dim_c.layout.p, dim_c.layout.k
+    for i in rows:
+        if dim_r.layout.owner(i) != mr:
+            continue
+        row_slot = dim_r.layout.local_address(i)
+        cols = trap.col_section(i, ncols)
+        if cols.is_empty:
+            continue
+        cursor = RLCursor(p_c, k_c, cols.lower, cols.stride, mc)
+        if cursor.is_empty:
+            continue
+        base = row_slot * lshape[1]
+        while cursor.index is not None and cursor.index <= cols.upper:
+            out.append(((i, cursor.index), base + cursor.local))
+            cursor.advance()
+    return out
+
+
+def trapezoid_local_counts(array: DistributedArray, trap: Trapezoid) -> list[int]:
+    """Per-rank element counts of the trapezoid (load-balance profile).
+
+    O(rows * k) total using the counting machinery -- no enumeration of
+    elements.
+    """
+    dim_r, dim_c = _dims(array)
+    nrows, ncols = array.shape
+    rows = trap.rows.normalized()
+    if not rows.is_empty and (rows.lower < 0 or rows.upper >= nrows):
+        raise IndexError(f"row section {trap.rows} outside extent {nrows}")
+    p_r = dim_r.layout.p
+    p_c, k_c = dim_c.layout.p, dim_c.layout.k
+
+    counts = [0] * array.grid.size
+    for i in rows:
+        mr = dim_r.layout.owner(i)
+        cols = trap.col_section(i, ncols)
+        if cols.is_empty:
+            continue
+        for mc in range(p_c):
+            n = local_count(p_c, k_c, cols.lower, cols.upper, cols.stride, mc)
+            if n == 0:
+                continue
+            coords = [0] * array.grid.rank
+            coords[dim_r.axis_map.grid_axis] = mr
+            coords[dim_c.axis_map.grid_axis] = mc
+            counts[array.grid.linearize(tuple(coords))] += n
+    return counts

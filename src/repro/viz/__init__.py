@@ -1,0 +1,15 @@
+"""ASCII reproductions of the paper's illustrations (Figures 1-4, 6)."""
+
+from .lattice_diagram import describe_basis, render_lattice_plane
+from .layout_ascii import processor_header, render_layout, render_walk
+from .tables import render_am_tables, render_traffic
+
+__all__ = [
+    "render_layout",
+    "render_walk",
+    "processor_header",
+    "render_lattice_plane",
+    "describe_basis",
+    "render_am_tables",
+    "render_traffic",
+]

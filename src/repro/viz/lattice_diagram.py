@@ -1,0 +1,58 @@
+"""Text diagrams of the section lattice and its R/L basis (Figures 2-4).
+
+Renders the ``(offset, row)`` plane with lattice points marked, plus a
+summary of the basis vectors the Section-4 construction selects.  The
+plane is drawn row 0 at the top (matching the paper's layout pictures):
+``*`` lattice points, ``R``/``L`` the basis targets reached from an
+anchor ``O``.
+"""
+
+from __future__ import annotations
+
+from ..core.lattice import SectionLattice, compute_rl_basis
+
+__all__ = ["render_lattice_plane", "describe_basis"]
+
+
+def render_lattice_plane(p: int, k: int, s: int, rows: int) -> str:
+    """Mark every lattice point with row < ``rows`` on the plane.
+
+    Columns are the ``p*k`` row offsets with ``|`` separators at block
+    boundaries; ``*`` marks a point of the lattice ``{(b, a):
+    pk*a + b = i*s}`` (equivalently: element ``a*pk + b`` is a multiple
+    of ``s`` position in the section with ``l = 0``).
+    """
+    if rows <= 0:
+        raise ValueError(f"need a positive row count, got {rows}")
+    lattice = SectionLattice(p, k, s)
+    pk = lattice.row_length
+    members: set[tuple[int, int]] = set()
+    i = 0
+    while True:
+        pt = lattice.point(i)
+        if pt.a >= rows:
+            break
+        members.add((pt.b, pt.a))
+        i += 1
+    lines = []
+    for a in range(rows):
+        cells = []
+        for m in range(p):
+            block = "".join(
+                "*" if (m * k + off, a) in members else "."
+                for off in range(k)
+            )
+            cells.append(block)
+        lines.append("|".join(cells))
+    return "\n".join(lines)
+
+
+def describe_basis(p: int, k: int, s: int) -> str:
+    """Human-readable summary of the R/L basis (Figure 3's caption)."""
+    basis = compute_rl_basis(p, k, s)
+    r, l = basis.r, basis.l
+    return (
+        f"R = ({r.b}, {r.a}) from section index {r.i} (element {r.i * s}); "
+        f"L = ({l.b}, {l.a}) from section index {l.i} (element {l.i * s}); "
+        f"determinant a_r*i_l - a_l*i_r = {r.a * l.i - l.a * r.i}"
+    )

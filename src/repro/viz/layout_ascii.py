@@ -1,0 +1,108 @@
+"""ASCII reproduction of the paper's layout figures (Figures 1, 2, 4, 6).
+
+The paper illustrates the ``cyclic(k)`` layout as a matrix of element
+indices, rows of ``p*k`` split into per-processor blocks, with section
+elements boxed and the lower bound circled.  These renderers produce the
+same pictures in text:
+
+* plain element        ``108``
+* section element      ``[108]``
+* section lower bound  ``(4)``
+* walk-visited point   ``{13}``   (Figure 6's rectangles)
+
+Used by the ``layout_gallery`` example and asserted structurally by the
+viz tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from ..distribution.layout import CyclicLayout
+from ..distribution.section import RegularSection
+
+__all__ = ["render_layout", "render_walk", "processor_header"]
+
+
+def processor_header(p: int, k: int, cell_width: int) -> str:
+    """The ``Processor 0 | Processor 1 | ...`` banner line."""
+    block_width = k * (cell_width + 1) - 1
+    parts = []
+    for m in range(p):
+        label = f"Processor {m}"
+        parts.append(label.center(block_width))
+    return " | ".join(parts)
+
+
+def _format_cell(
+    index: int,
+    section: RegularSection | None,
+    visited: Collection[int],
+    cell_width: int,
+) -> str:
+    text = str(index)
+    if section is not None and not section.is_empty and index == section.normalized().lower:
+        text = f"({text})"
+    elif index in visited:
+        text = f"{{{text}}}"
+    elif section is not None and index in section:
+        text = f"[{text}]"
+    return text.rjust(cell_width)
+
+
+def render_layout(
+    p: int,
+    k: int,
+    n: int,
+    section: RegularSection | None = None,
+    visited: Collection[int] = (),
+) -> str:
+    """Render ``n`` elements laid out ``cyclic(k)`` over ``p`` processors.
+
+    With ``section`` given, its elements are bracketed and its lower
+    bound parenthesized (Figure 1's rectangles and circle); ``visited``
+    marks algorithm-walk points with braces (Figure 6).
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive element count, got {n}")
+    layout = CyclicLayout(p, k)
+    pk = layout.row_length
+    cell_width = len(str(n - 1)) + 2  # room for brackets
+    visited = set(visited)
+    lines = [processor_header(p, k, cell_width)]
+    for row_start in range(0, n, pk):
+        cells = []
+        for m in range(p):
+            block = []
+            for offset in range(k):
+                index = row_start + m * k + offset
+                if index < n:
+                    block.append(_format_cell(index, section, visited, cell_width))
+                else:
+                    block.append(" " * cell_width)
+            cells.append(" ".join(block))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_walk(p: int, k: int, l: int, s: int, m: int, n: int) -> str:
+    """Figure 6: the points the algorithm visits for processor ``m``.
+
+    Marks every section element in ``[0, n)`` with brackets and the
+    subset the Figure 5 walk touches on processor ``m`` (owned elements
+    of the initial cycle plus any Equation-3 overshoot points) with
+    braces; the lower bound is parenthesized.
+    """
+    from ..core.access import compute_access_table
+
+    table = compute_access_table(p, k, l, s, m)
+    visited: list[int] = []
+    if not table.is_empty:
+        idx = table.start
+        visited.append(idx)
+        for t in range(table.length):
+            idx += table.index_gaps[t]
+            if idx < n:
+                visited.append(idx)
+    section = RegularSection(l, n - 1, s)
+    return render_layout(p, k, n, section=section, visited=visited)

@@ -1,0 +1,232 @@
+"""Tests for the benchmark harness library (fast smoke versions)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bench.report import ascii_plot, format_markdown, format_table
+from repro.bench.timers import max_over_ranks, time_us
+from repro.bench.workloads import (
+    PAPER_P,
+    Table2Case,
+    table1_cases,
+    table1_strides,
+    table2_cases,
+)
+
+from ..conftest import access_params
+
+
+class TestWorkloads:
+    def test_table1_grid(self):
+        strides = table1_strides(8)
+        assert strides == {
+            "s=7": 7, "s=99": 99, "s=k+1": 9, "s=pk-1": 255, "s=pk+1": 257
+        }
+        cases = table1_cases()
+        assert len(cases) == 8 * 5
+        assert all(c.p == PAPER_P and c.l == 0 for c in cases)
+
+    def test_table2_grid(self):
+        cases = table2_cases()
+        assert len(cases) == 9
+        case = Table2Case(4, 3)
+        # Upper bound scaled so total accesses = 10000 * p.
+        assert case.upper == (10_000 * 32 - 1) * 3
+
+
+class TestTimers:
+    def test_time_us_positive(self):
+        t = time_us(lambda: sum(range(100)), repeats=2)
+        assert t.best_us > 0
+        assert t.mean_us >= t.best_us
+        assert t.repeats == 2
+
+    def test_explicit_number(self):
+        t = time_us(lambda: None, repeats=2, number=10)
+        assert t.best_us >= 0
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            time_us(lambda: None, repeats=0)
+
+    def test_max_over_ranks(self):
+        t = max_over_ranks(lambda m: (lambda: sum(range(m * 100))), 3,
+                           repeats=1, number=5)
+        assert t.best_us >= 0
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.5" in text and "30" in text
+
+    def test_format_markdown(self):
+        text = format_markdown(["x"], [[1]])
+        assert text.splitlines()[0] == "| x |"
+        assert "---" in text
+
+    def test_ascii_plot(self):
+        text = ascii_plot(
+            {"A": [(1, 10), (2, 100)], "B": [(1, 20), (2, 50)]},
+            logy=True, width=20, height=5, title="demo",
+        )
+        assert "demo" in text
+        assert "o = A" in text and "x = B" in text
+
+    def test_ascii_plot_errors(self):
+        with pytest.raises(ValueError, match="nothing"):
+            ascii_plot({})
+        with pytest.raises(ValueError, match="positive y"):
+            ascii_plot({"A": [(0, 0)]}, logy=True)
+
+    def test_format_csv(self):
+        from repro.bench.report import format_csv
+
+        text = format_csv(["a", "b,c"], [[1, 'say "hi"'], [2.5, "plain"]])
+        lines = text.splitlines()
+        assert lines[0] == 'a,"b,c"'
+        assert lines[1] == '1,"say ""hi"""'
+        assert lines[2] == "2.5,plain"
+
+
+class TestCostsHarness:
+    def test_redistribution_costs(self):
+        from repro.bench.costs import run_redistribution_costs
+
+        rows = run_redistribution_costs(n=256, cube_dim=2)
+        labels = [label for label, *_ in rows]
+        assert "cyclic(8)->cyclic(8)" in labels
+        for label, remote, messages, cube_us, xbar_us in rows:
+            if label == "cyclic(8)->cyclic(8)":
+                assert remote == 0 and cube_us == 0.0
+            else:
+                assert cube_us >= xbar_us > 0  # hops only add cost
+
+    def test_transpose_costs(self):
+        from repro.bench.costs import run_transpose_costs
+
+        rows = run_transpose_costs(n=32)
+        assert len(rows) == 4
+        for label, remote, us in rows:
+            if label == "cyclic(64)":
+                # k >= n: the whole matrix sits on one coordinate pair and
+                # its transpose is local.
+                assert remote == 0 and us == 0.0
+            else:
+                assert remote > 0 and us > 0
+
+
+class TestOpCounts:
+    @given(access_params())
+    @settings(max_examples=80, deadline=None)
+    def test_lattice_bound(self, params):
+        """Section 5.1: the walk examines at most 2k+1 points."""
+        from repro.bench.opcounts import lattice_op_counts
+
+        p, k, l, s, m = params
+        counts = lattice_op_counts(p, k, l, s, m)
+        assert counts["points_examined"] <= 2 * k + 1
+        assert counts["length"] <= k
+
+    @given(access_params())
+    @settings(max_examples=50, deadline=None)
+    def test_sorting_counts_consistent(self, params):
+        from repro.bench.opcounts import sorting_op_counts
+
+        p, k, l, s, m = params
+        counts = sorting_op_counts(p, k, l, s, m)
+        assert counts["length"] <= k
+        assert counts["comparisons"] >= 0
+        assert counts["total"] == (
+            counts["comparisons"] + counts["scan_iterations"]
+        )
+
+    def test_opcount_inputs_match_production_tables(self):
+        """The counting walkers must describe the *same* algorithms: the
+        sorted index list the counter builds equals the production one."""
+        from repro.bench.opcounts import run_opcounts
+
+        rows = run_opcounts(block_sizes=(4, 8, 16), p=4, s=9)
+        ks = [k for k, *_ in rows]
+        assert ks == [4, 8, 16]
+        for _, lat, srt, ratio in rows:
+            assert lat > 0 and srt > 0 and ratio > 0
+
+
+class TestHarnessSmoke:
+    def test_table1_tiny(self):
+        from repro.bench.table1 import render, render_speedups, run_table1
+
+        rows = run_table1(p=4, block_sizes=(4,), full=False, repeats=1)
+        assert len(rows) == 1
+        text = render(rows)
+        assert "k=4" in text
+        assert "speedup" in render_speedups(rows)
+
+    def test_figure7_tiny(self):
+        from repro.bench.figure7 import run_figure7
+
+        data = run_figure7(p=4, block_sizes=(4, 8), full=False, repeats=1)
+        assert [k for k, _, _ in data] == [4, 8]
+
+    def test_table2_tiny(self):
+        from repro.bench.table2 import render, run_table2
+        from repro.bench.workloads import Table2Case
+
+        rows = run_table2(
+            cases=[Table2Case(4, 3, p=4, accesses_per_proc=50)],
+            shapes="bd", repeats=1,
+        )
+        # Per-rank count is ~accesses_per_proc (exact up to ownership
+        # rounding across the p ranks).
+        assert 40 <= rows[0]["accesses"] <= 60
+        assert "shape (b)" in render(rows, "bd")
+
+    def test_table2_c_tiny(self):
+        import shutil
+
+        import pytest as _pytest
+
+        from repro.bench.table2_c import compiler_available, render, run_table2_c
+        from repro.bench.workloads import Table2Case
+
+        if compiler_available() is None:
+            _pytest.skip("no C compiler on host")
+        rows = run_table2_c(
+            cases=[Table2Case(4, 3, p=4, accesses_per_proc=100)],
+            shapes="bd", reps=20,
+        )
+        assert rows[0]["b"] > 0 and rows[0]["d"] > 0
+        assert "shape (b)" in render(rows, "bd")
+
+    def test_table1_c_tiny(self):
+        import pytest as _pytest
+
+        from repro.bench.table1_c import compiler_available, render, run_table1_c
+
+        if compiler_available() is None:
+            _pytest.skip("no C compiler on host")
+        rows = run_table1_c(p=4, block_sizes=(4, 8), reps=50)
+        assert [row["k"] for row in rows] == [4, 8]
+        text = render(rows)
+        assert "Lattice" in text and "Sorting" in text
+        # The embedded C cross-checks both algorithms' tables on every
+        # invocation and aborts on mismatch, so reaching here means the
+        # C transcriptions agree with each other.
+        for row in rows:
+            for lat, srt in row["results"].values():
+                assert lat > 0 and srt > 0
+
+    def test_ablations_tiny(self):
+        from repro.bench.ablations import (
+            run_generator_ablation,
+            run_sort_ablation,
+            run_special_ablation,
+        )
+
+        assert len(run_sort_ablation(p=4, block_sizes=(4,), repeats=1)) == 1
+        gen = run_generator_ablation(p=4, k=4, s=3, accesses=50, repeats=1)
+        assert gen["accesses"] > 0
+        assert len(run_special_ablation(p=4, block_sizes=(8,), repeats=1)) == 1

@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for distribution / section parameters.
+# Kept small enough that the brute-force oracles stay fast.
+# ---------------------------------------------------------------------------
+
+procs = st.integers(min_value=1, max_value=8)
+blocks = st.integers(min_value=1, max_value=24)
+strides = st.integers(min_value=1, max_value=120)
+lowers = st.integers(min_value=0, max_value=60)
+
+
+@st.composite
+def access_params(draw):
+    """Random ``(p, k, l, s, m)`` for the 1-D access problem."""
+    p = draw(procs)
+    k = draw(blocks)
+    l = draw(lowers)
+    s = draw(strides)
+    m = draw(st.integers(min_value=0, max_value=p - 1))
+    return p, k, l, s, m
+
+
+@st.composite
+def bounded_access_params(draw):
+    """Random ``(p, k, l, u, s, m)`` with a bounded section."""
+    p, k, l, s, m = draw(access_params())
+    length = draw(st.integers(min_value=0, max_value=120))
+    u = l + (length - 1) * s if length else l - 1
+    return p, k, l, u, s, m
+
+
+@pytest.fixture
+def paper_params():
+    """The paper's running example: p=4, k=8, l=4, s=9, m=1 (Figure 6)."""
+    return dict(p=4, k=8, l=4, s=9, m=1)

@@ -1,0 +1,141 @@
+"""Tests for the baseline algorithms (Chatterjee sorting, Hiranandani
+special case, naive oracle) and their agreement with the lattice method."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access import compute_access_table
+from repro.core.baselines.naive import enumerate_local_elements, naive_access_table
+from repro.core.baselines.sorting import (
+    RADIX_THRESHOLD,
+    lsd_radix_sort,
+    sorting_access_table,
+)
+from repro.core.baselines.special import SpecialCaseInapplicable, special_access_table
+
+from ..conftest import access_params
+
+
+class TestRadixSort:
+    def test_empty(self):
+        assert lsd_radix_sort([]) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            lsd_radix_sort([3, -1])
+
+    def test_bad_radix(self):
+        with pytest.raises(ValueError, match="positive"):
+            lsd_radix_sort([1], radix_bits=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9)))
+    def test_matches_sorted(self, values):
+        assert lsd_radix_sort(values) == sorted(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6)),
+           st.integers(min_value=1, max_value=16))
+    def test_any_radix_width(self, values, bits):
+        assert lsd_radix_sort(values, radix_bits=bits) == sorted(values)
+
+
+class TestSortingBaseline:
+    def test_paper_example(self, paper_params):
+        table = sorting_access_table(**paper_params)
+        assert table.start == 13
+        assert table.gaps == (3, 12, 15, 12, 3, 12, 3, 12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="stride"):
+            sorting_access_table(4, 8, 0, 0, 0)
+        with pytest.raises(ValueError, match="unknown sort"):
+            sorting_access_table(4, 8, 0, 9, 0, sort="quick")
+        with pytest.raises(ValueError, match="out of range"):
+            sorting_access_table(4, 8, 0, 9, 9)
+
+    @pytest.mark.parametrize("sort", ["timsort", "radix", "auto"])
+    @pytest.mark.parametrize("k", [4, RADIX_THRESHOLD, 128])
+    def test_sort_modes_agree(self, sort, k):
+        for m in (0, 15, 31):
+            base = compute_access_table(32, k, 5, 7, m)
+            table = sorting_access_table(32, k, 5, 7, m, sort=sort)
+            assert (table.start, table.length, table.gaps, table.index_gaps) == (
+                base.start, base.length, base.gaps, base.index_gaps
+            )
+
+    @given(access_params())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_lattice(self, params):
+        p, k, l, s, m = params
+        lat = compute_access_table(p, k, l, s, m)
+        srt = sorting_access_table(p, k, l, s, m)
+        assert (srt.start, srt.length, srt.gaps, srt.index_gaps) == (
+            lat.start, lat.length, lat.gaps, lat.index_gaps
+        )
+
+
+class TestSpecialCase:
+    def test_applicability(self):
+        # s mod pk = 9 >= k = 8 -> inapplicable.
+        with pytest.raises(SpecialCaseInapplicable):
+            special_access_table(4, 8, 0, 9, 0)
+        # s mod pk == 0 -> rejected (degenerate; general algorithm handles it).
+        with pytest.raises(SpecialCaseInapplicable):
+            special_access_table(4, 8, 0, 32, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="stride"):
+            special_access_table(4, 8, 0, -3, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            special_access_table(4, 8, 0, 3, 7)
+
+    def test_simple_case(self):
+        lat = compute_access_table(4, 8, 0, 3, 2)
+        spc = special_access_table(4, 8, 0, 3, 2)
+        assert (spc.start, spc.length, spc.gaps, spc.index_gaps) == (
+            lat.start, lat.length, lat.gaps, lat.index_gaps
+        )
+
+    def test_large_stride_wraps(self):
+        # s = pk + sigma with sigma < k also qualifies.
+        lat = compute_access_table(4, 8, 1, 32 + 5, 3)
+        spc = special_access_table(4, 8, 1, 32 + 5, 3)
+        assert (spc.start, spc.gaps) == (lat.start, lat.gaps)
+
+    @given(access_params())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_lattice_when_applicable(self, params):
+        p, k, l, s, m = params
+        if not 0 < s % (p * k) < k:
+            return
+        lat = compute_access_table(p, k, l, s, m)
+        spc = special_access_table(p, k, l, s, m)
+        assert (spc.start, spc.length, spc.gaps, spc.index_gaps) == (
+            lat.start, lat.length, lat.gaps, lat.index_gaps
+        )
+
+
+class TestNaiveOracle:
+    def test_enumerate_validation(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            enumerate_local_elements(4, 8, 0, 10, 0, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            enumerate_local_elements(4, 8, 0, 10, 1, 4)
+        with pytest.raises(ValueError, match="p > 0"):
+            enumerate_local_elements(0, 8, 0, 10, 1, 0)
+
+    def test_negative_stride_traversal_order(self):
+        # 100:4:-9 traverses 100, 91, ..., 10; its normalized section is
+        # 10:100:9.  Same element set, opposite traversal order.
+        down = enumerate_local_elements(4, 8, 100, 4, -9, 1)
+        up = enumerate_local_elements(4, 8, 10, 100, 9, 1)
+        assert down == list(reversed(up))
+        assert down  # processor 1 owns some of these elements
+
+    def test_naive_rejects_negative_stride(self):
+        with pytest.raises(ValueError, match="positive"):
+            naive_access_table(4, 8, 0, -9, 1)
+
+    def test_empty(self):
+        table = naive_access_table(2, 1, 0, 4, 1)
+        assert table.is_empty

@@ -1,0 +1,104 @@
+"""Tests for counting/bounds utilities (upper-bound handling)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.baselines.naive import enumerate_local_elements
+from repro.core.counting import (
+    last_location,
+    local_allocation_size,
+    local_count,
+    owner_histogram,
+    section_length,
+)
+
+from ..conftest import bounded_access_params
+
+
+class TestSectionLength:
+    def test_basic(self):
+        assert section_length(0, 9, 3) == 4
+        assert section_length(0, 10, 3) == 4
+        assert section_length(5, 4, 1) == 0
+
+    def test_negative_stride(self):
+        assert section_length(9, 0, -3) == 4
+        assert section_length(0, 9, -3) == 0
+        assert section_length(10, 10, -1) == 1
+
+    def test_zero_stride(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            section_length(0, 9, 0)
+
+    def test_single(self):
+        assert section_length(4, 4, 7) == 1
+
+
+class TestLocalCount:
+    def test_paper_example_counts(self):
+        # A(4:319:9) over p=4, k=8: 36 elements total.
+        total = sum(local_count(4, 8, 4, 319, 9, m) for m in range(4))
+        assert total == section_length(4, 319, 9)
+
+    def test_requires_positive_stride(self):
+        with pytest.raises(ValueError, match="positive"):
+            local_count(4, 8, 0, 10, -1, 0)
+
+    @given(bounded_access_params())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_enumeration(self, params):
+        p, k, l, u, s, m = params
+        want = len(enumerate_local_elements(p, k, l, u, s, m))
+        assert local_count(p, k, l, u, s, m) == want
+
+
+class TestLastLocation:
+    def test_empty(self):
+        assert last_location(2, 1, 0, 100, 4, 1) is None
+        assert last_location(4, 8, 10, 5, 1, 0) is None  # empty section
+
+    @given(bounded_access_params())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_enumeration(self, params):
+        p, k, l, u, s, m = params
+        owned = enumerate_local_elements(p, k, l, u, s, m)
+        want = owned[-1][0] if owned else None
+        assert last_location(p, k, l, u, s, m) == want
+
+    def test_requires_positive_stride(self):
+        with pytest.raises(ValueError, match="positive"):
+            last_location(4, 8, 10, 0, -2, 0)
+
+
+class TestOwnerHistogram:
+    @given(bounded_access_params())
+    @settings(max_examples=100, deadline=None)
+    def test_sums_to_section_length(self, params):
+        p, k, l, u, s, _ = params
+        hist = owner_histogram(p, k, l, u, s)
+        assert len(hist) == p
+        assert sum(hist) == section_length(l, u, s)
+
+
+class TestAllocationSize:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            local_allocation_size(4, 8, -1, 0)
+        with pytest.raises(ValueError, match="p > 0"):
+            local_allocation_size(0, 8, 10, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            local_allocation_size(4, 8, 10, 4)
+
+    def test_sums_to_n(self):
+        for n in (0, 1, 7, 31, 32, 33, 64, 100, 319, 320, 321):
+            total = sum(local_allocation_size(4, 8, n, m) for m in range(4))
+            assert total == n, n
+
+    def test_matches_owned_enumeration(self):
+        from repro.distribution.layout import CyclicLayout
+
+        layout = CyclicLayout(3, 5)
+        for n in (0, 4, 14, 15, 16, 44, 45, 46, 100):
+            for m in range(3):
+                want = len(list(layout.owned_indices(n, m)))
+                assert local_allocation_size(3, 5, n, m) == want, (n, m)

@@ -1,0 +1,62 @@
+"""Four-way cross-validation: every table construction agrees everywhere.
+
+One consolidated property run pitting the lattice algorithm, the
+sorting baseline (all three sort modes), the Hiranandani special case
+(where applicable), the offset-indexed tables, the FSM, and the R/L
+cursor against the brute-force oracle on the same random inputs --
+the reproduction's single strongest internal-consistency statement.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.access import compute_access_table
+from repro.core.baselines.naive import naive_access_table
+from repro.core.baselines.sorting import sorting_access_table
+from repro.core.baselines.special import special_access_table
+from repro.core.fsm import AccessFSM
+from repro.core.generator import RLCursor
+from repro.core.offsets import compute_offset_tables
+
+from ..conftest import access_params
+
+
+@given(access_params())
+@settings(max_examples=300, deadline=None)
+def test_all_implementations_agree(params):
+    p, k, l, s, m = params
+    oracle = naive_access_table(p, k, l, s, m)
+
+    lattice = compute_access_table(p, k, l, s, m)
+    assert (lattice.start, lattice.length, lattice.gaps, lattice.index_gaps) == (
+        oracle.start, oracle.length, oracle.gaps, oracle.index_gaps
+    )
+
+    for sort in ("timsort", "radix"):
+        sorting = sorting_access_table(p, k, l, s, m, sort=sort)
+        assert (sorting.start, sorting.gaps) == (oracle.start, oracle.gaps)
+
+    if 0 < s % (p * k) < k:
+        special = special_access_table(p, k, l, s, m)
+        assert (special.start, special.gaps) == (oracle.start, oracle.gaps)
+
+    tables = compute_offset_tables(p, k, l, s, m)
+    fsm = AccessFSM(p, k, s)
+    fsm_start, fsm_gaps = fsm.table_for(l, m)
+    if oracle.is_empty:
+        assert tables.length == 0
+        assert fsm_start is None
+        assert RLCursor(p, k, l, s, m).is_empty
+        return
+
+    n = 2 * oracle.length + 1
+    walk = oracle.local_addresses(n)
+    assert tables.local_addresses(n) == walk
+    assert fsm_start == oracle.start % (p * k)
+    assert fsm_gaps == list(oracle.gaps)
+
+    cursor = RLCursor(p, k, l, s, m)
+    stream = []
+    for _ in range(n):
+        stream.append(cursor.local)
+        cursor.advance()
+    assert stream == walk

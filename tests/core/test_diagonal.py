@@ -1,0 +1,95 @@
+"""Tests for diagonal-section enumeration (paper Section 8 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diagonal import (
+    DiagonalAccess,
+    diagonal_iterations,
+    diagonal_iterations_brute,
+)
+
+
+@st.composite
+def diagonal_params(draw):
+    p_row = draw(st.integers(min_value=1, max_value=4))
+    k_row = draw(st.integers(min_value=1, max_value=6))
+    p_col = draw(st.integers(min_value=1, max_value=4))
+    k_col = draw(st.integers(min_value=1, max_value=6))
+    r0 = draw(st.integers(min_value=0, max_value=20))
+    c0 = draw(st.integers(min_value=0, max_value=20))
+    rs = draw(st.integers(min_value=-4, max_value=4))
+    cs = draw(st.integers(min_value=-4, max_value=4))
+    if rs == 0 and cs == 0:
+        rs = 1
+    count = draw(st.integers(min_value=0, max_value=200))
+    return DiagonalAccess(p_row, k_row, p_col, k_col, r0, rs, c0, cs, count)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="p_row"):
+            DiagonalAccess(0, 2, 2, 2, 0, 1, 0, 1, 10)
+        with pytest.raises(ValueError, match="at least one"):
+            DiagonalAccess(2, 2, 2, 2, 0, 0, 0, 0, 10)
+        with pytest.raises(ValueError, match="nonnegative"):
+            DiagonalAccess(2, 2, 2, 2, 0, 1, 0, 1, -1)
+
+    def test_bad_coords(self):
+        access = DiagonalAccess(2, 2, 2, 2, 0, 1, 0, 1, 10)
+        with pytest.raises(ValueError, match="row coordinate"):
+            diagonal_iterations(access, (2, 0))
+        with pytest.raises(ValueError, match="col coordinate"):
+            diagonal_iterations(access, (0, -1))
+
+
+class TestMainDiagonal:
+    def test_square_main_diagonal(self):
+        # 2x2 grid, cyclic(2) in both dims, main diagonal of a 16x16 array.
+        access = DiagonalAccess(2, 2, 2, 2, 0, 1, 0, 1, 16)
+        covered = []
+        for mr in range(2):
+            for mc in range(2):
+                ts = diagonal_iterations(access, (mr, mc))
+                assert ts == diagonal_iterations_brute(access, (mr, mc))
+                covered.extend(ts)
+        assert sorted(covered) == list(range(16))
+
+    def test_anti_diagonal(self):
+        access = DiagonalAccess(2, 3, 2, 3, 0, 1, 15, -1, 16)
+        for mr in range(2):
+            for mc in range(2):
+                assert diagonal_iterations(access, (mr, mc)) == (
+                    diagonal_iterations_brute(access, (mr, mc))
+                )
+
+    def test_constant_row(self):
+        # rs = 0: a row section seen as a degenerate diagonal.
+        access = DiagonalAccess(2, 2, 3, 2, 5, 0, 0, 1, 30)
+        for mr in range(2):
+            for mc in range(3):
+                assert diagonal_iterations(access, (mr, mc)) == (
+                    diagonal_iterations_brute(access, (mr, mc))
+                )
+
+
+class TestProperty:
+    @given(diagonal_params())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, access):
+        for mr in range(access.p_row):
+            for mc in range(access.p_col):
+                fast = diagonal_iterations(access, (mr, mc))
+                slow = diagonal_iterations_brute(access, (mr, mc))
+                assert fast == slow, (access, mr, mc)
+
+    @given(diagonal_params())
+    @settings(max_examples=60, deadline=None)
+    def test_partition(self, access):
+        """Every iteration is owned by exactly one coordinate pair."""
+        total = []
+        for mr in range(access.p_row):
+            for mc in range(access.p_col):
+                total.extend(diagonal_iterations(access, (mr, mc)))
+        assert sorted(total) == list(range(access.count))

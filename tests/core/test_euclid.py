@@ -1,0 +1,180 @@
+"""Unit and property tests for repro.core.euclid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.euclid import (
+    ceil_div,
+    crt_pair,
+    extended_gcd,
+    floor_div,
+    gcd,
+    lcm,
+    mod_inverse,
+    smallest_nonnegative_solution,
+    solve_linear_congruence,
+    solve_linear_diophantine,
+)
+
+ints = st.integers(min_value=-10_000, max_value=10_000)
+pos = st.integers(min_value=1, max_value=10_000)
+
+
+class TestExtendedGcd:
+    def test_paper_example(self):
+        # Figure 5 line 3 for the worked example: s=9, pk=32.
+        assert extended_gcd(9, 32) == (1, -7, 2)
+
+    def test_zero_cases(self):
+        assert extended_gcd(0, 0) == (0, 1, 0)
+        g, x, y = extended_gcd(0, 5)
+        assert g == 5 and 0 * x + 5 * y == 5
+        g, x, y = extended_gcd(5, 0)
+        assert g == 5 and 5 * x + 0 * y == 5
+
+    @given(ints, ints)
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert a * x + b * y == g
+        assert g >= 0
+        if a or b:
+            assert a % g == 0 and b % g == 0
+
+    @given(ints, ints)
+    def test_matches_builtin_gcd(self, a, b):
+        import math
+
+        assert extended_gcd(a, b).g == math.gcd(a, b)
+        assert gcd(a, b) == math.gcd(a, b)
+
+
+class TestGcdLcm:
+    def test_lcm_zero(self):
+        assert lcm(0, 7) == 0
+        assert lcm(7, 0) == 0
+
+    @given(pos, pos)
+    def test_lcm_gcd_product(self, a, b):
+        assert lcm(a, b) * gcd(a, b) == a * b
+
+    @given(pos, pos)
+    def test_lcm_divisibility(self, a, b):
+        m = lcm(a, b)
+        assert m % a == 0 and m % b == 0
+
+
+class TestModInverse:
+    def test_basic(self):
+        assert mod_inverse(3, 7) == 5
+        assert (9 * mod_inverse(9, 32)) % 32 == 1
+
+    def test_not_invertible(self):
+        with pytest.raises(ValueError, match="not invertible"):
+            mod_inverse(6, 9)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError, match="positive"):
+            mod_inverse(3, 0)
+
+    @given(ints, st.integers(min_value=1, max_value=5000))
+    def test_inverse_property(self, a, n):
+        if gcd(a, n) == 1:
+            inv = mod_inverse(a, n)
+            assert 0 <= inv < n
+            assert (a * inv) % n == 1 or n == 1
+
+
+class TestLinearCongruence:
+    def test_solvable(self):
+        # 9*j == 4 (mod 32): j = 20 since 180 = 5*32 + 20... verify directly
+        sol = solve_linear_congruence(9, 4, 32)
+        assert sol is not None
+        assert (9 * sol.base) % 32 == 4
+        assert sol.period == 32
+
+    def test_unsolvable(self):
+        assert solve_linear_congruence(6, 5, 9) is None
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError, match="positive"):
+            solve_linear_congruence(3, 1, 0)
+
+    @given(ints, ints, st.integers(min_value=1, max_value=3000))
+    def test_smallest_nonnegative(self, a, c, n):
+        j = smallest_nonnegative_solution(a, c, n)
+        if j is None:
+            assert gcd(a, n) and c % gcd(a, n) != 0
+        else:
+            assert 0 <= j < n
+            assert (a * j - c) % n == 0
+            # Minimality: no smaller nonnegative solution.
+            sol = solve_linear_congruence(a, c, n)
+            assert j < sol.period
+
+
+class TestDiophantine:
+    @given(ints, ints, ints)
+    def test_solution_validity(self, a, b, c):
+        sol = solve_linear_diophantine(a, b, c)
+        if sol is None:
+            g = gcd(a, b)
+            assert (g == 0 and c != 0) or (g != 0 and c % g != 0)
+        else:
+            assert a * sol.x0 + b * sol.y0 == c
+            # Stepping the parameter keeps the identity.
+            x2 = sol.x0 + sol.step_x
+            y2 = sol.y0 - sol.step_y
+            assert a * x2 + b * y2 == c
+
+    def test_degenerate(self):
+        assert solve_linear_diophantine(0, 0, 0) is not None
+        assert solve_linear_diophantine(0, 0, 3) is None
+
+
+class TestCrt:
+    def test_pair(self):
+        sol = crt_pair(2, 3, 3, 5)
+        assert sol is not None
+        assert sol.base % 3 == 2 and sol.base % 5 == 3
+        assert sol.period == 15
+
+    def test_incompatible(self):
+        assert crt_pair(0, 2, 1, 4) is None
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError, match="positive"):
+            crt_pair(0, 0, 0, 3)
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=60),
+    )
+    def test_crt_property(self, r1, n1, r2, n2):
+        sol = crt_pair(r1, n1, r2, n2)
+        brute = [
+            j for j in range(lcm(n1, n2))
+            if j % n1 == r1 % n1 and j % n2 == r2 % n2
+        ]
+        if sol is None:
+            assert brute == []
+        else:
+            assert brute == [sol.base]
+            assert sol.period == lcm(n1, n2)
+
+
+class TestDivisions:
+    @given(ints, ints.filter(lambda v: v != 0))
+    def test_ceil_floor(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b)
+        assert floor_div(a, b) == math.floor(a / b)
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            ceil_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            floor_div(1, 0)

@@ -1,0 +1,103 @@
+"""Tests for the FSM view of the access sequence."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.access import compute_access_table
+from repro.core.fsm import AccessFSM
+from repro.core.offsets import UNUSED, compute_offset_tables
+
+from ..conftest import access_params
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p > 0"):
+            AccessFSM(0, 8, 9)
+        with pytest.raises(ValueError, match="positive"):
+            AccessFSM(4, 8, 0)
+
+    def test_reachable_states_follow_residue_class(self):
+        fsm = AccessFSM(4, 8, 6)  # d = gcd(6, 32) = 2
+        assert fsm.d == 2
+        assert fsm.reachable_states(0) == list(range(0, 32, 2))
+        assert fsm.reachable_states(5) == list(range(1, 32, 2))
+        assert len(fsm.states) == 32
+
+    def test_transition_validation(self):
+        fsm = AccessFSM(4, 8, 6)
+        with pytest.raises(ValueError, match="out of range"):
+            fsm.transition(32)
+
+    def test_processor_states(self):
+        fsm = AccessFSM(4, 8, 9)
+        assert fsm.processor_states(1) == [8, 9, 10, 11, 12, 13, 14, 15]
+        fsm2 = AccessFSM(4, 8, 6)
+        assert fsm2.processor_states(1, l=3) == [9, 11, 13, 15]
+        with pytest.raises(ValueError, match="out of range"):
+            fsm.processor_states(4)
+
+
+class TestPaperExample:
+    def test_start_state(self):
+        fsm = AccessFSM(4, 8, 9)
+        # start = 13 for l=4, m=1; its row offset is 13.
+        assert fsm.start_state(4, 1) == 13
+
+    def test_table_matches_figure5(self):
+        fsm = AccessFSM(4, 8, 9)
+        state, gaps = fsm.table_for(4, 1)
+        assert state == 13
+        assert gaps == [3, 12, 15, 12, 3, 12, 3, 12]
+
+    def test_render(self):
+        text = fsm_text = AccessFSM(4, 8, 9).render(m=1)
+        assert "8 states" in text
+        assert "offset   13" in text or "offset 13" in text.replace("  ", " ")
+
+
+class TestAgainstOffsetTables:
+    @given(access_params())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_offset_tables(self, params):
+        """Per-processor FSM slices equal the Section-6.2 tables."""
+        p, k, l, s, m = params
+        fsm = AccessFSM(p, k, s)
+        tables = compute_offset_tables(p, k, l, s, m)
+        if tables.length == 0:
+            assert fsm.start_state(l, m) is None
+            return
+        start = fsm.start_state(l, m)
+        assert start == tables.start % (p * k)
+        # Follow both machines one full cycle.
+        b = start
+        o = tables.start_offset
+        for _ in range(tables.length):
+            tr = fsm.transition(b)
+            assert tables.delta_m[o] != UNUSED
+            assert tr.memory_gap == tables.delta_m[o]
+            assert tr.next_offset - k * m == tables.next_offset[o]
+            b, o = tr.next_offset, tables.next_offset[o]
+
+    @given(access_params())
+    @settings(max_examples=80, deadline=None)
+    def test_table_for_matches_access_table(self, params):
+        p, k, l, s, m = params
+        fsm = AccessFSM(p, k, s)
+        start, gaps = fsm.table_for(l, m)
+        table = compute_access_table(p, k, l, s, m)
+        if table.is_empty:
+            assert start is None and gaps == []
+        else:
+            assert start == table.start % (p * k)
+            assert gaps == list(table.gaps)
+
+    def test_shared_across_processors(self):
+        """One FSM serves every processor and every lower bound -- the
+        compile-time caching the paper's Section 6.1 describes."""
+        fsm = AccessFSM(4, 8, 9)
+        for l in (0, 4, 17):
+            for m in range(4):
+                table = compute_access_table(4, 8, l, 9, m)
+                _, gaps = fsm.table_for(l, m)
+                assert gaps == list(table.gaps)

@@ -1,0 +1,88 @@
+"""Tests for the table-free R/L address generator (Section 6.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.access import compute_access_table
+from repro.core.baselines.naive import enumerate_local_elements
+from repro.core.generator import RLCursor, iter_global_indices, iter_local_addresses
+
+from ..conftest import access_params
+
+
+class TestCursor:
+    def test_paper_walk(self, paper_params):
+        cur = RLCursor(**paper_params)
+        indices, locals_ = [], []
+        for _ in range(9):
+            indices.append(cur.index)
+            locals_.append(cur.local)
+            cur.advance()
+        assert indices == [13, 40, 76, 139, 175, 202, 238, 265, 301]
+        table = compute_access_table(**paper_params)
+        assert locals_ == table.local_addresses(9)
+
+    def test_empty_cursor(self):
+        cur = RLCursor(2, 1, 0, 4, 1)
+        assert cur.is_empty
+        assert cur.index is None and cur.local is None
+        with pytest.raises(RuntimeError, match="empty"):
+            cur.advance()
+
+    def test_length_one(self):
+        cur = RLCursor(2, 1, 0, 2, 0)
+        first = cur.index
+        cur.advance()
+        assert cur.index == first + 2  # full period: pk*s/d = 2*2/2*... = 2
+
+    @given(access_params())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_table(self, params):
+        p, k, l, s, m = params
+        table = compute_access_table(p, k, l, s, m)
+        cur = RLCursor(p, k, l, s, m)
+        if table.is_empty:
+            assert cur.is_empty
+            return
+        n = 2 * table.length + 3
+        got_idx, got_loc = [], []
+        for _ in range(n):
+            got_idx.append(cur.index)
+            got_loc.append(cur.local)
+            cur.advance()
+        assert got_idx == table.global_indices(n)
+        assert got_loc == table.local_addresses(n)
+
+
+class TestIterators:
+    def test_bounded(self, paper_params):
+        p, k, l, s, m = (paper_params[key] for key in "pklsm")
+        u = 250
+        idx = list(iter_global_indices(p, k, l, s, m, u))
+        want = [g for g, _ in enumerate_local_elements(p, k, l, u, s, m)]
+        assert idx == want
+        addrs = list(iter_local_addresses(p, k, l, s, m, u))
+        assert addrs == [a for _, a in enumerate_local_elements(p, k, l, u, s, m)]
+
+    def test_empty_stream(self):
+        assert list(iter_global_indices(2, 1, 0, 4, 1, 100)) == []
+        assert list(iter_local_addresses(2, 1, 0, 4, 1, 100)) == []
+
+    def test_unbounded_stream(self, paper_params):
+        p, k, l, s, m = (paper_params[key] for key in "pklsm")
+        stream = iter_global_indices(p, k, l, s, m)
+        got = [next(stream) for _ in range(5)]
+        assert got == [13, 40, 76, 139, 175]
+
+    @given(access_params())
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_matches_oracle(self, params):
+        p, k, l, s, m = params
+        u = l + 60 * s
+        got = list(
+            zip(
+                iter_global_indices(p, k, l, s, m, u),
+                iter_local_addresses(p, k, l, s, m, u),
+            )
+        )
+        assert got == enumerate_local_elements(p, k, l, u, s, m)

@@ -1,0 +1,156 @@
+"""Tests for the integer-lattice theory (paper Sections 3-4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.euclid import gcd
+from repro.core.lattice import (
+    LatticePoint,
+    SectionLattice,
+    compute_rl_basis,
+    is_basis,
+    is_primitive_vector,
+)
+
+from ..conftest import blocks, procs, strides
+
+
+class TestLatticePoint:
+    def test_arithmetic(self):
+        a = LatticePoint(3, 3, 11)
+        b = LatticePoint(-1, 2, 7)
+        assert a + b == LatticePoint(2, 5, 18)
+        assert a - b == LatticePoint(4, 1, 4)
+        assert -a == LatticePoint(-3, -3, -11)
+        assert a.scale(2) == LatticePoint(6, 6, 22)
+        assert a.vector == (3, 3)
+
+
+class TestSectionLattice:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p > 0"):
+            SectionLattice(0, 8, 9)
+        with pytest.raises(ValueError, match="positive"):
+            SectionLattice(4, 8, -9)
+
+    def test_paper_section3_example(self):
+        # Section 3: vectors (3,3) [index 11] and (-1,2) [index 7] form a
+        # basis for p=4, k=8, s=9 since 3*7 - 2*11 = -1.
+        lat = SectionLattice(4, 8, 9)
+        v1 = LatticePoint(3, 3, 11)
+        v2 = LatticePoint(-1, 2, 7)
+        assert lat.contains(v1.b, v1.a) and lat.index_of(v1.b, v1.a) == 11
+        assert lat.contains(v2.b, v2.a) and lat.index_of(v2.b, v2.a) == 7
+        assert is_basis(v1, v2)
+
+    def test_membership(self):
+        lat = SectionLattice(4, 8, 9)
+        assert lat.contains(4, 1)  # element 36 = 4*9
+        assert not lat.contains(5, 1)  # element 37 not a multiple of 9
+        with pytest.raises(ValueError, match="not in the lattice"):
+            lat.index_of(5, 1)
+
+    @given(procs, blocks, strides)
+    def test_point_roundtrip(self, p, k, s):
+        lat = SectionLattice(p, k, s)
+        for i in range(-5, 10):
+            pt = lat.point(i)
+            assert pt.i == i
+            assert p * k * pt.a + pt.b == i * s
+            assert 0 <= pt.b < p * k
+            assert lat.contains(pt.b, pt.a)
+            assert lat.index_of(pt.b, pt.a) == i
+
+    @given(procs, blocks, strides)
+    def test_closed_under_subtraction(self, p, k, s):
+        """Theorem 1: the point set is closed under subtraction."""
+        lat = SectionLattice(p, k, s)
+        a, b = lat.point(3), lat.point(7)
+        diff = a - b
+        assert lat.contains(diff.b, diff.a)
+        assert lat.index_of(diff.b, diff.a) == -4
+
+    @given(procs, blocks, strides)
+    def test_euclid_basis(self, p, k, s):
+        lat = SectionLattice(p, k, s)
+        v1, v2 = lat.euclid_basis()
+        assert is_basis(v1, v2)
+        assert lat.contains(v1.b, v1.a)
+        assert lat.contains(v2.b, v2.a)
+
+    def test_iter_initial_cycle(self):
+        lat = SectionLattice(4, 8, 9)
+        pts = list(lat.iter_initial_cycle())
+        assert len(pts) == 32  # pk/d = 32
+        assert [pt.i for pt in pts] == list(range(32))
+        on_p0 = list(lat.iter_initial_cycle(processor=0))
+        assert all(0 <= pt.b < 8 for pt in on_p0)
+        # Smallest positive index on processor 0 is 36 (paper Section 4).
+        positive = [pt.i * 9 for pt in on_p0 if pt.i > 0]
+        assert min(positive) == 36
+        assert max(positive) == 261
+
+    def test_iter_initial_cycle_bad_proc(self):
+        with pytest.raises(ValueError, match="out of range"):
+            list(SectionLattice(4, 8, 9).iter_initial_cycle(processor=4))
+
+
+class TestPrimitiveAndBasis:
+    def test_primitive(self):
+        # gcd(a, i) == 1 test from Section 3.
+        assert is_primitive_vector(LatticePoint(4, 1, 4))
+        assert not is_primitive_vector(LatticePoint(8, 2, 8))
+
+    def test_determinant(self):
+        r = LatticePoint(4, 1, 4)
+        l = LatticePoint(5, -1, -3)
+        assert is_basis(r, l)  # 1*(-3) - (-1)*4 = 1
+        assert not is_basis(r, r.scale(2))
+
+
+class TestRLBasis:
+    def test_paper_example(self):
+        basis = compute_rl_basis(4, 8, 9)
+        assert basis.r.vector == (4, 1)
+        assert basis.r.i * 9 == 36
+        assert basis.l.vector == (5, -1)
+        assert basis.l.i * 9 == -27
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            compute_rl_basis(4, 8, 0)
+        with pytest.raises(ValueError, match="pk divides s"):
+            compute_rl_basis(4, 8, 64)
+        # k=1: no offsets in (0, 1) -> degenerate.
+        with pytest.raises(ValueError, match="special case"):
+            compute_rl_basis(4, 1, 3)
+
+    @given(procs, blocks, strides)
+    @settings(max_examples=120)
+    def test_rl_is_basis_and_extremal(self, p, k, s):
+        """Theorem 2 plus the extremal construction of Section 4."""
+        pk = p * k
+        d = gcd(s, pk)
+        if s % pk == 0 or len(range(d, k, d)) == 0:
+            return  # degenerate cases raise; covered separately
+        basis = compute_rl_basis(p, k, s)
+        r, l = basis.r, basis.l
+        assert is_basis(r, l)
+        lat = SectionLattice(p, k, s)
+        assert lat.contains(r.b, r.a) and lat.contains(l.b, l.a)
+        assert 0 < r.b < k and 0 < l.b < k
+        assert r.i > 0 and l.i < 0
+        assert r.a >= 0 and l.a <= 0
+        # Extremality: no lattice point with offset in (0, k) has a
+        # positive index smaller than i_r, or a larger index within the
+        # initial cycle than the one L was derived from.
+        period = pk // d
+        candidates = [
+            (i, (i * s) % pk)
+            for i in range(1, period)
+            if 0 < (i * s) % pk < k
+        ]
+        assert r.i == min(i for i, _ in candidates)
+        largest = max(i for i, _ in candidates)
+        assert l.i == largest - period

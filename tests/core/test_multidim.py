@@ -1,0 +1,71 @@
+"""Tests for multidimensional address composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multidim import (
+    compose_flat_addresses,
+    odometer_addresses,
+    row_major_strides,
+)
+
+
+class TestStrides:
+    def test_basic(self):
+        assert row_major_strides((3, 4, 5)) == (20, 5, 1)
+        assert row_major_strides((7,)) == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            row_major_strides((3, -1))
+
+
+class TestCompose:
+    def test_matches_numpy_semantics(self):
+        shape = (4, 6)
+        slots = [[0, 2], [1, 3, 5]]
+        addrs = compose_flat_addresses(slots, shape)
+        arr = np.arange(24).reshape(shape)
+        want = arr[np.ix_([0, 2], [1, 3, 5])].ravel()
+        assert np.array_equal(addrs, want)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one slot vector"):
+            compose_flat_addresses([[0]], (2, 2))
+        with pytest.raises(ValueError, match="at least one"):
+            compose_flat_addresses([], ())
+        with pytest.raises(ValueError, match="out of range"):
+            compose_flat_addresses([[5]], (3,))
+        with pytest.raises(ValueError, match="one-dimensional"):
+            compose_flat_addresses([np.zeros((2, 2), dtype=np.int64)], (4,))
+
+    def test_empty_dimension(self):
+        assert compose_flat_addresses([[0, 1], []], (2, 3)).size == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),  # extent
+                st.integers(min_value=0, max_value=5),  # slot count
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.randoms(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_odometer(self, dims, rng):
+        shape = tuple(extent for extent, _ in dims)
+        slots = [
+            sorted(rng.sample(range(extent), min(count, extent)))
+            for extent, count in dims
+        ]
+        fast = compose_flat_addresses(slots, shape).tolist()
+        slow = odometer_addresses(slots, shape)
+        assert fast == slow
+
+    def test_odometer_validation(self):
+        with pytest.raises(ValueError, match="one slot vector"):
+            odometer_addresses([[0]], (2, 2))

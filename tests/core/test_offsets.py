@@ -1,0 +1,89 @@
+"""Tests for the offset-indexed tables (Section 6.2 / node code 8(d))."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.access import compute_access_table
+from repro.core.offsets import UNUSED, compute_offset_tables
+
+from ..conftest import access_params
+
+
+class TestPaperExample:
+    def test_tables(self, paper_params):
+        tables = compute_offset_tables(**paper_params)
+        assert tables.start == 13
+        # startoffset = start mod k = 13 mod 8 = 5 (Section 6.2).
+        assert tables.start_offset == 5
+        assert tables.length == 8
+        # Walking the offset tables reproduces the visit-order walk.
+        base = compute_access_table(**paper_params)
+        assert tables.local_addresses(20) == base.local_addresses(20)
+        assert tables.start_local == base.start_local
+
+    def test_next_offset_structure(self, paper_params):
+        tables = compute_offset_tables(**paper_params)
+        visited = [o for o in range(8) if tables.delta_m[o] != UNUSED]
+        assert len(visited) == tables.length
+        # next_offset is a permutation cycle over the visited offsets.
+        seen = set()
+        o = tables.start_offset
+        for _ in range(tables.length):
+            assert o in visited
+            assert o not in seen
+            seen.add(o)
+            o = tables.next_offset[o]
+        assert o == tables.start_offset
+
+
+class TestSpecialCases:
+    def test_empty(self):
+        tables = compute_offset_tables(2, 1, 0, 4, 1)
+        assert tables.length == 0
+        assert tables.start is None and tables.start_offset is None
+        assert tables.local_addresses(0) == []
+        with pytest.raises(ValueError, match="owns no"):
+            tables.local_addresses(1)
+
+    def test_length_one(self):
+        tables = compute_offset_tables(2, 1, 0, 2, 0)
+        assert tables.length == 1
+        assert tables.next_offset[tables.start_offset] == tables.start_offset
+        base = compute_access_table(2, 1, 0, 2, 0)
+        assert tables.local_addresses(5) == base.local_addresses(5)
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            compute_offset_tables(4, 8, 0, -1, 0)
+
+    def test_negative_count(self, paper_params):
+        tables = compute_offset_tables(**paper_params)
+        with pytest.raises(ValueError, match="nonnegative"):
+            tables.local_addresses(-2)
+
+
+class TestAgainstVisitOrder:
+    @given(access_params())
+    @settings(max_examples=200, deadline=None)
+    def test_same_walk(self, params):
+        p, k, l, s, m = params
+        tables = compute_offset_tables(p, k, l, s, m)
+        base = compute_access_table(p, k, l, s, m)
+        assert tables.length == base.length
+        assert tables.start == base.start
+        if base.length:
+            n = 2 * base.length + 3
+            assert tables.local_addresses(n) == base.local_addresses(n)
+
+    @given(access_params())
+    @settings(max_examples=100, deadline=None)
+    def test_unvisited_slots_marked(self, params):
+        p, k, l, s, m = params
+        tables = compute_offset_tables(p, k, l, s, m)
+        used = sum(1 for v in tables.delta_m if v != UNUSED)
+        assert used == tables.length
+        assert len(tables.delta_m) in (0, k)
+        for o, (gap, nxt) in enumerate(zip(tables.delta_m, tables.next_offset)):
+            assert (gap == UNUSED) == (nxt == UNUSED)
+            if nxt != UNUSED:
+                assert 0 <= nxt < k

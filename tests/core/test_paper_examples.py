@@ -1,0 +1,124 @@
+"""Every concrete number in the paper, asserted exactly.
+
+Collected in one file so a reader can audit the reproduction against the
+text: Figure 1 (element 108), Section 3 (plane coordinates, basis
+examples), Section 4 (R, L, indices 36/261/288), Section 5's worked walk
+(d/x/y, start, length, min/max, AM table), and the Section 6.1
+observation about cyclic shifts when gcd(s, pk) = 1.
+"""
+
+from repro.core.access import compute_access_table, start_location
+from repro.core.euclid import extended_gcd
+from repro.core.lattice import LatticePoint, compute_rl_basis, is_basis
+from repro.distribution.layout import CyclicLayout
+
+P, K, L, S, M = 4, 8, 4, 9, 1  # Figure 6 parameters
+
+
+class TestFigure1:
+    """Layout of cyclic(8) over 4 processors."""
+
+    def test_element_108(self):
+        # "array element A(108) has offset 4 in block 3 of processor 1"
+        layout = CyclicLayout(4, 8)
+        coords = layout.coords(108)
+        assert coords.owner == 1
+        assert coords.block_offset == 4
+        assert coords.row == 3  # block 3 (blocks == rows per processor)
+
+    def test_section3_plane_point(self):
+        # "the coordinates of the array element with index 108 are (12, 3)"
+        assert CyclicLayout(4, 8).plane_point(108) == (12, 3)
+
+
+class TestSection3Basis:
+    def test_example_vectors(self):
+        # "(3,3): 3x32+3 = 11x9 and (-1,2): 2x32-1 = 7x9.  Since
+        #  3x7 - 2x11 = -1, these vectors form a lattice basis."
+        assert 3 * 32 + 3 == 11 * 9
+        assert 2 * 32 - 1 == 7 * 9
+        v1 = LatticePoint(3, 3, 11)
+        v2 = LatticePoint(-1, 2, 7)
+        assert is_basis(v1, v2)
+
+
+class TestSection4RL:
+    def test_r_and_l(self):
+        # "vector R ... is equal to (4, 1) and corresponds to the regular
+        #  section index 1x32+4 = 36.  Vector L ... is equal to (5, -1),
+        #  and its corresponding index is -1x32+5 = -27."
+        basis = compute_rl_basis(P, K, S)
+        assert basis.r.vector == (4, 1)
+        assert basis.r.i * S == 36
+        assert basis.l.vector == (5, -1)
+        assert basis.l.i * S == -27
+
+    def test_largest_index_and_next_cycle(self):
+        # "The largest index in the first cycle is 261, and since the
+        #  point that starts the next cycle is 288, we have
+        #  L = (5,8) - (0,9) = (5,-1)."
+        lat_points = [
+            (i * S) for i in range(32) if 0 < (i * S) % 32 < 8
+        ]
+        assert max(lat_points) == 261
+        assert 32 * S // 1 == 288  # pk*s/d
+        assert (261 % 32, 261 // 32) == (5, 8)
+        assert (5 - 0, 8 - 9) == (5, -1)
+
+
+class TestSection5Walk:
+    def test_extended_euclid_values(self):
+        # "Values returned by EXTENDED-EUCLID in line 3 are d = 1,
+        #  x = -7, and y = 2."
+        assert extended_gcd(S, P * K) == (1, -7, 2)
+
+    def test_start_and_length(self):
+        # "Lines 4-11 compute start = 13 and set length = 8."
+        info = start_location(P, K, L, S, M)
+        assert info.start == 13
+        assert info.length == 8
+
+    def test_min_and_max(self):
+        # "Lines 19-26 find min = 36 and max = 261."
+        candidates = [
+            ((i * -7) % 32) * S for i in range(1, 8)
+        ]
+        assert min(candidates) == 36
+        assert max(candidates) == 261
+
+    def test_am_table(self):
+        # "at the end, AM = [3, 12, 15, 12, 3, 12, 3, 12]."
+        table = compute_access_table(P, K, L, S, M)
+        assert list(table.gaps) == [3, 12, 15, 12, 3, 12, 3, 12]
+
+    def test_first_iterations(self):
+        # First visit 40 (AM[0] = -(-1*8+5) = 3), then 76 (AM[1] = 12),
+        # then 103 is skipped for 139 (AM[2] = 15), ... until 301.
+        table = compute_access_table(P, K, L, S, M)
+        assert table.global_indices(9) == [13, 40, 76, 139, 175, 202, 238, 265, 301]
+        # 103 is NOT on processor 1 (offset 103 mod 32 = 7 -> processor 0).
+        assert CyclicLayout(P, K).owner(103) == 0
+
+    def test_worst_case_bound(self):
+        # Section 5.1: at most 2k+1 points are examined.  Each emitted gap
+        # examines at most 2 lattice points (Equation 2 + Equation 3), and
+        # length <= k, so the instrumented count must respect the bound.
+        from repro.bench.opcounts import lattice_op_counts
+
+        counts = lattice_op_counts(P, K, L, S, M)
+        assert counts["length"] == 8 <= K
+        assert counts["points_examined"] <= 2 * K + 1
+
+
+class TestSection61CyclicShift:
+    def test_gcd_one_tables_are_cyclic_shifts(self):
+        # "if GCD(s, pk) = 1, then the local AM sequences are cyclic
+        #  shifts of one another."
+        tables = [compute_access_table(P, K, 0, S, m) for m in range(P)]
+        base = tables[0].gaps
+        doubled = base + base
+        for t in tables[1:]:
+            assert t.length == tables[0].length
+            assert any(
+                doubled[i : i + t.length] == t.gaps for i in range(t.length)
+            ), (base, t.gaps)

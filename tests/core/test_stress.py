@@ -1,0 +1,100 @@
+"""Stress tests: extreme parameter regimes, exact integer arithmetic.
+
+The algorithms must be exact for any distribution parameters (Python
+ints are arbitrary precision; nothing may silently assume word-sized
+values).  The oracle here is the sorting baseline (itself
+oracle-verified elsewhere) because brute force is infeasible at these
+scales.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access import compute_access_table
+from repro.core.baselines.sorting import sorting_access_table
+from repro.core.counting import local_count, last_location, section_length
+from repro.core.generator import RLCursor
+from repro.core.offsets import compute_offset_tables
+
+
+class TestHugeStrides:
+    @pytest.mark.parametrize("s", [10**9 + 7, 10**12 + 39, 2**61 - 1])
+    def test_huge_stride_agrees_with_sorting(self, s):
+        for m in (0, 13, 31):
+            lat = compute_access_table(32, 16, 5, s, m)
+            srt = sorting_access_table(32, 16, 5, s, m)
+            assert (lat.start, lat.length, lat.gaps) == (
+                srt.start, srt.length, srt.gaps
+            )
+
+    def test_huge_lower_bound(self):
+        l = 10**15 + 11
+        lat = compute_access_table(32, 16, l, 9973, 7)
+        srt = sorting_access_table(32, 16, l, 9973, 7)
+        assert lat.start == srt.start >= l
+        assert lat.gaps == srt.gaps
+
+    def test_power_of_two_interactions(self):
+        # s sharing large powers of two with pk (worst gcd structure).
+        for s in (2**10, 2**10 + 2**5, 3 * 2**8):
+            for m in (0, 31):
+                lat = compute_access_table(32, 32, 0, s, m)
+                srt = sorting_access_table(32, 32, 0, s, m)
+                assert (lat.start, lat.length, lat.gaps) == (
+                    srt.start, srt.length, srt.gaps
+                )
+
+
+class TestLargeK:
+    def test_k_4096(self):
+        lat = compute_access_table(32, 4096, 0, 7, 16)
+        srt = sorting_access_table(32, 4096, 0, 7, 16)
+        assert lat.gaps == srt.gaps
+        assert lat.length == 4096 // 1  # d = gcd(7, 32*4096) = 1 -> full k
+
+    def test_offset_tables_large_k(self):
+        tables = compute_offset_tables(8, 1024, 3, 11, 5)
+        base = compute_access_table(8, 1024, 3, 11, 5)
+        assert tables.local_addresses(2048) == base.local_addresses(2048)
+
+
+class TestCursorLongRun:
+    def test_cursor_stays_exact_over_many_periods(self):
+        p, k, l, s, m = 4, 8, 4, 9, 1
+        table = compute_access_table(p, k, l, s, m)
+        cursor = RLCursor(p, k, l, s, m)
+        n = 10_000
+        want = table.local_addresses(n)
+        got = []
+        for _ in range(n):
+            got.append(cursor.local)
+            cursor.advance()
+        assert got == want
+        # Index after n steps: start + full periods' worth of stride.
+        assert cursor.index == table.global_indices(n + 1)[-1]
+
+
+class TestCountingAtScale:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=1, max_value=10**9),
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=0, max_value=10**7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counts_partition_section(self, p, k, s, l, n_elems):
+        u = l + (n_elems - 1) * s if n_elems else l - 1
+        total = sum(local_count(p, k, l, u, s, m) for m in range(p))
+        assert total == section_length(l, u, s) == n_elems
+
+    def test_last_location_huge(self):
+        l, s = 10**12, 10**6 + 3
+        u = l + 10**6 * s
+        for m in range(4):
+            last = last_location(4, 8, l, u, s, m)
+            if last is not None:
+                assert l <= last <= u
+                assert (last - l) % s == 0
+                assert 8 * m <= last % 32 < 8 * (m + 1)

@@ -1,0 +1,78 @@
+"""Tests for affine alignments."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distribution.align import IDENTITY, Alignment
+from repro.distribution.section import RegularSection
+
+coeffs = st.integers(min_value=-6, max_value=6).filter(lambda v: v != 0)
+offs = st.integers(min_value=-20, max_value=20)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert IDENTITY.is_identity
+        assert IDENTITY.apply(42) == 42
+        assert IDENTITY.invert(42) == 42
+        assert str(IDENTITY) == "i"
+
+    def test_zero_coefficient(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            Alignment(0, 3)
+
+    def test_apply_invert(self):
+        al = Alignment(2, 1)
+        assert al.apply(5) == 11
+        assert al.invert(11) == 5
+        assert al.invert(10) is None  # even cells hold no element
+
+    def test_str(self):
+        assert str(Alignment(2, 1)) == "2*i + 1"
+        assert str(Alignment(-1, 9)) == "-1*i + 9"
+        assert str(Alignment(3, -4)) == "3*i - 4"
+
+    @given(coeffs, offs, st.integers(min_value=-100, max_value=100))
+    def test_roundtrip(self, a, b, i):
+        al = Alignment(a, b)
+        assert al.invert(al.apply(i)) == i
+
+
+class TestSections:
+    def test_apply_section(self):
+        al = Alignment(2, 1)
+        sec = RegularSection(0, 4, 2)
+        assert list(al.apply_section(sec)) == [1, 5, 9]
+
+    def test_allocation_section(self):
+        al = Alignment(2, 1)
+        alloc = al.allocation_section(5)
+        assert list(alloc) == [1, 3, 5, 7, 9]
+        with pytest.raises(ValueError, match="positive"):
+            al.allocation_section(0)
+
+    def test_allocation_negative_a(self):
+        al = Alignment(-2, 10)
+        alloc = al.allocation_section(4)  # cells 10, 8, 6, 4
+        assert set(alloc) == {4, 6, 8, 10}
+
+    @given(coeffs, offs, st.integers(min_value=1, max_value=40))
+    def test_allocation_matches_apply(self, a, b, n):
+        al = Alignment(a, b)
+        want = {al.apply(i) for i in range(n)}
+        assert set(al.allocation_section(n)) == want
+
+
+class TestCompose:
+    def test_compose(self):
+        outer = Alignment(2, 1)
+        inner = Alignment(3, 4)
+        comp = outer.compose(inner)
+        for j in range(-5, 6):
+            assert comp.apply(j) == outer.apply(inner.apply(j))
+
+    @given(coeffs, offs, coeffs, offs, st.integers(min_value=-30, max_value=30))
+    def test_compose_property(self, a1, b1, a2, b2, j):
+        outer, inner = Alignment(a1, b1), Alignment(a2, b2)
+        assert outer.compose(inner).apply(j) == outer.apply(inner.apply(j))

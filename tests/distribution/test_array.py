@@ -1,0 +1,184 @@
+"""Tests for multidimensional distributed-array descriptors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.align import Alignment
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import Block, Collapsed, Cyclic, CyclicK, ProcessorGrid
+from repro.distribution.section import RegularSection
+
+
+def simple_1d(p=4, k=8, n=320, a=1, b=0):
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(
+        "A", (n,), grid, (AxisMap(CyclicK(k), Alignment(a, b), grid_axis=0),)
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        grid = ProcessorGrid("P", (4,))
+        with pytest.raises(ValueError, match="at least one"):
+            DistributedArray("A", (), grid, ())
+        with pytest.raises(ValueError, match="positive"):
+            DistributedArray("A", (0,), grid, (AxisMap(CyclicK(8), grid_axis=0),))
+        with pytest.raises(ValueError, match="one AxisMap"):
+            DistributedArray("A", (10, 10), grid, (AxisMap(CyclicK(8), grid_axis=0),))
+        with pytest.raises(ValueError, match="more than once"):
+            DistributedArray(
+                "A", (10, 10), grid,
+                (AxisMap(CyclicK(2), grid_axis=0), AxisMap(CyclicK(2), grid_axis=0)),
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            DistributedArray("A", (10,), grid, (AxisMap(CyclicK(2), grid_axis=1),))
+
+    def test_axis_map_validation(self):
+        with pytest.raises(ValueError, match="needs a grid_axis"):
+            AxisMap(CyclicK(8))
+        with pytest.raises(ValueError, match="must not name"):
+            AxisMap(Collapsed(), grid_axis=0)
+
+    def test_properties(self):
+        arr = simple_1d()
+        assert arr.rank == 1 and arr.size == 320
+        assert arr.dim_layout(0).k == 8
+
+
+class TestOwnership1D:
+    def test_partition(self):
+        arr = simple_1d()
+        for i in range(320):
+            owners = arr.owners((i,))
+            assert len(owners) == 1
+            assert owners[0] == (i % 32) // 8
+            assert arr.owner((i,)) == owners[0]
+
+    def test_is_local(self):
+        arr = simple_1d()
+        assert arr.is_local((108,), 1)
+        assert not arr.is_local((108,), 0)
+
+    def test_index_validation(self):
+        arr = simple_1d()
+        with pytest.raises(IndexError):
+            arr.owner((320,))
+        with pytest.raises(ValueError, match="tuple"):
+            arr.owner((0, 0))
+
+
+class TestLocalAddressing:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=80))
+    @settings(max_examples=60, deadline=None)
+    def test_bijection_1d(self, p, k, n):
+        grid = ProcessorGrid("P", (p,))
+        arr = DistributedArray("A", (n,), grid, (AxisMap(CyclicK(k), grid_axis=0),))
+        seen = set()
+        for i in range(n):
+            r = arr.owner((i,))
+            addr = arr.local_address((i,), r)
+            assert 0 <= addr < arr.local_size(r)
+            assert (r, addr) not in seen
+            seen.add((r, addr))
+            assert arr.global_index(arr.local_slots((i,), r), r) == (i,)
+        assert sum(arr.local_size(r) for r in range(p)) == n
+
+    def test_wrong_rank_raises(self):
+        arr = simple_1d()
+        with pytest.raises(ValueError, match="not local"):
+            arr.local_slots((108,), 0)
+
+    def test_2d_block_cyclic(self):
+        grid = ProcessorGrid("P", (2, 2))
+        arr = DistributedArray(
+            "M", (12, 12), grid,
+            (AxisMap(CyclicK(3), grid_axis=0), AxisMap(Block(), grid_axis=1)),
+        )
+        seen = {}
+        for i in range(12):
+            for j in range(12):
+                r = arr.owner((i, j))
+                addr = arr.local_address((i, j), r)
+                assert (r, addr) not in seen
+                seen[(r, addr)] = (i, j)
+        assert sum(arr.local_size(r) for r in range(4)) == 144
+
+    def test_replicated_axis(self):
+        grid = ProcessorGrid("P", (2, 2))
+        arr = DistributedArray(
+            "V", (10,), grid, (AxisMap(Cyclic(), grid_axis=0),)
+        )  # replicated over axis 1
+        assert arr.is_replicated_over_axis(1)
+        owners = arr.owners((3,))
+        assert len(owners) == 2
+        with pytest.raises(ValueError, match="replicated"):
+            arr.owner((3,))
+
+    def test_collapsed_dim(self):
+        grid = ProcessorGrid("P", (3,))
+        arr = DistributedArray(
+            "M", (6, 10), grid,
+            (AxisMap(Cyclic(), grid_axis=0), AxisMap(Collapsed())),
+        )
+        r = arr.owner((4, 7))
+        assert r == 4 % 3
+        assert arr.local_shape(r)[1] == 10
+        assert arr.global_index(arr.local_slots((4, 7), r), r) == (4, 7)
+
+
+class TestAlignment:
+    def test_aligned_local_extents(self):
+        # A(i) -> T(2i+1): array elements on odd template cells.
+        grid = ProcessorGrid("P", (4,))
+        arr = DistributedArray(
+            "A", (100,), grid,
+            (AxisMap(CyclicK(8), Alignment(2, 1), grid_axis=0, template_extent=200),),
+        )
+        assert sum(arr.local_size(r) for r in range(4)) == 100
+        for i in (0, 1, 37, 99):
+            r = arr.owner((i,))
+            assert arr.global_index(arr.local_slots((i,), r), r) == (i,)
+
+
+class TestSectionElements:
+    def test_1d_matches_enumeration(self):
+        arr = simple_1d()
+        sec = RegularSection(4, 319, 9)
+        got = {}
+        for r in range(4):
+            for idx, addr in arr.local_section_elements((sec,), r):
+                assert arr.owner(idx) == r
+                assert arr.local_address(idx, r) == addr
+                got[idx[0]] = True
+        assert sorted(got) == list(sec)
+
+    def test_2d_product(self):
+        grid = ProcessorGrid("P", (2, 2))
+        arr = DistributedArray(
+            "M", (8, 8), grid,
+            (AxisMap(CyclicK(2), grid_axis=0), AxisMap(CyclicK(3), grid_axis=1)),
+        )
+        sec = (RegularSection(0, 7, 2), RegularSection(1, 7, 3))
+        covered = set()
+        for r in range(4):
+            for idx, addr in arr.local_section_elements(sec, r):
+                assert arr.local_address(idx, r) == addr
+                covered.add(idx)
+        assert covered == {(i, j) for i in range(0, 8, 2) for j in range(1, 8, 3)}
+
+    def test_wrong_section_count(self):
+        arr = simple_1d()
+        with pytest.raises(ValueError, match="one section per dimension"):
+            arr.local_section_elements((), 0)
+
+    def test_dim_access_on_undistributed(self):
+        grid = ProcessorGrid("P", (3,))
+        arr = DistributedArray(
+            "M", (6, 10), grid,
+            (AxisMap(Cyclic(), grid_axis=0), AxisMap(Collapsed())),
+        )
+        with pytest.raises(ValueError, match="not distributed"):
+            arr.dim_access(1, RegularSection(0, 9, 1), 0)

@@ -1,0 +1,100 @@
+"""Tests for distribution kinds, templates, processor grids."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distribution.dist import (
+    Block,
+    Collapsed,
+    Cyclic,
+    CyclicK,
+    ProcessorGrid,
+    Replicated,
+    Template,
+)
+
+
+class TestFormats:
+    def test_block_is_cyclic_ceil(self):
+        # Paper Section 1: block == cyclic(ceil(n/p)).
+        assert Block().block_size(320, 4) == 80
+        assert Block().block_size(321, 4) == 81
+        assert Block().block_size(3, 4) == 1
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            Block().block_size(0, 4)
+
+    def test_cyclic_is_cyclic_1(self):
+        assert Cyclic().block_size(320, 4) == 1
+
+    def test_cyclic_k(self):
+        assert CyclicK(8).block_size(320, 4) == 8
+        with pytest.raises(ValueError, match="positive"):
+            CyclicK(0)
+
+    def test_collapsed_and_replicated(self):
+        assert not Collapsed().partitions
+        assert not Replicated().partitions
+        assert Collapsed().block_size(320, 4) == 320
+        assert Replicated().block_size(320, 4) == 320
+
+    def test_describe(self):
+        assert Block().describe() == "BLOCK"
+        assert Cyclic().describe() == "CYCLIC"
+        assert CyclicK(8).describe() == "CYCLIC(8)"
+        assert Collapsed().describe() == "*"
+
+    @given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=1, max_value=64))
+    def test_block_covers_everything(self, n, p):
+        """ceil(n/p) blocks of that size on p processors hold >= n cells."""
+        k = Block().block_size(n, p)
+        assert k * p >= n
+        assert (k - 1) * p < n
+
+
+class TestTemplate:
+    def test_basics(self):
+        t = Template("T", (320, 100))
+        assert t.rank == 2 and t.size == 32_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Template("T", ())
+        with pytest.raises(ValueError, match="positive"):
+            Template("T", (0,))
+
+
+class TestProcessorGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ProcessorGrid("P", ())
+        with pytest.raises(ValueError, match="positive"):
+            ProcessorGrid("P", (4, 0))
+
+    def test_linearize_row_major(self):
+        grid = ProcessorGrid("P", (2, 3))
+        assert grid.linearize((0, 0)) == 0
+        assert grid.linearize((0, 2)) == 2
+        assert grid.linearize((1, 0)) == 3
+        assert grid.size == 6
+
+    def test_linearize_validation(self):
+        grid = ProcessorGrid("P", (2, 3))
+        with pytest.raises(ValueError, match="coordinates"):
+            grid.linearize((0,))
+        with pytest.raises(ValueError, match="out of range"):
+            grid.linearize((2, 0))
+
+    def test_coordinates_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ProcessorGrid("P", (2, 3)).coordinates(6)
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4))
+    def test_roundtrip(self, shape):
+        grid = ProcessorGrid("P", tuple(shape))
+        for rank in range(grid.size):
+            coords = grid.coordinates(rank)
+            assert grid.linearize(coords) == rank
+            assert all(0 <= c < e for c, e in zip(coords, shape))

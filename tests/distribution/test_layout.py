@@ -1,0 +1,108 @@
+"""Tests for the cyclic(k) coordinate algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distribution.layout import CyclicLayout
+
+from ..conftest import blocks, procs
+
+indices = st.integers(min_value=0, max_value=100_000)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="processors"):
+            CyclicLayout(0, 8)
+        with pytest.raises(ValueError, match="block size"):
+            CyclicLayout(4, 0)
+
+    def test_block_range_bounds(self):
+        layout = CyclicLayout(4, 8)
+        assert layout.block_range(0) == (0, 8)
+        assert layout.block_range(3) == (24, 32)
+        with pytest.raises(ValueError, match="out of range"):
+            layout.block_range(4)
+
+
+class TestCoordinates:
+    def test_paper_element_108(self):
+        layout = CyclicLayout(4, 8)
+        c = layout.coords(108)
+        assert (c.row, c.offset_in_row, c.owner, c.block_offset) == (3, 12, 1, 4)
+        assert c.local_address == 3 * 8 + 4
+
+    @given(procs, blocks, indices)
+    def test_coords_consistent(self, p, k, i):
+        layout = CyclicLayout(p, k)
+        c = layout.coords(i)
+        assert c.index == i
+        assert c.row == layout.row(i)
+        assert c.offset_in_row == layout.offset_in_row(i)
+        assert c.owner == layout.owner(i)
+        assert c.block_offset == layout.block_offset(i)
+        assert 0 <= c.owner < p
+        assert 0 <= c.block_offset < k
+        assert c.row * p * k + c.owner * k + c.block_offset == i
+
+    @given(procs, blocks, indices)
+    def test_local_roundtrip(self, p, k, i):
+        layout = CyclicLayout(p, k)
+        m = layout.owner(i)
+        addr = layout.local_address(i)
+        assert layout.local_address_on(i, m) == addr
+        assert layout.local_to_global(m, addr) == i
+
+    def test_local_address_on_wrong_owner(self):
+        layout = CyclicLayout(4, 8)
+        with pytest.raises(ValueError, match="owned by processor"):
+            layout.local_address_on(108, 2)
+
+    def test_local_to_global_bad_rank(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CyclicLayout(4, 8).local_to_global(4, 0)
+
+    @given(procs, blocks, indices)
+    def test_plane_roundtrip(self, p, k, i):
+        layout = CyclicLayout(p, k)
+        b, a = layout.plane_point(i)
+        assert layout.from_plane(b, a) == i
+
+    def test_from_plane_bad_offset(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CyclicLayout(4, 8).from_plane(32, 0)
+
+
+class TestExtents:
+    @given(procs, blocks, st.integers(min_value=0, max_value=2000))
+    def test_allocation_partitions_n(self, p, k, n):
+        layout = CyclicLayout(p, k)
+        assert sum(layout.allocation_size(n, m) for m in range(p)) == n
+
+    @given(procs, blocks, st.integers(min_value=0, max_value=500))
+    def test_owned_indices(self, p, k, n):
+        layout = CyclicLayout(p, k)
+        all_owned = []
+        for m in range(p):
+            owned = list(layout.owned_indices(n, m))
+            assert owned == sorted(owned)
+            assert all(layout.owner(i) == m for i in owned)
+            assert len(owned) == layout.allocation_size(n, m)
+            all_owned.extend(owned)
+        assert sorted(all_owned) == list(range(n))
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            CyclicLayout(4, 8).allocation_size(-1, 0)
+
+    def test_local_addresses_are_dense(self):
+        """Owned elements in index order get consecutive local addresses
+        is NOT generally true; but local addresses are unique and fit the
+        allocation."""
+        layout = CyclicLayout(3, 4)
+        n = 50
+        for m in range(3):
+            addrs = [layout.local_address(i) for i in layout.owned_indices(n, m)]
+            assert len(set(addrs)) == len(addrs)
+            assert all(a < layout.allocation_size(n + 12, m) + 12 for a in addrs)

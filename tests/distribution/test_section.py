@@ -1,0 +1,144 @@
+"""Tests for Fortran-90 triplet sections."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.section import RegularSection
+
+small = st.integers(min_value=-50, max_value=50)
+strd = st.integers(min_value=-12, max_value=12).filter(lambda v: v != 0)
+
+
+@st.composite
+def sections(draw):
+    return RegularSection(draw(small), draw(small), draw(strd))
+
+
+class TestBasics:
+    def test_zero_stride(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            RegularSection(0, 10, 0)
+
+    def test_length_and_last(self):
+        sec = RegularSection(4, 319, 9)
+        assert len(sec) == 36
+        assert sec.last == 4 + 35 * 9 == 319
+        assert not sec.is_empty
+
+    def test_empty(self):
+        sec = RegularSection(5, 4, 1)
+        assert len(sec) == 0 and sec.is_empty and sec.last is None
+        assert list(sec) == []
+
+    def test_membership_and_position(self):
+        sec = RegularSection(4, 319, 9)
+        assert 13 in sec and 14 not in sec and 322 not in sec
+        assert sec.position_of(13) == 1
+        with pytest.raises(ValueError, match="not an element"):
+            sec.position_of(14)
+
+    def test_element(self):
+        sec = RegularSection(4, 319, 9)
+        assert sec.element(0) == 4 and sec.element(35) == 319
+        with pytest.raises(IndexError):
+            sec.element(36)
+
+    def test_str(self):
+        assert str(RegularSection(0, 10, 2)) == "0:10:2"
+
+    @given(sections())
+    def test_iter_matches_membership(self, sec):
+        elements = list(sec)
+        assert len(elements) == len(sec)
+        for i, e in enumerate(elements):
+            assert e in sec
+            assert sec.position_of(e) == i
+            assert sec.element(i) == e
+
+
+class TestNormalization:
+    def test_negative_stride(self):
+        sec = RegularSection(100, 4, -9)
+        norm = sec.normalized()
+        assert norm.stride == 9
+        assert set(norm) == set(sec)
+        assert norm.lower == 10 and norm.upper == 100
+
+    def test_positive_unchanged(self):
+        sec = RegularSection(4, 319, 9)
+        assert sec.normalized() is sec
+
+    def test_empty_negative(self):
+        sec = RegularSection(0, 10, -1)
+        norm = sec.normalized()
+        assert norm.is_empty
+
+    @given(sections())
+    def test_set_preserved(self, sec):
+        assert set(sec.normalized()) == set(sec)
+        assert sec.normalized().stride > 0
+
+    @given(sections())
+    def test_reversed(self, sec):
+        rev = sec.reversed()
+        assert list(rev) == list(reversed(list(sec)))
+
+
+class TestTransforms:
+    def test_affine_image(self):
+        sec = RegularSection(1, 5, 2)  # {1, 3, 5}
+        img = sec.affine_image(3, 1)  # {4, 10, 16}
+        assert list(img) == [4, 10, 16]
+        with pytest.raises(ValueError, match="nonzero"):
+            sec.affine_image(0, 1)
+
+    def test_affine_negative_a(self):
+        sec = RegularSection(0, 4, 2)  # {0, 2, 4}
+        img = sec.affine_image(-1, 10)  # traverses 10, 8, 6
+        assert list(img) == [10, 8, 6]
+
+    def test_compose(self):
+        outer = RegularSection(10, 100, 5)
+        inner = RegularSection(2, 8, 3)  # positions 2, 5, 8
+        comp = outer.compose(inner)
+        assert list(comp) == [outer.element(j) for j in inner]
+
+    def test_compose_out_of_range(self):
+        outer = RegularSection(0, 10, 5)  # 3 elements
+        with pytest.raises(IndexError, match="outside"):
+            outer.compose(RegularSection(0, 5, 1))
+
+
+class TestIntersection:
+    def test_simple(self):
+        a = RegularSection(0, 30, 2)
+        b = RegularSection(0, 30, 3)
+        got = a.intersect(b)
+        assert list(got) == [0, 6, 12, 18, 24, 30]
+
+    def test_incompatible_congruence(self):
+        a = RegularSection(0, 20, 2)  # evens
+        b = RegularSection(1, 21, 2)  # odds
+        assert a.intersect(b).is_empty
+
+    def test_disjoint_ranges(self):
+        a = RegularSection(0, 5, 1)
+        b = RegularSection(10, 20, 1)
+        assert a.intersect(b).is_empty
+
+    @given(sections(), sections())
+    @settings(max_examples=250)
+    def test_matches_set_intersection(self, a, b):
+        got = set(a.intersect(b))
+        want = set(a) & set(b)
+        assert got == want
+
+    @given(sections(), sections())
+    def test_commutative(self, a, b):
+        assert set(a.intersect(b)) == set(b.intersect(a))
+
+    def test_gcd_stride(self):
+        a = RegularSection(0, 30, 6)
+        b = RegularSection(0, 30, -9)
+        assert a.gcd_stride_with(b) == 3

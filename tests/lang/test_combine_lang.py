@@ -1,0 +1,103 @@
+"""Tests for combine statements through the language front end."""
+
+import numpy as np
+import pytest
+
+from repro.lang.ast_nodes import CombineAssign, CopyAssign
+from repro.lang.compiler import CompileError, compile_source
+from repro.lang.parser import ParseError, parse_program
+from repro.runtime.exec import distribute
+
+
+class TestParsing:
+    def test_scaled_single_term(self):
+        prog = parse_program("A(0:9) = 2.0 * B(0:9)")
+        stmt = prog.statements[0]
+        assert isinstance(stmt, CombineAssign)
+        assert stmt.terms[0].coef == 2.0
+        assert stmt.terms[0].section.array == "B"
+
+    def test_sum_of_sections(self):
+        prog = parse_program("A(0:9) = B(0:9) + C(10:19)")
+        stmt = prog.statements[0]
+        assert isinstance(stmt, CombineAssign)
+        assert [t.coef for t in stmt.terms] == [1.0, 1.0]
+        assert [t.section.array for t in stmt.terms] == ["B", "C"]
+
+    def test_mixed_coefficients(self):
+        prog = parse_program("A(0:9) = 0.5 * B(0:9) + -1.5 * C(0:9)")
+        stmt = prog.statements[0]
+        assert [t.coef for t in stmt.terms] == [0.5, -1.5]
+
+    def test_plain_copy_stays_copy(self):
+        prog = parse_program("A(0:9) = B(0:9)")
+        assert isinstance(prog.statements[0], CopyAssign)
+
+    def test_errors(self):
+        with pytest.raises(ParseError, match="coefficient"):
+            parse_program("A(0:9) = x * B(0:9)")
+        with pytest.raises(ParseError, match="sum of"):
+            parse_program("A(0:9) = B(0:9) + 5q")
+        with pytest.raises(ParseError, match="empty term"):
+            parse_program("A(0:9) = B(0:9) + ")
+
+
+class TestExecution:
+    SRC = """
+    PROCESSORS P(4)
+    TEMPLATE T(128)
+    REAL A(128)
+    REAL B(128)
+    REAL C(128)
+    ALIGN A(i) WITH T(i)
+    ALIGN B(i) WITH T(i)
+    ALIGN C(i) WITH T(i)
+    DISTRIBUTE T(CYCLIC(4)) ONTO P
+    A(0:125:3) = 2.0 * B(1:126:3) + -1.0 * C(2:127:3)
+    """
+
+    def test_end_to_end(self):
+        prog = compile_source(self.SRC)
+        vm = prog.make_machine()
+        host_b = np.arange(128, dtype=float)
+        host_c = np.arange(128, dtype=float) * 10
+        distribute(vm, prog.arrays["B"], host_b)
+        distribute(vm, prog.arrays["C"], host_c)
+        prog.run(vm)
+        ref = np.zeros(128)
+        ref[0:126:3] = 2.0 * host_b[1:127:3] - host_c[2:128:3]
+        assert np.array_equal(prog.image(vm, "A"), ref)
+
+    def test_description(self):
+        prog = compile_source(self.SRC)
+        desc = prog.statements[0].description
+        assert "2.0*B" in desc and "-1.0*C" in desc
+
+    def test_non_conformable_term(self):
+        src = self.SRC.replace("C(2:127:3)", "C(2:100:3)")
+        with pytest.raises(CompileError, match="non-conformable"):
+            compile_source(src)
+
+    def test_undeclared_term_array(self):
+        src = self.SRC.replace("C(2:127:3)", "Z(2:127:3)")
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_source(src)
+
+    def test_jacobi_in_language(self):
+        """The self-referential stencil expressed as one statement."""
+        src = """
+        PROCESSORS P(4)
+        TEMPLATE T(64)
+        REAL A(64)
+        ALIGN A(i) WITH T(i)
+        DISTRIBUTE T(CYCLIC(4)) ONTO P
+        A(1:62) = 0.5 * A(0:61) + 0.5 * A(2:63)
+        """
+        prog = compile_source(src)
+        vm = prog.make_machine()
+        host = np.arange(64, dtype=float) ** 2
+        distribute(vm, prog.arrays["A"], host)
+        prog.run(vm)
+        ref = host.copy()
+        ref[1:-1] = 0.5 * (host[:-2] + host[2:])
+        assert np.allclose(prog.image(vm, "A"), ref)

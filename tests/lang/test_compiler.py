@@ -1,0 +1,173 @@
+"""Tests for compiling and running mini-HPF programs."""
+
+import numpy as np
+import pytest
+
+from repro.lang.compiler import CompileError, compile_source
+from repro.runtime.exec import distribute
+
+
+def run_and_image(src, init=None):
+    prog = compile_source(src)
+    vm = prog.make_machine()
+    if init:
+        for name, values in init.items():
+            distribute(vm, prog.arrays[name], values)
+    prog.run(vm)
+    return prog, vm
+
+
+class TestEndToEnd:
+    def test_fill_and_copy(self):
+        src = """
+        PROCESSORS P(4)
+        TEMPLATE T(640)
+        REAL A(320)
+        REAL B(320)
+        ALIGN A(i) WITH T(i)
+        ALIGN B(j) WITH T(2*j+1)
+        DISTRIBUTE T(CYCLIC(8)) ONTO P
+        A(4:319:9) = 100.0
+        A(0:312:8) = B(3:237:6)
+        """
+        host_b = np.arange(320, dtype=float)
+        prog, vm = run_and_image(src, init={"B": host_b})
+        got = prog.image(vm, "A")
+        ref = np.zeros(320)
+        ref[4:320:9] = 100.0
+        ref[0:313:8] = host_b[3:238:6]
+        assert np.array_equal(got, ref)
+
+    def test_block_distribution(self):
+        src = """
+        PROCESSORS P(4)
+        TEMPLATE T(100)
+        REAL A(100)
+        ALIGN A(i) WITH T(i)
+        DISTRIBUTE T(BLOCK) ONTO P
+        A(0:99:7) = 1.0
+        """
+        prog, vm = run_and_image(src)
+        ref = np.zeros(100)
+        ref[0:100:7] = 1.0
+        assert np.array_equal(prog.image(vm, "A"), ref)
+
+    def test_cyclic_distribution(self):
+        src = """
+        PROCESSORS P(3)
+        TEMPLATE T(30)
+        REAL A(30)
+        ALIGN A(i) WITH T(i)
+        DISTRIBUTE T(CYCLIC) ONTO P
+        A(1:29:2) = 2.5
+        """
+        prog, vm = run_and_image(src)
+        ref = np.zeros(30)
+        ref[1:30:2] = 2.5
+        assert np.array_equal(prog.image(vm, "A"), ref)
+
+    def test_schedule_precomputed_at_compile_time(self):
+        src = """
+        PROCESSORS P(2)
+        TEMPLATE T(64)
+        REAL A(64)
+        REAL B(64)
+        ALIGN A(i) WITH T(i)
+        ALIGN B(i) WITH T(i)
+        DISTRIBUTE T(CYCLIC(4)) ONTO P
+        A(0:62:2) = B(1:63:2)
+        """
+        prog = compile_source(src)
+        copy_stmt = prog.statements[0]
+        assert copy_stmt.schedule is not None
+        assert copy_stmt.schedule.n_iterations == 32
+
+    def test_statement_descriptions(self):
+        src = """
+        PROCESSORS P(2)
+        TEMPLATE T(16)
+        REAL A(16)
+        ALIGN A(i) WITH T(i)
+        DISTRIBUTE T(CYCLIC(2)) ONTO P
+        A(0:15:3) = 9.0
+        """
+        prog = compile_source(src)
+        assert "A(0:15:3) = 9.0" in prog.statements[0].description
+
+    def test_image_unknown_array(self):
+        prog = compile_source(
+            "PROCESSORS P(2)\nTEMPLATE T(8)\nREAL A(8)\n"
+            "ALIGN A(i) WITH T(i)\nDISTRIBUTE T(CYCLIC(1)) ONTO P\n"
+        )
+        vm = prog.make_machine()
+        with pytest.raises(CompileError, match="unknown array"):
+            prog.image(vm, "Z")
+
+
+class TestSemanticErrors:
+    BASE = (
+        "PROCESSORS P(2)\nTEMPLATE T(64)\nREAL A(32)\n"
+        "ALIGN A(i) WITH T(i)\nDISTRIBUTE T(CYCLIC(4)) ONTO P\n"
+    )
+
+    def test_no_processors(self):
+        with pytest.raises(CompileError, match="PROCESSORS"):
+            compile_source("TEMPLATE T(8)\n")
+
+    def test_undeclared_array(self):
+        with pytest.raises(CompileError, match="undeclared array"):
+            compile_source(self.BASE + "Z(0:9) = 1.0\n")
+
+    def test_unaligned_array(self):
+        with pytest.raises(CompileError, match="no ALIGN"):
+            compile_source(
+                "PROCESSORS P(2)\nTEMPLATE T(8)\nREAL A(8)\n"
+                "DISTRIBUTE T(CYCLIC(1)) ONTO P\n"
+            )
+
+    def test_undistributed_template(self):
+        with pytest.raises(CompileError, match="undistributed template"):
+            compile_source(
+                "PROCESSORS P(2)\nTEMPLATE T(8)\nREAL A(8)\nALIGN A(i) WITH T(i)\n"
+            )
+
+    def test_alignment_outside_template(self):
+        with pytest.raises(CompileError, match="outside template"):
+            compile_source(
+                "PROCESSORS P(2)\nTEMPLATE T(8)\nREAL A(8)\n"
+                "ALIGN A(i) WITH T(2*i)\nDISTRIBUTE T(CYCLIC(1)) ONTO P\n"
+            )
+
+    def test_double_align(self):
+        with pytest.raises(CompileError, match="aligned twice"):
+            compile_source(
+                "PROCESSORS P(2)\nTEMPLATE T(8)\nREAL A(8)\n"
+                "ALIGN A(i) WITH T(i)\nALIGN A(i) WITH T(i)\n"
+                "DISTRIBUTE T(CYCLIC(1)) ONTO P\n"
+            )
+
+    def test_double_distribute(self):
+        with pytest.raises(CompileError, match="distributed twice"):
+            compile_source(
+                "PROCESSORS P(2)\nTEMPLATE T(8)\n"
+                "DISTRIBUTE T(CYCLIC(1)) ONTO P\nDISTRIBUTE T(BLOCK) ONTO P\n"
+            )
+
+    def test_section_out_of_bounds(self):
+        with pytest.raises(CompileError, match="exceeds bounds"):
+            compile_source(self.BASE + "A(0:32) = 1.0\n")
+
+    def test_non_conformable(self):
+        src = (
+            "PROCESSORS P(2)\nTEMPLATE T(64)\nREAL A(32)\nREAL B(32)\n"
+            "ALIGN A(i) WITH T(i)\nALIGN B(i) WITH T(i)\n"
+            "DISTRIBUTE T(CYCLIC(4)) ONTO P\nA(0:9) = B(0:8)\n"
+        )
+        with pytest.raises(CompileError, match="non-conformable"):
+            compile_source(src)
+
+    def test_unknown_processors_in_distribute(self):
+        with pytest.raises(CompileError, match="unknown processors"):
+            compile_source(
+                "PROCESSORS P(2)\nTEMPLATE T(8)\nDISTRIBUTE T(BLOCK) ONTO Q\n"
+            )

@@ -1,0 +1,154 @@
+"""Tests for FORALL loops with affine subscripts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast_nodes import CombineAssign, FillAssign, ForallAssign
+from repro.lang.compiler import compile_source
+from repro.lang.desugar import desugar_forall, iteration_count
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.reference import interpret
+from repro.runtime.exec import distribute
+
+BASE = """
+PROCESSORS P(4)
+TEMPLATE T(256)
+REAL A(64)
+REAL B(64)
+ALIGN A(i) WITH T(i)
+ALIGN B(i) WITH T(2*i+1)
+DISTRIBUTE T(CYCLIC(4)) ONTO P
+"""
+
+
+class TestParsing:
+    def test_fill_forall(self):
+        prog = parse_program("FORALL (i = 0:9) A(i) = 3.5")
+        stmt = prog.statements[0]
+        assert isinstance(stmt, ForallAssign)
+        assert stmt.var == "i"
+        assert stmt.value == 3.5
+        assert stmt.target.array == "A" and (stmt.target.a, stmt.target.b) == (1, 0)
+
+    def test_affine_subscripts(self):
+        prog = parse_program("FORALL (j = 0:20:2) A(2*j+1) = B(j) + 0.5 * B(j+2)")
+        stmt = prog.statements[0]
+        assert (stmt.target.a, stmt.target.b) == (2, 1)
+        assert stmt.value is None
+        assert [(t.coef, t.ref.a, t.ref.b) for t in stmt.terms] == [
+            (1.0, 1, 0), (0.5, 1, 2)
+        ]
+
+    def test_errors(self):
+        with pytest.raises(ParseError, match="left-hand side"):
+            parse_program("FORALL (i = 0:9) 3.0 = A(i)")
+        with pytest.raises(ParseError, match="affine"):
+            parse_program("FORALL (i = 0:9) A(i) = B(j)")
+        with pytest.raises(ParseError, match="terms"):
+            parse_program("FORALL (i = 0:9) A(i) = B(0:3)")
+        with pytest.raises(ParseError, match="assignment"):
+            parse_program("FORALL (i = 0:9) A(i)")
+
+
+class TestDesugar:
+    def test_iteration_count(self):
+        from repro.lang.ast_nodes import Triplet
+
+        assert iteration_count(Triplet(0, 9, 1)) == 10
+        assert iteration_count(Triplet(0, 9, 3)) == 4
+        assert iteration_count(Triplet(9, 0, -3)) == 4
+        assert iteration_count(Triplet(5, 4, 1)) == 0
+
+    def test_fill_desugar(self):
+        prog = parse_program("FORALL (i = 0:10:3) A(2*i+1) = 7.0")
+        lowered = desugar_forall(prog.statements[0])
+        assert isinstance(lowered, FillAssign)
+        t = lowered.target.triplet
+        # iterates 0,3,6,9 -> images 1,7,13,19
+        assert (t.lower, t.upper, t.stride) == (1, 19, 6)
+
+    def test_combine_desugar(self):
+        prog = parse_program("FORALL (i = 2:8:2) A(i) = B(i+1)")
+        lowered = desugar_forall(prog.statements[0])
+        assert isinstance(lowered, CombineAssign)
+        t = lowered.terms[0].section.triplet
+        assert (t.lower, t.upper, t.stride) == (3, 9, 2)
+
+    def test_empty(self):
+        prog = parse_program("FORALL (i = 5:4) A(i) = 1.0")
+        assert desugar_forall(prog.statements[0]) is None
+
+
+class TestExecution:
+    def test_fill(self):
+        prog = compile_source(BASE + "FORALL (i = 0:63:5) A(i) = 9.0\n")
+        vm = prog.run()
+        ref = np.zeros(64)
+        ref[0:64:5] = 9.0
+        assert np.array_equal(prog.image(vm, "A"), ref)
+
+    def test_stencil_forall(self):
+        prog = compile_source(BASE + "FORALL (i = 1:62) A(i) = 0.5*A(i-1) + 0.5*A(i+1)\n")
+        vm = prog.make_machine()
+        host = np.arange(64, dtype=float) ** 2
+        distribute(vm, prog.arrays["A"], host)
+        prog.run(vm)
+        ref = host.copy()
+        ref[1:-1] = 0.5 * (host[:-2] + host[2:])
+        assert np.allclose(prog.image(vm, "A"), ref)
+
+    def test_aligned_source(self):
+        prog = compile_source(BASE + "FORALL (i = 0:31) A(2*i) = B(i)\n")
+        vm = prog.make_machine()
+        host_b = np.arange(64, dtype=float) + 100
+        distribute(vm, prog.arrays["B"], host_b)
+        prog.run(vm)
+        ref = np.zeros(64)
+        ref[0:64:2] = host_b[0:32]
+        assert np.array_equal(prog.image(vm, "A"), ref)
+
+    def test_empty_forall_is_noop(self):
+        prog = compile_source(BASE + "FORALL (i = 5:4) A(i) = 1.0\n")
+        assert "[empty]" in prog.statements[0].description
+        vm = prog.run()
+        assert not prog.image(vm, "A").any()
+
+    def test_reference_agrees(self):
+        src = BASE + "FORALL (i = 0:20:2) A(3*i+1) = 2.0*B(i) + -1.0*B(i+10)\n"
+        ast = parse_program(src)
+        prog = compile_source(src)
+        host_b = np.random.default_rng(1).random(64)
+        want = interpret(ast, {"B": host_b})
+        vm = prog.make_machine()
+        distribute(vm, prog.arrays["B"], host_b)
+        prog.run(vm)
+        assert np.allclose(prog.image(vm, "A"), want["A"])
+
+    @given(
+        st.integers(min_value=1, max_value=3),   # a coefficient of LHS
+        st.integers(min_value=0, max_value=4),   # b of LHS
+        st.integers(min_value=1, max_value=3),   # stride
+        st.integers(min_value=1, max_value=10),  # count
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_foralls(self, a, b, s, count, seed):
+        n = 64
+        last = (count - 1) * s
+        # Keep images in bounds: a*last + b < n and last + count offset fits.
+        if a * last + b >= n or last + 5 >= n:
+            return
+        src = (
+            BASE
+            + f"FORALL (i = 0:{last}:{s}) A({a}*i+{b}) = 0.5*B(i) + 2.0*B(i+5)\n"
+        )
+        ast = parse_program(src)
+        prog = compile_source(src)
+        host_b = np.random.default_rng(seed).integers(-9, 9, n).astype(float)
+        want = interpret(ast, {"B": host_b})
+        vm = prog.make_machine()
+        distribute(vm, prog.arrays["B"], host_b)
+        prog.run(vm)
+        assert np.allclose(prog.image(vm, "A"), want["A"])

@@ -1,0 +1,156 @@
+"""Tests for two-dimensional declarations and statements in the language."""
+
+import numpy as np
+import pytest
+
+from repro.lang.ast_nodes import TransposeAssign
+from repro.lang.compiler import CompileError, compile_source
+from repro.lang.parser import ParseError, parse_program
+from repro.runtime.exec import distribute
+
+BASE = """
+PROCESSORS P(2, 2)
+TEMPLATE   T(64, 64)
+REAL       M(32, 48)
+REAL       N(32, 48)
+REAL       Q(48, 32)
+ALIGN      M(i, j) WITH T(i, j)
+ALIGN      N(i, j) WITH T(2*i, j)
+ALIGN      Q(i, j) WITH T(i, j)
+DISTRIBUTE T(CYCLIC(4), BLOCK) ONTO P
+"""
+
+
+class TestParsing2D:
+    def test_declarations(self):
+        prog = parse_program(BASE)
+        assert prog.processors[0].shape == (2, 2)
+        assert prog.processors[0].size == 4
+        assert prog.templates[0].shape == (64, 64)
+        assert prog.arrays[0].shape == (32, 48)
+        assert prog.aligns[1].coefficients == ((2, 0), (1, 0))
+        assert prog.distributes[0].formats == ("CYCLIC(4)", "BLOCK")
+
+    def test_2d_sections(self):
+        prog = parse_program("M(0:31:2, 1:47:3) = 5.0")
+        stmt = prog.statements[0]
+        assert stmt.target.rank == 2
+        assert stmt.target.triplets[1].stride == 3
+
+    def test_transpose_statement(self):
+        prog = parse_program("Q(0:47, 0:31) = TRANSPOSE(M(0:31, 0:47))")
+        stmt = prog.statements[0]
+        assert isinstance(stmt, TransposeAssign)
+        assert stmt.source.array == "M"
+
+    def test_collapsed_format(self):
+        prog = parse_program("DISTRIBUTE T(CYCLIC(2), *) ONTO P")
+        assert prog.distributes[0].formats == ("CYCLIC(2)", "*")
+
+    def test_align_arity_error(self):
+        with pytest.raises(ParseError, match="arity mismatch"):
+            parse_program("ALIGN M(i, j) WITH T(i)")
+
+    def test_transpose_arg_error(self):
+        with pytest.raises(ParseError, match="TRANSPOSE argument"):
+            parse_program("Q(0:1, 0:1) = TRANSPOSE(5.0)")
+
+
+class TestCompile2D:
+    def test_fill_2d(self):
+        prog = compile_source(BASE + "M(0:31:3, 2:47:5) = 7.0\n")
+        vm = prog.run()
+        ref = np.zeros((32, 48))
+        ref[0:32:3, 2:48:5] = 7.0
+        assert np.array_equal(prog.image(vm, "M"), ref)
+
+    def test_copy_2d(self):
+        prog = compile_source(BASE + "M(0:31, 0:47) = N(0:31, 0:47)\n")
+        vm = prog.make_machine()
+        host_n = np.arange(32 * 48, dtype=float).reshape(32, 48)
+        distribute(vm, prog.arrays["N"], host_n)
+        prog.run(vm)
+        assert np.array_equal(prog.image(vm, "M"), host_n)
+
+    def test_strided_2d_copy(self):
+        prog = compile_source(BASE + "M(0:30:2, 0:45:3) = N(1:31:2, 2:47:3)\n")
+        vm = prog.make_machine()
+        host_n = np.random.default_rng(5).random((32, 48))
+        distribute(vm, prog.arrays["N"], host_n)
+        prog.run(vm)
+        ref = np.zeros((32, 48))
+        ref[0:31:2, 0:46:3] = host_n[1:32:2, 2:48:3]
+        assert np.array_equal(prog.image(vm, "M"), ref)
+
+    def test_transpose(self):
+        prog = compile_source(BASE + "Q(0:47, 0:31) = TRANSPOSE(M(0:31, 0:47))\n")
+        vm = prog.make_machine()
+        host_m = np.arange(32 * 48, dtype=float).reshape(32, 48)
+        distribute(vm, prog.arrays["M"], host_m)
+        prog.run(vm)
+        assert np.array_equal(prog.image(vm, "Q"), host_m.T)
+
+    def test_transpose_description_and_schedule(self):
+        prog = compile_source(BASE + "Q(0:47, 0:31) = TRANSPOSE(M(0:31, 0:47))\n")
+        stmt = prog.statements[0]
+        assert "TRANSPOSE(M" in stmt.description
+        assert stmt.schedule is not None
+        assert stmt.schedule.total_elements == 32 * 48
+
+
+class TestCompile2DErrors:
+    def test_partition_count_mismatch(self):
+        src = "PROCESSORS P(2, 2)\nTEMPLATE T(64)\nDISTRIBUTE T(CYCLIC(4)) ONTO P\n"
+        with pytest.raises(CompileError, match="partitions 1 dimensions"):
+            compile_source(src)
+
+    def test_distribute_arity(self):
+        src = "PROCESSORS P(2)\nTEMPLATE T(8, 8)\nDISTRIBUTE T(BLOCK) ONTO P\n"
+        with pytest.raises(CompileError, match="arity mismatch"):
+            compile_source(src)
+
+    def test_rank_mismatch_in_section(self):
+        with pytest.raises(CompileError, match="subscripts"):
+            compile_source(BASE + "M(0:31) = 1.0\n")
+
+    def test_transpose_rank1(self):
+        src = (
+            "PROCESSORS P(2)\nTEMPLATE T(16)\nREAL A(16)\nREAL B(16)\n"
+            "ALIGN A(i) WITH T(i)\nALIGN B(i) WITH T(i)\n"
+            "DISTRIBUTE T(CYCLIC(2)) ONTO P\n"
+            "A(0:15) = TRANSPOSE(B(0:15))\n"
+        )
+        with pytest.raises(CompileError, match="rank-2"):
+            compile_source(src)
+
+    def test_transpose_non_conformable(self):
+        with pytest.raises(CompileError, match="non-conformable TRANSPOSE"):
+            compile_source(BASE + "Q(0:47, 0:31) = TRANSPOSE(M(0:30, 0:47))\n")
+
+    def test_combine_rank2_rejected(self):
+        with pytest.raises(CompileError, match="rank-1"):
+            compile_source(
+                BASE + "M(0:31, 0:47) = 2.0 * N(0:31, 0:47) + 1.0 * N(0:31, 0:47)\n"
+            )
+
+    def test_collapsed_with_alignment_rejected(self):
+        src = (
+            "PROCESSORS P(2)\nTEMPLATE T(16, 16)\nREAL A(8, 16)\n"
+            "ALIGN A(i, j) WITH T(2*i, j)\n"
+            "DISTRIBUTE T(CYCLIC(2), *) ONTO P\n"
+            "A(0:7, 0:15) = 1.0\n"
+        )
+        # Row dim has the alignment, collapsed dim is identity: fine.
+        prog = compile_source(src)
+        vm = prog.run()
+        ref = np.ones((8, 16))
+        assert np.array_equal(prog.image(vm, "A"), ref)
+        bad = src.replace("T(2*i, j)", "T(i, 2*j)").replace("REAL A(8, 16)", "REAL A(8, 8)")
+        with pytest.raises(CompileError, match="collapsed"):
+            compile_source(bad)
+
+    def test_copy_rank_mismatch(self):
+        src = BASE + "REAL V(32)\nALIGN V(i) WITH T(i)\n"
+        # V is rank-1 aligned to rank-2 template: arity error at ALIGN.
+        with pytest.raises(CompileError, match="arity"):
+            compile_source(src)

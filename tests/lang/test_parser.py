@@ -1,0 +1,129 @@
+"""Tests for the mini-HPF parser."""
+
+import pytest
+
+from repro.lang.ast_nodes import CopyAssign, FillAssign
+from repro.lang.parser import ParseError, parse_affine, parse_program, parse_triplet
+
+
+class TestTriplet:
+    def test_full(self):
+        t = parse_triplet("4:319:9")
+        assert (t.lower, t.upper, t.stride) == (4, 319, 9)
+
+    def test_default_stride(self):
+        assert parse_triplet("0:10").stride == 1
+
+    def test_negative(self):
+        t = parse_triplet("100:4:-9")
+        assert t.stride == -9
+
+    def test_errors(self):
+        with pytest.raises(ParseError, match="malformed triplet"):
+            parse_triplet("abc")
+        with pytest.raises(ParseError, match="nonzero"):
+            parse_triplet("0:10:0")
+        with pytest.raises(ParseError, match="malformed triplet"):
+            parse_triplet("1:2:3:4")
+
+
+class TestAffine:
+    @pytest.mark.parametrize(
+        "expr,want",
+        [
+            ("i", (1, 0)),
+            ("-i", (-1, 0)),
+            ("+i", (1, 0)),
+            ("2*i", (2, 0)),
+            ("2*i+1", (2, 1)),
+            ("2 * i + 1", (2, 1)),
+            ("-3*i-4", (-3, -4)),
+            ("i+7", (1, 7)),
+            ("-i+9", (-1, 9)),
+        ],
+    )
+    def test_forms(self, expr, want):
+        assert parse_affine(expr, "i") == want
+
+    def test_errors(self):
+        with pytest.raises(ParseError, match="malformed affine"):
+            parse_affine("j+1", "i")
+        with pytest.raises(ParseError, match="malformed affine"):
+            parse_affine("i*i", "i")
+        with pytest.raises(ParseError, match="nonzero"):
+            parse_affine("0*i", "i")
+
+
+class TestProgram:
+    SRC = """
+    ! declarations
+    PROCESSORS P(4)
+    TEMPLATE T(640)
+    REAL A(320)
+    REAL B(320)
+    ALIGN A(i) WITH T(i)
+    ALIGN B(j) WITH T(2*j+1)
+    DISTRIBUTE T(CYCLIC(8)) ONTO P
+
+    A(4:319:9) = 100.0      ! fill
+    A(0:312:8) = B(3:237:6) ! copy
+    """
+
+    def test_full_program(self):
+        prog = parse_program(self.SRC)
+        assert prog.processors[0].name == "P" and prog.processors[0].size == 4
+        assert prog.templates[0].size == 640
+        assert {a.name for a in prog.arrays} == {"A", "B"}
+        assert prog.aligns[1].a == 2 and prog.aligns[1].b == 1
+        assert prog.distributes[0].format == "CYCLIC(8)"
+        assert prog.distributes[0].k == 8
+        assert isinstance(prog.statements[0], FillAssign)
+        assert prog.statements[0].value == 100.0
+        assert isinstance(prog.statements[1], CopyAssign)
+        assert prog.statements[1].source.array == "B"
+
+    def test_block_and_cyclic_formats(self):
+        prog = parse_program(
+            "PROCESSORS P(2)\nTEMPLATE T(10)\nTEMPLATE U(10)\n"
+            "DISTRIBUTE T(BLOCK) ONTO P\nDISTRIBUTE U(CYCLIC) ONTO P\n"
+        )
+        assert prog.distributes[0].format == "BLOCK"
+        assert prog.distributes[1].format == "CYCLIC"
+
+    def test_case_insensitive_keywords(self):
+        prog = parse_program("processors P(2)\ntemplate T(8)\nreal A(8)\n"
+                             "align A(i) with T(i)\ndistribute T(cyclic(2)) onto P\n")
+        assert prog.distributes[0].k == 2
+
+    def test_comments_and_blanks(self):
+        prog = parse_program("\n! nothing\n   \nPROCESSORS P(1)\n")
+        assert len(prog.processors) == 1
+
+    @pytest.mark.parametrize(
+        "line,match",
+        [
+            ("GARBAGE", "unrecognized"),
+            ("PROCESSORS P(0)", "positive"),
+            ("TEMPLATE T(-1)", "positive"),
+            ("REAL A(0)", "positive"),
+            ("A(0:10:0) = 1.0", "nonzero"),
+            ("A(0:10) = ", "right-hand side"),
+            ("1.0 = A(0:10)", "left-hand side"),
+            ("DISTRIBUTE T(CYCLIC(0)) ONTO P", "positive"),
+        ],
+    )
+    def test_errors(self, line, match):
+        with pytest.raises(ParseError, match=match):
+            parse_program(line)
+
+    def test_error_carries_lineno(self):
+        try:
+            parse_program("PROCESSORS P(2)\nGARBAGE\n")
+        except ParseError as e:
+            assert e.lineno == 2
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_fill_scientific_notation(self):
+        prog = parse_program("A(0:9) = 1.5e3")
+        assert prog.statements[0].value == 1500.0

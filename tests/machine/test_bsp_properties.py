@@ -1,0 +1,84 @@
+"""Property tests for the BSP machine: determinism and collective laws."""
+
+import operator
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.collectives import allgather, allreduce, alltoall, broadcast, gather
+from repro.machine.vm import VirtualMachine
+
+ranks = st.integers(min_value=1, max_value=6)
+
+
+class TestDeterminism:
+    @given(ranks, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_repeated_runs_identical(self, p, seed):
+        """The same BSP program produces identical results on every run
+        (the property that makes the simulator a usable test substrate)."""
+        def program(vm):
+            def phase1(ctx):
+                rng = np.random.default_rng(seed + ctx.rank)
+                ctx.send((ctx.rank + 1) % ctx.p, "t", float(rng.random()))
+
+            def phase2(ctx):
+                return ctx.recv((ctx.rank - 1) % ctx.p, "t")
+
+            return vm.bsp(phase1, phase2)[1]
+
+        first = program(VirtualMachine(p))
+        second = program(VirtualMachine(p))
+        assert first == second
+
+
+class TestCollectiveLaws:
+    @given(ranks, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_allgather_equals_gather_plus_broadcast(self, p, data):
+        values = data.draw(
+            st.lists(st.integers(-100, 100), min_size=p, max_size=p)
+        )
+        vm = VirtualMachine(p)
+        ag = allgather(vm, values)
+        vm2 = VirtualMachine(p)
+        gathered = gather(vm2, values, root=0)
+        bc = broadcast(vm2, [gathered] * p, root=0)
+        assert ag == bc
+        assert all(row == values for row in ag)
+
+    @given(ranks, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_sum(self, p, data):
+        values = data.draw(
+            st.lists(st.integers(-100, 100), min_size=p, max_size=p)
+        )
+        vm = VirtualMachine(p)
+        got = allreduce(vm, values, operator.add)
+        assert got == [sum(values)] * p
+
+    @given(ranks, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_alltoall_is_matrix_transpose(self, p, data):
+        matrix = data.draw(
+            st.lists(
+                st.lists(st.integers(0, 9), min_size=p, max_size=p),
+                min_size=p, max_size=p,
+            )
+        )
+        vm = VirtualMachine(p)
+        got = alltoall(vm, matrix)
+        want = [[matrix[src][dst] for src in range(p)] for dst in range(p)]
+        assert got == want
+
+    @given(ranks, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_network_drains_clean(self, p, data):
+        """After any collective, no undelivered messages linger."""
+        values = data.draw(
+            st.lists(st.integers(0, 9), min_size=p, max_size=p)
+        )
+        vm = VirtualMachine(p)
+        allgather(vm, values)
+        assert vm.network.idle

@@ -1,0 +1,74 @@
+"""Tests for the BSP collectives."""
+
+import operator
+
+import pytest
+
+from repro.machine.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.machine.vm import VirtualMachine
+
+
+@pytest.fixture
+def vm():
+    return VirtualMachine(4)
+
+
+class TestBroadcastScatter:
+    def test_broadcast(self, vm):
+        got = broadcast(vm, ["a", "b", "c", "d"], root=2)
+        assert got == ["c"] * 4
+
+    def test_scatter(self, vm):
+        got = scatter(vm, [10, 20, 30, 40], root=0)
+        assert got == [10, 20, 30, 40]
+
+    def test_scatter_validation(self, vm):
+        with pytest.raises(ValueError, match="chunks"):
+            scatter(vm, [1, 2], root=0)
+
+    def test_bad_root(self, vm):
+        with pytest.raises(ValueError, match="root"):
+            broadcast(vm, [1] * 4, root=4)
+
+
+class TestGather:
+    def test_gather(self, vm):
+        got = gather(vm, [r * r for r in range(4)], root=1)
+        assert got == [0, 1, 4, 9]
+
+    def test_allgather(self, vm):
+        got = allgather(vm, list("wxyz"))
+        assert got == [list("wxyz")] * 4
+
+
+class TestReduce:
+    def test_reduce_sum(self, vm):
+        assert reduce(vm, [1, 2, 3, 4], operator.add, root=0) == 10
+
+    def test_allreduce_max(self, vm):
+        got = allreduce(vm, [3, 9, 1, 7], max)
+        assert got == [9] * 4
+
+
+class TestAllToAll:
+    def test_personalized_exchange(self, vm):
+        matrix = [[f"{src}->{dst}" for dst in range(4)] for src in range(4)]
+        got = alltoall(vm, matrix)
+        for dst in range(4):
+            assert got[dst] == [f"{src}->{dst}" for src in range(4)]
+
+    def test_validation(self, vm):
+        with pytest.raises(ValueError, match="matrix"):
+            alltoall(vm, [[1, 2]])
+
+    def test_network_stats(self, vm):
+        alltoall(vm, [[0] * 4 for _ in range(4)])
+        assert vm.network.stats.messages == 16

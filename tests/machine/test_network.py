@@ -1,0 +1,78 @@
+"""Tests for the message-passing fabric."""
+
+import numpy as np
+import pytest
+
+from repro.machine.network import Message, Network
+
+
+class TestDelivery:
+    def test_bsp_semantics(self):
+        net = Network(2)
+        net.send(0, 1, "t", "hello")
+        # Not receivable until delivered.
+        with pytest.raises(LookupError, match="no delivered message"):
+            net.recv(1, 0, "t")
+        assert net.deliver() == 1
+        assert net.recv(1, 0, "t") == "hello"
+
+    def test_fifo_per_channel(self):
+        net = Network(2)
+        for i in range(5):
+            net.send(0, 1, "t", i)
+        net.deliver()
+        assert [net.recv(1, 0, "t") for _ in range(5)] == list(range(5))
+
+    def test_tags_are_independent(self):
+        net = Network(2)
+        net.send(0, 1, "a", 1)
+        net.send(0, 1, "b", 2)
+        net.deliver()
+        assert net.recv(1, 0, "b") == 2
+        assert net.recv(1, 0, "a") == 1
+
+    def test_probe_and_drain(self):
+        net = Network(3)
+        net.send(0, 2, "t", "x")
+        net.send(1, 2, "t", "y")
+        net.deliver()
+        assert net.probe(2, 0, "t") and net.probe(2, 1, "t")
+        assert net.drain(2, "t") == [(0, "x"), (1, "y")]
+        assert not net.probe(2, 0, "t")
+
+    def test_idle(self):
+        net = Network(2)
+        assert net.idle
+        net.send(0, 1, "t", 1)
+        assert not net.idle
+        net.deliver()
+        assert not net.idle
+        net.recv(1, 0, "t")
+        assert net.idle
+
+
+class TestValidation:
+    def test_bad_ranks(self):
+        net = Network(2)
+        with pytest.raises(ValueError, match="source"):
+            net.send(2, 0, "t", 1)
+        with pytest.raises(ValueError, match="destination"):
+            net.send(0, 5, "t", 1)
+        with pytest.raises(ValueError, match="at least one rank"):
+            Network(0)
+
+
+class TestStats:
+    def test_counts_and_bytes(self):
+        net = Network(2)
+        payload = np.zeros(10, dtype=np.float64)
+        net.send(0, 1, "t", payload)
+        net.send(0, 1, "t", b"abcd")
+        assert net.stats.messages == 2
+        assert net.stats.bytes == 80 + 4
+        assert net.stats.per_channel[(0, 1)] == 2
+
+    def test_message_nbytes(self):
+        assert Message(0, 1, "t", b"xyz").nbytes == 3
+        assert Message(0, 1, "t", np.zeros(4, dtype=np.int32)).nbytes == 16
+        assert Message(0, 1, "t", "text").nbytes > 0

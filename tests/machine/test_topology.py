@@ -1,0 +1,94 @@
+"""Tests for interconnect topology models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.network import Network
+from repro.machine.topology import (
+    CrossbarTopology,
+    HypercubeTopology,
+    RingTopology,
+    weighted_traffic,
+)
+
+
+class TestHypercube:
+    def test_ipsc_860(self):
+        # The paper's machine: 32 nodes = 5-cube, diameter 5.
+        cube = HypercubeTopology(5)
+        assert cube.p == 32
+        assert cube.diameter() == 5
+        assert cube.distance(0, 31) == 5
+        assert cube.distance(3, 3) == 0
+
+    def test_neighbors(self):
+        cube = HypercubeTopology(3)
+        assert sorted(cube.neighbors(0)) == [1, 2, 4]
+        assert sorted(cube.neighbors(5)) == [1, 4, 7]
+
+    def test_route_is_dimension_ordered(self):
+        cube = HypercubeTopology(3)
+        path = cube.route(0, 5)  # flip bit 0, then bit 2
+        assert path == [0, 1, 5]
+        assert len(path) - 1 == cube.distance(0, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            HypercubeTopology(-1)
+        with pytest.raises(ValueError, match="out of range"):
+            HypercubeTopology(2).distance(4, 0)
+
+    @given(st.integers(min_value=0, max_value=6),
+           st.data())
+    def test_metric_properties(self, dim, data):
+        cube = HypercubeTopology(dim)
+        a = data.draw(st.integers(min_value=0, max_value=cube.p - 1))
+        b = data.draw(st.integers(min_value=0, max_value=cube.p - 1))
+        c = data.draw(st.integers(min_value=0, max_value=cube.p - 1))
+        assert cube.distance(a, b) == cube.distance(b, a)
+        assert (cube.distance(a, b) == 0) == (a == b)
+        assert cube.distance(a, c) <= cube.distance(a, b) + cube.distance(b, c)
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    def test_route_length(self, dim, data):
+        cube = HypercubeTopology(dim)
+        a = data.draw(st.integers(min_value=0, max_value=cube.p - 1))
+        b = data.draw(st.integers(min_value=0, max_value=cube.p - 1))
+        path = cube.route(a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(path) - 1 == cube.distance(a, b)
+        for u, v in zip(path, path[1:]):
+            assert cube.distance(u, v) == 1
+
+
+class TestRingAndCrossbar:
+    def test_ring(self):
+        ring = RingTopology(8)
+        assert ring.distance(0, 1) == 1
+        assert ring.distance(0, 7) == 1
+        assert ring.distance(0, 4) == 4
+        assert ring.diameter() == 4
+
+    def test_crossbar(self):
+        xbar = CrossbarTopology(8)
+        assert xbar.distance(2, 2) == 0
+        assert xbar.distance(0, 7) == 1
+        assert xbar.diameter() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RingTopology(0)
+        with pytest.raises(ValueError, match="at least one"):
+            CrossbarTopology(0)
+
+
+class TestWeightedTraffic:
+    def test_counts_hops(self):
+        net = Network(8)
+        net.send(0, 7, "t", b"x")   # 3 hops on a 3-cube
+        net.send(0, 1, "t", b"x")   # 1 hop
+        net.send(0, 1, "t", b"x")   # 1 hop
+        cube = HypercubeTopology(3)
+        assert weighted_traffic(net.stats, cube) == 5
+        assert weighted_traffic(net.stats, CrossbarTopology(8)) == 3

@@ -1,0 +1,58 @@
+"""Tests for tracing and machine reports."""
+
+import numpy as np
+
+from repro.machine.trace import AccessTrace, TracingMemory, machine_report
+from repro.machine.vm import VirtualMachine
+
+
+class TestTracingMemory:
+    def test_scalar_accesses(self):
+        mem = TracingMemory(np.zeros(10))
+        mem[3] = 1.0
+        mem[7] = 2.0
+        _ = mem[3]
+        assert mem.trace.writes == [3, 7]
+        assert mem.trace.reads == [3]
+        assert len(mem) == 10
+        assert mem.arena[3] == 1.0
+
+    def test_array_indexing(self):
+        mem = TracingMemory(np.zeros(10))
+        mem[np.array([1, 4, 6])] = 5.0
+        assert mem.trace.writes == [1, 4, 6]
+        assert mem.trace.addresses == [1, 4, 6]
+
+    def test_addresses_prefers_writes(self):
+        trace = AccessTrace(reads=[1], writes=[2])
+        assert trace.addresses == [2]
+        assert AccessTrace(reads=[1]).addresses == [1]
+
+    def test_shared_trace(self):
+        trace = AccessTrace()
+        a = TracingMemory(np.zeros(4), trace)
+        b = TracingMemory(np.zeros(4), trace)
+        a[0] = 1
+        b[1] = 1
+        assert trace.writes == [0, 1]
+
+
+class TestMachineReport:
+    def test_report_structure(self):
+        vm = VirtualMachine(2)
+
+        def node(ctx):
+            ctx.allocate("A", 8)
+            ctx.processor.store("A", 0, 1.0)
+            ctx.processor.load("A", 0)
+            ctx.send(1 - ctx.rank, "t", b"abcd")
+
+        vm.run(node)
+        report = machine_report(vm)
+        assert report["ranks"] == 2
+        assert report["messages"] == 2
+        assert report["bytes"] == 8
+        assert report["memory"][0]["writes"] == 1
+        assert report["memory"][0]["reads"] == 1
+        assert report["memory"][0]["allocated_cells"] == 8
+        assert report["channels"][(0, 1)] == 1

@@ -1,0 +1,91 @@
+"""Tests for the SPMD virtual machine."""
+
+import numpy as np
+import pytest
+
+from repro.machine.vm import VirtualMachine
+
+
+class TestRun:
+    def test_per_rank_execution(self):
+        vm = VirtualMachine(4)
+        results = vm.run(lambda ctx: ctx.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_extra_args(self):
+        vm = VirtualMachine(2)
+        assert vm.run(lambda ctx, x, y: ctx.rank + x + y, 5, 10) == [15, 16]
+
+    def test_run_spmd_per_rank_args(self):
+        vm = VirtualMachine(3)
+        got = vm.run_spmd(lambda ctx, v: v * 2, [(1,), (2,), (3,)])
+        assert got == [2, 4, 6]
+        with pytest.raises(ValueError, match="argument tuples"):
+            vm.run_spmd(lambda ctx: None, [()])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            VirtualMachine(0)
+        with pytest.raises(ValueError, match="at least one phase"):
+            VirtualMachine(2).bsp()
+
+
+class TestMessaging:
+    def test_ring_shift(self):
+        vm = VirtualMachine(4)
+
+        def send_phase(ctx):
+            ctx.send((ctx.rank + 1) % ctx.p, "ring", ctx.rank)
+
+        def recv_phase(ctx):
+            return ctx.recv((ctx.rank - 1) % ctx.p, "ring")
+
+        _, got = vm.bsp(send_phase, recv_phase)
+        assert got == [3, 0, 1, 2]
+
+    def test_probe_and_drain_in_context(self):
+        vm = VirtualMachine(2)
+
+        def send_phase(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "t", "data")
+
+        def recv_phase(ctx):
+            if ctx.rank == 1:
+                assert ctx.probe(0, "t")
+                return ctx.drain("t")
+            return None
+
+        _, got = vm.bsp(send_phase, recv_phase)
+        assert got[1] == [(0, "data")]
+
+
+class TestMemory:
+    def test_allocate_and_access(self):
+        vm = VirtualMachine(2)
+        vm.allocate_all("A", [10, 20])
+        assert len(vm.processors[0].memory("A")) == 10
+        assert len(vm.processors[1].memory("A")) == 20
+        assert all(isinstance(m, np.ndarray) for m in vm.memories("A"))
+
+    def test_allocate_all_validation(self):
+        vm = VirtualMachine(2)
+        with pytest.raises(ValueError, match="sizes"):
+            vm.allocate_all("A", [10])
+
+    def test_context_memory(self):
+        vm = VirtualMachine(2)
+
+        def node(ctx):
+            arena = ctx.allocate("buf", 4)
+            arena[ctx.rank] = 1.0
+            return float(ctx.memory("buf").sum())
+
+        assert vm.run(node) == [1.0, 1.0]
+
+    def test_reset_stats(self):
+        vm = VirtualMachine(2)
+        vm.run(lambda ctx: ctx.send(0, "t", 1))
+        assert vm.network.stats.messages == 2
+        vm.reset_stats()
+        assert vm.network.stats.messages == 0

@@ -1,0 +1,149 @@
+"""Tests for scaled-sum statements (execute_combine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.distribution.section import RegularSection
+from repro.machine.vm import VirtualMachine
+from repro.runtime.commsets import compute_comm_schedule
+from repro.runtime.exec import collect, distribute, execute_combine
+
+
+def make_1d(name, n, p, k):
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(name, (n,), grid, (AxisMap(CyclicK(k), grid_axis=0),))
+
+
+class TestBasics:
+    def test_requires_terms(self):
+        a = make_1d("A", 10, 2, 2)
+        vm = VirtualMachine(2)
+        distribute(vm, a, np.zeros(10))
+        with pytest.raises(ValueError, match="at least one term"):
+            execute_combine(vm, a, RegularSection(0, 9, 1), [])
+
+    def test_schedule_count_mismatch(self):
+        a = make_1d("A", 10, 2, 2)
+        b = make_1d("B", 10, 2, 3)
+        vm = VirtualMachine(2)
+        distribute(vm, a, np.zeros(10))
+        distribute(vm, b, np.zeros(10))
+        sec = RegularSection(0, 9, 1)
+        with pytest.raises(ValueError, match="one schedule per term"):
+            execute_combine(vm, a, sec, [(1.0, b, sec)], schedules=[])
+
+    def test_scaled_copy(self):
+        a = make_1d("A", 40, 4, 2)
+        b = make_1d("B", 40, 4, 3)
+        vm = VirtualMachine(4)
+        host_b = np.arange(40, dtype=float)
+        distribute(vm, a, np.zeros(40))
+        distribute(vm, b, host_b)
+        sec = RegularSection(0, 39, 2)
+        execute_combine(vm, a, sec, [(2.5, b, sec)])
+        ref = np.zeros(40)
+        ref[0:40:2] = 2.5 * host_b[0:40:2]
+        assert np.array_equal(collect(vm, a), ref)
+
+    def test_axpy_two_terms(self):
+        a = make_1d("A", 60, 3, 4)
+        b = make_1d("B", 60, 3, 5)
+        c = make_1d("C", 60, 3, 2)
+        vm = VirtualMachine(3)
+        host_b = np.arange(60, dtype=float)
+        host_c = np.arange(60, dtype=float)[::-1].copy()
+        distribute(vm, a, np.full(60, 9.0))  # overwritten, not accumulated
+        distribute(vm, b, host_b)
+        distribute(vm, c, host_c)
+        sec = RegularSection(1, 58, 3)
+        execute_combine(vm, a, sec, [(2.0, b, sec), (-1.0, c, sec)])
+        ref = np.full(60, 9.0)
+        ref[1:59:3] = 2.0 * host_b[1:59:3] - host_c[1:59:3]
+        assert np.array_equal(collect(vm, a), ref)
+
+    def test_precomputed_schedules(self):
+        a = make_1d("A", 30, 2, 3)
+        b = make_1d("B", 30, 2, 4)
+        sec = RegularSection(0, 29, 1)
+        sched = compute_comm_schedule(a, sec, b, sec)
+        vm = VirtualMachine(2)
+        distribute(vm, a, np.zeros(30))
+        distribute(vm, b, np.ones(30))
+        got = execute_combine(vm, a, sec, [(3.0, b, sec)], schedules=[sched])
+        assert got == [sched]
+        assert np.array_equal(collect(vm, a), np.full(30, 3.0))
+
+
+class TestAliasing:
+    def test_self_referential_stencil(self):
+        """A(1:n-2) = 0.5*A(0:n-3) + 0.5*A(2:n-1) reads A's old values."""
+        n = 64
+        a = make_1d("A", n, 4, 4)
+        vm = VirtualMachine(4)
+        rng = np.random.default_rng(3)
+        host = rng.random(n)
+        distribute(vm, a, host)
+        execute_combine(
+            vm, a, RegularSection(1, n - 2, 1),
+            [
+                (0.5, a, RegularSection(0, n - 3, 1)),
+                (0.5, a, RegularSection(2, n - 1, 1)),
+            ],
+        )
+        ref = host.copy()
+        ref[1:-1] = 0.5 * (host[:-2] + host[2:])
+        assert np.allclose(collect(vm, a), ref)
+
+    def test_shift_in_place(self):
+        """A(0:n-2) = A(1:n-1): every element reads its old right neighbor."""
+        n = 48
+        a = make_1d("A", n, 3, 4)
+        vm = VirtualMachine(3)
+        host = np.arange(n, dtype=float)
+        distribute(vm, a, host)
+        execute_combine(
+            vm, a, RegularSection(0, n - 2, 1),
+            [(1.0, a, RegularSection(1, n - 1, 1))],
+        )
+        ref = host.copy()
+        ref[:-1] = host[1:]
+        assert np.array_equal(collect(vm, a), ref)
+
+
+class TestRandomized:
+    @given(
+        st.integers(min_value=1, max_value=4),   # p
+        st.integers(min_value=1, max_value=5),   # ka
+        st.integers(min_value=1, max_value=5),   # kb
+        st.integers(min_value=1, max_value=5),   # kc
+        st.integers(min_value=1, max_value=12),  # count
+        st.integers(min_value=1, max_value=4),   # strides...
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy(self, p, ka, kb, kc, count, sa, sb, sc):
+        n = (count - 1) * max(sa, sb, sc) + 8
+        a = make_1d("A", n, p, ka)
+        b = make_1d("B", n, p, kb)
+        c = make_1d("C", n, p, kc)
+        sec_a = RegularSection(0, (count - 1) * sa, sa)
+        sec_b = RegularSection(1, 1 + (count - 1) * sb, sb)
+        sec_c = RegularSection(2, 2 + (count - 1) * sc, sc)
+        vm = VirtualMachine(p)
+        rng = np.random.default_rng(count)
+        host_b, host_c = rng.random(n), rng.random(n)
+        distribute(vm, a, np.zeros(n))
+        distribute(vm, b, host_b)
+        distribute(vm, c, host_c)
+        execute_combine(vm, a, sec_a, [(1.5, b, sec_b), (-0.5, c, sec_c)])
+        ref = np.zeros(n)
+        ref[0 : (count - 1) * sa + 1 : sa] = (
+            1.5 * host_b[1 : 2 + (count - 1) * sb : sb]
+            - 0.5 * host_c[2 : 3 + (count - 1) * sc : sc]
+        )
+        assert np.allclose(collect(vm, a), ref)

@@ -1,0 +1,142 @@
+"""Tests for section gather/scatter/reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.align import Alignment
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.distribution.section import RegularSection
+from repro.machine.vm import VirtualMachine
+from repro.runtime.exec import collect, distribute
+from repro.runtime.sections_io import gather_section, reduce_section, scatter_section
+
+
+def make_1d(name="A", n=64, p=4, k=4, a=1, b=0, textent=None):
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(
+        name, (n,), grid,
+        (AxisMap(CyclicK(k), Alignment(a, b), grid_axis=0, template_extent=textent),),
+    )
+
+
+def make_2d(name="M", shape=(12, 10), grid_shape=(2, 2), k0=2, k1=3):
+    grid = ProcessorGrid("G", grid_shape)
+    return DistributedArray(
+        name, shape, grid,
+        (AxisMap(CyclicK(k0), grid_axis=0), AxisMap(CyclicK(k1), grid_axis=1)),
+    )
+
+
+class TestGather:
+    def test_1d(self):
+        arr = make_1d()
+        vm = VirtualMachine(4)
+        host = np.arange(64, dtype=float)
+        distribute(vm, arr, host)
+        got = gather_section(vm, arr, (RegularSection(3, 60, 7),), root=2)
+        assert np.array_equal(got, host[3:61:7])
+
+    def test_2d(self):
+        arr = make_2d()
+        vm = VirtualMachine(4)
+        host = np.arange(120, dtype=float).reshape(12, 10)
+        distribute(vm, arr, host)
+        secs = (RegularSection(1, 11, 2), RegularSection(0, 9, 3))
+        got = gather_section(vm, arr, secs)
+        assert np.array_equal(got, host[1:12:2, 0:10:3])
+
+    def test_aligned(self):
+        arr = make_1d(a=2, b=1, n=40, textent=128)
+        vm = VirtualMachine(4)
+        host = np.arange(40, dtype=float) * 2
+        distribute(vm, arr, host)
+        got = gather_section(vm, arr, (RegularSection(0, 39, 3),))
+        assert np.array_equal(got, host[0:40:3])
+
+    def test_validation(self):
+        arr = make_1d()
+        vm = VirtualMachine(4)
+        distribute(vm, arr, np.zeros(64))
+        with pytest.raises(ValueError, match="root"):
+            gather_section(vm, arr, (RegularSection(0, 9, 1),), root=4)
+        with pytest.raises(ValueError, match="sections"):
+            gather_section(vm, arr, ())
+
+
+class TestScatter:
+    def test_roundtrip(self):
+        arr = make_1d()
+        vm = VirtualMachine(4)
+        distribute(vm, arr, np.zeros(64))
+        sec = (RegularSection(2, 58, 4),)
+        payload = np.arange(len(sec[0]), dtype=float) + 100
+        scatter_section(vm, arr, sec, payload)
+        assert np.array_equal(gather_section(vm, arr, sec), payload)
+        ref = np.zeros(64)
+        ref[2:59:4] = payload
+        assert np.array_equal(collect(vm, arr), ref)
+
+    def test_2d_roundtrip(self):
+        arr = make_2d()
+        vm = VirtualMachine(4)
+        distribute(vm, arr, np.zeros((12, 10)))
+        secs = (RegularSection(0, 11, 3), RegularSection(1, 9, 2))
+        payload = np.random.default_rng(0).random((4, 5))
+        scatter_section(vm, arr, secs, payload)
+        assert np.allclose(gather_section(vm, arr, secs), payload)
+
+    def test_shape_validation(self):
+        arr = make_1d()
+        vm = VirtualMachine(4)
+        distribute(vm, arr, np.zeros(64))
+        with pytest.raises(ValueError, match="values shape"):
+            scatter_section(vm, arr, (RegularSection(0, 9, 1),), np.zeros(5))
+
+
+class TestReduce:
+    def test_sum(self):
+        arr = make_1d()
+        vm = VirtualMachine(4)
+        host = np.arange(64, dtype=float)
+        distribute(vm, arr, host)
+        got = reduce_section(vm, arr, (RegularSection(0, 63, 5),))
+        assert got == host[0:64:5].sum()
+
+    def test_max(self):
+        arr = make_2d()
+        vm = VirtualMachine(4)
+        host = np.random.default_rng(3).random((12, 10))
+        distribute(vm, arr, host)
+        secs = (RegularSection(0, 11, 1), RegularSection(0, 9, 1))
+        got = reduce_section(vm, arr, secs, op=np.max, combine=max)
+        assert got == host.max()
+
+    def test_empty_section(self):
+        arr = make_1d()
+        vm = VirtualMachine(4)
+        distribute(vm, arr, np.ones(64))
+        got = reduce_section(vm, arr, (RegularSection(5, 4, 1),))
+        assert got is None
+
+
+class TestRandomized:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gather_matches_host_slice(self, p, k, s, count, seed):
+        n = (count - 1) * s + 5
+        arr = make_1d(n=n, p=p, k=k)
+        vm = VirtualMachine(p)
+        host = np.random.default_rng(seed).random(n)
+        distribute(vm, arr, host)
+        sec = RegularSection(0, (count - 1) * s, s)
+        got = gather_section(vm, arr, (sec,), root=p - 1)
+        assert np.allclose(got, host[0 : (count - 1) * s + 1 : s])

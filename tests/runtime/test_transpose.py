@@ -1,0 +1,116 @@
+"""Tests for the distributed transpose."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.distribution.section import RegularSection
+from repro.machine.vm import VirtualMachine
+from repro.runtime.commsets2d import compute_comm_schedule_2d
+from repro.runtime.exec import collect, distribute, execute_copy_2d, execute_transpose
+
+
+def make_2d(name, shape, grid_shape, k0, k1, axes=(0, 1)):
+    grid = ProcessorGrid("G", grid_shape)
+    return DistributedArray(
+        name, shape, grid,
+        (
+            AxisMap(CyclicK(k0), grid_axis=axes[0]),
+            AxisMap(CyclicK(k1), grid_axis=axes[1]),
+        ),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        a = make_2d("A", (6, 8), (2, 2), 2, 2)
+        b = make_2d("B", (6, 8), (2, 2), 2, 2)
+        vm = VirtualMachine(4)
+        with pytest.raises(ValueError, match="transpose"):
+            execute_transpose(vm, a, b)
+
+    def test_rank2_required(self):
+        grid = ProcessorGrid("G", (2, 2))
+        v = DistributedArray("V", (8,), grid, (AxisMap(CyclicK(2), grid_axis=0),))
+        a = make_2d("A", (8, 8), (2, 2), 2, 2)
+        vm = VirtualMachine(4)
+        with pytest.raises(ValueError, match="rank-2"):
+            execute_transpose(vm, a, v)
+
+
+class TestTranspose:
+    def test_square(self):
+        a = make_2d("A", (12, 12), (2, 2), 2, 3)
+        b = make_2d("B", (12, 12), (2, 2), 3, 2)
+        vm = VirtualMachine(4)
+        host_b = np.arange(144, dtype=float).reshape(12, 12)
+        distribute(vm, a, np.zeros((12, 12)))
+        distribute(vm, b, host_b)
+        execute_transpose(vm, a, b)
+        assert np.array_equal(collect(vm, a), host_b.T)
+
+    def test_rectangular(self):
+        a = make_2d("A", (10, 6), (2, 2), 2, 2)
+        b = make_2d("B", (6, 10), (2, 2), 3, 3)
+        vm = VirtualMachine(4)
+        host_b = np.arange(60, dtype=float).reshape(6, 10)
+        distribute(vm, a, np.zeros((10, 6)))
+        distribute(vm, b, host_b)
+        execute_transpose(vm, a, b)
+        assert np.array_equal(collect(vm, a), host_b.T)
+
+    def test_sectioned_transpose(self):
+        """A(0:5, 0:3) = B(0:3, 0:5)^T via explicit rhs_dims."""
+        a = make_2d("A", (8, 8), (2, 2), 2, 2)
+        b = make_2d("B", (8, 8), (2, 2), 2, 2)
+        secs_a = (RegularSection(0, 5, 1), RegularSection(0, 3, 1))
+        secs_b = (RegularSection(0, 3, 1), RegularSection(0, 5, 1))
+        vm = VirtualMachine(4)
+        host_b = np.arange(64, dtype=float).reshape(8, 8)
+        distribute(vm, a, np.zeros((8, 8)))
+        distribute(vm, b, host_b)
+        execute_copy_2d(vm, a, secs_a, b, secs_b, rhs_dims=(1, 0))
+        ref = np.zeros((8, 8))
+        ref[0:6, 0:4] = host_b[0:4, 0:6].T
+        assert np.array_equal(collect(vm, a), ref)
+
+    def test_swapped_axis_mapping(self):
+        a = make_2d("A", (9, 9), (2, 2), 2, 2, axes=(1, 0))
+        b = make_2d("B", (9, 9), (2, 2), 2, 2)
+        vm = VirtualMachine(4)
+        host_b = np.arange(81, dtype=float).reshape(9, 9)
+        distribute(vm, a, np.zeros((9, 9)))
+        distribute(vm, b, host_b)
+        execute_transpose(vm, a, b)
+        assert np.array_equal(collect(vm, a), host_b.T)
+
+    def test_transpose_conformability_via_rhs_dims(self):
+        a = make_2d("A", (8, 8), (2, 2), 2, 2)
+        secs_a = (RegularSection(0, 5, 1), RegularSection(0, 3, 1))
+        secs_b = (RegularSection(0, 5, 1), RegularSection(0, 3, 1))
+        with pytest.raises(ValueError, match="non-conformable"):
+            compute_comm_schedule_2d(a, secs_a, a, secs_b, rhs_dims=(1, 0))
+
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_transposes(self, g0, g1, ka0, ka1, kb0, kb1, n0, n1):
+        a = make_2d("A", (n0, n1), (g0, g1), ka0, ka1)
+        b = make_2d("B", (n1, n0), (g0, g1), kb0, kb1)
+        vm = VirtualMachine(g0 * g1)
+        host_b = np.random.default_rng(n0 * 11 + n1).random((n1, n0))
+        distribute(vm, a, np.zeros((n0, n1)))
+        distribute(vm, b, host_b)
+        execute_transpose(vm, a, b)
+        assert np.allclose(collect(vm, a), host_b.T)

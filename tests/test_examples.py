@@ -1,0 +1,27 @@
+"""Every example script must run cleanly (they self-verify with asserts)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example prints its findings
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,47 @@
+"""Tests for AM-table and traffic-heatmap renderings."""
+
+import numpy as np
+import pytest
+
+from repro.viz.tables import render_am_tables, render_traffic
+
+
+class TestAmTables:
+    def test_paper_tables(self):
+        text = render_am_tables(4, 8, 4, 9)
+        assert "m=1" in text
+        assert "start=13" in text
+        assert "[3, 12, 15, 12, 3, 12, 3, 12]" in text
+        # All four processors listed.
+        assert text.count("AM=") == 4
+
+    def test_empty_processor(self):
+        text = render_am_tables(2, 1, 0, 4)
+        assert "owns no section elements" in text
+
+
+class TestTraffic:
+    def test_structure(self):
+        matrix = np.array([[6, 0, 2], [0, 6, 0], [1, 0, 6]])
+        text = render_traffic(matrix)
+        lines = text.splitlines()
+        assert "max=6" in lines[0]
+        assert lines[-1].startswith("recv")
+        # Row totals annotated.
+        assert "sent 8" in text and "sent 6" in text and "sent 7" in text
+        # Column totals.
+        assert lines[-1].split()[1:] == ["7", "6", "8"]
+
+    def test_zero_matrix(self):
+        text = render_traffic(np.zeros((2, 2), dtype=int))
+        assert "max=0" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            render_traffic(np.zeros((2, 3)))
+
+    def test_shades_scale(self):
+        matrix = np.array([[0, 100], [1, 0]])
+        text = render_traffic(matrix)
+        # The peak cell uses the darkest glyph, the tiny one a light glyph.
+        assert "@" in text

@@ -1,0 +1,83 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.distribution.section import RegularSection
+from repro.viz.lattice_diagram import describe_basis, render_lattice_plane
+from repro.viz.layout_ascii import processor_header, render_layout, render_walk
+
+
+class TestRenderLayout:
+    def test_figure1_structure(self):
+        # p=4, k=8, section l=0 s=9 (Figure 1's rectangles).
+        text = render_layout(4, 8, 320, section=RegularSection(0, 319, 9))
+        lines = text.splitlines()
+        assert "Processor 0" in lines[0] and "Processor 3" in lines[0]
+        assert len(lines) == 1 + 10  # header + 320/32 rows
+        # Lower bound is circled, later section elements bracketed.
+        assert "(0)" in text
+        assert "[9]" in text and "[18]" in text and "[108]" in text
+        # Non-section elements are bare.
+        assert "[1]" not in text and "(1)" not in text
+
+    def test_block_separators(self):
+        text = render_layout(2, 2, 8)
+        for line in text.splitlines()[1:]:
+            assert line.count("|") == 1
+
+    def test_no_section(self):
+        text = render_layout(2, 2, 8)
+        assert "[" not in text and "{" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            render_layout(2, 2, 0)
+
+    def test_partial_last_row(self):
+        text = render_layout(2, 3, 7)
+        assert "6" in text and "7" not in text.replace("Processor", "")
+
+
+class TestRenderWalk:
+    def test_figure6(self):
+        # p=4, k=8, l=4, s=9, m=1: visited points 13, 40, 76, 139, ...
+        text = render_walk(4, 8, 4, 9, 1, 320)
+        assert "(4)" in text  # circled lower bound
+        for visited in (13, 40, 76, 139, 175, 202, 238, 265, 301):
+            assert f"{{{visited}}}" in text
+        # 103 is a section element but not visited on processor 1.
+        assert "[103]" in text
+
+    def test_empty_processor_walk(self):
+        text = render_walk(2, 1, 0, 4, 1, 16)
+        assert "{" not in text
+
+
+class TestHeader:
+    def test_width_scales_with_k(self):
+        header = processor_header(2, 4, 5)
+        assert header.index("Processor 1") > len("Processor 0")
+
+
+class TestLatticePlane:
+    def test_marks_multiples_of_stride(self):
+        text = render_lattice_plane(4, 8, 9, rows=3)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # Row 0: elements 0..31; multiples of 9 at offsets 0, 9, 18, 27.
+        flat = lines[0].replace("|", "")
+        assert [i for i, c in enumerate(flat) if c == "*"] == [0, 9, 18, 27]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            render_lattice_plane(4, 8, 9, rows=0)
+
+
+class TestDescribeBasis:
+    def test_paper_values(self):
+        text = describe_basis(4, 8, 9)
+        assert "R = (4, 1)" in text
+        assert "L = (5, -1)" in text
+        assert "element 36" in text
+        assert "element -27" in text
+        assert text.endswith("1")  # |determinant| == 1
