@@ -1,6 +1,9 @@
 # Convenience targets for the PPoPP '95 reproduction.
 
-.PHONY: install test bench reproduce examples clean
+.PHONY: install test bench faults reproduce examples clean
+
+# Seeds the fault-injection sweep runs under (space separated).
+FAULT_SEED_SWEEP ?= 0 1 2 7 42
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +13,15 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fault-injection + resilient-protocol suites at several seeds
+# (docs/FAULT_MODEL.md): same seed => same fault trace, so any failure
+# here is replayable with FAULT_SEEDS=<seed>.
+faults:
+	for seed in $(FAULT_SEED_SWEEP); do \
+		echo "== fault sweep, seed $$seed"; \
+		FAULT_SEEDS=$$seed pytest -q tests/machine/test_faults.py tests/runtime/test_resilient.py || exit 1; \
+	done
 
 # Regenerate every table/figure of the paper (writes to stdout).
 reproduce:

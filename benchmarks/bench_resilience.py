@@ -1,0 +1,80 @@
+"""Resilient-exchange benchmarks: protocol overhead and fault recovery.
+
+Not a paper table -- robustness instrumentation for the machine layer
+(see docs/FAULT_MODEL.md).  The headline number is the zero-fault-rate
+overhead of the acknowledged-delivery protocol over the plain executor:
+one extra superstep plus checksum/ACK bookkeeping.  A second group
+measures recovery cost under a moderate drop rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.machine.faults import FaultPlan
+from repro.machine.vm import VirtualMachine
+from repro.runtime.exec import distribute
+from repro.runtime.redistribute import plan_redistribution, redistribute
+from repro.runtime.resilient import RetryPolicy, redistribute_resilient
+
+P, N = 8, 8192
+
+PAIRS = [
+    ("cyclic1-to-block32", CyclicK(1), CyclicK(N // P)),
+    ("cyclic4-to-cyclic32", CyclicK(4), CyclicK(32)),
+]
+IDS = [name for name, _, _ in PAIRS]
+
+
+def _setup(src_dist, dst_dist, fault_plan=None):
+    grid = ProcessorGrid("P", (P,))
+    src = DistributedArray("S", (N,), grid, (AxisMap(src_dist, grid_axis=0),))
+    dst = DistributedArray("D", (N,), grid, (AxisMap(dst_dist, grid_axis=0),))
+    schedule, _ = plan_redistribution(dst, src)
+    vm = VirtualMachine(P, fault_plan=fault_plan)
+    distribute(vm, src, np.arange(N, dtype=float))
+    distribute(vm, dst, np.zeros(N))
+    return vm, dst, src, schedule
+
+
+@pytest.mark.parametrize(("name", "src_dist", "dst_dist"), PAIRS, ids=IDS)
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_plain_baseline(benchmark, name, src_dist, dst_dist):
+    benchmark.group = f"resilience-overhead {name}"
+    vm, dst, src, schedule = _setup(src_dist, dst_dist)
+    benchmark(redistribute, vm, dst, src, schedule)
+
+
+@pytest.mark.parametrize(("name", "src_dist", "dst_dist"), PAIRS, ids=IDS)
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_resilient_zero_fault(benchmark, name, src_dist, dst_dist):
+    """The acceptance-criteria datum: protocol cost with no faults."""
+    benchmark.group = f"resilience-overhead {name}"
+    vm, dst, src, schedule = _setup(src_dist, dst_dist)
+
+    def run():
+        _, report = redistribute_resilient(vm, dst, src, schedule=schedule)
+        assert report.retries == 0 and report.extra_supersteps < 2
+        return report
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("drop", [0.1, 0.3], ids=["drop10", "drop30"])
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_resilient_under_drops(benchmark, drop):
+    """Recovery cost: retransmission rounds under message loss."""
+    benchmark.group = f"resilience-recovery drop={drop}"
+    plan = FaultPlan(seed=1, drop=drop)
+    vm, dst, src, schedule = _setup(CyclicK(4), CyclicK(32), fault_plan=plan)
+    policy = RetryPolicy(max_retries=16, max_supersteps=128)
+
+    def run():
+        _, report = redistribute_resilient(
+            vm, dst, src, schedule=schedule, policy=policy
+        )
+        return report
+
+    report = benchmark(run)
+    assert report.converged and report.verified

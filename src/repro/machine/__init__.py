@@ -15,7 +15,8 @@ from .collectives import (
     scatter,
 )
 from .costmodel import CostModel, MessageCost, SuperstepEstimate, estimate_superstep
-from .network import Message, Network, NetworkStats
+from .faults import FaultDecision, FaultEvent, FaultPlan, corrupt_payload
+from .network import Message, Network, NetworkStats, payload_nbytes
 from .processor import MemoryStats, Processor
 from .topology import (
     CrossbarTopology,
@@ -24,7 +25,7 @@ from .topology import (
     Topology,
     weighted_traffic,
 )
-from .trace import AccessTrace, TracingMemory, machine_report
+from .trace import AccessTrace, TracingMemory, fault_report, machine_report
 from .vm import NodeContext, VirtualMachine
 
 __all__ = [
@@ -35,6 +36,11 @@ __all__ = [
     "Network",
     "NetworkStats",
     "Message",
+    "payload_nbytes",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultEvent",
+    "corrupt_payload",
     "broadcast",
     "scatter",
     "gather",
@@ -45,6 +51,7 @@ __all__ = [
     "AccessTrace",
     "TracingMemory",
     "machine_report",
+    "fault_report",
     "Topology",
     "HypercubeTopology",
     "RingTopology",

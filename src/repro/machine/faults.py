@@ -1,0 +1,224 @@
+"""Deterministic fault injection for the simulated interconnect.
+
+The paper's experiments ran on a real iPSC/860, where messages can be
+lost, duplicated, delayed, or delivered corrupted; our in-process
+:class:`~repro.machine.network.Network` is perfect by construction.  A
+:class:`FaultPlan` restores the adversarial part of the substitution
+(see docs/FAULT_MODEL.md): the network consults it at :meth:`deliver`
+time and may *drop*, *duplicate*, *reorder*, or *corrupt* individual
+messages, or *stall* a rank's outgoing traffic for a superstep.
+
+Every decision is a pure function of ``(seed, fault kind, superstep,
+channel, sequence number)`` -- no hidden RNG stream whose state depends
+on call order -- so the same seed against the same program always yields
+the same fault trace, byte for byte.  That determinism is what makes
+fault-injection test failures replayable (same seed => same schedule of
+drops), and is asserted by ``tests/machine/test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["FaultDecision", "FaultEvent", "FaultPlan", "corrupt_payload"]
+
+# Denominator for mapping a 64-bit digest prefix onto [0, 1).
+_SCALE = float(1 << 64)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDecision:
+    """Per-message verdict of a :class:`FaultPlan`."""
+
+    drop: bool = False
+    duplicate: bool = False
+    corrupt: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.duplicate or self.corrupt)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One injected fault, as recorded by the network for traces."""
+
+    superstep: int
+    kind: str  # "drop" | "duplicate" | "reorder" | "corrupt" | "stall"
+    source: int
+    dest: int  # -1 for rank-wide events (stall)
+    tag: Any
+    seq: int  # per-channel sequence number within the superstep batch
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, fully deterministic schedule of network faults.
+
+    Rates are independent per-message probabilities in ``[0, 1]``;
+    ``stall`` is a per-(rank, superstep) probability that *all* of that
+    rank's messages entering the barrier are held back one superstep.
+    ``channels`` restricts message-level faults to the given
+    ``(source, dest)`` pairs (``None`` = every channel); ``supersteps``
+    restricts all faults to a half-open ``[start, stop)`` window of
+    superstep numbers.  Explicit schedules can be expressed on top of
+    the probabilistic ones: ``forced_stalls`` names exact
+    ``(superstep, rank)`` pairs, ``forced_drops`` exact
+    ``(superstep, source, dest, seq)`` messages.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    stall: float = 0.0
+    channels: frozenset[tuple[int, int]] | None = None
+    supersteps: tuple[int, int] | None = None
+    forced_stalls: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+    forced_drops: frozenset[tuple[int, int, int, int]] = field(
+        default_factory=frozenset
+    )
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "corrupt", "stall"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+
+    # ------------------------------------------------------------------
+    # Deterministic coin flips
+    # ------------------------------------------------------------------
+
+    def _chance(self, kind: str, *key: int) -> float:
+        """Uniform-ish value in [0, 1) derived purely from the key."""
+        packed = kind.encode() + struct.pack(f"<{len(key) + 1}q", self.seed, *key)
+        digest = hashlib.blake2b(packed, digest_size=8).digest()
+        return struct.unpack("<Q", digest)[0] / _SCALE
+
+    def _in_window(self, superstep: int) -> bool:
+        if self.supersteps is None:
+            return True
+        start, stop = self.supersteps
+        return start <= superstep < stop
+
+    def _on_channel(self, source: int, dest: int) -> bool:
+        return self.channels is None or (source, dest) in self.channels
+
+    # ------------------------------------------------------------------
+    # Queries the network makes
+    # ------------------------------------------------------------------
+
+    def decide(
+        self, superstep: int, source: int, dest: int, seq: int
+    ) -> FaultDecision:
+        """Verdict for the ``seq``-th message of channel ``(source,
+        dest)`` in the batch delivered at ``superstep``."""
+        if (superstep, source, dest, seq) in self.forced_drops:
+            return FaultDecision(drop=True)
+        if not self._in_window(superstep) or not self._on_channel(source, dest):
+            return FaultDecision()
+        return FaultDecision(
+            drop=self.drop > 0.0
+            and self._chance("drop", superstep, source, dest, seq) < self.drop,
+            duplicate=self.duplicate > 0.0
+            and self._chance("dup", superstep, source, dest, seq) < self.duplicate,
+            corrupt=self.corrupt > 0.0
+            and self._chance("corr", superstep, source, dest, seq) < self.corrupt,
+        )
+
+    def stalled(self, superstep: int, rank: int) -> bool:
+        """True when ``rank``'s outgoing messages are held past this
+        superstep's barrier (delivered at the next one instead)."""
+        if (superstep, rank) in self.forced_stalls:
+            return True
+        if not self._in_window(superstep) or self.stall <= 0.0:
+            return False
+        return self._chance("stall", superstep, rank) < self.stall
+
+    def permutation(
+        self, superstep: int, source: int, dest: int, n: int
+    ) -> list[int]:
+        """Delivery order for an ``n``-message channel batch: identity
+        unless the reorder coin fires, then a deterministic shuffle."""
+        order = list(range(n))
+        if (
+            n < 2
+            or self.reorder <= 0.0
+            or not self._in_window(superstep)
+            or not self._on_channel(source, dest)
+            or self._chance("reord", superstep, source, dest) >= self.reorder
+        ):
+            return order
+        # Fisher-Yates with hash-derived picks: deterministic in the key.
+        for i in range(n - 1, 0, -1):
+            j = int(self._chance("perm", superstep, source, dest, i) * (i + 1))
+            order[i], order[j] = order[j], order[i]
+        return order
+
+
+# ----------------------------------------------------------------------
+# Payload corruption
+# ----------------------------------------------------------------------
+
+
+def corrupt_payload(payload: Any, salt: int) -> Any:
+    """Return a corrupted *copy* of ``payload`` (the original is never
+    mutated -- sender-side buffers must stay intact for retransmission).
+
+    Mimics an in-flight bit error: NumPy arrays and byte strings get one
+    bit flipped at a salt-derived position; scalars are perturbed;
+    containers and dataclasses (e.g. the resilient protocol's packets)
+    have one field corrupted recursively.  Payloads with no mutable byte
+    representation are returned unchanged -- a corruption that changes
+    nothing is harmless by definition.
+    """
+    if isinstance(payload, np.ndarray):
+        if payload.nbytes == 0 or payload.dtype.hasobject:
+            return payload
+        out = payload.copy()
+        view = out.reshape(-1).view(np.uint8)
+        pos = salt % view.size
+        view[pos] ^= np.uint8(1 << (salt % 8))
+        return out
+    if isinstance(payload, (bytes, bytearray)):
+        if not payload:
+            return payload
+        out = bytearray(payload)
+        pos = salt % len(out)
+        out[pos] ^= 1 << (salt % 8)
+        return bytes(out) if isinstance(payload, bytes) else out
+    if isinstance(payload, bool):
+        return not payload
+    if isinstance(payload, int):
+        return payload ^ (1 << (salt % 16))
+    if isinstance(payload, float):
+        return -payload if payload else 1.0
+    if isinstance(payload, str):
+        if not payload:
+            return payload
+        pos = salt % len(payload)
+        flipped = chr(ord(payload[pos]) ^ 1)
+        return payload[:pos] + flipped + payload[pos + 1 :]
+    if isinstance(payload, (tuple, list)):
+        if not payload:
+            return payload
+        pos = salt % len(payload)
+        items = list(payload)
+        items[pos] = corrupt_payload(items[pos], salt)
+        return type(payload)(items)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        fields = dataclasses.fields(payload)
+        if fields:
+            f = fields[salt % len(fields)]
+            value = getattr(payload, f.name)
+            return dataclasses.replace(
+                payload, **{f.name: corrupt_payload(value, salt)}
+            )
+    return payload

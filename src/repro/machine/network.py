@@ -6,6 +6,12 @@ delivery is deterministic because node programs execute in
 bulk-synchronous supersteps (:mod:`repro.machine.vm`): everything sent
 during superstep ``t`` is available to receives in superstep ``t + 1``.
 
+A network may carry a :class:`~repro.machine.faults.FaultPlan`, in which
+case :meth:`Network.deliver` consults it per message and may drop,
+duplicate, reorder, or corrupt traffic, or hold back a stalled rank's
+sends for one superstep (see docs/FAULT_MODEL.md).  Without a plan the
+fabric is perfect, as before.
+
 Byte accounting uses ``numpy`` buffer sizes when available and
 ``sys.getsizeof`` otherwise, so benchmarks can report traffic volumes.
 """
@@ -19,7 +25,34 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Message", "Network", "NetworkStats"]
+from .faults import FaultEvent, FaultPlan, corrupt_payload
+
+__all__ = ["Message", "Network", "NetworkStats", "payload_nbytes"]
+
+
+def payload_nbytes(payload: Any, _depth: int = 0) -> int:
+    """Approximate wire size of a payload in bytes.
+
+    Objects exposing an integer ``nbytes`` (NumPy arrays and scalars,
+    the resilient protocol's packets) report their buffer size exactly;
+    byte strings their length.  Lists and tuples recurse **one level**
+    so that e.g. a list of arrays counts the array buffers, not just
+    ``sys.getsizeof``'s pointer-table size -- deeper nesting and other
+    containers still fall back to ``sys.getsizeof``, which measures the
+    container shell only.  The result is an accounting approximation,
+    not a serialization: Python object headers and deep structure are
+    deliberately not charged.
+    """
+    nbytes = getattr(payload, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)) and _depth == 0:
+        return sys.getsizeof(payload) + sum(
+            payload_nbytes(item, _depth=1) for item in payload
+        )
+    return sys.getsizeof(payload)
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,25 +64,54 @@ class Message:
 
     @property
     def nbytes(self) -> int:
-        payload = self.payload
-        if isinstance(payload, np.ndarray):
-            return payload.nbytes
-        if isinstance(payload, (bytes, bytearray)):
-            return len(payload)
-        return sys.getsizeof(payload)
+        return payload_nbytes(self.payload)
 
 
 @dataclass
 class NetworkStats:
+    """Traffic counters, split into *sent* vs *delivered* vs *dropped*.
+
+    ``messages`` / ``bytes`` count sends (the legacy counters every
+    benchmark reports); ``delivered`` / ``bytes_delivered`` count what
+    actually crossed the barrier into a receive queue (duplicates
+    included), and ``dropped`` / ``bytes_dropped`` what the fault plan
+    discarded.  On a fault-free network ``delivered == messages`` once
+    everything pending has crossed a barrier.
+    """
+
     messages: int = 0
     bytes: int = 0
     per_channel: dict[tuple[int, int], int] = field(default_factory=dict)
+    delivered: int = 0
+    bytes_delivered: int = 0
+    dropped: int = 0
+    bytes_dropped: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    stalled: int = 0
+
+    @property
+    def sent(self) -> int:
+        """Alias for ``messages`` under the sent/delivered/dropped split."""
+        return self.messages
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.bytes
 
     def record(self, msg: Message) -> None:
         self.messages += 1
         self.bytes += msg.nbytes
         key = (msg.source, msg.dest)
         self.per_channel[key] = self.per_channel.get(key, 0) + 1
+
+    def record_delivered(self, msg: Message) -> None:
+        self.delivered += 1
+        self.bytes_delivered += msg.nbytes
+
+    def record_dropped(self, msg: Message) -> None:
+        self.dropped += 1
+        self.bytes_dropped += msg.nbytes
 
 
 class Network:
@@ -60,15 +122,23 @@ class Network:
     receivable queues.  ``recv`` raises :class:`LookupError` when no
     matching message has been delivered -- in a correct BSP program that
     is a programming error, not a race.
+
+    With a ``fault_plan``, :meth:`deliver` becomes adversarial (drops,
+    duplicates, reorders, corruption, stalls) while staying fully
+    deterministic in the plan's seed; every injected fault is appended
+    to :attr:`fault_events`.
     """
 
-    def __init__(self, p: int) -> None:
+    def __init__(self, p: int, fault_plan: FaultPlan | None = None) -> None:
         if p <= 0:
             raise ValueError(f"need at least one rank, got p={p}")
         self.p = p
+        self.fault_plan = fault_plan
+        self.superstep = 0
         self._pending: list[Message] = []
         self._queues: dict[tuple[int, int, Any], deque[Message]] = {}
         self.stats = NetworkStats()
+        self.fault_events: list[FaultEvent] = []
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.p:
@@ -81,15 +151,96 @@ class Network:
         self._pending.append(msg)
         self.stats.record(msg)
 
+    # ------------------------------------------------------------------
+    # Barrier
+    # ------------------------------------------------------------------
+
     def deliver(self) -> int:
-        """Barrier: make all pending messages receivable.  Returns the
-        number of messages delivered."""
-        n = len(self._pending)
+        """Barrier: make pending messages receivable, consulting the
+        fault plan (if any) per message.  Returns the number of messages
+        made receivable (duplicates count)."""
+        step = self.superstep
+        self.superstep += 1
+        plan = self.fault_plan
+        if plan is None:
+            n = len(self._pending)
+            for msg in self._pending:
+                key = (msg.source, msg.dest, msg.tag)
+                self._queues.setdefault(key, deque()).append(msg)
+                self.stats.record_delivered(msg)
+            self._pending.clear()
+            return n
+        return self._deliver_faulty(plan, step)
+
+    def _deliver_faulty(self, plan: FaultPlan, step: int) -> int:
+        # Stalled ranks: their messages stay pending until a barrier at
+        # which the plan lets the rank through.
+        held: list[Message] = []
+        batch: list[Message] = []
+        stalled_ranks: set[int] = set()
         for msg in self._pending:
-            key = (msg.source, msg.dest, msg.tag)
-            self._queues.setdefault(key, deque()).append(msg)
-        self._pending.clear()
-        return n
+            if plan.stalled(step, msg.source):
+                held.append(msg)
+                if msg.source not in stalled_ranks:
+                    stalled_ranks.add(msg.source)
+                    self.fault_events.append(
+                        FaultEvent(step, "stall", msg.source, -1, None, 0)
+                    )
+                self.stats.stalled += 1
+            else:
+                batch.append(msg)
+        self._pending = held
+
+        # Group the surviving batch per channel, preserving send order,
+        # so reordering and per-message sequence numbers are well defined.
+        channels: dict[tuple[int, int], list[Message]] = {}
+        for msg in batch:
+            channels.setdefault((msg.source, msg.dest), []).append(msg)
+
+        delivered = 0
+        for (source, dest), msgs in channels.items():
+            order = plan.permutation(step, source, dest, len(msgs))
+            if order != list(range(len(msgs))):
+                self.fault_events.append(
+                    FaultEvent(step, "reorder", source, dest, None, len(msgs))
+                )
+            for seq, idx in enumerate(order):
+                msg = msgs[idx]
+                verdict = plan.decide(step, source, dest, seq)
+                if verdict.drop:
+                    self.fault_events.append(
+                        FaultEvent(step, "drop", source, dest, msg.tag, seq)
+                    )
+                    self.stats.record_dropped(msg)
+                    continue
+                if verdict.corrupt:
+                    salt = hash((plan.seed, step, source, dest, seq)) & 0x7FFFFFFF
+                    msg = Message(
+                        msg.source,
+                        msg.dest,
+                        msg.tag,
+                        corrupt_payload(msg.payload, salt),
+                    )
+                    self.fault_events.append(
+                        FaultEvent(step, "corrupt", source, dest, msg.tag, seq)
+                    )
+                    self.stats.corrupted += 1
+                copies = 2 if verdict.duplicate else 1
+                if verdict.duplicate:
+                    self.fault_events.append(
+                        FaultEvent(step, "duplicate", source, dest, msg.tag, seq)
+                    )
+                    self.stats.duplicated += 1
+                key = (msg.source, msg.dest, msg.tag)
+                for _ in range(copies):
+                    self._queues.setdefault(key, deque()).append(msg)
+                    self.stats.record_delivered(msg)
+                    delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Receives
+    # ------------------------------------------------------------------
 
     def recv(self, dest: int, source: int, tag: Any) -> Any:
         """Receive the next delivered message on ``(source, dest, tag)``."""
@@ -117,6 +268,17 @@ class Network:
             while queue:
                 out.append((source, queue.popleft().payload))
         return out
+
+    def outstanding(self, tags: Any) -> int:
+        """Number of pending or delivered-but-unreceived messages whose
+        tag is in ``tags`` -- the host-side quiescence check resilient
+        protocols use before declaring their channels drained."""
+        tags = set(tags)
+        n = sum(1 for msg in self._pending if msg.tag in tags)
+        for (_, _, tag), queue in self._queues.items():
+            if tag in tags:
+                n += len(queue)
+        return n
 
     @property
     def idle(self) -> bool:

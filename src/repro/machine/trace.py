@@ -14,7 +14,7 @@ import numpy as np
 
 from .vm import VirtualMachine
 
-__all__ = ["AccessTrace", "TracingMemory", "machine_report"]
+__all__ = ["AccessTrace", "TracingMemory", "fault_report", "machine_report"]
 
 
 @dataclass
@@ -71,6 +71,16 @@ def machine_report(vm: VirtualMachine) -> dict:
         "messages": net.messages,
         "bytes": net.bytes,
         "channels": dict(net.per_channel),
+        "supersteps": vm.network.superstep,
+        "network": {
+            "sent": net.sent,
+            "delivered": net.delivered,
+            "dropped": net.dropped,
+            "duplicated": net.duplicated,
+            "corrupted": net.corrupted,
+            "stalled": net.stalled,
+            "fault_events": len(vm.network.fault_events),
+        },
         "memory": [
             {
                 "rank": proc.rank,
@@ -81,4 +91,24 @@ def machine_report(vm: VirtualMachine) -> dict:
             }
             for proc in vm.processors
         ],
+    }
+
+
+def fault_report(vm: VirtualMachine) -> dict:
+    """Summary of the fault trace: per-kind counts plus the ordered
+    event list (:class:`repro.machine.faults.FaultEvent` records).
+
+    Deterministic given the plan's seed and the program -- two runs with
+    the same seed produce identical reports, which is what makes
+    fault-injection failures replayable.
+    """
+    events = list(vm.network.fault_events)
+    by_kind: dict[str, int] = {}
+    for ev in events:
+        by_kind[ev.kind] = by_kind.get(ev.kind, 0) + 1
+    return {
+        "plan": vm.network.fault_plan,
+        "events": events,
+        "by_kind": by_kind,
+        "supersteps": vm.network.superstep,
     }

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
+from .faults import FaultPlan
 from .network import Network
 from .processor import Processor
 
@@ -62,14 +63,25 @@ class NodeContext:
 
 
 class VirtualMachine:
-    """A simulated ``p``-rank distributed-memory machine."""
+    """A simulated ``p``-rank distributed-memory machine.
 
-    def __init__(self, p: int) -> None:
+    Pass a :class:`~repro.machine.faults.FaultPlan` to make the
+    interconnect adversarial (deterministically, in the plan's seed);
+    see docs/FAULT_MODEL.md and :mod:`repro.runtime.resilient` for the
+    protocol that survives it.
+    """
+
+    def __init__(self, p: int, fault_plan: FaultPlan | None = None) -> None:
         if p <= 0:
             raise ValueError(f"need at least one rank, got p={p}")
         self.p = p
         self.processors = [Processor(rank) for rank in range(p)]
-        self.network = Network(p)
+        self.network = Network(p, fault_plan=fault_plan)
+
+    @property
+    def superstep(self) -> int:
+        """Number of barriers crossed so far (the fault plan's clock)."""
+        return self.network.superstep
 
     # ------------------------------------------------------------------
     # Execution
@@ -125,6 +137,7 @@ class VirtualMachine:
         from .processor import MemoryStats
 
         self.network.stats = NetworkStats()
+        self.network.fault_events.clear()
         for proc in self.processors:
             proc.stats = MemoryStats()
 

@@ -28,7 +28,16 @@ from .redistribute import (
     RedistributionStats,
     plan_redistribution,
     redistribute,
+    stats_from_schedule,
     traffic_matrix,
+)
+from .resilient import (
+    ExchangeFailure,
+    Packet,
+    ResilienceReport,
+    RetryPolicy,
+    execute_copy_resilient,
+    redistribute_resilient,
 )
 from .sections_io import gather_section, reduce_section, scatter_section
 from .triangular import (
@@ -67,7 +76,14 @@ __all__ = [
     "RedistributionStats",
     "plan_redistribution",
     "redistribute",
+    "stats_from_schedule",
     "traffic_matrix",
+    "ExchangeFailure",
+    "Packet",
+    "ResilienceReport",
+    "RetryPolicy",
+    "execute_copy_resilient",
+    "redistribute_resilient",
     "Trapezoid",
     "trapezoid_local_counts",
     "trapezoid_local_elements",

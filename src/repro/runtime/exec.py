@@ -25,6 +25,7 @@ from .codegen import get_shape, materialize_addresses
 from .commsets import CommSchedule, compute_comm_schedule
 
 __all__ = [
+    "as_index",
     "distribute",
     "collect",
     "execute_fill",
@@ -33,6 +34,12 @@ __all__ = [
     "execute_copy_2d",
     "execute_transpose",
 ]
+
+
+def as_index(slots) -> np.ndarray:
+    """Slot tuple -> int64 fancy-index array (the packing/unpacking idiom
+    shared by every executor, including :mod:`repro.runtime.resilient`)."""
+    return np.asarray(slots, dtype=np.int64)
 
 
 def _check_vm(vm: VirtualMachine, array: DistributedArray) -> None:
@@ -162,21 +169,21 @@ def execute_copy(
         src_mem = ctx.memory(b.name)
         dst_mem = ctx.memory(a.name)
         for tr in schedule.sends_from(ctx.rank):
-            payload = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+            payload = src_mem[as_index(tr.src_slots)].copy()
             ctx.send(tr.dest, tag, payload)
         staged = [
-            (tr, src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy())
+            (tr, src_mem[as_index(tr.src_slots)].copy())
             for tr in schedule.locals_
             if tr.source == ctx.rank
         ]
         for tr, values in staged:
-            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = values
+            dst_mem[as_index(tr.dst_slots)] = values
 
     def unpack_phase(ctx):
         dst_mem = ctx.memory(a.name)
         for tr in schedule.receives_at(ctx.rank):
             payload = ctx.recv(tr.source, tag)
-            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = payload
+            dst_mem[as_index(tr.dst_slots)] = payload
 
     vm.bsp(pack_phase, unpack_phase)
     return schedule
@@ -241,17 +248,17 @@ def execute_combine(
         for t, ((coef, src, _), sched) in enumerate(zip(terms, schedules)):
             src_mem = ctx.memory(src.name)
             for tr in sched.sends_from(ctx.rank):
-                payload = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+                payload = src_mem[as_index(tr.src_slots)].copy()
                 ctx.send(tr.dest, tag(t), payload)
             for tr in sched.locals_:
                 if tr.source == ctx.rank:
-                    values = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+                    values = src_mem[as_index(tr.src_slots)].copy()
                     staged.append((coef, tr.dst_slots, values))
         dst_mem = ctx.memory(a.name)
         dst_mem[dst_slots_by_rank[ctx.rank]] = 0.0
         for coef, dst_slots, values in staged:
             np.add.at(
-                dst_mem, np.asarray(dst_slots, dtype=np.int64), coef * values
+                dst_mem, as_index(dst_slots), coef * values
             )
 
     def unpack_phase(ctx):
@@ -260,7 +267,7 @@ def execute_combine(
             for tr in sched.receives_at(ctx.rank):
                 payload = ctx.recv(tr.source, tag(t))
                 np.add.at(
-                    dst_mem, np.asarray(tr.dst_slots, dtype=np.int64),
+                    dst_mem, as_index(tr.dst_slots),
                     coef * payload,
                 )
 
@@ -301,21 +308,21 @@ def execute_copy_2d(
         src_mem = ctx.memory(b.name)
         dst_mem = ctx.memory(a.name)
         for tr in schedule.sends_from(ctx.rank):
-            payload = src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy()
+            payload = src_mem[as_index(tr.src_slots)].copy()
             ctx.send(tr.dest, tag, payload)
         staged = [
-            (tr, src_mem[np.asarray(tr.src_slots, dtype=np.int64)].copy())
+            (tr, src_mem[as_index(tr.src_slots)].copy())
             for tr in schedule.locals_
             if tr.source == ctx.rank
         ]
         for tr, values in staged:
-            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = values
+            dst_mem[as_index(tr.dst_slots)] = values
 
     def unpack_phase(ctx):
         dst_mem = ctx.memory(a.name)
         for tr in schedule.receives_at(ctx.rank):
             payload = ctx.recv(tr.source, tag)
-            dst_mem[np.asarray(tr.dst_slots, dtype=np.int64)] = payload
+            dst_mem[as_index(tr.dst_slots)] = payload
 
     vm.bsp(pack_phase, unpack_phase)
     return schedule

@@ -22,7 +22,13 @@ from ..machine.vm import VirtualMachine
 from .commsets import CommSchedule, compute_comm_schedule
 from .exec import execute_copy
 
-__all__ = ["RedistributionStats", "plan_redistribution", "redistribute", "traffic_matrix"]
+__all__ = [
+    "RedistributionStats",
+    "plan_redistribution",
+    "redistribute",
+    "stats_from_schedule",
+    "traffic_matrix",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +53,21 @@ def _full_section(array: DistributedArray) -> RegularSection:
     return RegularSection(0, array.shape[0] - 1, 1)
 
 
+def stats_from_schedule(schedule: CommSchedule) -> RedistributionStats:
+    """Derive the aggregate cost figures from an existing schedule --
+    an O(#transfers) summary, not a replanning."""
+    fan_out: dict[int, int] = {}
+    for tr in schedule.transfers:
+        fan_out[tr.source] = fan_out.get(tr.source, 0) + 1
+    return RedistributionStats(
+        elements=schedule.total_elements,
+        local_elements=schedule.total_elements - schedule.communicated_elements,
+        remote_elements=schedule.communicated_elements,
+        messages=len(schedule.transfers),
+        max_fan_out=max(fan_out.values(), default=0),
+    )
+
+
 def plan_redistribution(
     dst: DistributedArray, src: DistributedArray
 ) -> tuple[CommSchedule, RedistributionStats]:
@@ -58,17 +79,7 @@ def plan_redistribution(
             f"{src.name}{list(src.shape)}"
         )
     schedule = compute_comm_schedule(dst, _full_section(dst), src, _full_section(src))
-    fan_out: dict[int, int] = {}
-    for tr in schedule.transfers:
-        fan_out[tr.source] = fan_out.get(tr.source, 0) + 1
-    stats = RedistributionStats(
-        elements=schedule.total_elements,
-        local_elements=schedule.total_elements - schedule.communicated_elements,
-        remote_elements=schedule.communicated_elements,
-        messages=len(schedule.transfers),
-        max_fan_out=max(fan_out.values(), default=0),
-    )
-    return schedule, stats
+    return schedule, stats_from_schedule(schedule)
 
 
 def redistribute(
@@ -77,11 +88,16 @@ def redistribute(
     src: DistributedArray,
     schedule: CommSchedule | None = None,
 ) -> RedistributionStats:
-    """Execute ``dst = src`` on the machine; returns the statistics."""
+    """Execute ``dst = src`` on the machine; returns the statistics.
+
+    With a precomputed ``schedule`` (the compile-time-constants case)
+    the statistics are summarized from that schedule directly -- the
+    full communication plan is not recomputed.
+    """
     if schedule is None:
         schedule, stats = plan_redistribution(dst, src)
     else:
-        _, stats = plan_redistribution(dst, src)
+        stats = stats_from_schedule(schedule)
     execute_copy(vm, dst, _full_section(dst), src, _full_section(src), schedule)
     return stats
 

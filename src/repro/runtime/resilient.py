@@ -1,0 +1,471 @@
+"""Resilient array exchanges over an unreliable interconnect.
+
+:func:`repro.runtime.exec.execute_copy` assumes the fabric is perfect:
+every packed payload arrives exactly once, intact, one superstep after
+it was sent.  Under a :class:`~repro.machine.faults.FaultPlan` none of
+that holds -- messages can be dropped, duplicated, reordered, corrupted,
+or delayed by rank stalls.  This module wraps the copy/redistribution
+executors in an acknowledged-delivery protocol built from ordinary BSP
+supersteps (see docs/FAULT_MODEL.md for the superstep diagram):
+
+* every transfer travels as a sequence-numbered :class:`Packet` whose
+  CRC-32 covers header *and* payload, so any single corrupted field is
+  detected at the receiver;
+* receivers apply packets **idempotently** (a transfer id is applied at
+  most once -- duplicates are counted and discarded) and answer with
+  cumulative, checksummed ACKs each round, plus immediate NACKs for
+  packets that arrive corrupted;
+* senders retransmit any unacknowledged transfer after a configurable
+  timeout measured in supersteps, up to a bounded number of retries,
+  from the payload staged at pack time (so Fortran read-before-write
+  semantics survive retransmission even for aliased self-copies);
+* after convergence a **self-verification** pass checksums every
+  destination section against the schedule-predicted checksum of the
+  staged payload, so silent data loss is a hard :class:`ExchangeFailure`
+  rather than a wrong answer.
+
+The result is the property the tests sweep over fault seeds: a resilient
+exchange either produces results bit-identical to the fault-free
+execution or raises :class:`ExchangeFailure` -- never silently wrong
+data.  At zero fault rate the protocol costs one extra superstep over
+:func:`execute_copy` and reports zero retries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distribution.array import DistributedArray
+from ..distribution.section import RegularSection
+from ..machine.vm import VirtualMachine
+from .commsets import CommSchedule, Transfer, compute_comm_schedule
+from .exec import _check_vm, as_index
+from .redistribute import RedistributionStats, stats_from_schedule
+
+__all__ = [
+    "ExchangeFailure",
+    "Packet",
+    "ResilienceReport",
+    "RetryPolicy",
+    "execute_copy_resilient",
+    "redistribute_resilient",
+]
+
+# Unique per-exchange channel ids: leftovers from an aborted or
+# still-draining exchange can never be confused with a later one.
+_EXCHANGE_IDS = itertools.count()
+
+# Nominal per-packet header charge for traffic accounting (tid, seq,
+# checksum, tag overhead).
+_HEADER_BYTES = 32
+
+
+class ExchangeFailure(RuntimeError):
+    """A resilient exchange could not be completed *and verified*.
+
+    Raised when retries are exhausted, the superstep budget runs out, or
+    destination verification detects silent data loss.  The partial
+    :class:`ResilienceReport` is attached as ``.report``.
+    """
+
+    def __init__(self, message: str, report: "ResilienceReport") -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounds of the acknowledged-delivery protocol.
+
+    ``timeout`` is measured in supersteps since a transfer was last
+    transmitted; 2 is the minimum that does not spuriously retransmit on
+    a healthy network (data crosses one barrier, the ACK a second).
+    ``max_retries`` bounds retransmissions per transfer;
+    ``max_supersteps`` bounds the whole exchange.
+    """
+
+    max_retries: int = 8
+    timeout: int = 2
+    max_supersteps: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout < 1:
+            raise ValueError(f"timeout must be >= 1 superstep, got {self.timeout}")
+        if self.max_supersteps < 2:
+            raise ValueError(
+                f"max_supersteps must be >= 2, got {self.max_supersteps}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One transfer transmission: header + payload, self-checksummed."""
+
+    tid: int  # transfer id (index into the schedule's transfer list)
+    seq: int  # transmission number: 0 first send, then 1, 2, ... retries
+    checksum: int  # CRC-32 over header and payload bytes
+    payload: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.payload.nbytes) + _HEADER_BYTES
+
+    def valid(self) -> bool:
+        try:
+            return self.checksum == _packet_checksum(self.tid, self.seq, self.payload)
+        except Exception:
+            return False
+
+
+def _packet_checksum(tid: int, seq: int, payload: np.ndarray) -> int:
+    header = struct.pack("<qq", tid, seq) + payload.dtype.str.encode()
+    crc = zlib.crc32(header)
+    return zlib.crc32(np.ascontiguousarray(payload).tobytes(), crc)
+
+
+def _values_checksum(values: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(values).tobytes())
+
+
+def _ack(tids: tuple[int, ...]) -> tuple:
+    return ("ack", tids, zlib.crc32(repr(tids).encode()))
+
+
+def _nack(tid: int) -> tuple:
+    return ("nack", tid, zlib.crc32(repr(tid).encode()))
+
+
+def _valid_control(payload, kind: str) -> bool:
+    """Checksummed control messages: corrupted ACK/NACKs are discarded
+    rather than poisoning sender bookkeeping."""
+    return (
+        isinstance(payload, tuple)
+        and len(payload) == 3
+        and payload[0] == kind
+        and payload[2] == zlib.crc32(repr(payload[1]).encode())
+    )
+
+
+@dataclass
+class ResilienceReport:
+    """What an acknowledged exchange cost and detected."""
+
+    transfers: int  # remote transfers in the schedule
+    local_transfers: int
+    supersteps: int = 0  # barriers this exchange consumed
+    retries: int = 0  # retransmissions (beyond each first send)
+    retransmitted_bytes: int = 0
+    detected_corruptions: int = 0  # checksum-failed packets at receivers
+    duplicates_ignored: int = 0
+    nacks_sent: int = 0
+    converged: bool = False
+    verified: bool = False
+    schedule: CommSchedule | None = field(default=None, repr=False)
+
+    @property
+    def extra_supersteps(self) -> int:
+        """Overhead versus the 2-superstep fault-free ``execute_copy``."""
+        return self.supersteps - 2
+
+
+@dataclass
+class _Outbound:
+    """Sender-side bookkeeping for one remote transfer."""
+
+    transfer: Transfer
+    payload: np.ndarray
+    last_sent: int = 0  # protocol round of the latest transmission
+    sends: int = 1
+    acked: bool = False
+    nacked: bool = False
+    exhausted: bool = False
+
+
+def execute_copy_resilient(
+    vm: VirtualMachine,
+    a: DistributedArray,
+    sec_a: RegularSection,
+    b: DistributedArray,
+    sec_b: RegularSection,
+    schedule: CommSchedule | None = None,
+    policy: RetryPolicy | None = None,
+) -> ResilienceReport:
+    """Run ``A(sec_a) = B(sec_b)`` tolerating network faults.
+
+    Same semantics as :func:`repro.runtime.exec.execute_copy` (Fortran
+    read-before-write, precomputed-schedule reuse) but every remote
+    transfer is acknowledged, retransmitted on loss, rejected on
+    corruption, applied idempotently on duplication, and the destination
+    sections are verified against schedule-predicted checksums before
+    returning.  Either the copy completes bit-identical to the fault-free
+    execution and a :class:`ResilienceReport` is returned, or
+    :class:`ExchangeFailure` is raised.
+    """
+    _check_vm(vm, a)
+    _check_vm(vm, b)
+    if policy is None:
+        policy = RetryPolicy()
+    if schedule is None:
+        schedule = compute_comm_schedule(a, sec_a, b, sec_b)
+
+    xid = next(_EXCHANGE_IDS)
+    data_tag = ("rxd", xid)
+    ack_tag = ("rxa", xid)
+    nack_tag = ("rxn", xid)
+    all_tags = (data_tag, ack_tag, nack_tag)
+
+    transfers = schedule.transfers
+    report = ResilienceReport(
+        transfers=len(transfers),
+        local_transfers=len(schedule.locals_),
+        schedule=schedule,
+    )
+
+    # Host-side protocol state, partitioned per rank (each node function
+    # only touches its own rank's slice -- the SPMD discipline).
+    outbox: list[dict[int, _Outbound]] = [dict() for _ in range(vm.p)]
+    expected: list[dict[int, Transfer]] = [dict() for _ in range(vm.p)]
+    applied: list[set[int]] = [set() for _ in range(vm.p)]
+    staged_locals: list[list[tuple[Transfer, np.ndarray]]] = [
+        [] for _ in range(vm.p)
+    ]
+    for tid, tr in enumerate(transfers):
+        expected[tr.dest][tid] = tr
+
+    # ------------------------------------------------------------------
+    # Superstep 1: pack.  Everything is read (remote payloads staged in
+    # the outbox, local payloads staged) before any element is written,
+    # and retransmissions reuse the staged copies -- so aliased
+    # self-copies stay correct no matter how often packets are resent.
+    # ------------------------------------------------------------------
+
+    def pack_phase(ctx):
+        src_mem = ctx.memory(b.name)
+        dst_mem = ctx.memory(a.name)
+        for tid, tr in enumerate(transfers):
+            if tr.source != ctx.rank:
+                continue
+            payload = src_mem[as_index(tr.src_slots)].copy()
+            outbox[ctx.rank][tid] = _Outbound(tr, payload)
+            ctx.send(tr.dest, data_tag, Packet(tid, 0, _packet_checksum(tid, 0, payload), payload))
+        staged = [
+            (tr, src_mem[as_index(tr.src_slots)].copy())
+            for tr in schedule.locals_
+            if tr.source == ctx.rank
+        ]
+        staged_locals[ctx.rank] = staged
+        for tr, values in staged:
+            dst_mem[as_index(tr.dst_slots)] = values
+
+    vm.run(pack_phase)
+    report.supersteps += 1
+
+    # ------------------------------------------------------------------
+    # Protocol rounds: receive/apply/ACK + retransmit, one superstep
+    # each, until every expected transfer has been applied.
+    # ------------------------------------------------------------------
+
+    def protocol_round(round_no: int):
+        def step(ctx):
+            rank = ctx.rank
+            # Sender role: fold in ACK/NACK traffic (checksummed; a
+            # corrupted control message is discarded, the timeout covers).
+            for _, payload in ctx.drain(ack_tag):
+                if _valid_control(payload, "ack"):
+                    for tid in payload[1]:
+                        ob = outbox[rank].get(tid)
+                        if ob is not None:
+                            ob.acked = True
+            for _, payload in ctx.drain(nack_tag):
+                if _valid_control(payload, "nack"):
+                    ob = outbox[rank].get(payload[1])
+                    if ob is not None and not ob.acked:
+                        ob.nacked = True
+
+            # Receiver role: validate, apply idempotently, NACK corruption.
+            dst_mem = ctx.memory(a.name) if expected[rank] else None
+            for source, payload in ctx.drain(data_tag):
+                if not isinstance(payload, Packet) or not payload.valid():
+                    report.detected_corruptions += 1
+                    tid = getattr(payload, "tid", None)
+                    if isinstance(tid, int) and tid in expected[rank]:
+                        ctx.send(source, nack_tag, _nack(tid))
+                        report.nacks_sent += 1
+                    continue
+                tr = expected[rank].get(payload.tid)
+                if tr is None or tr.source != source:
+                    # A checksum-consistent packet for a transfer this rank
+                    # does not expect -- only reachable through tag/routing
+                    # corruption; drop it.
+                    report.detected_corruptions += 1
+                    continue
+                if payload.tid in applied[rank]:
+                    report.duplicates_ignored += 1
+                    continue
+                dst_mem[as_index(tr.dst_slots)] = payload.payload
+                applied[rank].add(payload.tid)
+
+            # Receiver role: cumulative ACKs, re-sent every round so a
+            # dropped ACK is repaired by the next one.
+            by_source: dict[int, list[int]] = {}
+            for tid in applied[rank]:
+                by_source.setdefault(expected[rank][tid].source, []).append(tid)
+            for source, tids in by_source.items():
+                ctx.send(source, ack_tag, _ack(tuple(sorted(tids))))
+
+            # Sender role: retransmit overdue or NACKed transfers.
+            for tid, ob in outbox[rank].items():
+                if ob.acked or ob.exhausted:
+                    continue
+                if not ob.nacked and round_no - ob.last_sent < policy.timeout:
+                    continue
+                if ob.sends > policy.max_retries:
+                    ob.exhausted = True
+                    continue
+                seq = ob.sends
+                ctx.send(
+                    ob.transfer.dest,
+                    data_tag,
+                    Packet(tid, seq, _packet_checksum(tid, seq, ob.payload), ob.payload),
+                )
+                ob.sends += 1
+                ob.last_sent = round_no
+                ob.nacked = False
+                report.retries += 1
+                report.retransmitted_bytes += int(ob.payload.nbytes) + _HEADER_BYTES
+
+        return step
+
+    def data_converged() -> bool:
+        return all(
+            set(expected[rank]) <= applied[rank] for rank in range(vm.p)
+        )
+
+    round_no = 0
+    while not data_converged():
+        if report.supersteps >= policy.max_supersteps:
+            raise ExchangeFailure(
+                f"exchange did not converge within {policy.max_supersteps} "
+                f"supersteps ({_missing_summary(expected, applied, vm.p)})",
+                report,
+            )
+        if _all_exhausted(outbox, expected, applied, vm.p) and not vm.network.outstanding(all_tags):
+            raise ExchangeFailure(
+                "retries exhausted with transfers still undelivered "
+                f"({_missing_summary(expected, applied, vm.p)})",
+                report,
+            )
+        round_no += 1
+        vm.run(protocol_round(round_no))
+        report.supersteps += 1
+    report.converged = True
+
+    # ------------------------------------------------------------------
+    # Cleanup: drain in-flight leftovers (late duplicates, final ACKs,
+    # stalled stragglers) so the exchange leaves the network idle.  The
+    # tags are exchange-unique, so even a straggler the fault plan pins
+    # past the budget cannot interfere with later exchanges.
+    # ------------------------------------------------------------------
+
+    def cleanup(ctx):
+        dups = sum(1 for _ in ctx.drain(data_tag))
+        report.duplicates_ignored += dups
+        ctx.drain(ack_tag)
+        ctx.drain(nack_tag)
+
+    while vm.network.outstanding(all_tags) and report.supersteps < policy.max_supersteps:
+        vm.run(cleanup)
+        report.supersteps += 1
+
+    # ------------------------------------------------------------------
+    # Self-verification: every destination section must checksum to what
+    # the schedule predicted at pack time.  Catches silent loss that the
+    # per-packet machinery somehow missed -- the difference between a
+    # wrong answer and a hard error.
+    # ------------------------------------------------------------------
+
+    failures = []
+    for rank in range(vm.p):
+        dst_mem = vm.processors[rank].memory(a.name)
+        checks = [
+            (tid, expected[rank][tid], outbox[expected[rank][tid].source][tid].payload)
+            for tid in expected[rank]
+        ]
+        checks += [(None, tr, values) for tr, values in staged_locals[rank]]
+        for tid, tr, payload in checks:
+            predicted = _values_checksum(payload.astype(dst_mem.dtype, copy=False))
+            actual = _values_checksum(dst_mem[as_index(tr.dst_slots)])
+            if predicted != actual:
+                failures.append((rank, tid, tr.source))
+    if failures:
+        raise ExchangeFailure(
+            f"destination verification failed for {len(failures)} transfer(s) "
+            f"(rank, tid, source): {failures[:5]} -- silent data loss detected",
+            report,
+        )
+    report.verified = True
+    return report
+
+
+def _all_exhausted(outbox, expected, applied, p: int) -> bool:
+    """True when every still-missing transfer's sender has given up."""
+    for rank in range(p):
+        for tid in set(expected[rank]) - applied[rank]:
+            ob = outbox[expected[rank][tid].source].get(tid)
+            if ob is not None and not ob.exhausted:
+                return False
+    return True
+
+
+def _missing_summary(expected, applied, p: int) -> str:
+    missing = {
+        rank: sorted(set(expected[rank]) - applied[rank])
+        for rank in range(p)
+        if set(expected[rank]) - applied[rank]
+    }
+    return f"missing transfers by rank: {missing}"
+
+
+def _full_section(array: DistributedArray) -> RegularSection:
+    if array.rank != 1:
+        raise ValueError(f"{array.name} must be rank-1 for redistribution")
+    return RegularSection(0, array.shape[0] - 1, 1)
+
+
+def redistribute_resilient(
+    vm: VirtualMachine,
+    dst: DistributedArray,
+    src: DistributedArray,
+    schedule: CommSchedule | None = None,
+    policy: RetryPolicy | None = None,
+) -> tuple[RedistributionStats, ResilienceReport]:
+    """Execute ``dst = src`` (whole arrays) over an unreliable network.
+
+    The resilient counterpart of
+    :func:`repro.runtime.redistribute.redistribute`: same schedule, same
+    statistics, but acknowledged delivery and destination verification.
+    Returns ``(stats, report)``; raises :class:`ExchangeFailure` rather
+    than ever leaving ``dst`` silently wrong.
+    """
+    if dst.shape != src.shape:
+        raise ValueError(
+            f"shape mismatch: {dst.name}{list(dst.shape)} vs "
+            f"{src.name}{list(src.shape)}"
+        )
+    if schedule is None:
+        schedule = compute_comm_schedule(
+            dst, _full_section(dst), src, _full_section(src)
+        )
+    stats = stats_from_schedule(schedule)
+    report = execute_copy_resilient(
+        vm, dst, _full_section(dst), src, _full_section(src),
+        schedule=schedule, policy=policy,
+    )
+    return stats, report

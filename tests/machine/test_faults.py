@@ -1,0 +1,228 @@
+"""Tests for deterministic fault injection at the network layer.
+
+``make faults`` runs this file (and the resilient-protocol suite) under
+several seeds via the ``FAULT_SEEDS`` environment variable.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.machine.faults import FaultDecision, FaultPlan, corrupt_payload
+from repro.machine.network import Network
+from repro.machine.trace import fault_report, machine_report
+from repro.machine.vm import VirtualMachine
+
+SEEDS = [int(s) for s in os.environ.get("FAULT_SEEDS", "0,1,2").split(",")]
+
+
+def flood(net, rounds=6, per_round=8):
+    """Drive a deterministic traffic pattern through the network."""
+    for _ in range(rounds):
+        for i in range(per_round):
+            net.send(i % net.p, (i + 1) % net.p, "t", float(i))
+        net.deliver()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_same_fault_trace(self, seed):
+        def run():
+            plan = FaultPlan(
+                seed=seed, drop=0.3, duplicate=0.2, reorder=0.5,
+                corrupt=0.2, stall=0.2,
+            )
+            net = Network(4, fault_plan=plan)
+            flood(net)
+            return net.fault_events, net.stats
+
+        events_a, stats_a = run()
+        events_b, stats_b = run()
+        assert events_a == events_b
+        assert stats_a == stats_b
+        assert events_a  # at these rates the trace cannot be empty
+
+    def test_different_seeds_differ(self):
+        traces = []
+        for seed in (0, 1):
+            net = Network(4, fault_plan=FaultPlan(seed=seed, drop=0.4))
+            flood(net)
+            traces.append(net.fault_events)
+        assert traces[0] != traces[1]
+
+    def test_decisions_are_pure_functions(self):
+        plan = FaultPlan(seed=7, drop=0.5, duplicate=0.5, corrupt=0.5)
+        first = [plan.decide(3, 0, 1, s) for s in range(20)]
+        again = [plan.decide(3, 0, 1, s) for s in range(20)]
+        assert first == again
+        assert any(not d.clean for d in first)
+        assert any(d.clean for d in first)
+
+
+class TestPlanConfig:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="drop rate"):
+            FaultPlan(drop=1.5)
+        with pytest.raises(ValueError, match="stall rate"):
+            FaultPlan(stall=-0.1)
+
+    def test_zero_rates_are_clean(self):
+        plan = FaultPlan(seed=3)
+        assert all(
+            plan.decide(t, 0, 1, s).clean for t in range(5) for s in range(5)
+        )
+        assert not plan.stalled(0, 0)
+        assert plan.permutation(0, 0, 1, 4) == [0, 1, 2, 3]
+
+    def test_superstep_window(self):
+        plan = FaultPlan(seed=0, drop=1.0, supersteps=(2, 4))
+        assert not plan.decide(1, 0, 1, 0).drop
+        assert plan.decide(2, 0, 1, 0).drop
+        assert plan.decide(3, 0, 1, 0).drop
+        assert not plan.decide(4, 0, 1, 0).drop
+
+    def test_channel_restriction(self):
+        plan = FaultPlan(seed=0, drop=1.0, channels=frozenset({(0, 1)}))
+        assert plan.decide(0, 0, 1, 0).drop
+        assert not plan.decide(0, 1, 0, 0).drop
+
+    def test_forced_schedules(self):
+        plan = FaultPlan(
+            forced_drops=frozenset({(0, 0, 1, 0)}),
+            forced_stalls=frozenset({(1, 2)}),
+        )
+        assert plan.decide(0, 0, 1, 0) == FaultDecision(drop=True)
+        assert plan.decide(0, 0, 1, 1).clean
+        assert plan.stalled(1, 2) and not plan.stalled(0, 2)
+
+
+class TestNetworkFaults:
+    def test_drop_all(self):
+        net = Network(2, fault_plan=FaultPlan(drop=1.0))
+        net.send(0, 1, "t", 1.0)
+        assert net.deliver() == 0
+        assert not net.probe(1, 0, "t")
+        assert net.stats.sent == 1
+        assert net.stats.dropped == 1
+        assert net.stats.delivered == 0
+
+    def test_duplicate_all(self):
+        net = Network(2, fault_plan=FaultPlan(duplicate=1.0))
+        net.send(0, 1, "t", 42)
+        assert net.deliver() == 2
+        assert net.recv(1, 0, "t") == 42
+        assert net.recv(1, 0, "t") == 42
+        assert net.stats.duplicated == 1
+        assert net.stats.delivered == 2
+
+    def test_corrupt_all_changes_payload(self):
+        net = Network(2, fault_plan=FaultPlan(corrupt=1.0))
+        payload = np.arange(8, dtype=np.float64)
+        net.send(0, 1, "t", payload)
+        net.deliver()
+        got = net.recv(1, 0, "t")
+        assert not np.array_equal(got, payload)
+        # The sender's buffer is never mutated in place.
+        assert np.array_equal(payload, np.arange(8, dtype=np.float64))
+        assert net.stats.corrupted == 1
+
+    def test_stall_delays_by_one_superstep(self):
+        plan = FaultPlan(forced_stalls=frozenset({(0, 0)}))
+        net = Network(2, fault_plan=plan)
+        net.send(0, 1, "t", "late")
+        assert net.deliver() == 0  # held at superstep 0
+        assert not net.probe(1, 0, "t")
+        assert net.deliver() == 1  # released at superstep 1
+        assert net.recv(1, 0, "t") == "late"
+        assert net.stats.stalled == 1
+
+    def test_reorder_permutes_within_channel(self):
+        plan = FaultPlan(seed=5, reorder=1.0)
+        net = Network(2, fault_plan=plan)
+        for i in range(6):
+            net.send(0, 1, "t", i)
+        net.deliver()
+        got = [net.recv(1, 0, "t") for _ in range(6)]
+        assert sorted(got) == list(range(6))
+        assert got != list(range(6))  # seed 5 shuffles a 6-batch
+
+    def test_fault_free_plan_keeps_semantics(self):
+        net = Network(2, fault_plan=FaultPlan(seed=9))
+        for i in range(4):
+            net.send(0, 1, "t", i)
+        assert net.deliver() == 4
+        assert [net.recv(1, 0, "t") for _ in range(4)] == list(range(4))
+        assert net.fault_events == []
+
+    def test_outstanding(self):
+        net = Network(2)
+        net.send(0, 1, "a", 1)
+        net.send(0, 1, "b", 2)
+        assert net.outstanding({"a"}) == 1
+        net.deliver()
+        assert net.outstanding({"a", "b"}) == 2
+        net.recv(1, 0, "a")
+        assert net.outstanding({"a", "b"}) == 1
+
+
+class TestCorruptPayload:
+    @pytest.mark.parametrize("salt", [0, 1, 17, 255])
+    def test_ndarray(self, salt):
+        arr = np.arange(10, dtype=np.float64)
+        out = corrupt_payload(arr, salt)
+        assert out.shape == arr.shape and out.dtype == arr.dtype
+        assert not np.array_equal(out, arr)
+
+    def test_bytes_and_str(self):
+        assert corrupt_payload(b"abc", 1) != b"abc"
+        assert corrupt_payload("abc", 2) != "abc"
+
+    def test_scalars(self):
+        assert corrupt_payload(5, 3) != 5
+        assert corrupt_payload(2.5, 0) != 2.5
+        assert corrupt_payload(0.0, 0) != 0.0
+        assert corrupt_payload(True, 0) is False
+
+    def test_containers_recurse_one_element(self):
+        original = (1, 2, 3)
+        out = corrupt_payload(original, 4)
+        assert isinstance(out, tuple) and out != original
+        assert sum(a != b for a, b in zip(out, original)) == 1
+
+    def test_empty_payloads_unchanged(self):
+        assert corrupt_payload(b"", 0) == b""
+        assert corrupt_payload((), 0) == ()
+        arr = np.zeros(0)
+        assert corrupt_payload(arr, 0) is arr
+
+
+class TestTracing:
+    def test_fault_events_in_reports(self):
+        plan = FaultPlan(seed=2, drop=0.5, duplicate=0.3)
+        vm = VirtualMachine(3, fault_plan=plan)
+
+        def node(ctx):
+            for dest in range(ctx.p):
+                if dest != ctx.rank:
+                    ctx.send(dest, "t", float(ctx.rank))
+
+        for _ in range(5):
+            vm.run(node)
+        report = machine_report(vm)
+        net = report["network"]
+        assert net["sent"] == 5 * 3 * 2
+        assert net["sent"] == net["delivered"] - net["duplicated"] + net["dropped"]
+        assert net["fault_events"] == len(vm.network.fault_events)
+        faults = fault_report(vm)
+        assert faults["plan"] is plan
+        assert sum(faults["by_kind"].values()) == len(faults["events"])
+        assert faults["by_kind"].get("drop", 0) == net["dropped"]
+
+    def test_reset_stats_clears_fault_events(self):
+        vm = VirtualMachine(2, fault_plan=FaultPlan(drop=1.0))
+        vm.run(lambda ctx: ctx.send(1 - ctx.rank, "t", 1))
+        assert vm.network.fault_events
+        vm.reset_stats()
+        assert vm.network.fault_events == []
+        assert vm.network.stats.dropped == 0

@@ -20,8 +20,15 @@ class TestRun:
         vm = VirtualMachine(3)
         got = vm.run_spmd(lambda ctx, v: v * 2, [(1,), (2,), (3,)])
         assert got == [2, 4, 6]
-        with pytest.raises(ValueError, match="argument tuples"):
+
+    def test_run_spmd_arg_count_mismatch(self):
+        vm = VirtualMachine(3)
+        with pytest.raises(ValueError, match="need 3 argument tuples, got 1"):
             vm.run_spmd(lambda ctx: None, [()])
+        with pytest.raises(ValueError, match="need 3 argument tuples, got 4"):
+            vm.run_spmd(lambda ctx, v: v, [(1,), (2,), (3,), (4,)])
+        # No per-rank args at all is fine.
+        assert vm.run_spmd(lambda ctx: ctx.rank) == [0, 1, 2]
 
     def test_validation(self):
         with pytest.raises(ValueError, match="at least one rank"):

@@ -47,6 +47,21 @@ class TestDistributeCollect:
         with pytest.raises(ValueError, match="host image shape"):
             distribute(vm, arr, np.zeros(99))
 
+    def test_shape_mismatch_2d(self):
+        grid = ProcessorGrid("P", (2, 2))
+        arr = DistributedArray(
+            "M", (10, 12), grid,
+            (AxisMap(CyclicK(3), grid_axis=0), AxisMap(Block(), grid_axis=1)),
+        )
+        vm = VirtualMachine(4)
+        # Transposed image: same element count, wrong shape -- must not
+        # be accepted by a ravel-happy implementation.
+        with pytest.raises(ValueError, match=r"host image shape \(12, 10\)"):
+            distribute(vm, arr, np.zeros((12, 10)))
+        # Rank mismatch.
+        with pytest.raises(ValueError, match="host image shape"):
+            distribute(vm, arr, np.zeros(120))
+
     def test_vm_size_mismatch(self):
         arr = make_1d("A", 100, 4, 8)
         vm = VirtualMachine(3)

@@ -83,6 +83,36 @@ class TestExecute:
         redistribute(vm, dst, src, schedule=schedule)
         assert np.allclose(collect(vm, dst), host)
 
+    def test_precomputed_schedule_skips_replanning(self, monkeypatch):
+        """Regression: a passed schedule used to be ignored for the stats
+        and the whole communication plan recomputed just to derive them."""
+        import sys
+
+        from repro.runtime.redistribute import stats_from_schedule
+
+        # The package re-exports a `redistribute` *function*, which wins
+        # over the submodule in `import ... as`; go through sys.modules.
+        redistribute_mod = sys.modules["repro.runtime.redistribute"]
+
+        n, p = 60, 3
+        src = make_1d("S", n, p, 2)
+        dst = make_1d("D", n, p, 7)
+        schedule, planned_stats = plan_redistribution(dst, src)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("redistribute(schedule=...) must not replan")
+
+        monkeypatch.setattr(redistribute_mod, "plan_redistribution", boom)
+        monkeypatch.setattr(redistribute_mod, "compute_comm_schedule", boom)
+        vm = VirtualMachine(p)
+        host = np.arange(n, dtype=float)
+        distribute(vm, src, host)
+        distribute(vm, dst, np.zeros(n))
+        stats = redistribute(vm, dst, src, schedule=schedule)
+        assert stats == planned_stats
+        assert stats == stats_from_schedule(schedule)
+        assert np.array_equal(collect(vm, dst), host)
+
     @given(
         st.integers(min_value=1, max_value=4),
         st.integers(min_value=1, max_value=9),
