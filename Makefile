@@ -4,6 +4,9 @@
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
+# Where the sweep leaves its per-seed logs and junit reports (CI
+# uploads this directory as an artifact when the sweep fails).
+FAULT_REPORT_DIR ?= fault-reports
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -18,9 +21,21 @@ bench:
 # (docs/FAULT_MODEL.md): same seed => same fault trace, so any failure
 # here is replayable with FAULT_SEEDS=<seed>.
 faults:
+	mkdir -p $(FAULT_REPORT_DIR)
 	for seed in $(FAULT_SEED_SWEEP); do \
 		echo "== fault sweep, seed $$seed"; \
-		FAULT_SEEDS=$$seed pytest -q tests/machine/test_faults.py tests/runtime/test_resilient.py || exit 1; \
+		if ! FAULT_SEEDS=$$seed pytest -q \
+			tests/machine/test_faults.py \
+			tests/machine/test_checkpoint.py \
+			tests/runtime/test_resilient.py \
+			tests/runtime/test_property_sweep.py \
+			--junitxml=$(FAULT_REPORT_DIR)/seed-$$seed.xml \
+			> $(FAULT_REPORT_DIR)/seed-$$seed.log 2>&1; then \
+			cat $(FAULT_REPORT_DIR)/seed-$$seed.log; \
+			echo "fault sweep FAILED at seed $$seed (replay: FAULT_SEEDS=$$seed)"; \
+			exit 1; \
+		fi; \
+		tail -n 1 $(FAULT_REPORT_DIR)/seed-$$seed.log; \
 	done
 
 # Regenerate every table/figure of the paper (writes to stdout).

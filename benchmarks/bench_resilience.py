@@ -78,3 +78,66 @@ def test_resilient_under_drops(benchmark, drop):
 
     report = benchmark(run)
     assert report.converged and report.verified
+
+
+CKPT_INTERVALS = [
+    ("no-checkpoints", None),
+    ("every-4", 4),
+    ("every-2", 2),
+    ("every-1", 1),
+]
+
+
+@pytest.mark.parametrize(
+    ("label", "every"), CKPT_INTERVALS, ids=[n for n, _ in CKPT_INTERVALS]
+)
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_checkpoint_overhead_zero_crash(benchmark, label, every):
+    """The acceptance-criteria datum: what checkpointing costs when no
+    crash ever happens, per checkpoint interval.  The no-checkpoints row
+    is the baseline; denser intervals pay more snapshot bytes."""
+    from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+
+    benchmark.group = "checkpoint-overhead zero-crash"
+    vm, dst, src, schedule = _setup(CyclicK(4), CyclicK(32))
+
+    def run():
+        store = (
+            CheckpointStore(CheckpointPolicy(every=every, retention=2))
+            if every is not None
+            else None
+        )
+        _, report = redistribute_resilient(
+            vm, dst, src, schedule=schedule, checkpoints=store
+        )
+        assert report.retries == 0 and report.crashes == []
+        return report
+
+    report = benchmark(run)
+    benchmark.extra_info["checkpoints_taken"] = report.checkpoints_taken
+    benchmark.extra_info["checkpoint_bytes"] = report.checkpoint_bytes
+
+
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_crash_recovery(benchmark):
+    """Full crash-recovery cycle: one rank dies mid-exchange, restores
+    from its checkpoint, replays, and the exchange still verifies."""
+    from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+
+    benchmark.group = "checkpoint-recovery forced-crash"
+    plan = FaultPlan(forced_crashes=frozenset({(1, 3)}), crash_downtime=2)
+    policy = RetryPolicy(max_retries=16, max_supersteps=128)
+
+    def run():
+        vm, dst, src, schedule = _setup(CyclicK(4), CyclicK(32), fault_plan=plan)
+        store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+        _, report = redistribute_resilient(
+            vm, dst, src, schedule=schedule, policy=policy, checkpoints=store
+        )
+        assert report.converged and report.verified
+        assert report.recoveries
+        return report
+
+    report = benchmark(run)
+    benchmark.extra_info["replayed_transfers"] = report.replayed_transfers
+    benchmark.extra_info["parked_rounds"] = report.parked_rounds

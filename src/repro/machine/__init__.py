@@ -14,8 +14,16 @@ from .collectives import (
     reduce,
     scatter,
 )
+from .checkpoint import (
+    ArenaSnapshot,
+    Checkpoint,
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointStore,
+    RankSnapshot,
+)
 from .costmodel import CostModel, MessageCost, SuperstepEstimate, estimate_superstep
-from .faults import FaultDecision, FaultEvent, FaultPlan, corrupt_payload
+from .faults import FAULT_KINDS, FaultDecision, FaultEvent, FaultPlan, corrupt_payload
 from .network import Message, Network, NetworkStats, payload_nbytes
 from .processor import MemoryStats, Processor
 from .topology import (
@@ -37,10 +45,17 @@ __all__ = [
     "NetworkStats",
     "Message",
     "payload_nbytes",
+    "FAULT_KINDS",
     "FaultPlan",
     "FaultDecision",
     "FaultEvent",
     "corrupt_payload",
+    "ArenaSnapshot",
+    "RankSnapshot",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "CheckpointStore",
     "broadcast",
     "scatter",
     "gather",

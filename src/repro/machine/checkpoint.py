@@ -1,0 +1,247 @@
+"""Superstep-granularity checkpoint/restart for the SPMD machine.
+
+Crash faults (:class:`repro.machine.faults.FaultPlan` kill points) wipe
+a rank's volatile memory; this module is the stable storage that makes
+such a crash survivable.  A :class:`CheckpointStore` captures per-rank
+snapshots -- every local arena serialized with a CRC-32, plus an opaque
+runtime ``state`` blob (the resilient protocol stashes its applied-set
+there, its "network sequence state") -- and restores them into a
+restarted processor after verifying every checksum, so a bit-rotted
+checkpoint is a hard :class:`CheckpointError` rather than silently
+wrong recovered data.
+
+Policies are deliberately small: :class:`CheckpointPolicy` expresses
+"every N rounds" (``every=N``) or on-demand-only (``every=None``), and
+bounded retention (the store keeps the last ``retention`` checkpoints,
+like a rotating snapshot directory).  The store never snapshots a dead
+rank -- its memory is already gone -- so a checkpoint taken mid-outage
+simply omits the victim and :meth:`CheckpointStore.latest_for` walks
+back to the newest checkpoint that still covers it.
+
+See docs/FAULT_MODEL.md ("Crash faults and recovery") for how
+:mod:`repro.runtime.resilient` drives this during an exchange.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .processor import Processor
+from .vm import VirtualMachine
+
+__all__ = [
+    "ArenaSnapshot",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "RankSnapshot",
+]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be taken, found, or verifiably restored."""
+
+
+def _state_checksum(state: Any) -> int:
+    return zlib.crc32(repr(state).encode())
+
+
+@dataclass(frozen=True, slots=True)
+class ArenaSnapshot:
+    """One local memory arena, serialized and checksummed."""
+
+    name: str
+    dtype: str  # NumPy dtype.str, e.g. "<f8"
+    data: bytes
+    checksum: int
+
+    @classmethod
+    def capture(cls, name: str, arena: np.ndarray) -> "ArenaSnapshot":
+        data = np.ascontiguousarray(arena).tobytes()
+        return cls(name, arena.dtype.str, data, zlib.crc32(data))
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+    def restore(self) -> np.ndarray:
+        if zlib.crc32(self.data) != self.checksum:
+            raise CheckpointError(
+                f"checksum mismatch restoring arena {self.name!r} -- "
+                "checkpoint is corrupted"
+            )
+        return np.frombuffer(self.data, dtype=np.dtype(self.dtype)).copy()
+
+
+@dataclass(frozen=True, slots=True)
+class RankSnapshot:
+    """One rank's full volatile state at a superstep boundary.
+
+    ``state`` is an opaque blob the runtime layers may attach (the
+    resilient exchange stores its per-rank protocol state there); it is
+    checksummed by ``repr`` so accidental mutation between save and
+    restore is detected.
+    """
+
+    rank: int
+    incarnation: int
+    arenas: tuple[ArenaSnapshot, ...]
+    state: Any = None
+    state_checksum: int = 0
+
+    @classmethod
+    def capture(cls, proc: Processor, state: Any = None) -> "RankSnapshot":
+        arenas = tuple(
+            ArenaSnapshot.capture(name, proc.memory(name))
+            for name in proc.memory_names
+        )
+        return cls(
+            proc.rank, proc.incarnation, arenas, state, _state_checksum(state)
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arenas)
+
+    def restore_into(self, proc: Processor) -> Any:
+        """Reallocate every snapshotted arena on ``proc`` (checksums
+        verified) and return the verified opaque ``state``."""
+        if not proc.alive:
+            raise CheckpointError(
+                f"cannot restore into dead rank {proc.rank}; restart it first"
+            )
+        if _state_checksum(self.state) != self.state_checksum:
+            raise CheckpointError(
+                f"runtime-state checksum mismatch restoring rank {proc.rank}"
+            )
+        for snap in self.arenas:
+            values = snap.restore()
+            proc.allocate(snap.name, len(values), dtype=values.dtype)
+            proc.memory(snap.name)[:] = values
+        return self.state
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Machine-wide snapshot at one superstep (dead ranks omitted)."""
+
+    superstep: int
+    snapshots: dict[int, RankSnapshot]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.snapshots.values())
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(sorted(self.snapshots))
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointPolicy:
+    """When to checkpoint, and how many checkpoints to keep.
+
+    ``every=N`` takes a snapshot every ``N`` protocol rounds;
+    ``every=None`` means on-demand only (explicit :meth:`save` calls,
+    e.g. the exchange's baseline checkpoint).  ``retention`` bounds the
+    store: older checkpoints are discarded first-in-first-out.
+    """
+
+    every: int | None = 1
+    retention: int = 2
+
+    def __post_init__(self) -> None:
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1 or None, got {self.every}")
+        if self.retention < 1:
+            raise ValueError(f"retention must be >= 1, got {self.retention}")
+
+    def due(self, rounds_since_last: int) -> bool:
+        return self.every is not None and rounds_since_last >= self.every
+
+
+class CheckpointStore:
+    """Bounded stable storage for machine checkpoints.
+
+    The store survives rank crashes by construction (it lives host-side,
+    the simulator's stand-in for disk/replicated storage).  ``saved`` /
+    ``bytes_saved`` / ``restores`` feed the overhead benchmark in
+    ``benchmarks/bench_resilience.py``.
+    """
+
+    def __init__(self, policy: CheckpointPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else CheckpointPolicy()
+        self._checkpoints: deque[Checkpoint] = deque(maxlen=self.policy.retention)
+        self.saved = 0
+        self.bytes_saved = 0
+        self.restores = 0
+
+    @property
+    def checkpoints(self) -> tuple[Checkpoint, ...]:
+        return tuple(self._checkpoints)
+
+    def save(
+        self,
+        vm: VirtualMachine,
+        states: dict[int, Any] | None = None,
+    ) -> Checkpoint:
+        """Snapshot every live rank of ``vm`` (dead ranks are omitted:
+        their memory is already lost).  ``states`` attaches an opaque
+        per-rank runtime blob to the snapshots."""
+        snapshots = {
+            rank: RankSnapshot.capture(
+                vm.processors[rank],
+                None if states is None else states.get(rank),
+            )
+            for rank in range(vm.p)
+            if vm.processors[rank].alive
+        }
+        if not snapshots:
+            raise CheckpointError("no live ranks to checkpoint")
+        ckpt = Checkpoint(vm.superstep, snapshots)
+        self._checkpoints.append(ckpt)
+        self.saved += 1
+        self.bytes_saved += ckpt.nbytes
+        return ckpt
+
+    def latest_for(
+        self, rank: int, before: int | None = None
+    ) -> tuple[Checkpoint, RankSnapshot] | None:
+        """Newest retained checkpoint covering ``rank`` (optionally taken
+        strictly before superstep ``before``), or ``None``."""
+        for ckpt in reversed(self._checkpoints):
+            if before is not None and ckpt.superstep >= before:
+                continue
+            snap = ckpt.snapshots.get(rank)
+            if snap is not None:
+                return ckpt, snap
+        return None
+
+    def restore_rank(
+        self, vm: VirtualMachine, rank: int, checkpoint: Checkpoint | None = None
+    ) -> Any:
+        """Restore ``rank``'s arenas from ``checkpoint`` (default: the
+        newest covering it); returns the snapshot's opaque runtime state.
+        Raises :class:`CheckpointError` when no usable checkpoint exists
+        or any checksum fails."""
+        if checkpoint is not None:
+            snap = checkpoint.snapshots.get(rank)
+            if snap is None:
+                raise CheckpointError(
+                    f"checkpoint at superstep {checkpoint.superstep} does not "
+                    f"cover rank {rank}"
+                )
+        else:
+            entry = self.latest_for(rank)
+            if entry is None:
+                raise CheckpointError(f"no retained checkpoint covers rank {rank}")
+            _, snap = entry
+        state = snap.restore_into(vm.processors[rank])
+        self.restores += 1
+        return state

@@ -6,7 +6,13 @@ lost, duplicated, delayed, or delivered corrupted; our in-process
 :class:`FaultPlan` restores the adversarial part of the substitution
 (see docs/FAULT_MODEL.md): the network consults it at :meth:`deliver`
 time and may *drop*, *duplicate*, *reorder*, or *corrupt* individual
-messages, or *stall* a rank's outgoing traffic for a superstep.
+messages, or *stall* a rank's outgoing traffic for a superstep.  A plan
+may also *crash* whole ranks: a seeded (or forced) schedule of
+``(superstep, rank)`` kill points consulted by the virtual machine at
+each barrier -- the rank dies, its in-flight messages are quarantined,
+and it restarts with wiped memory after ``crash_downtime`` supersteps
+(recovery is the runtime's job; see :mod:`repro.machine.checkpoint`
+and :mod:`repro.runtime.resilient`).
 
 Every decision is a pure function of ``(seed, fault kind, superstep,
 channel, sequence number)`` -- no hidden RNG stream whose state depends
@@ -26,7 +32,17 @@ from typing import Any, Iterable
 
 import numpy as np
 
-__all__ = ["FaultDecision", "FaultEvent", "FaultPlan", "corrupt_payload"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultPlan",
+    "corrupt_payload",
+]
+
+# Every fault kind a plan can express; ``FaultPlan.from_rates`` rejects
+# anything else with a ValueError instead of silently never firing.
+FAULT_KINDS = ("drop", "duplicate", "reorder", "corrupt", "stall", "crash")
 
 # Denominator for mapping a 64-bit digest prefix onto [0, 1).
 _SCALE = float(1 << 64)
@@ -50,9 +66,9 @@ class FaultEvent:
     """One injected fault, as recorded by the network for traces."""
 
     superstep: int
-    kind: str  # "drop" | "duplicate" | "reorder" | "corrupt" | "stall"
+    kind: str  # one of FAULT_KINDS, or "restart" / "quarantine"
     source: int
-    dest: int  # -1 for rank-wide events (stall)
+    dest: int  # -1 for rank-wide events (stall, crash, restart)
     tag: Any
     seq: int  # per-channel sequence number within the superstep batch
 
@@ -64,13 +80,17 @@ class FaultPlan:
     Rates are independent per-message probabilities in ``[0, 1]``;
     ``stall`` is a per-(rank, superstep) probability that *all* of that
     rank's messages entering the barrier are held back one superstep.
-    ``channels`` restricts message-level faults to the given
-    ``(source, dest)`` pairs (``None`` = every channel); ``supersteps``
-    restricts all faults to a half-open ``[start, stop)`` window of
-    superstep numbers.  Explicit schedules can be expressed on top of
-    the probabilistic ones: ``forced_stalls`` names exact
+    ``crash`` is a per-(rank, superstep) probability that the rank dies
+    at the barrier (its memory is wiped and its in-flight messages are
+    quarantined); a crashed rank restarts after ``crash_downtime``
+    supersteps.  ``channels`` restricts message-level faults to the
+    given ``(source, dest)`` pairs (``None`` = every channel);
+    ``supersteps`` restricts all faults to a half-open ``[start, stop)``
+    window of superstep numbers.  Explicit schedules can be expressed on
+    top of the probabilistic ones: ``forced_stalls`` names exact
     ``(superstep, rank)`` pairs, ``forced_drops`` exact
-    ``(superstep, source, dest, seq)`` messages.
+    ``(superstep, source, dest, seq)`` messages, and ``forced_crashes``
+    exact ``(superstep, rank)`` kill points.
     """
 
     seed: int = 0
@@ -79,18 +99,48 @@ class FaultPlan:
     reorder: float = 0.0
     corrupt: float = 0.0
     stall: float = 0.0
+    crash: float = 0.0
+    crash_downtime: int = 1
     channels: frozenset[tuple[int, int]] | None = None
     supersteps: tuple[int, int] | None = None
     forced_stalls: frozenset[tuple[int, int]] = field(default_factory=frozenset)
     forced_drops: frozenset[tuple[int, int, int, int]] = field(
         default_factory=frozenset
     )
+    forced_crashes: frozenset[tuple[int, int]] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
-        for name in ("drop", "duplicate", "reorder", "corrupt", "stall"):
+        for name in FAULT_KINDS:
             rate = getattr(self, name)
-            if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+            if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate!r}")
+        if self.crash_downtime < 1:
+            raise ValueError(
+                f"crash_downtime must be >= 1 superstep, got {self.crash_downtime}"
+            )
+
+    @classmethod
+    def from_rates(cls, seed: int = 0, **config: Any) -> "FaultPlan":
+        """Build a plan from keyword rates, rejecting unknown fault kinds.
+
+        ``FaultPlan(drp=0.3)`` is a ``TypeError`` from the dataclass
+        machinery; this constructor gives sweep harnesses (and config
+        files) a clear :class:`ValueError` naming the known kinds
+        instead, so a typo'd fault kind can never silently never fire.
+        Non-rate knobs (``crash_downtime``, ``channels``, windows,
+        forced schedules) pass through unchanged.
+        """
+        passthrough = {
+            "crash_downtime", "channels", "supersteps",
+            "forced_stalls", "forced_drops", "forced_crashes",
+        }
+        unknown = sorted(set(config) - set(FAULT_KINDS) - passthrough)
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {unknown}; known kinds are "
+                f"{list(FAULT_KINDS)}"
+            )
+        return cls(seed=seed, **config)
 
     # ------------------------------------------------------------------
     # Deterministic coin flips
@@ -141,6 +191,19 @@ class FaultPlan:
         if not self._in_window(superstep) or self.stall <= 0.0:
             return False
         return self._chance("stall", superstep, rank) < self.stall
+
+    def crashed(self, superstep: int, rank: int) -> bool:
+        """True when ``rank`` dies at the barrier closing ``superstep``.
+
+        Like every other decision this is a pure function of the key, so
+        a seed fully determines the kill schedule -- the property the
+        checkpoint/recovery tests replay failures from.
+        """
+        if (superstep, rank) in self.forced_crashes:
+            return True
+        if not self._in_window(superstep) or self.crash <= 0.0:
+            return False
+        return self._chance("crash", superstep, rank) < self.crash
 
     def permutation(
         self, superstep: int, source: int, dest: int, n: int

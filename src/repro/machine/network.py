@@ -35,8 +35,9 @@ def payload_nbytes(payload: Any, _depth: int = 0) -> int:
 
     Objects exposing an integer ``nbytes`` (NumPy arrays and scalars,
     the resilient protocol's packets) report their buffer size exactly;
-    byte strings their length.  Lists and tuples recurse **one level**
-    so that e.g. a list of arrays counts the array buffers, not just
+    byte strings their length.  Lists, tuples, and dicts recurse **one
+    level** (dicts over keys *and* values) so that e.g. a list of arrays
+    or a header dict of buffers counts the element buffers, not just
     ``sys.getsizeof``'s pointer-table size -- deeper nesting and other
     containers still fall back to ``sys.getsizeof``, which measures the
     container shell only.  The result is an accounting approximation,
@@ -51,6 +52,11 @@ def payload_nbytes(payload: Any, _depth: int = 0) -> int:
     if isinstance(payload, (list, tuple)) and _depth == 0:
         return sys.getsizeof(payload) + sum(
             payload_nbytes(item, _depth=1) for item in payload
+        )
+    if isinstance(payload, dict) and _depth == 0:
+        return sys.getsizeof(payload) + sum(
+            payload_nbytes(k, _depth=1) + payload_nbytes(v, _depth=1)
+            for k, v in payload.items()
         )
     return sys.getsizeof(payload)
 
@@ -89,6 +95,8 @@ class NetworkStats:
     duplicated: int = 0
     corrupted: int = 0
     stalled: int = 0
+    quarantined: int = 0
+    bytes_quarantined: int = 0
 
     @property
     def sent(self) -> int:
@@ -112,6 +120,10 @@ class NetworkStats:
     def record_dropped(self, msg: Message) -> None:
         self.dropped += 1
         self.bytes_dropped += msg.nbytes
+
+    def record_quarantined(self, msg: Message) -> None:
+        self.quarantined += 1
+        self.bytes_quarantined += msg.nbytes
 
 
 class Network:
@@ -139,6 +151,7 @@ class Network:
         self._queues: dict[tuple[int, int, Any], deque[Message]] = {}
         self.stats = NetworkStats()
         self.fault_events: list[FaultEvent] = []
+        self.dead: set[int] = set()  # ranks whose NIC is down (crashed)
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.p:
@@ -152,6 +165,44 @@ class Network:
         self.stats.record(msg)
 
     # ------------------------------------------------------------------
+    # Crash quarantine
+    # ------------------------------------------------------------------
+
+    def mark_dead(self, rank: int, superstep: int | None = None) -> int:
+        """Take ``rank``'s NIC down: its in-flight messages (pending
+        sends *and* delivered-but-unreceived traffic addressed to it)
+        are quarantined -- removed and counted, never delivered.  While
+        dead, anything addressed to the rank is quarantined at the next
+        barrier.  Returns the number of messages quarantined now."""
+        self._check_rank(rank, "dead")
+        self.dead.add(rank)
+        step = self.superstep if superstep is None else superstep
+        gone = 0
+        keep: list[Message] = []
+        for msg in self._pending:
+            if msg.source == rank or msg.dest == rank:
+                self._quarantine(msg, step)
+                gone += 1
+            else:
+                keep.append(msg)
+        self._pending = keep
+        for (source, dest, tag), queue in self._queues.items():
+            if dest == rank:
+                while queue:
+                    self._quarantine(queue.popleft(), step)
+                    gone += 1
+        return gone
+
+    def mark_alive(self, rank: int) -> None:
+        self.dead.discard(rank)
+
+    def _quarantine(self, msg: Message, step: int) -> None:
+        self.stats.record_quarantined(msg)
+        self.fault_events.append(
+            FaultEvent(step, "quarantine", msg.source, msg.dest, msg.tag, 0)
+        )
+
+    # ------------------------------------------------------------------
     # Barrier
     # ------------------------------------------------------------------
 
@@ -161,6 +212,15 @@ class Network:
         made receivable (duplicates count)."""
         step = self.superstep
         self.superstep += 1
+        if self.dead:
+            # Traffic touching a downed NIC never crosses the barrier.
+            live: list[Message] = []
+            for msg in self._pending:
+                if msg.source in self.dead or msg.dest in self.dead:
+                    self._quarantine(msg, step)
+                else:
+                    live.append(msg)
+            self._pending = live
         plan = self.fault_plan
         if plan is None:
             n = len(self._pending)

@@ -24,7 +24,15 @@ class MemoryStats:
 
 
 class Processor:
-    """One simulated node: rank id + named local memories + counters."""
+    """One simulated node: rank id + named local memories + counters.
+
+    A processor can *crash* (see :class:`repro.machine.faults.FaultPlan`
+    kill points): it goes dead, its memories are wiped, and a later
+    :meth:`restart` brings it back -- still empty -- under a new
+    incarnation number.  Restoring state is the job of
+    :mod:`repro.machine.checkpoint`; the processor itself only models
+    the volatile-memory loss.
+    """
 
     def __init__(self, rank: int) -> None:
         if rank < 0:
@@ -32,6 +40,35 @@ class Processor:
         self.rank = rank
         self._memories: dict[str, np.ndarray] = {}
         self.stats = MemoryStats()
+        self.alive = True
+        self.incarnation = 0  # bumped at every restart
+        self.crashed_at: int | None = None  # superstep of the latest crash
+
+    # ------------------------------------------------------------------
+    # Crash lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self, superstep: int) -> None:
+        """Kill the node: volatile memory is lost, nothing executes until
+        :meth:`restart`."""
+        if not self.alive:
+            raise RuntimeError(f"rank {self.rank} is already dead")
+        self.alive = False
+        self.crashed_at = superstep
+        self._memories.clear()
+
+    def restart(self) -> None:
+        """Bring a dead node back up with wiped memory and a fresh
+        incarnation number (so peers can tell a reboot from a stall)."""
+        if self.alive:
+            raise RuntimeError(f"rank {self.rank} is not dead")
+        self.alive = True
+        self.incarnation += 1
+
+    @property
+    def memory_names(self) -> tuple[str, ...]:
+        """Allocated arena names, sorted (checkpointing iterates these)."""
+        return tuple(sorted(self._memories))
 
     def allocate(self, name: str, size: int, dtype=np.float64, fill=0) -> np.ndarray:
         """Allocate (or reallocate) a named local arena of ``size`` cells."""

@@ -79,8 +79,12 @@ def machine_report(vm: VirtualMachine) -> dict:
             "duplicated": net.duplicated,
             "corrupted": net.corrupted,
             "stalled": net.stalled,
+            "quarantined": net.quarantined,
             "fault_events": len(vm.network.fault_events),
         },
+        "crashes": list(vm.crash_log),
+        "dead_ranks": list(vm.dead_ranks),
+        "incarnations": [proc.incarnation for proc in vm.processors],
         "memory": [
             {
                 "rank": proc.rank,
@@ -96,7 +100,8 @@ def machine_report(vm: VirtualMachine) -> dict:
 
 def fault_report(vm: VirtualMachine) -> dict:
     """Summary of the fault trace: per-kind counts plus the ordered
-    event list (:class:`repro.machine.faults.FaultEvent` records).
+    event list (:class:`repro.machine.faults.FaultEvent` records,
+    including ``crash`` / ``restart`` / ``quarantine`` lifecycle events).
 
     Deterministic given the plan's seed and the program -- two runs with
     the same seed produce identical reports, which is what makes
@@ -111,4 +116,5 @@ def fault_report(vm: VirtualMachine) -> dict:
         "events": events,
         "by_kind": by_kind,
         "supersteps": vm.network.superstep,
+        "crashes": list(vm.crash_log),
     }

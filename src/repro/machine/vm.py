@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from .faults import FaultPlan
+from .faults import FaultEvent, FaultPlan
 from .network import Network
 from .processor import Processor
 
@@ -68,7 +68,11 @@ class VirtualMachine:
     Pass a :class:`~repro.machine.faults.FaultPlan` to make the
     interconnect adversarial (deterministically, in the plan's seed);
     see docs/FAULT_MODEL.md and :mod:`repro.runtime.resilient` for the
-    protocol that survives it.
+    protocol that survives it.  Plans with crash points (or explicit
+    :meth:`crash_rank` calls) kill whole ranks at barriers: a dead rank
+    skips execution, its in-flight traffic is quarantined, and after its
+    downtime it restarts with wiped memory -- state restoration is the
+    job of :mod:`repro.machine.checkpoint`.
     """
 
     def __init__(self, p: int, fault_plan: FaultPlan | None = None) -> None:
@@ -77,6 +81,8 @@ class VirtualMachine:
         self.p = p
         self.processors = [Processor(rank) for rank in range(p)]
         self.network = Network(p, fault_plan=fault_plan)
+        self.crash_log: list[tuple[int, int]] = []  # (rank, superstep)
+        self._restart_at: dict[int, int] = {}
 
     @property
     def superstep(self) -> int:
@@ -84,14 +90,77 @@ class VirtualMachine:
         return self.network.superstep
 
     # ------------------------------------------------------------------
+    # Crash lifecycle
+    # ------------------------------------------------------------------
+
+    def alive(self, rank: int) -> bool:
+        return self.processors[rank].alive
+
+    @property
+    def dead_ranks(self) -> tuple[int, ...]:
+        return tuple(r for r in range(self.p) if not self.processors[r].alive)
+
+    def crash_rank(self, rank: int, downtime: int | None = None) -> None:
+        """Kill ``rank`` at the current superstep (outside any fault
+        plan): memory wiped, in-flight messages quarantined, automatic
+        restart ``downtime`` supersteps later (default: the plan's
+        ``crash_downtime``, or 1)."""
+        if downtime is None:
+            plan = self.network.fault_plan
+            downtime = plan.crash_downtime if plan is not None else 1
+        if downtime < 1:
+            raise ValueError(f"downtime must be >= 1 superstep, got {downtime}")
+        self._crash(rank, self.network.superstep, downtime)
+
+    def _crash(self, rank: int, step: int, downtime: int) -> None:
+        self.processors[rank].crash(step)
+        self.network.mark_dead(rank, step)
+        self.network.fault_events.append(
+            FaultEvent(step, "crash", rank, -1, None, 0)
+        )
+        self.crash_log.append((rank, step))
+        self._restart_at[rank] = step + 1 + downtime
+
+    def _revive_due(self) -> None:
+        """Restart dead ranks whose downtime has elapsed (called before
+        each superstep's execution): alive again, memory still wiped."""
+        step = self.network.superstep
+        for rank, when in list(self._restart_at.items()):
+            if step >= when:
+                proc = self.processors[rank]
+                proc.restart()
+                self.network.mark_alive(rank)
+                self.network.fault_events.append(
+                    FaultEvent(step, "restart", rank, -1, None, proc.incarnation)
+                )
+                del self._restart_at[rank]
+
+    def _barrier(self) -> None:
+        """Superstep barrier: fire this step's crash points (quarantining
+        the victims' in-flight sends), then deliver."""
+        plan = self.network.fault_plan
+        if plan is not None:
+            step = self.network.superstep
+            for rank in range(self.p):
+                if self.processors[rank].alive and plan.crashed(step, rank):
+                    self._crash(rank, step, plan.crash_downtime)
+        self.network.deliver()
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def run(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
-        """Run one superstep: ``fn(ctx, *args)`` on every rank, then a
-        barrier.  Returns the per-rank return values."""
-        results = [fn(NodeContext(self, rank), *args) for rank in range(self.p)]
-        self.network.deliver()
+        """Run one superstep: ``fn(ctx, *args)`` on every live rank, then
+        a barrier.  Dead ranks skip execution and yield ``None``."""
+        self._revive_due()
+        results = [
+            fn(NodeContext(self, rank), *args)
+            if self.processors[rank].alive
+            else None
+            for rank in range(self.p)
+        ]
+        self._barrier()
         return results
 
     def bsp(self, *phases: Callable[..., Any]) -> list[list[Any]]:
@@ -110,11 +179,15 @@ class VirtualMachine:
             raise ValueError(
                 f"need {self.p} argument tuples, got {len(per_rank_args)}"
             )
+        self._revive_due()
         results = []
         for rank in range(self.p):
+            if not self.processors[rank].alive:
+                results.append(None)
+                continue
             args = per_rank_args[rank] if per_rank_args is not None else ()
             results.append(fn(NodeContext(self, rank), *args))
-        self.network.deliver()
+        self._barrier()
         return results
 
     # ------------------------------------------------------------------

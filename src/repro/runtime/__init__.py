@@ -34,6 +34,7 @@ from .redistribute import (
 from .resilient import (
     ExchangeFailure,
     Packet,
+    RecoveryEvent,
     ResilienceReport,
     RetryPolicy,
     execute_copy_resilient,
@@ -80,6 +81,7 @@ __all__ = [
     "traffic_matrix",
     "ExchangeFailure",
     "Packet",
+    "RecoveryEvent",
     "ResilienceReport",
     "RetryPolicy",
     "execute_copy_resilient",

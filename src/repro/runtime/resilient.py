@@ -22,7 +22,18 @@ supersteps (see docs/FAULT_MODEL.md for the superstep diagram):
 * after convergence a **self-verification** pass checksums every
   destination section against the schedule-predicted checksum of the
   staged payload, so silent data loss is a hard :class:`ExchangeFailure`
-  rather than a wrong answer.
+  rather than a wrong answer;
+* whole-rank **crashes** (:class:`~repro.machine.faults.FaultPlan` kill
+  points) are survivable when a
+  :class:`~repro.machine.checkpoint.CheckpointStore` is supplied:
+  participants exchange per-round heartbeats, survivors *park*
+  retransmissions toward a peer whose ACK/heartbeat window has been
+  silent for ``suspect_after`` rounds, and a restarted rank restores its
+  arenas and protocol state from its last checkpoint, after which the
+  missing transfers are replayed idempotently from the senders'
+  pack-time logs.  Without a checkpoint store a crash is a hard
+  :class:`ExchangeFailure` whose report names the unrecoverable rank and
+  superstep.
 
 The result is the property the tests sweep over fault seeds: a resilient
 exchange either produces results bit-identical to the fault-free
@@ -42,6 +53,7 @@ import numpy as np
 
 from ..distribution.array import DistributedArray
 from ..distribution.section import RegularSection
+from ..machine.checkpoint import CheckpointStore
 from ..machine.vm import VirtualMachine
 from .commsets import CommSchedule, Transfer, compute_comm_schedule
 from .exec import _check_vm, as_index
@@ -50,6 +62,7 @@ from .redistribute import RedistributionStats, stats_from_schedule
 __all__ = [
     "ExchangeFailure",
     "Packet",
+    "RecoveryEvent",
     "ResilienceReport",
     "RetryPolicy",
     "execute_copy_resilient",
@@ -86,12 +99,17 @@ class RetryPolicy:
     transmitted; 2 is the minimum that does not spuriously retransmit on
     a healthy network (data crosses one barrier, the ACK a second).
     ``max_retries`` bounds retransmissions per transfer;
-    ``max_supersteps`` bounds the whole exchange.
+    ``max_supersteps`` bounds the whole exchange.  ``suspect_after`` is
+    the dead-peer detection window: a participant whose heartbeats/ACKs
+    have been missing for that many consecutive rounds is presumed
+    crashed, and retransmissions toward it are parked until it is heard
+    from again (so a rank's downtime does not burn the retry budget).
     """
 
     max_retries: int = 8
     timeout: int = 2
     max_supersteps: int = 64
+    suspect_after: int = 3
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -101,6 +119,10 @@ class RetryPolicy:
         if self.max_supersteps < 2:
             raise ValueError(
                 f"max_supersteps must be >= 2, got {self.max_supersteps}"
+            )
+        if self.suspect_after < 1:
+            raise ValueError(
+                f"suspect_after must be >= 1 round, got {self.suspect_after}"
             )
 
 
@@ -142,6 +164,13 @@ def _nack(tid: int) -> tuple:
     return ("nack", tid, zlib.crc32(repr(tid).encode()))
 
 
+def _hb(rank: int, incarnation: int) -> tuple:
+    """Checksummed liveness beacon; the incarnation lets peers tell a
+    reboot from a long stall."""
+    body = (rank, incarnation)
+    return ("hb", body, zlib.crc32(repr(body).encode()))
+
+
 def _valid_control(payload, kind: str) -> bool:
     """Checksummed control messages: corrupted ACK/NACKs are discarded
     rather than poisoning sender bookkeeping."""
@@ -151,6 +180,18 @@ def _valid_control(payload, kind: str) -> bool:
         and payload[0] == kind
         and payload[2] == zlib.crc32(repr(payload[1]).encode())
     )
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryEvent:
+    """One completed crash recovery: which rank died, where it rewound
+    to, and how much had to be replayed."""
+
+    rank: int
+    crash_superstep: int
+    checkpoint_superstep: int
+    replayed_transfers: int
+    round_no: int  # protocol round at which the restore happened
 
 
 @dataclass
@@ -167,6 +208,13 @@ class ResilienceReport:
     nacks_sent: int = 0
     converged: bool = False
     verified: bool = False
+    crashes: list[tuple[int, int]] = field(default_factory=list)  # (rank, step)
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+    replayed_transfers: int = 0
+    parked_rounds: int = 0  # rounds spent with at least one suspected peer
+    checkpoints_taken: int = 0
+    checkpoint_bytes: int = 0
+    unrecoverable: tuple[int, int] | None = None  # (rank, superstep)
     schedule: CommSchedule | None = field(default=None, repr=False)
 
     @property
@@ -196,6 +244,7 @@ def execute_copy_resilient(
     sec_b: RegularSection,
     schedule: CommSchedule | None = None,
     policy: RetryPolicy | None = None,
+    checkpoints: CheckpointStore | None = None,
 ) -> ResilienceReport:
     """Run ``A(sec_a) = B(sec_b)`` tolerating network faults.
 
@@ -207,6 +256,13 @@ def execute_copy_resilient(
     returning.  Either the copy completes bit-identical to the fault-free
     execution and a :class:`ResilienceReport` is returned, or
     :class:`ExchangeFailure` is raised.
+
+    With a ``checkpoints`` store, whole-rank crashes are survivable: a
+    baseline checkpoint is taken before the pack superstep, further ones
+    per the store's policy, and a restarted rank restores from its last
+    checkpoint and has the missing transfers replayed.  Without a store,
+    any crash raises :class:`ExchangeFailure` whose report names the
+    unrecoverable ``(rank, superstep)``.
     """
     _check_vm(vm, a)
     _check_vm(vm, b)
@@ -214,12 +270,19 @@ def execute_copy_resilient(
         policy = RetryPolicy()
     if schedule is None:
         schedule = compute_comm_schedule(a, sec_a, b, sec_b)
+    if vm.dead_ranks:
+        raise ValueError(
+            f"ranks {list(vm.dead_ranks)} are dead; an exchange must start "
+            "on an all-alive machine"
+        )
 
     xid = next(_EXCHANGE_IDS)
     data_tag = ("rxd", xid)
     ack_tag = ("rxa", xid)
     nack_tag = ("rxn", xid)
-    all_tags = (data_tag, ack_tag, nack_tag)
+    hb_tag = ("rxh", xid)
+    all_tags = (data_tag, ack_tag, nack_tag, hb_tag)
+    core_tags = (data_tag, ack_tag, nack_tag)  # hopelessness ignores heartbeats
 
     transfers = schedule.transfers
     report = ResilienceReport(
@@ -239,12 +302,118 @@ def execute_copy_resilient(
     for tid, tr in enumerate(transfers):
         expected[tr.dest][tid] = tr
 
+    # Crash bookkeeping.  ``integrated`` is the incarnation whose state
+    # this exchange has restored (0 = the original boot); a live rank
+    # with a higher incarnation has rebooted and must restore from
+    # checkpoint before it may participate again.  ``last_heard`` drives
+    # the failure detector: the latest round at which *anyone* received
+    # traffic (data, control, or heartbeat) from each rank.
+    participants = sorted(
+        {tr.source for tr in transfers} | {tr.dest for tr in transfers}
+    )
+    peers = {r: [q for q in participants if q != r] for r in participants}
+    integrated = [vm.processors[r].incarnation for r in range(vm.p)]
+    last_heard = [0] * vm.p
+    crashes_seen = len(vm.crash_log)
+
+    def observe_crashes() -> None:
+        nonlocal crashes_seen
+        new = vm.crash_log[crashes_seen:]
+        crashes_seen = len(vm.crash_log)
+        for rank, step in new:
+            report.crashes.append((rank, step))
+            if checkpoints is None:
+                report.unrecoverable = (rank, step)
+                raise ExchangeFailure(
+                    f"rank {rank} crashed at superstep {step} and "
+                    "checkpointing is disabled -- exchange unrecoverable "
+                    "(pass a CheckpointStore to enable recovery)",
+                    report,
+                )
+
+    def take_checkpoint() -> None:
+        ckpt = checkpoints.save(
+            vm,
+            states={
+                r: {
+                    "applied": frozenset(applied[r]),
+                    "locals_applied": locals_applied,
+                }
+                for r in range(vm.p)
+            },
+        )
+        report.checkpoints_taken += 1
+        report.checkpoint_bytes += ckpt.nbytes
+
+    def recover_rank(rank: int, round_no: int) -> None:
+        """Restore a rebooted rank from its last checkpoint and arrange
+        replay of every transfer its wiped memory lost."""
+        proc = vm.processors[rank]
+        crash_step = proc.crashed_at if proc.crashed_at is not None else -1
+        entry = checkpoints.latest_for(rank) if checkpoints is not None else None
+        if entry is None:
+            report.unrecoverable = (rank, crash_step)
+            raise ExchangeFailure(
+                f"rank {rank} crashed at superstep {crash_step} and no "
+                "retained checkpoint covers it -- exchange unrecoverable",
+                report,
+            )
+        ckpt, _ = entry
+        state = checkpoints.restore_rank(vm, rank, ckpt) or {}
+        applied[rank] = set(state.get("applied", ()))
+        if not state.get("locals_applied", False) and staged_locals[rank]:
+            # The checkpoint predates the pack superstep: replay the
+            # rank's local copies from the host-side pack log.
+            dst_mem = proc.memory(a.name)
+            for tr, values in staged_locals[rank]:
+                dst_mem[as_index(tr.dst_slots)] = values
+        replayed = 0
+        for tid, tr in expected[rank].items():
+            if tid in applied[rank]:
+                continue
+            ob = outbox[tr.source].get(tid)
+            if ob is None:
+                continue
+            # Fresh delivery attempt: the sends burned against a dead
+            # NIC do not count toward the retry budget.
+            ob.acked = ob.nacked = ob.exhausted = False
+            ob.sends = 1
+            ob.last_sent = round_no - policy.timeout  # due next round
+            replayed += 1
+        report.replayed_transfers += replayed
+        report.recoveries.append(
+            RecoveryEvent(rank, crash_step, ckpt.superstep, replayed, round_no)
+        )
+        last_heard[rank] = round_no  # a fresh reboot is not a suspect
+        integrated[rank] = proc.incarnation
+
+    def integrate_reboots(round_no: int) -> None:
+        for rank in range(vm.p):
+            proc = vm.processors[rank]
+            if proc.alive and proc.incarnation > integrated[rank]:
+                recover_rank(rank, round_no)
+
+    def healthy() -> bool:
+        return all(
+            proc.alive and proc.incarnation == integrated[proc.rank]
+            for proc in vm.processors
+        )
+
     # ------------------------------------------------------------------
     # Superstep 1: pack.  Everything is read (remote payloads staged in
     # the outbox, local payloads staged) before any element is written,
     # and retransmissions reuse the staged copies -- so aliased
     # self-copies stay correct no matter how often packets are resent.
+    # The outbox and the staged-locals list double as the senders'
+    # stable pack-time log: like the checkpoint store they live host-side
+    # and survive rank crashes, which is what makes replay possible.
     # ------------------------------------------------------------------
+
+    locals_applied = False
+    if checkpoints is not None:
+        # Baseline checkpoint: taken *before* pack so even a crash at
+        # the very first barrier has somewhere to rewind to.
+        take_checkpoint()
 
     def pack_phase(ctx):
         src_mem = ctx.memory(b.name)
@@ -266,25 +435,44 @@ def execute_copy_resilient(
 
     vm.run(pack_phase)
     report.supersteps += 1
+    locals_applied = True
+    observe_crashes()
 
     # ------------------------------------------------------------------
     # Protocol rounds: receive/apply/ACK + retransmit, one superstep
-    # each, until every expected transfer has been applied.
+    # each, until every expected transfer has been applied.  Every live
+    # participant also beacons a heartbeat to its peers; a peer silent
+    # for ``suspect_after`` rounds is presumed crashed and
+    # retransmissions toward it park until it is heard from again.
     # ------------------------------------------------------------------
 
-    def protocol_round(round_no: int):
+    def protocol_round(round_no: int, suspects: frozenset[int]):
         def step(ctx):
             rank = ctx.rank
+            proc = vm.processors[rank]
+            if proc.incarnation > integrated[rank]:
+                # Freshly rebooted, not yet restored from checkpoint:
+                # announce liveness (the new incarnation) and do nothing
+                # else -- local memory is still wiped.
+                for q in peers.get(rank, ()):
+                    ctx.send(q, hb_tag, _hb(rank, proc.incarnation))
+                return
+            # Liveness: fold heartbeats into the shared failure detector.
+            for source, payload in ctx.drain(hb_tag):
+                if _valid_control(payload, "hb"):
+                    last_heard[source] = max(last_heard[source], round_no)
             # Sender role: fold in ACK/NACK traffic (checksummed; a
             # corrupted control message is discarded, the timeout covers).
-            for _, payload in ctx.drain(ack_tag):
+            for source, payload in ctx.drain(ack_tag):
                 if _valid_control(payload, "ack"):
+                    last_heard[source] = max(last_heard[source], round_no)
                     for tid in payload[1]:
                         ob = outbox[rank].get(tid)
                         if ob is not None:
                             ob.acked = True
-            for _, payload in ctx.drain(nack_tag):
+            for source, payload in ctx.drain(nack_tag):
                 if _valid_control(payload, "nack"):
+                    last_heard[source] = max(last_heard[source], round_no)
                     ob = outbox[rank].get(payload[1])
                     if ob is not None and not ob.acked:
                         ob.nacked = True
@@ -292,6 +480,7 @@ def execute_copy_resilient(
             # Receiver role: validate, apply idempotently, NACK corruption.
             dst_mem = ctx.memory(a.name) if expected[rank] else None
             for source, payload in ctx.drain(data_tag):
+                last_heard[source] = max(last_heard[source], round_no)
                 if not isinstance(payload, Packet) or not payload.valid():
                     report.detected_corruptions += 1
                     tid = getattr(payload, "tid", None)
@@ -320,9 +509,13 @@ def execute_copy_resilient(
             for source, tids in by_source.items():
                 ctx.send(source, ack_tag, _ack(tuple(sorted(tids))))
 
-            # Sender role: retransmit overdue or NACKed transfers.
+            # Sender role: retransmit overdue or NACKed transfers --
+            # except toward suspected-dead peers, where retransmissions
+            # park so an outage cannot exhaust the retry budget.
             for tid, ob in outbox[rank].items():
                 if ob.acked or ob.exhausted:
+                    continue
+                if ob.transfer.dest in suspects:
                     continue
                 if not ob.nacked and round_no - ob.last_sent < policy.timeout:
                     continue
@@ -341,6 +534,10 @@ def execute_copy_resilient(
                 report.retries += 1
                 report.retransmitted_bytes += int(ob.payload.nbytes) + _HEADER_BYTES
 
+            # Liveness beacon to every peer (cheap, checksummed).
+            for q in peers.get(rank, ()):
+                ctx.send(q, hb_tag, _hb(rank, proc.incarnation))
+
         return step
 
     def data_converged() -> bool:
@@ -348,30 +545,18 @@ def execute_copy_resilient(
             set(expected[rank]) <= applied[rank] for rank in range(vm.p)
         )
 
-    round_no = 0
-    while not data_converged():
-        if report.supersteps >= policy.max_supersteps:
-            raise ExchangeFailure(
-                f"exchange did not converge within {policy.max_supersteps} "
-                f"supersteps ({_missing_summary(expected, applied, vm.p)})",
-                report,
-            )
-        if _all_exhausted(outbox, expected, applied, vm.p) and not vm.network.outstanding(all_tags):
-            raise ExchangeFailure(
-                "retries exhausted with transfers still undelivered "
-                f"({_missing_summary(expected, applied, vm.p)})",
-                report,
-            )
-        round_no += 1
-        vm.run(protocol_round(round_no))
-        report.supersteps += 1
-    report.converged = True
+    def suspects_now(round_no: int) -> frozenset[int]:
+        return frozenset(
+            r for r in participants
+            if round_no - last_heard[r] > policy.suspect_after
+        )
 
     # ------------------------------------------------------------------
-    # Cleanup: drain in-flight leftovers (late duplicates, final ACKs,
-    # stalled stragglers) so the exchange leaves the network idle.  The
-    # tags are exchange-unique, so even a straggler the fault plan pins
-    # past the budget cannot interfere with later exchanges.
+    # Cleanup phase function: drain in-flight leftovers (late duplicates,
+    # final ACKs, stalled stragglers, heartbeats) so the exchange leaves
+    # the network idle.  The tags are exchange-unique, so even a
+    # straggler the fault plan pins past the budget cannot interfere
+    # with later exchanges.
     # ------------------------------------------------------------------
 
     def cleanup(ctx):
@@ -379,10 +564,66 @@ def execute_copy_resilient(
         report.duplicates_ignored += dups
         ctx.drain(ack_tag)
         ctx.drain(nack_tag)
+        ctx.drain(hb_tag)
 
-    while vm.network.outstanding(all_tags) and report.supersteps < policy.max_supersteps:
-        vm.run(cleanup)
-        report.supersteps += 1
+    round_no = 0
+    rounds_since_ckpt = 0
+    while True:
+        # Protocol rounds until every expected transfer is applied on an
+        # all-alive, fully-restored machine.  A crash mid-exchange keeps
+        # the loop running: survivors park, the victim's downtime
+        # elapses, and ``integrate_reboots`` rewinds it to its last
+        # checkpoint and reopens the transfers its wiped memory lost.
+        while not (data_converged() and healthy()):
+            if report.supersteps >= policy.max_supersteps:
+                raise ExchangeFailure(
+                    f"exchange did not converge within {policy.max_supersteps} "
+                    f"supersteps ({_missing_summary(expected, applied, vm.p)})",
+                    report,
+                )
+            suspects = suspects_now(round_no + 1)
+            if (
+                healthy()
+                and not suspects
+                and _all_exhausted(outbox, expected, applied, vm.p)
+                and not vm.network.outstanding(core_tags)
+            ):
+                raise ExchangeFailure(
+                    "retries exhausted with transfers still undelivered "
+                    f"({_missing_summary(expected, applied, vm.p)})",
+                    report,
+                )
+            round_no += 1
+            if suspects:
+                report.parked_rounds += 1
+            vm.run(protocol_round(round_no, suspects))
+            report.supersteps += 1
+            observe_crashes()
+            integrate_reboots(round_no)
+            rounds_since_ckpt += 1
+            if (
+                checkpoints is not None
+                and healthy()
+                and checkpoints.policy.due(rounds_since_ckpt)
+            ):
+                take_checkpoint()
+                rounds_since_ckpt = 0
+        report.converged = True
+
+        # Drain stragglers.  A crash at a cleanup barrier reopens the
+        # exchange (the victim's recovery resets its applied set), so on
+        # any health change we fall back into the protocol loop.
+        reopened = False
+        while vm.network.outstanding(all_tags) and report.supersteps < policy.max_supersteps:
+            vm.run(cleanup)
+            report.supersteps += 1
+            observe_crashes()
+            integrate_reboots(round_no)
+            if not (data_converged() and healthy()):
+                reopened = True
+                break
+        if not reopened and data_converged() and healthy():
+            break
 
     # ------------------------------------------------------------------
     # Self-verification: every destination section must checksum to what
@@ -445,14 +686,16 @@ def redistribute_resilient(
     src: DistributedArray,
     schedule: CommSchedule | None = None,
     policy: RetryPolicy | None = None,
+    checkpoints: CheckpointStore | None = None,
 ) -> tuple[RedistributionStats, ResilienceReport]:
     """Execute ``dst = src`` (whole arrays) over an unreliable network.
 
     The resilient counterpart of
     :func:`repro.runtime.redistribute.redistribute`: same schedule, same
-    statistics, but acknowledged delivery and destination verification.
-    Returns ``(stats, report)``; raises :class:`ExchangeFailure` rather
-    than ever leaving ``dst`` silently wrong.
+    statistics, but acknowledged delivery, destination verification,
+    and -- with a ``checkpoints`` store -- crash recovery.  Returns
+    ``(stats, report)``; raises :class:`ExchangeFailure` rather than
+    ever leaving ``dst`` silently wrong.
     """
     if dst.shape != src.shape:
         raise ValueError(
@@ -466,6 +709,6 @@ def redistribute_resilient(
     stats = stats_from_schedule(schedule)
     report = execute_copy_resilient(
         vm, dst, _full_section(dst), src, _full_section(src),
-        schedule=schedule, policy=policy,
+        schedule=schedule, policy=policy, checkpoints=checkpoints,
     )
     return stats, report

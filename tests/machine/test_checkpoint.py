@@ -1,0 +1,124 @@
+"""Tests for superstep checkpointing (repro.machine.checkpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.checkpoint import (
+    ArenaSnapshot,
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointStore,
+    RankSnapshot,
+)
+from repro.machine.vm import VirtualMachine
+
+
+def make_vm(p=3):
+    vm = VirtualMachine(p)
+    for rank in range(p):
+        proc = vm.processors[rank]
+        proc.allocate("A", 8, dtype=np.float64)
+        proc.memory("A")[:] = np.arange(8) * (rank + 1)
+        proc.allocate("B", 4, dtype=np.int64)
+        proc.memory("B")[:] = rank
+    return vm
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="every"):
+            CheckpointPolicy(every=0)
+        with pytest.raises(ValueError, match="retention"):
+            CheckpointPolicy(retention=0)
+
+    def test_due(self):
+        assert CheckpointPolicy(every=2).due(2)
+        assert not CheckpointPolicy(every=2).due(1)
+        assert not CheckpointPolicy(every=None).due(100)  # on-demand only
+
+
+class TestSnapshotRoundTrip:
+    def test_save_and_restore_rank(self):
+        vm = make_vm()
+        store = CheckpointStore()
+        ckpt = store.save(vm, states={1: {"applied": frozenset({3, 4})}})
+        assert ckpt.ranks == (0, 1, 2)
+        assert ckpt.nbytes == 3 * (8 * 8 + 4 * 8)
+
+        # Wreck rank 1's memory, then restore: bit-identical arenas and
+        # the opaque state back out.
+        vm.processors[1].memory("A")[:] = -1.0
+        vm.processors[1].free("B")
+        state = store.restore_rank(vm, 1)
+        assert state == {"applied": frozenset({3, 4})}
+        assert np.array_equal(vm.processors[1].memory("A"), np.arange(8) * 2)
+        assert np.array_equal(vm.processors[1].memory("B"), np.full(4, 1))
+        assert store.restores == 1
+
+    def test_restore_after_crash_and_restart(self):
+        vm = make_vm()
+        store = CheckpointStore()
+        store.save(vm)
+        vm.crash_rank(0, downtime=1)
+        assert not vm.processors[0].alive
+        # Restoring into a dead rank is an error; restart first.
+        with pytest.raises(CheckpointError, match="dead rank"):
+            store.restore_rank(vm, 0)
+        while not vm.processors[0].alive:  # downtime elapses at a barrier
+            vm.run(lambda ctx: None)
+        assert vm.superstep <= 4  # downtime=1: back within a few supersteps
+        assert vm.processors[0].memory_names == ()
+        store.restore_rank(vm, 0)
+        assert np.array_equal(vm.processors[0].memory("A"), np.arange(8) * 1.0)
+
+    def test_corrupted_arena_is_hard_error(self):
+        vm = make_vm(1)
+        snap = RankSnapshot.capture(vm.processors[0])
+        data = snap.arenas[0].data
+        bad = ArenaSnapshot(
+            snap.arenas[0].name,
+            snap.arenas[0].dtype,
+            bytes([data[0] ^ 0xFF]) + data[1:],  # definite bit rot
+            snap.arenas[0].checksum,
+        )
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            bad.restore()
+
+    def test_mutated_state_is_hard_error(self):
+        vm = make_vm(1)
+        state = {"applied": [1, 2]}
+        snap = RankSnapshot.capture(vm.processors[0], state)
+        state["applied"].append(3)  # mutation between save and restore
+        with pytest.raises(CheckpointError, match="state checksum"):
+            snap.restore_into(vm.processors[0])
+
+
+class TestStore:
+    def test_bounded_retention(self):
+        vm = make_vm()
+        store = CheckpointStore(CheckpointPolicy(retention=2))
+        for i in range(5):
+            vm.processors[0].memory("A")[0] = float(i)
+            store.save(vm)
+        assert len(store.checkpoints) == 2
+        assert store.saved == 5
+        # The newest retained checkpoint wins.
+        _, snap = store.latest_for(0)
+        assert snap.arenas[0].restore()[0] == 4.0
+
+    def test_latest_for_skips_checkpoints_missing_the_rank(self):
+        vm = make_vm()
+        store = CheckpointStore(CheckpointPolicy(retention=4))
+        store.save(vm)  # covers everyone
+        vm.crash_rank(2, downtime=100)
+        mid = store.save(vm)  # rank 2 dead: omitted
+        assert 2 not in mid.snapshots
+        ckpt, _ = store.latest_for(2)
+        assert ckpt.superstep == 0
+        assert store.latest_for(2, before=0) is None
+
+    def test_no_live_ranks_is_error(self):
+        vm = make_vm(1)
+        vm.crash_rank(0, downtime=100)
+        with pytest.raises(CheckpointError, match="no live ranks"):
+            CheckpointStore().save(vm)

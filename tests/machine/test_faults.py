@@ -9,7 +9,12 @@ import os
 import numpy as np
 import pytest
 
-from repro.machine.faults import FaultDecision, FaultPlan, corrupt_payload
+from repro.machine.faults import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultPlan,
+    corrupt_payload,
+)
 from repro.machine.network import Network
 from repro.machine.trace import fault_report, machine_report
 from repro.machine.vm import VirtualMachine
@@ -66,6 +71,34 @@ class TestPlanConfig:
             FaultPlan(drop=1.5)
         with pytest.raises(ValueError, match="stall rate"):
             FaultPlan(stall=-0.1)
+        with pytest.raises(ValueError, match="crash rate"):
+            FaultPlan(crash=2.0)
+        with pytest.raises(ValueError, match="crash_downtime"):
+            FaultPlan(crash=0.1, crash_downtime=0)
+
+    def test_every_rate_field_is_validated(self):
+        # No fault kind may silently accept a nonsense rate.
+        for kind in FAULT_KINDS:
+            with pytest.raises(ValueError, match=f"{kind} rate"):
+                FaultPlan(**{kind: -0.5})
+            with pytest.raises(ValueError, match=f"{kind} rate"):
+                FaultPlan(**{kind: "high"})
+
+    def test_from_rates_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match=r"unknown fault kind.*'drp'"):
+            FaultPlan.from_rates(drp=0.3)
+        with pytest.raises(ValueError, match="known kinds"):
+            FaultPlan.from_rates(seed=1, drop=0.1, crashes=0.2)
+
+    def test_from_rates_builds_equivalent_plan(self):
+        plan = FaultPlan.from_rates(
+            seed=5, drop=0.2, crash=0.1, crash_downtime=3,
+            forced_stalls=frozenset({(0, 1)}),
+        )
+        assert plan == FaultPlan(
+            seed=5, drop=0.2, crash=0.1, crash_downtime=3,
+            forced_stalls=frozenset({(0, 1)}),
+        )
 
     def test_zero_rates_are_clean(self):
         plan = FaultPlan(seed=3)
@@ -91,10 +124,24 @@ class TestPlanConfig:
         plan = FaultPlan(
             forced_drops=frozenset({(0, 0, 1, 0)}),
             forced_stalls=frozenset({(1, 2)}),
+            forced_crashes=frozenset({(3, 1)}),
         )
         assert plan.decide(0, 0, 1, 0) == FaultDecision(drop=True)
         assert plan.decide(0, 0, 1, 1).clean
         assert plan.stalled(1, 2) and not plan.stalled(0, 2)
+        assert plan.crashed(3, 1) and not plan.crashed(3, 0)
+        assert not plan.crashed(2, 1)
+
+    def test_crash_decisions_are_deterministic(self):
+        plan = FaultPlan(seed=4, crash=0.3)
+        first = [plan.crashed(t, r) for t in range(20) for r in range(4)]
+        again = [plan.crashed(t, r) for t in range(20) for r in range(4)]
+        assert first == again
+        assert any(first) and not all(first)
+        # Window restriction applies to crashes like any other kind.
+        windowed = FaultPlan(seed=4, crash=1.0, supersteps=(5, 6))
+        assert windowed.crashed(5, 0)
+        assert not windowed.crashed(4, 0) and not windowed.crashed(6, 0)
 
 
 class TestNetworkFaults:

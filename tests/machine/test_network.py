@@ -110,6 +110,16 @@ class TestStats:
         nested = [[np.zeros(100)]]
         assert Message(0, 1, "t", nested).nbytes < 800
 
+    def test_dict_nbytes_counts_keys_and_values(self):
+        # Dicts get the same one-level treatment as lists/tuples: keys
+        # and values are both charged, so a header dict of buffers is
+        # not measured as a pointer table.
+        payload = {b"k" * 16: np.zeros(100, dtype=np.float64), "meta": b"x" * 64}
+        nbytes = Message(0, 1, "t", payload).nbytes
+        assert nbytes >= 800 + 64 + 16
+        # Nested dicts stay shell-measured, like nested lists.
+        assert Message(0, 1, "t", {"a": {"b": np.zeros(100)}}).nbytes < 800
+
     def test_split_counters_on_clean_network(self):
         net = Network(2)
         net.send(0, 1, "t", b"abcd")
@@ -118,3 +128,44 @@ class TestStats:
         assert net.stats.delivered == 1
         assert net.stats.dropped == 0
         assert net.stats.bytes_delivered == net.stats.bytes_sent == 4
+
+
+class TestQuarantine:
+    def test_mark_dead_quarantines_in_flight(self):
+        net = Network(3)
+        net.send(0, 1, "t", b"to-victim")  # pending, addressed to the victim
+        net.send(1, 2, "t", b"from-victim")  # pending, sent by the victim
+        net.send(0, 2, "t", b"bystander")
+        gone = net.mark_dead(1)
+        assert gone == 2
+        assert net.stats.quarantined == 2
+        assert net.stats.bytes_quarantined == len(b"to-victim") + len(b"from-victim")
+        net.deliver()
+        assert net.recv(2, 0, "t") == b"bystander"
+        assert not net.probe(2, 1, "t")
+
+    def test_mark_dead_purges_delivered_queues(self):
+        net = Network(2)
+        net.send(0, 1, "t", 1.0)
+        net.deliver()  # sits in rank 1's receive queue
+        net.mark_dead(1)
+        assert net.stats.quarantined == 1
+        assert not net.probe(1, 0, "t")
+
+    def test_traffic_to_dead_rank_never_delivers(self):
+        net = Network(2)
+        net.mark_dead(1)
+        net.send(0, 1, "t", 7)
+        assert net.deliver() == 0
+        assert net.stats.quarantined == 1
+        net.mark_alive(1)
+        net.send(0, 1, "t", 8)
+        net.deliver()
+        assert net.recv(1, 0, "t") == 8
+
+    def test_quarantine_events_are_traced(self):
+        net = Network(2)
+        net.send(0, 1, "t", 1)
+        net.mark_dead(1)
+        kinds = [ev.kind for ev in net.fault_events]
+        assert kinds == ["quarantine"]

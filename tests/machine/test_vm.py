@@ -96,3 +96,69 @@ class TestMemory:
         assert vm.network.stats.messages == 2
         vm.reset_stats()
         assert vm.network.stats.messages == 0
+
+
+class TestCrashLifecycle:
+    def test_forced_crash_fires_at_barrier(self):
+        from repro.machine.faults import FaultPlan
+
+        plan = FaultPlan(forced_crashes=frozenset({(1, 2)}), crash_downtime=1)
+        vm = VirtualMachine(4, fault_plan=plan)
+        vm.run(lambda ctx: ctx.rank)  # superstep 0: everyone fine
+        assert vm.dead_ranks == ()
+        vm.run(lambda ctx: ctx.rank)  # barrier at step 1 kills rank 2
+        assert vm.dead_ranks == (2,)
+        assert vm.crash_log == [(2, 1)]
+
+    def test_dead_rank_skips_execution_and_yields_none(self):
+        vm = VirtualMachine(3)
+        vm.crash_rank(1, downtime=100)
+        got = vm.run(lambda ctx: ctx.rank * 10)
+        assert got == [0, None, 20]
+        got = vm.run_spmd(lambda ctx, v: v, [(7,), (8,), (9,)])
+        assert got == [7, None, 9]
+
+    def test_crash_quarantines_in_flight_sends(self):
+        vm = VirtualMachine(2)
+
+        # Send from both ranks, then crash rank 1 before the barrier.
+        vm.network.send(0, 1, "t", "to-dead")
+        vm.network.send(1, 0, "t", "from-dead")
+        vm.crash_rank(1, downtime=1)
+        assert vm.network.stats.quarantined == 2
+        vm.run(lambda ctx: None)
+        assert not vm.network.probe(0, 1, "t")
+
+    def test_restart_wipes_memory_and_bumps_incarnation(self):
+        vm = VirtualMachine(2)
+        vm.allocate_all("A", [4, 4])
+        vm.processors[1].memory("A")[:] = 5.0
+        vm.crash_rank(1, downtime=1)
+        assert vm.processors[1].incarnation == 0
+        while not vm.processors[1].alive:
+            vm.run(lambda ctx: None)
+        assert vm.processors[1].incarnation == 1
+        assert vm.processors[1].memory_names == ()
+        # Rank 0 untouched.
+        assert vm.processors[0].memory("A").shape == (4,)
+
+    def test_crash_and_restart_events_are_traced(self):
+        vm = VirtualMachine(2)
+        vm.crash_rank(0, downtime=1)
+        while not vm.processors[0].alive:
+            vm.run(lambda ctx: None)
+        kinds = [ev.kind for ev in vm.network.fault_events]
+        assert kinds.count("crash") == 1
+        assert kinds.count("restart") == 1
+        restart = next(ev for ev in vm.network.fault_events if ev.kind == "restart")
+        assert restart.seq == 1  # incarnation number rides in seq
+
+    def test_machine_report_carries_crash_facts(self):
+        from repro.machine.trace import machine_report
+
+        vm = VirtualMachine(3)
+        vm.crash_rank(2, downtime=100)
+        report = machine_report(vm)
+        assert report["crashes"] == [(2, 0)]
+        assert report["dead_ranks"] == [2]
+        assert report["incarnations"] == [0, 0, 0]

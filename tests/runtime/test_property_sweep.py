@@ -1,0 +1,133 @@
+"""Randomized property sweep for the resilient exchange.
+
+Draws random paper parameters -- processor count ``p``, cyclic block
+sizes ``k``, and regular sections ``l:u:s`` -- crossed with fault seeds
+(including crash seeds), and checks the one property the protocol
+promises: the result is bit-identical to the fault-free exchange, or an
+:class:`ExchangeFailure` is raised.  Silent corruption is the only
+forbidden outcome.
+
+Every draw is a pure function of the pytest parameters, so a failing
+case replays exactly from its test id.  ``make faults`` re-runs this
+file under several seeds via ``FAULT_SEEDS``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distribution.align import Alignment
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.distribution.section import RegularSection
+from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+from repro.machine.faults import FaultPlan
+from repro.machine.vm import VirtualMachine
+from repro.runtime.exec import collect, distribute, execute_copy
+from repro.runtime.redistribute import redistribute
+from repro.runtime.resilient import (
+    ExchangeFailure,
+    execute_copy_resilient,
+    redistribute_resilient,
+)
+
+SEEDS = [int(s) for s in os.environ.get("FAULT_SEEDS", "0,1,2,3").split(",")]
+DRAWS = range(3)
+
+
+def make_1d(name, n, p, k, a=1, b=0):
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(
+        name, (n,), grid,
+        (AxisMap(CyclicK(k), Alignment(a, b), grid_axis=0),),
+    )
+
+
+def draw_fault_config(rng):
+    """A random fault mix; roughly half the draws include crash faults."""
+    config = dict(
+        drop=round(float(rng.uniform(0.0, 0.35)), 3),
+        duplicate=round(float(rng.uniform(0.0, 0.25)), 3),
+        corrupt=round(float(rng.uniform(0.0, 0.25)), 3),
+        reorder=round(float(rng.uniform(0.0, 0.8)), 3),
+        stall=round(float(rng.uniform(0.0, 0.25)), 3),
+    )
+    if rng.random() < 0.5:
+        config["crash"] = 0.04
+        config["crash_downtime"] = int(rng.integers(1, 4))
+    return config
+
+
+def checkpoint_store(rng):
+    return CheckpointStore(
+        CheckpointPolicy(every=int(rng.integers(1, 4)), retention=4)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("draw", DRAWS)
+def test_sectioned_copy_bit_identical_or_hard_error(seed, draw):
+    rng = np.random.default_rng(1009 * seed + draw)
+    p = int(rng.integers(2, 5))
+    n = int(rng.integers(48, 192))
+    k_a, k_b = int(rng.integers(1, 9)), int(rng.integers(1, 9))
+    s = int(rng.integers(1, 5))
+    l = int(rng.integers(0, n // 3))
+    count = int(rng.integers(2, max(3, (n - l) // s)))
+    u = min(n - 1, l + (count - 1) * s)
+    sec = RegularSection(l, u, s)
+
+    host_b = rng.standard_normal(n)
+    a, b = make_1d("A", n, p, k_a), make_1d("B", n, p, k_b)
+
+    clean = VirtualMachine(p)
+    distribute(clean, a, np.zeros(n))
+    distribute(clean, b, host_b)
+    execute_copy(clean, a, sec, b, sec)
+    reference = collect(clean, a)
+
+    plan = FaultPlan.from_rates(seed=seed, **draw_fault_config(rng))
+    vm = VirtualMachine(p, fault_plan=plan)
+    distribute(vm, a, np.zeros(n))
+    distribute(vm, b, host_b)
+    try:
+        report = execute_copy_resilient(
+            vm, a, sec, b, sec, checkpoints=checkpoint_store(rng)
+        )
+    except ExchangeFailure as exc:
+        assert exc.report is not None  # failures carry their evidence
+        return
+    assert report.converged and report.verified
+    assert collect(vm, a).tobytes() == reference.tobytes()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("draw", DRAWS)
+def test_redistribution_bit_identical_or_hard_error(seed, draw):
+    rng = np.random.default_rng(2003 * seed + draw)
+    p = int(rng.integers(2, 5))
+    n = int(rng.integers(48, 192))
+    k_src, k_dst = int(rng.integers(1, 9)), int(rng.integers(1, 9))
+    host = rng.standard_normal(n)
+
+    src, dst = make_1d("S", n, p, k_src), make_1d("D", n, p, k_dst)
+    clean = VirtualMachine(p)
+    distribute(clean, src, host)
+    distribute(clean, dst, np.zeros(n))
+    redistribute(clean, dst, src)
+    reference = collect(clean, dst)
+
+    plan = FaultPlan.from_rates(seed=seed, **draw_fault_config(rng))
+    vm = VirtualMachine(p, fault_plan=plan)
+    distribute(vm, src, host)
+    distribute(vm, dst, np.zeros(n))
+    try:
+        stats, report = redistribute_resilient(
+            vm, dst, src, checkpoints=checkpoint_store(rng)
+        )
+    except ExchangeFailure as exc:
+        assert exc.report is not None
+        return
+    assert report.converged and report.verified
+    assert collect(vm, dst).tobytes() == reference.tobytes()

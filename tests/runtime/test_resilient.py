@@ -20,6 +20,7 @@ from repro.distribution.align import Alignment
 from repro.distribution.array import AxisMap, DistributedArray
 from repro.distribution.dist import CyclicK, ProcessorGrid
 from repro.distribution.section import RegularSection
+from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
 from repro.machine.faults import FaultPlan
 from repro.machine.vm import VirtualMachine
 from repro.runtime.commsets import compute_comm_schedule
@@ -278,3 +279,100 @@ class TestProtocolInternals:
         distribute(vm2, b1, host_b)
         execute_copy_resilient(vm2, a1, sec_a, b1, sec_b)
         assert collect(vm1, a1).tobytes() == collect(vm2, a1).tobytes()
+
+
+def crash_plan(kill_step, victim, downtime=1):
+    return FaultPlan(
+        forced_crashes=frozenset({(kill_step, victim)}), crash_downtime=downtime
+    )
+
+
+class TestCrashRecovery:
+    """Tentpole acceptance: a crash at any single superstep recovers
+    from checkpoint and completes bit-identical to the fault-free run."""
+
+    @pytest.mark.parametrize("victim", [0, 2])
+    @pytest.mark.parametrize("kill_step", range(7))
+    def test_single_crash_recovers_bit_identical(self, kill_step, victim):
+        n, p, k_src, k_dst = 120, 4, 3, 7
+        host = np.arange(n, dtype=float) + 0.5
+        reference = faultfree_redistribution(n, p, k_src, k_dst, host)
+        src, dst = make_1d("S", n, p, k_src), make_1d("D", n, p, k_dst)
+        vm = VirtualMachine(p, fault_plan=crash_plan(kill_step, victim))
+        distribute(vm, src, host)
+        distribute(vm, dst, np.zeros(n))
+        store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+        stats, report = redistribute_resilient(vm, dst, src, checkpoints=store)
+        assert report.converged and report.verified
+        assert collect(vm, dst).tobytes() == reference.tobytes()
+        if vm.crash_log:  # late kill steps may land after convergence
+            assert report.crashes == [(victim, kill_step)]
+            assert report.recoveries
+            ev = report.recoveries[0]
+            assert ev.rank == victim
+            assert ev.checkpoint_superstep <= ev.crash_superstep
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_crashes_never_silently_wrong(self, seed):
+        n, p, k_src, k_dst = 120, 4, 3, 7
+        host = np.arange(n, dtype=float) * 2
+        reference = faultfree_redistribution(n, p, k_src, k_dst, host)
+        src, dst = make_1d("S", n, p, k_src), make_1d("D", n, p, k_dst)
+        plan = FaultPlan(seed=seed, crash=0.05, drop=0.1)
+        vm = VirtualMachine(p, fault_plan=plan)
+        distribute(vm, src, host)
+        distribute(vm, dst, np.zeros(n))
+        store = CheckpointStore(CheckpointPolicy(every=2, retention=4))
+        try:
+            stats, report = redistribute_resilient(vm, dst, src, checkpoints=store)
+        except ExchangeFailure as exc:
+            assert exc.report is not None
+            return
+        assert report.converged and report.verified
+        assert collect(vm, dst).tobytes() == reference.tobytes()
+
+    def test_crash_without_checkpoints_is_hard_failure(self):
+        n, p = 120, 4
+        src, dst = make_1d("S", n, p, 3), make_1d("D", n, p, 7)
+        vm = VirtualMachine(p, fault_plan=crash_plan(1, 1))
+        distribute(vm, src, np.arange(n, dtype=float))
+        distribute(vm, dst, np.zeros(n))
+        with pytest.raises(ExchangeFailure, match="checkpointing is disabled") as excinfo:
+            redistribute_resilient(vm, dst, src)
+        report = excinfo.value.report
+        assert report.unrecoverable == (1, 1)  # (rank, superstep)
+        assert not report.converged
+
+    def test_recovery_report_accounting(self):
+        n, p = 120, 4
+        src, dst = make_1d("S", n, p, 3), make_1d("D", n, p, 7)
+        # Long downtime: survivors must suspect the dead rank and park
+        # its retransmissions until it reboots.
+        vm = VirtualMachine(p, fault_plan=crash_plan(1, 2, downtime=6))
+        host = np.arange(n, dtype=float)
+        distribute(vm, src, host)
+        distribute(vm, dst, np.zeros(n))
+        store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+        stats, report = redistribute_resilient(vm, dst, src, checkpoints=store)
+        assert np.array_equal(collect(vm, dst), host)
+        assert report.crashes == [(2, 1)]
+        assert len(report.recoveries) == 1
+        assert report.checkpoints_taken == store.saved > 0
+        assert report.checkpoint_bytes == store.bytes_saved > 0
+        assert report.parked_rounds > 0  # survivors held fire for the suspect
+        # Trace shows the full lifecycle.
+        kinds = [ev.kind for ev in vm.network.fault_events]
+        assert "crash" in kinds and "restart" in kinds
+
+    def test_suspect_after_validation(self):
+        with pytest.raises(ValueError, match="suspect_after"):
+            RetryPolicy(suspect_after=0)
+
+    def test_entry_with_dead_rank_rejected(self):
+        src, dst = make_1d("S", 40, 2, 1), make_1d("D", 40, 2, 4)
+        vm = VirtualMachine(2)
+        distribute(vm, src, np.arange(40, dtype=float))
+        distribute(vm, dst, np.zeros(40))
+        vm.crash_rank(1, downtime=100)
+        with pytest.raises(ValueError, match="dead"):
+            redistribute_resilient(vm, dst, src)
