@@ -1,9 +1,12 @@
 # Convenience targets for the PPoPP '95 reproduction.
 
-.PHONY: install test bench faults reproduce examples clean
+.PHONY: install test bench faults soak reproduce examples clean
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
+# Wider seed pool + more property draws for the soak sweep.
+SOAK_SEED_SWEEP ?= 0 1 2 3 5 7 11 13 42 97
+SOAK_DRAWS ?= 5
 # Where the sweep leaves its per-seed logs and junit reports (CI
 # uploads this directory as an artifact when the sweep fails).
 FAULT_REPORT_DIR ?= fault-reports
@@ -36,6 +39,30 @@ faults:
 			exit 1; \
 		fi; \
 		tail -n 1 $(FAULT_REPORT_DIR)/seed-$$seed.log; \
+	done
+
+# Long-form soak: ~10 seeds x extra property draws over the fault,
+# audit, and resilient-exchange suites (scribble + crash + wire faults).
+# Flight-recorder dumps from any ExchangeFailure land in
+# $(FAULT_REPORT_DIR)/ alongside the junit logs, so CI uploads them
+# together.  Replay a failure with FAULT_SEEDS=<seed> SOAK_DRAWS=$(SOAK_DRAWS).
+soak:
+	mkdir -p $(FAULT_REPORT_DIR)
+	for seed in $(SOAK_SEED_SWEEP); do \
+		echo "== soak sweep, seed $$seed"; \
+		if ! FAULT_SEEDS=$$seed SOAK_DRAWS=$(SOAK_DRAWS) pytest -q \
+			tests/machine/test_faults.py \
+			tests/machine/test_audit.py \
+			tests/machine/test_checkpoint.py \
+			tests/runtime/test_resilient.py \
+			tests/runtime/test_property_sweep.py \
+			--junitxml=$(FAULT_REPORT_DIR)/soak-$$seed.xml \
+			> $(FAULT_REPORT_DIR)/soak-$$seed.log 2>&1; then \
+			cat $(FAULT_REPORT_DIR)/soak-$$seed.log; \
+			echo "soak sweep FAILED at seed $$seed (replay: FAULT_SEEDS=$$seed SOAK_DRAWS=$(SOAK_DRAWS))"; \
+			exit 1; \
+		fi; \
+		tail -n 1 $(FAULT_REPORT_DIR)/soak-$$seed.log; \
 	done
 
 # Regenerate every table/figure of the paper (writes to stdout).

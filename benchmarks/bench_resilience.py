@@ -141,3 +141,108 @@ def test_crash_recovery(benchmark):
     report = benchmark(run)
     benchmark.extra_info["replayed_transfers"] = report.replayed_transfers
     benchmark.extra_info["parked_rounds"] = report.parked_rounds
+
+
+AUDIT_CHUNKS = [
+    ("no-audit", None),
+    ("chunk-16", 16),
+    ("chunk-64", 64),
+    ("chunk-256", 256),
+]
+
+
+@pytest.mark.parametrize(
+    ("label", "chunk"), AUDIT_CHUNKS, ids=[n for n, _ in AUDIT_CHUNKS]
+)
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_audit_overhead_zero_fault(benchmark, label, chunk):
+    """What the integrity audit ledger costs per exchange when nothing
+    is ever corrupted, per chunk size (docs/FAULT_MODEL.md §5).  The
+    no-audit row is the baseline; smaller chunks localize divergences
+    more tightly but re-checksum more blocks per barrier."""
+    from repro.machine.audit import IntegrityAuditor
+
+    benchmark.group = "audit-overhead zero-fault"
+    vm, dst, src, schedule = _setup(CyclicK(4), CyclicK(32))
+
+    def run():
+        auditor = (
+            IntegrityAuditor(chunk_size=chunk) if chunk is not None else None
+        )
+        _, report = redistribute_resilient(
+            vm, dst, src, schedule=schedule, auditor=auditor
+        )
+        assert report.scribbles_detected == 0
+        return report
+
+    report = benchmark(run)
+    benchmark.extra_info["audits"] = report.audits
+    benchmark.extra_info["audit_chunks_checked"] = report.audit_chunks_checked
+
+
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_scribble_chunk_repair(benchmark):
+    """Repair-latency datum: localized scribbles healed chunk-by-chunk
+    from the retransmit buffer / newest checkpoint, without escalating
+    to a whole-rank restore.  Compare against the full-restore group
+    below -- the escalation ladder exists because this row is cheaper."""
+    from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+
+    benchmark.group = "scribble-repair localized-vs-full"
+    plan = FaultPlan(
+        seed=3,
+        scribble_width=2,
+        forced_scribbles=frozenset({(2, r, "D") for r in range(P)}),
+    )
+    policy = RetryPolicy(max_retries=16, max_supersteps=128)
+
+    def run():
+        vm, dst, src, schedule = _setup(CyclicK(4), CyclicK(32), fault_plan=plan)
+        store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+        _, report = redistribute_resilient(
+            vm, dst, src, schedule=schedule, policy=policy,
+            checkpoints=store, auditor=True,
+        )
+        assert report.converged and report.verified
+        assert report.scribbles_detected and report.chunks_repaired
+        return report
+
+    report = benchmark(run)
+    benchmark.extra_info["chunks_repaired"] = report.chunks_repaired
+    benchmark.extra_info["from_retransmit"] = report.repaired_from_retransmit
+    benchmark.extra_info["from_checkpoint"] = report.repaired_from_checkpoint
+    benchmark.extra_info["escalations"] = report.audit_escalations
+
+
+@pytest.mark.benchmark(max_time=0.5, min_rounds=3)
+def test_scribble_full_restore(benchmark):
+    """Repair-latency datum, other end of the ladder: the same exchange
+    healed by restoring whole ranks from checkpoints (a forced crash
+    wipes the arena, so localization has nothing to patch)."""
+    from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+
+    benchmark.group = "scribble-repair localized-vs-full"
+    plan = FaultPlan(
+        seed=3,
+        scribble_width=2,
+        forced_scribbles=frozenset({(2, r, "D") for r in range(P)}),
+        forced_crashes=frozenset({(2, 1), (2, 5)}),
+        crash_downtime=2,
+    )
+    policy = RetryPolicy(max_retries=16, max_supersteps=128)
+
+    def run():
+        vm, dst, src, schedule = _setup(CyclicK(4), CyclicK(32), fault_plan=plan)
+        store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+        _, report = redistribute_resilient(
+            vm, dst, src, schedule=schedule, policy=policy,
+            checkpoints=store, auditor=True,
+        )
+        assert report.converged and report.verified
+        assert report.recoveries
+        return report
+
+    report = benchmark(run)
+    benchmark.extra_info["rank_restores"] = len(report.recoveries)
+    benchmark.extra_info["chunks_repaired"] = report.chunks_repaired
+    benchmark.extra_info["escalations"] = report.audit_escalations

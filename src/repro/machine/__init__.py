@@ -22,8 +22,16 @@ from .checkpoint import (
     CheckpointStore,
     RankSnapshot,
 )
+from .audit import AuditStats, Divergence, IntegrityAuditor, localize_divergence
 from .costmodel import CostModel, MessageCost, SuperstepEstimate, estimate_superstep
-from .faults import FAULT_KINDS, FaultDecision, FaultEvent, FaultPlan, corrupt_payload
+from .faults import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultEvent,
+    FaultPlan,
+    corrupt_payload,
+    scribble_arena,
+)
 from .network import Message, Network, NetworkStats, payload_nbytes
 from .processor import MemoryStats, Processor
 from .topology import (
@@ -33,7 +41,14 @@ from .topology import (
     Topology,
     weighted_traffic,
 )
-from .trace import AccessTrace, TracingMemory, fault_report, machine_report
+from .trace import (
+    AccessTrace,
+    FlightRecord,
+    FlightRecorder,
+    TracingMemory,
+    fault_report,
+    machine_report,
+)
 from .vm import NodeContext, VirtualMachine
 
 __all__ = [
@@ -50,6 +65,13 @@ __all__ = [
     "FaultDecision",
     "FaultEvent",
     "corrupt_payload",
+    "scribble_arena",
+    "AuditStats",
+    "Divergence",
+    "IntegrityAuditor",
+    "localize_divergence",
+    "FlightRecord",
+    "FlightRecorder",
     "ArenaSnapshot",
     "RankSnapshot",
     "Checkpoint",

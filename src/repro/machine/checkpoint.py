@@ -109,6 +109,20 @@ class RankSnapshot:
     def nbytes(self) -> int:
         return sum(a.nbytes for a in self.arenas)
 
+    def arena_values(self, name: str) -> np.ndarray | None:
+        """Checksum-verified contents of one snapshotted arena, or
+        ``None`` if this snapshot does not carry it.
+
+        The chunk-repair path of the verified exchange
+        (docs/FAULT_MODEL.md §5) reads single arenas here: a scribbled
+        chunk is patched from the newest covering checkpoint without
+        rewinding the whole rank.
+        """
+        for snap in self.arenas:
+            if snap.name == name:
+                return snap.restore()
+        return None
+
     def restore_into(self, proc: Processor) -> Any:
         """Reallocate every snapshotted arena on ``proc`` (checksums
         verified) and return the verified opaque ``state``."""

@@ -14,6 +14,14 @@ and it restarts with wiped memory after ``crash_downtime`` supersteps
 (recovery is the runtime's job; see :mod:`repro.machine.checkpoint`
 and :mod:`repro.runtime.resilient`).
 
+A plan may also *scribble* inside a rank's local memory: seeded (or
+forced) ``(superstep, rank, arena)`` points at which the virtual
+machine flips bits in the named arena at the barrier -- the silent
+data corruption that no packet CRC can see, because the bytes rot at
+rest rather than in flight.  Detection and repair are the job of
+:mod:`repro.machine.audit` and the verified-exchange mode of
+:mod:`repro.runtime.resilient` (docs/FAULT_MODEL.md §5).
+
 Every decision is a pure function of ``(seed, fault kind, superstep,
 channel, sequence number)`` -- no hidden RNG stream whose state depends
 on call order -- so the same seed against the same program always yields
@@ -27,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -38,11 +47,14 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "corrupt_payload",
+    "scribble_arena",
 ]
 
 # Every fault kind a plan can express; ``FaultPlan.from_rates`` rejects
 # anything else with a ValueError instead of silently never firing.
-FAULT_KINDS = ("drop", "duplicate", "reorder", "corrupt", "stall", "crash")
+FAULT_KINDS = (
+    "drop", "duplicate", "reorder", "corrupt", "stall", "crash", "scribble",
+)
 
 # Denominator for mapping a 64-bit digest prefix onto [0, 1).
 _SCALE = float(1 << 64)
@@ -86,11 +98,15 @@ class FaultPlan:
     supersteps.  ``channels`` restricts message-level faults to the
     given ``(source, dest)`` pairs (``None`` = every channel);
     ``supersteps`` restricts all faults to a half-open ``[start, stop)``
-    window of superstep numbers.  Explicit schedules can be expressed on
-    top of the probabilistic ones: ``forced_stalls`` names exact
+    window of superstep numbers.  ``scribble`` is a per-(rank, arena,
+    superstep) probability that bits rot inside that local arena at the
+    barrier (``scribble_width`` bytes get a deterministic bit flipped
+    each).  Explicit schedules can be expressed on top of the
+    probabilistic ones: ``forced_stalls`` names exact
     ``(superstep, rank)`` pairs, ``forced_drops`` exact
-    ``(superstep, source, dest, seq)`` messages, and ``forced_crashes``
-    exact ``(superstep, rank)`` kill points.
+    ``(superstep, source, dest, seq)`` messages, ``forced_crashes``
+    exact ``(superstep, rank)`` kill points, and ``forced_scribbles``
+    exact ``(superstep, rank, arena)`` corruption points.
     """
 
     seed: int = 0
@@ -100,7 +116,9 @@ class FaultPlan:
     corrupt: float = 0.0
     stall: float = 0.0
     crash: float = 0.0
+    scribble: float = 0.0
     crash_downtime: int = 1
+    scribble_width: int = 1
     channels: frozenset[tuple[int, int]] | None = None
     supersteps: tuple[int, int] | None = None
     forced_stalls: frozenset[tuple[int, int]] = field(default_factory=frozenset)
@@ -108,6 +126,9 @@ class FaultPlan:
         default_factory=frozenset
     )
     forced_crashes: frozenset[tuple[int, int]] = field(default_factory=frozenset)
+    forced_scribbles: frozenset[tuple[int, int, str]] = field(
+        default_factory=frozenset
+    )
 
     def __post_init__(self) -> None:
         for name in FAULT_KINDS:
@@ -117,6 +138,10 @@ class FaultPlan:
         if self.crash_downtime < 1:
             raise ValueError(
                 f"crash_downtime must be >= 1 superstep, got {self.crash_downtime}"
+            )
+        if self.scribble_width < 1:
+            raise ValueError(
+                f"scribble_width must be >= 1 byte, got {self.scribble_width}"
             )
 
     @classmethod
@@ -131,8 +156,9 @@ class FaultPlan:
         forced schedules) pass through unchanged.
         """
         passthrough = {
-            "crash_downtime", "channels", "supersteps",
+            "crash_downtime", "scribble_width", "channels", "supersteps",
             "forced_stalls", "forced_drops", "forced_crashes",
+            "forced_scribbles",
         }
         unknown = sorted(set(config) - set(FAULT_KINDS) - passthrough)
         if unknown:
@@ -205,6 +231,30 @@ class FaultPlan:
             return False
         return self._chance("crash", superstep, rank) < self.crash
 
+    def scribbled(self, superstep: int, rank: int, arena: str) -> bool:
+        """True when bits rot in ``rank``'s local ``arena`` at the
+        barrier closing ``superstep``.
+
+        A pure function of ``(seed, superstep, rank, arena)`` like every
+        other decision -- the arena name enters the digest via its
+        CRC-32 -- so a scribble schedule replays exactly from its seed.
+        """
+        if (superstep, rank, arena) in self.forced_scribbles:
+            return True
+        if not self._in_window(superstep) or self.scribble <= 0.0:
+            return False
+        name_key = zlib.crc32(arena.encode())
+        return self._chance("scrib", superstep, rank, name_key) < self.scribble
+
+    def scribble_salt(self, superstep: int, rank: int, arena: str) -> int:
+        """Deterministic salt that picks which bytes/bits a scribble at
+        this point flips (fed to :func:`scribble_arena`)."""
+        packed = b"scribsalt" + arena.encode() + struct.pack(
+            "<3q", self.seed, superstep, rank
+        )
+        digest = hashlib.blake2b(packed, digest_size=8).digest()
+        return struct.unpack("<Q", digest)[0] & 0x7FFFFFFF
+
     def permutation(
         self, superstep: int, source: int, dest: int, n: int
     ) -> list[int]:
@@ -275,7 +325,21 @@ def corrupt_payload(payload: Any, salt: int) -> Any:
         pos = salt % len(payload)
         items = list(payload)
         items[pos] = corrupt_payload(items[pos], salt)
+        if isinstance(payload, tuple) and hasattr(payload, "_fields"):
+            # Named tuples take positional args, not an iterable.
+            return type(payload)(*items)
         return type(payload)(items)
+    if isinstance(payload, dict):
+        if not payload:
+            return payload
+        # Keys sorted by repr so the perturbed leaf is a pure function
+        # of the salt, independent of insertion order (dicts preserve
+        # it, but two processes may build the payload differently).
+        keys = sorted(payload, key=repr)
+        victim = keys[salt % len(keys)]
+        out = dict(payload)
+        out[victim] = corrupt_payload(out[victim], salt)
+        return out
     if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
         fields = dataclasses.fields(payload)
         if fields:
@@ -285,3 +349,34 @@ def corrupt_payload(payload: Any, salt: int) -> Any:
                 payload, **{f.name: corrupt_payload(value, salt)}
             )
     return payload
+
+
+# ----------------------------------------------------------------------
+# Memory scribbles
+# ----------------------------------------------------------------------
+
+
+def scribble_arena(arena: np.ndarray, salt: int, width: int = 1) -> list[int]:
+    """Flip one bit in each of ``width`` consecutive bytes of ``arena``
+    **in place** -- an at-rest memory corruption, the one fault kind
+    that deliberately mutates live state instead of a copy.
+
+    The affected byte window and the bit within each byte are pure
+    functions of the salt, so a scribble replays exactly.  Returns the
+    (sorted, unique) *element* slots whose bytes were touched, so the
+    machine can trace which local addresses rotted; returns ``[]`` for
+    arenas with no mutable byte representation (empty or object dtype),
+    a scribble that is harmless by definition.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1 byte, got {width}")
+    if arena.size == 0 or arena.dtype.hasobject:
+        return []
+    view = arena.reshape(-1).view(np.uint8)
+    start = salt % view.size
+    touched = []
+    for i in range(min(width, view.size)):
+        pos = (start + i) % view.size
+        view[pos] ^= np.uint8(1 << ((salt + i) % 8))
+        touched.append(pos // arena.dtype.itemsize)
+    return sorted(set(touched))

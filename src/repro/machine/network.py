@@ -152,6 +152,14 @@ class Network:
         self.stats = NetworkStats()
         self.fault_events: list[FaultEvent] = []
         self.dead: set[int] = set()  # ranks whose NIC is down (crashed)
+        # Passive observers called as ``tap(event, msg, superstep)`` for
+        # every "send" / "deliver" / "drop" / "quarantine" -- the flight
+        # recorder subscribes here.  Taps must not mutate the message.
+        self.taps: list = []
+
+    def _tap(self, event: str, msg: Message, step: int) -> None:
+        for tap in self.taps:
+            tap(event, msg, step)
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.p:
@@ -163,6 +171,8 @@ class Network:
         msg = Message(source, dest, tag, payload)
         self._pending.append(msg)
         self.stats.record(msg)
+        if self.taps:
+            self._tap("send", msg, self.superstep)
 
     # ------------------------------------------------------------------
     # Crash quarantine
@@ -201,6 +211,8 @@ class Network:
         self.fault_events.append(
             FaultEvent(step, "quarantine", msg.source, msg.dest, msg.tag, 0)
         )
+        if self.taps:
+            self._tap("quarantine", msg, step)
 
     # ------------------------------------------------------------------
     # Barrier
@@ -228,6 +240,8 @@ class Network:
                 key = (msg.source, msg.dest, msg.tag)
                 self._queues.setdefault(key, deque()).append(msg)
                 self.stats.record_delivered(msg)
+                if self.taps:
+                    self._tap("deliver", msg, step)
             self._pending.clear()
             return n
         return self._deliver_faulty(plan, step)
@@ -272,6 +286,8 @@ class Network:
                         FaultEvent(step, "drop", source, dest, msg.tag, seq)
                     )
                     self.stats.record_dropped(msg)
+                    if self.taps:
+                        self._tap("drop", msg, step)
                     continue
                 if verdict.corrupt:
                     salt = hash((plan.seed, step, source, dest, seq)) & 0x7FFFFFFF
@@ -295,6 +311,8 @@ class Network:
                 for _ in range(copies):
                     self._queues.setdefault(key, deque()).append(msg)
                     self.stats.record_delivered(msg)
+                    if self.taps:
+                        self._tap("deliver", msg, step)
                     delivered += 1
         return delivered
 

@@ -21,6 +21,7 @@ class MemoryStats:
     writes: int = 0
     allocations: int = 0
     allocated_cells: int = 0
+    scribbles: int = 0  # in-arena corruption events injected by a plan
 
 
 class Processor:
@@ -69,6 +70,12 @@ class Processor:
     def memory_names(self) -> tuple[str, ...]:
         """Allocated arena names, sorted (checkpointing iterates these)."""
         return tuple(sorted(self._memories))
+
+    def arenas(self) -> list[tuple[str, np.ndarray]]:
+        """``(name, arena)`` pairs in name order -- the iteration the
+        scribble injector and the integrity auditor share, so both walk
+        memory in the same deterministic order."""
+        return [(name, self._memories[name]) for name in self.memory_names]
 
     def allocate(self, name: str, size: int, dtype=np.float64, fill=0) -> np.ndarray:
         """Allocate (or reallocate) a named local arena of ``size`` cells."""

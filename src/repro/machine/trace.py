@@ -8,13 +8,25 @@ the spirit of the paper's per-processor measurements.
 
 from __future__ import annotations
 
+import json
+import time
+from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from .network import Message
 from .vm import VirtualMachine
 
-__all__ = ["AccessTrace", "TracingMemory", "fault_report", "machine_report"]
+__all__ = [
+    "AccessTrace",
+    "FlightRecord",
+    "FlightRecorder",
+    "TracingMemory",
+    "fault_report",
+    "machine_report",
+]
 
 
 @dataclass
@@ -63,6 +75,131 @@ class TracingMemory:
         self.arena[index] = value
 
 
+@dataclass(frozen=True, slots=True)
+class FlightRecord:
+    """One entry in a rank's flight-recorder ring."""
+
+    superstep: int
+    kind: str  # send/deliver/drop/quarantine, a fault kind, audit, repair
+    detail: str
+
+
+class FlightRecorder:
+    """Per-rank bounded ring buffer of recent machine activity.
+
+    The post-mortem instrument for the silent-corruption defense
+    (docs/FAULT_MODEL.md §5): each rank keeps its last ``capacity``
+    events -- sends, deliveries, drops, quarantines, injected faults,
+    audit verdicts, repairs -- so when a verified exchange gives up with
+    an ``ExchangeFailure``, :meth:`dump` leaves a JSON snapshot in
+    ``fault-reports/`` that tells the story of the final supersteps
+    without having traced the whole (possibly enormous) run.
+
+    :meth:`attach` subscribes to the network's taps (sends land in the
+    source rank's ring, deliveries in the destination's, drops and
+    quarantines in both) and registers a barrier hook that folds new
+    ``fault_events`` into the victims' rings.  Runtime layers append
+    their own entries (audit verdicts, repair decisions) via
+    :meth:`record`.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rings: dict[int, deque[FlightRecord]] = {}
+        self._vm: VirtualMachine | None = None
+        self._events_seen = 0
+        self.dropped_records = 0  # ring evictions (bounded-buffer honesty)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, vm: VirtualMachine) -> None:
+        if self._vm is not None and self._vm is not vm:
+            raise ValueError("recorder is already attached to another machine")
+        if self._vm is None:
+            self._vm = vm
+            self._events_seen = len(vm.network.fault_events)
+            vm.network.taps.append(self._tap)
+            vm.barrier_hooks.append(self._on_barrier)
+
+    def detach(self) -> None:
+        if self._vm is None:
+            return
+        self.sync()
+        if self._tap in self._vm.network.taps:
+            self._vm.network.taps.remove(self._tap)
+        if self._on_barrier in self._vm.barrier_hooks:
+            self._vm.barrier_hooks.remove(self._on_barrier)
+        self._vm = None
+
+    def _tap(self, event: str, msg: Message, superstep: int) -> None:
+        detail = f"{msg.source}->{msg.dest} tag={msg.tag!r} {msg.nbytes}B"
+        if event == "send":
+            self.record(msg.source, superstep, event, detail)
+        elif event == "deliver":
+            self.record(msg.dest, superstep, event, detail)
+        else:  # drop / quarantine concern both endpoints
+            self.record(msg.source, superstep, event, detail)
+            if msg.dest != msg.source:
+                self.record(msg.dest, superstep, event, detail)
+
+    def _on_barrier(self, vm: VirtualMachine, superstep: int) -> None:
+        self.sync()
+
+    def sync(self) -> None:
+        """Fold fault events appended since the last sync into the rings
+        (scribbles/crashes fire *after* the barrier hook, so they are
+        picked up one barrier later -- or by the pre-dump sync)."""
+        if self._vm is None:
+            return
+        events = self._vm.network.fault_events
+        for ev in events[self._events_seen :]:
+            rank = ev.source if ev.dest < 0 else ev.dest
+            detail = f"src={ev.source} dest={ev.dest} tag={ev.tag!r} seq={ev.seq}"
+            self.record(rank, ev.superstep, ev.kind, detail)
+        self._events_seen = len(events)
+
+    # ------------------------------------------------------------------
+    # Recording / dumping
+    # ------------------------------------------------------------------
+
+    def record(self, rank: int, superstep: int, kind: str, detail: str) -> None:
+        ring = self._rings.get(rank)
+        if ring is None:
+            ring = self._rings[rank] = deque(maxlen=self.capacity)
+        if len(ring) == self.capacity:
+            self.dropped_records += 1
+        ring.append(FlightRecord(superstep, kind, detail))
+
+    def snapshot(self) -> dict:
+        self.sync()
+        return {
+            "capacity": self.capacity,
+            "dropped_records": self.dropped_records,
+            "superstep": self._vm.superstep if self._vm is not None else None,
+            "ranks": {
+                str(rank): [
+                    {"superstep": r.superstep, "kind": r.kind, "detail": r.detail}
+                    for r in ring
+                ]
+                for rank, ring in sorted(self._rings.items())
+            },
+        }
+
+    def dump(self, directory, label: str = "exchange") -> Path:
+        """Write the rings as JSON under ``directory`` (created if
+        needed); returns the file path.  Called by the verified exchange
+        on any ``ExchangeFailure``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"flight-{label}-{int(time.time() * 1000):x}.json"
+        path.write_text(json.dumps(self.snapshot(), indent=1))
+        return path
+
+
 def machine_report(vm: VirtualMachine) -> dict:
     """Aggregate activity summary of a virtual machine run."""
     net = vm.network.stats
@@ -92,6 +229,7 @@ def machine_report(vm: VirtualMachine) -> dict:
                 "writes": proc.stats.writes,
                 "allocations": proc.stats.allocations,
                 "allocated_cells": proc.stats.allocated_cells,
+                "scribbles": proc.stats.scribbles,
             }
             for proc in vm.processors
         ],

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from .faults import FaultEvent, FaultPlan
+from .faults import FaultEvent, FaultPlan, scribble_arena
 from .network import Network
 from .processor import Processor
 
@@ -83,6 +83,12 @@ class VirtualMachine:
         self.network = Network(p, fault_plan=fault_plan)
         self.crash_log: list[tuple[int, int]] = []  # (rank, superstep)
         self._restart_at: dict[int, int] = {}
+        # Called at every barrier *after* node execution but *before*
+        # fault injection (scribbles, crash points) -- the last instant
+        # at which every arena still holds only legitimate writes.  The
+        # integrity auditor commits its ledger here; the flight recorder
+        # syncs here.  Hooks receive ``(vm, superstep)``.
+        self.barrier_hooks: list[Callable[["VirtualMachine", int], None]] = []
 
     @property
     def superstep(self) -> int:
@@ -136,15 +142,43 @@ class VirtualMachine:
                 del self._restart_at[rank]
 
     def _barrier(self) -> None:
-        """Superstep barrier: fire this step's crash points (quarantining
-        the victims' in-flight sends), then deliver."""
+        """Superstep barrier: run the legitimate-write hooks, fire this
+        step's scribble points (in-arena bit rot) and crash points
+        (quarantining the victims' in-flight sends), then deliver."""
+        step = self.network.superstep
+        for hook in self.barrier_hooks:
+            hook(self, step)
         plan = self.network.fault_plan
         if plan is not None:
-            step = self.network.superstep
+            self._inject_scribbles(plan, step)
             for rank in range(self.p):
                 if self.processors[rank].alive and plan.crashed(step, rank):
                     self._crash(rank, step, plan.crash_downtime)
         self.network.deliver()
+
+    def _inject_scribbles(self, plan: FaultPlan, step: int) -> None:
+        """Fire this barrier's ``(superstep, rank, arena)`` scribble
+        points: flip bits inside live arenas, in place.  Runs *after*
+        the barrier hooks, so an attached auditor's ledger reflects the
+        pre-rot state -- that ordering is what makes the corruption
+        detectable at all."""
+        if plan.scribble <= 0.0 and not plan.forced_scribbles:
+            return
+        for rank in range(self.p):
+            proc = self.processors[rank]
+            if not proc.alive:
+                continue  # nothing to rot: a dead rank's memory is gone
+            for name, arena in proc.arenas():
+                if not plan.scribbled(step, rank, name):
+                    continue
+                salt = plan.scribble_salt(step, rank, name)
+                touched = scribble_arena(arena, salt, plan.scribble_width)
+                if not touched:
+                    continue
+                proc.stats.scribbles += 1
+                self.network.fault_events.append(
+                    FaultEvent(step, "scribble", rank, -1, name, touched[0])
+                )
 
     # ------------------------------------------------------------------
     # Execution

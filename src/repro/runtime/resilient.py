@@ -23,6 +23,20 @@ supersteps (see docs/FAULT_MODEL.md for the superstep diagram):
   destination section against the schedule-predicted checksum of the
   staged payload, so silent data loss is a hard :class:`ExchangeFailure`
   rather than a wrong answer;
+* with an :class:`~repro.machine.audit.IntegrityAuditor` the exchange
+  runs in **verified mode** (docs/FAULT_MODEL.md §5): the block-checksum
+  ledger is audited after every protocol round, and an in-arena
+  ``scribble`` fault (bits rotting at rest, invisible to packet CRCs)
+  is localized to ``(rank, arena, chunk, slots)`` and repaired in
+  place -- from the sender's retransmit buffer when the slots belong to
+  an applied transfer or staged local copy, else from the newest
+  covering checkpoint, escalating to a full rank restore only when
+  localization fails, and raising :class:`ExchangeFailure` naming the
+  unrecoverable ``(rank, arena, chunk)`` when even that is impossible.
+  A per-rank flight recorder
+  (:class:`~repro.machine.trace.FlightRecorder`) is dumped into
+  ``fault-reports/`` on any failure for post-mortem;
+
 * whole-rank **crashes** (:class:`~repro.machine.faults.FaultPlan` kill
   points) are survivable when a
   :class:`~repro.machine.checkpoint.CheckpointStore` is supplied:
@@ -53,7 +67,9 @@ import numpy as np
 
 from ..distribution.array import DistributedArray
 from ..distribution.section import RegularSection
+from ..machine.audit import IntegrityAuditor
 from ..machine.checkpoint import CheckpointStore
+from ..machine.trace import FlightRecorder
 from ..machine.vm import VirtualMachine
 from .commsets import CommSchedule, Transfer, compute_comm_schedule
 from .exec import _check_vm, as_index
@@ -215,6 +231,16 @@ class ResilienceReport:
     checkpoints_taken: int = 0
     checkpoint_bytes: int = 0
     unrecoverable: tuple[int, int] | None = None  # (rank, superstep)
+    # Verified-mode (IntegrityAuditor) accounting -- docs/FAULT_MODEL.md §5.
+    audits: int = 0
+    audit_chunks_checked: int = 0
+    scribbles_detected: int = 0  # ledger divergences found by audits
+    chunks_repaired: int = 0  # divergences healed in place
+    repaired_from_retransmit: int = 0  # slots rewritten from pack-time payloads
+    repaired_from_checkpoint: int = 0  # slots patched from a covering checkpoint
+    audit_escalations: int = 0  # full rank restores after failed localization
+    unrecoverable_chunk: tuple[int, str, int] | None = None  # (rank, arena, chunk)
+    flight_dump: str | None = None  # flight-recorder JSON path, set on failure
     schedule: CommSchedule | None = field(default=None, repr=False)
 
     @property
@@ -245,6 +271,9 @@ def execute_copy_resilient(
     schedule: CommSchedule | None = None,
     policy: RetryPolicy | None = None,
     checkpoints: CheckpointStore | None = None,
+    auditor: IntegrityAuditor | bool | None = None,
+    recorder: FlightRecorder | None = None,
+    flight_dir: str = "fault-reports",
 ) -> ResilienceReport:
     """Run ``A(sec_a) = B(sec_b)`` tolerating network faults.
 
@@ -263,7 +292,67 @@ def execute_copy_resilient(
     checkpoint and has the missing transfers replayed.  Without a store,
     any crash raises :class:`ExchangeFailure` whose report names the
     unrecoverable ``(rank, superstep)``.
+
+    With an ``auditor`` (pass ``True`` for a default
+    :class:`~repro.machine.audit.IntegrityAuditor`) the exchange runs in
+    **verified mode**: every arena is ledgered, every protocol round is
+    followed by an integrity audit, and at-rest corruption (``scribble``
+    faults) is repaired through the escalation ladder of
+    docs/FAULT_MODEL.md §5 -- retransmit-buffer rewrite, checkpoint
+    chunk patch, full rank restore -- or the exchange fails naming the
+    unrecoverable ``(rank, arena, chunk)``.  A
+    :class:`~repro.machine.trace.FlightRecorder` (auto-created in
+    verified mode unless one is passed) is dumped into ``flight_dir`` on
+    any :class:`ExchangeFailure` and its path recorded on the attached
+    report's ``flight_dump``.
     """
+    if auditor is True:
+        auditor = IntegrityAuditor()
+    elif auditor is False:
+        auditor = None
+    if auditor is not None and recorder is None:
+        recorder = FlightRecorder()
+    attached_recorder = False
+    attached_auditor = False
+    try:
+        if recorder is not None:
+            recorder.attach(vm)
+            attached_recorder = True
+        if auditor is not None:
+            auditor.attach(vm)
+            attached_auditor = True
+        return _execute_copy_resilient(
+            vm, a, sec_a, b, sec_b, schedule, policy, checkpoints,
+            auditor, recorder,
+        )
+    except ExchangeFailure as exc:
+        if recorder is not None:
+            try:
+                exc.report.flight_dump = str(
+                    recorder.dump(flight_dir, label=a.name)
+                )
+            except OSError:  # pragma: no cover - dump dir unwritable
+                pass
+        raise
+    finally:
+        if attached_auditor:
+            auditor.detach(vm)
+        if attached_recorder:
+            recorder.detach()
+
+
+def _execute_copy_resilient(
+    vm: VirtualMachine,
+    a: DistributedArray,
+    sec_a: RegularSection,
+    b: DistributedArray,
+    sec_b: RegularSection,
+    schedule: CommSchedule | None,
+    policy: RetryPolicy | None,
+    checkpoints: CheckpointStore | None,
+    auditor: IntegrityAuditor | None,
+    recorder: FlightRecorder | None,
+) -> ResilienceReport:
     _check_vm(vm, a)
     _check_vm(vm, b)
     if policy is None:
@@ -367,6 +456,16 @@ def execute_copy_resilient(
             dst_mem = proc.memory(a.name)
             for tr, values in staged_locals[rank]:
                 dst_mem[as_index(tr.dst_slots)] = values
+        if auditor is not None:
+            # The restored arenas (checksum-verified) plus the replayed
+            # locals are the rank's new ledger truth.
+            auditor.capture_rank(proc)
+        if recorder is not None:
+            recorder.record(
+                rank, vm.superstep, "restore",
+                f"crash at superstep {crash_step}, rewound to "
+                f"checkpoint superstep {ckpt.superstep}",
+            )
         replayed = 0
         for tid, tr in expected[rank].items():
             if tid in applied[rank]:
@@ -398,6 +497,169 @@ def execute_copy_resilient(
             proc.alive and proc.incarnation == integrated[proc.rank]
             for proc in vm.processors
         )
+
+    # ------------------------------------------------------------------
+    # Verified mode: audit-and-repair ladder (docs/FAULT_MODEL.md §5).
+    # The auditor's shadow ledger is the *oracle* -- it tells us which
+    # bytes rotted -- but repairs deliberately source their data from
+    # real redundant storage (the senders' pack-time payload log, then
+    # the checkpoint store), the way a production ledger holding only
+    # CRCs would have to; the post-repair re-audit then verifies the
+    # repair reproduced the trusted bytes, escalating when it did not.
+    # ------------------------------------------------------------------
+
+    # Destination-slot provenance for repair step 1: which transfer or
+    # staged local copy legitimately wrote each A slot on each rank.
+    _slot_sources: list[dict[int, tuple[str, int, int]] | None] = [None] * vm.p
+
+    def slot_sources(rank: int) -> dict[int, tuple[str, int, int]]:
+        cached = _slot_sources[rank]
+        if cached is None:
+            cached = {}
+            for tid, tr in expected[rank].items():
+                for pos, slot in enumerate(tr.dst_slots):
+                    cached[int(slot)] = ("transfer", tid, pos)
+            for li, (tr, _values) in enumerate(staged_locals[rank]):
+                for pos, slot in enumerate(tr.dst_slots):
+                    cached[int(slot)] = ("local", li, pos)
+            _slot_sources[rank] = cached
+        return cached
+
+    def repair_divergence(div) -> bool:
+        """Ladder steps 1-2: rewrite slots covered by an applied
+        transfer or staged local from the pack-time payload log, patch
+        the rest from the newest covering checkpoint.  Returns ``False``
+        when neither source covers the damage (caller escalates)."""
+        if not div.localized:
+            return False
+        arena = vm.processors[div.rank].memory(div.arena)
+        sources = slot_sources(div.rank) if div.arena == a.name else {}
+        leftover: list[int] = []
+        for slot in div.slots:
+            value = None
+            src = sources.get(slot)
+            if src is not None:
+                kind, i, pos = src
+                if kind == "transfer" and i in applied[div.rank]:
+                    ob = outbox[expected[div.rank][i].source].get(i)
+                    if ob is not None:
+                        value = ob.payload[pos]
+                elif kind == "local" and locals_applied:
+                    value = staged_locals[div.rank][i][1][pos]
+            if value is not None:
+                arena[slot] = value
+                report.repaired_from_retransmit += 1
+            else:
+                leftover.append(slot)
+        if leftover:
+            entry = (
+                checkpoints.latest_for(div.rank)
+                if checkpoints is not None else None
+            )
+            values = entry[1].arena_values(div.arena) if entry else None
+            if values is None or values.size != arena.size:
+                return False
+            idx = np.asarray(leftover, dtype=np.int64)
+            arena[idx] = values[idx].astype(arena.dtype, copy=False)
+            report.repaired_from_checkpoint += len(leftover)
+        report.chunks_repaired += 1
+        if recorder is not None:
+            recorder.record(
+                div.rank, vm.superstep, "repair",
+                f"arena={div.arena} chunk={div.chunk} "
+                f"slots={list(div.slots)} from_checkpoint={len(leftover)}",
+            )
+        return True
+
+    def full_restore(div, round_no: int) -> None:
+        """Ladder step 3: localization (or in-place repair) failed --
+        rewind the whole rank to its newest checkpoint, exactly like a
+        crash recovery, and reopen the transfers the rewind lost."""
+        entry = (
+            checkpoints.latest_for(div.rank)
+            if checkpoints is not None else None
+        )
+        if entry is None:
+            report.unrecoverable_chunk = (div.rank, div.arena, div.chunk)
+            raise ExchangeFailure(
+                f"rank {div.rank} arena {div.arena!r} chunk {div.chunk} "
+                "diverged and cannot be repaired (no retransmit coverage, "
+                "no retained checkpoint) -- corruption detected but "
+                "unrecoverable",
+                report,
+            )
+        ckpt, _ = entry
+        proc = vm.processors[div.rank]
+        state = checkpoints.restore_rank(vm, div.rank, ckpt) or {}
+        applied[div.rank] = set(state.get("applied", ()))
+        if not state.get("locals_applied", False) and staged_locals[div.rank]:
+            dst_mem = proc.memory(a.name)
+            for tr, values in staged_locals[div.rank]:
+                dst_mem[as_index(tr.dst_slots)] = values
+        reopened = 0
+        for tid, tr in expected[div.rank].items():
+            if tid in applied[div.rank]:
+                continue
+            ob = outbox[tr.source].get(tid)
+            if ob is None:
+                continue
+            ob.acked = ob.nacked = ob.exhausted = False
+            ob.sends = 1
+            ob.last_sent = round_no - policy.timeout  # due next round
+            reopened += 1
+        report.replayed_transfers += reopened
+        report.audit_escalations += 1
+        auditor.capture_rank(proc)
+        if recorder is not None:
+            recorder.record(
+                div.rank, vm.superstep, "restore",
+                f"audit escalation: arena={div.arena} chunk={div.chunk}, "
+                f"rewound to checkpoint superstep {ckpt.superstep}, "
+                f"{reopened} transfer(s) reopened",
+            )
+
+    def audit_and_repair(round_no: int) -> None:
+        """Audit every ledgered arena and heal any divergence via the
+        ladder; returns with the machine audit-clean or raises
+        :class:`ExchangeFailure` naming the unrecoverable chunk."""
+        if auditor is None:
+            return
+        try:
+            divs = auditor.audit(vm)
+            if not divs:
+                return
+            report.scribbles_detected += len(divs)
+            if recorder is not None:
+                for div in divs:
+                    recorder.record(
+                        div.rank, vm.superstep, "audit",
+                        f"diverged arena={div.arena} chunk={div.chunk} "
+                        f"slots={list(div.slots)}",
+                    )
+            unrepaired = [d for d in divs if not repair_divergence(d)]
+            # Re-audit: a repair that did not reproduce the trusted
+            # bytes (e.g. a stale checkpoint) is treated as a failed
+            # localization and escalated, never trusted.
+            residual = unrepaired + auditor.audit(vm)
+            if not residual:
+                return
+            for rank in sorted({d.rank for d in residual}):
+                full_restore(
+                    next(d for d in residual if d.rank == rank), round_no
+                )
+            still = auditor.audit(vm)
+            if still:
+                d = still[0]
+                report.unrecoverable_chunk = (d.rank, d.arena, d.chunk)
+                raise ExchangeFailure(
+                    f"rank {d.rank} arena {d.arena!r} chunk {d.chunk} still "
+                    "diverged after a full checkpoint restore -- corruption "
+                    "detected but unrecoverable",
+                    report,
+                )
+        finally:
+            report.audits = auditor.stats.audits
+            report.audit_chunks_checked = auditor.stats.chunks_checked
 
     # ------------------------------------------------------------------
     # Superstep 1: pack.  Everything is read (remote payloads staged in
@@ -432,11 +694,14 @@ def execute_copy_resilient(
         staged_locals[ctx.rank] = staged
         for tr, values in staged:
             dst_mem[as_index(tr.dst_slots)] = values
+            if auditor is not None:
+                auditor.note_write(ctx.rank, a.name, tr.dst_slots)
 
     vm.run(pack_phase)
     report.supersteps += 1
     locals_applied = True
     observe_crashes()
+    audit_and_repair(0)
 
     # ------------------------------------------------------------------
     # Protocol rounds: receive/apply/ACK + retransmit, one superstep
@@ -500,6 +765,8 @@ def execute_copy_resilient(
                     continue
                 dst_mem[as_index(tr.dst_slots)] = payload.payload
                 applied[rank].add(payload.tid)
+                if auditor is not None:
+                    auditor.note_write(rank, a.name, tr.dst_slots)
 
             # Receiver role: cumulative ACKs, re-sent every round so a
             # dropped ACK is repaired by the next one.
@@ -560,8 +827,15 @@ def execute_copy_resilient(
     # ------------------------------------------------------------------
 
     def cleanup(ctx):
-        dups = sum(1 for _ in ctx.drain(data_tag))
-        report.duplicates_ignored += dups
+        for _source, payload in ctx.drain(data_tag):
+            # Validate even the leftovers we discard: a packet the fault
+            # plan corrupted in its final flight is a *detected*
+            # corruption, not a duplicate -- the sensitivity sweep
+            # asserts every injected wire fault is accounted for.
+            if isinstance(payload, Packet) and payload.valid():
+                report.duplicates_ignored += 1
+            else:
+                report.detected_corruptions += 1
         ctx.drain(ack_tag)
         ctx.drain(nack_tag)
         ctx.drain(hb_tag)
@@ -600,6 +874,7 @@ def execute_copy_resilient(
             report.supersteps += 1
             observe_crashes()
             integrate_reboots(round_no)
+            audit_and_repair(round_no)
             rounds_since_ckpt += 1
             if (
                 checkpoints is not None
@@ -619,6 +894,7 @@ def execute_copy_resilient(
             report.supersteps += 1
             observe_crashes()
             integrate_reboots(round_no)
+            audit_and_repair(round_no)
             if not (data_converged() and healthy()):
                 reopened = True
                 break
@@ -687,6 +963,9 @@ def redistribute_resilient(
     schedule: CommSchedule | None = None,
     policy: RetryPolicy | None = None,
     checkpoints: CheckpointStore | None = None,
+    auditor: IntegrityAuditor | bool | None = None,
+    recorder: FlightRecorder | None = None,
+    flight_dir: str = "fault-reports",
 ) -> tuple[RedistributionStats, ResilienceReport]:
     """Execute ``dst = src`` (whole arrays) over an unreliable network.
 
@@ -710,5 +989,6 @@ def redistribute_resilient(
     report = execute_copy_resilient(
         vm, dst, _full_section(dst), src, _full_section(src),
         schedule=schedule, policy=policy, checkpoints=checkpoints,
+        auditor=auditor, recorder=recorder, flight_dir=flight_dir,
     )
     return stats, report

@@ -14,6 +14,7 @@ from repro.machine.faults import (
     FaultDecision,
     FaultPlan,
     corrupt_payload,
+    scribble_arena,
 )
 from repro.machine.network import Network
 from repro.machine.trace import fault_report, machine_report
@@ -273,3 +274,139 @@ class TestTracing:
         vm.reset_stats()
         assert vm.network.fault_events == []
         assert vm.network.stats.dropped == 0
+
+
+class TestCorruptPayloadDeterminism:
+    def test_dict_corrupts_one_value_deterministically(self):
+        original = {"b": 2, "a": 1, "c": 3}
+        first = corrupt_payload(dict(original), 5)
+        again = corrupt_payload(dict(original), 5)
+        assert first == again  # same salt -> same leaf, same mutation
+        assert first != original
+        assert set(first) == set(original)  # keys survive; a value rots
+        assert sum(first[k] != original[k] for k in original) == 1
+
+    def test_dict_different_salt_may_pick_other_victim(self):
+        original = {"a": 1, "b": 2, "c": 3, "d": 4}
+        victims = set()
+        for salt in range(8):
+            out = corrupt_payload(dict(original), salt)
+            changed = [k for k in original if out[k] != original[k]]
+            assert len(changed) == 1
+            victims.add(changed[0])
+        assert len(victims) > 1
+
+    def test_nested_tuple_same_leaf_for_same_salt(self):
+        original = ("hdr", (1, 2, (3, 4)), 7)
+        outs = [corrupt_payload(original, 9) for _ in range(3)]
+        assert outs[0] == outs[1] == outs[2]
+        assert outs[0] != original
+        flat_a = repr(outs[0])
+        flat_b = repr(corrupt_payload(original, 10))
+        assert flat_a != flat_b or outs[0] == corrupt_payload(original, 10)
+
+    def test_namedtuple_type_preserved(self):
+        from collections import namedtuple
+
+        Header = namedtuple("Header", "tid seq crc")
+        original = Header(3, 1, 0xDEAD)
+        out = corrupt_payload(original, 2)
+        assert isinstance(out, Header)
+        assert out != original
+        assert sum(a != b for a, b in zip(out, original)) == 1
+
+    def test_empty_dict_unchanged(self):
+        assert corrupt_payload({}, 0) == {}
+
+
+class TestPermutationDeterminism:
+    def test_same_seed_same_key_same_schedule(self):
+        plan = FaultPlan(seed=11, reorder=1.0)
+        first = plan.permutation(3, 0, 1, 8)
+        again = plan.permutation(3, 0, 1, 8)
+        assert first == again
+        assert sorted(first) == list(range(8))
+        assert first != list(range(8))  # reorder=1.0 must actually shuffle
+
+    def test_same_seed_different_key_differs(self):
+        plan = FaultPlan(seed=11, reorder=1.0)
+        by_superstep = {tuple(plan.permutation(s, 0, 1, 8)) for s in range(8)}
+        by_channel = {tuple(plan.permutation(3, s, s + 1, 8)) for s in range(3)}
+        assert len(by_superstep | by_channel) > 1
+
+    def test_different_seed_differs(self):
+        first = FaultPlan(seed=1, reorder=1.0).permutation(3, 0, 1, 16)
+        other = FaultPlan(seed=2, reorder=1.0).permutation(3, 0, 1, 16)
+        assert sorted(first) == sorted(other) == list(range(16))
+        assert first != other
+
+
+class TestScribble:
+    def test_flips_exactly_width_bits_in_place(self):
+        pristine = np.arange(16, dtype=np.float64)
+        arena = pristine.copy()
+        touched = scribble_arena(arena, salt=12345, width=3)
+        assert not np.array_equal(arena, pristine)
+        diff = arena.view(np.uint8) ^ pristine.view(np.uint8)
+        assert int(np.count_nonzero(diff)) == 3
+        assert all(bin(int(b)).count("1") == 1 for b in diff[diff != 0])
+        byte_slots = sorted({int(i) // 8 for i in np.nonzero(diff)[0]})
+        assert touched == byte_slots
+
+    def test_same_salt_replays_and_self_inverts(self):
+        arena_a = np.arange(10, dtype=np.float64)
+        arena_b = arena_a.copy()
+        assert scribble_arena(arena_a, 77, 2) == scribble_arena(arena_b, 77, 2)
+        assert np.array_equal(arena_a, arena_b)
+        # XOR-flipping the same bits again restores the original.
+        scribble_arena(arena_a, 77, 2)
+        assert np.array_equal(arena_a, np.arange(10, dtype=np.float64))
+
+    def test_harmless_on_empty_and_object_arenas(self):
+        assert scribble_arena(np.zeros(0), 5) == []
+        objs = np.array([None, "x"], dtype=object)
+        assert scribble_arena(objs, 5) == []
+        assert objs[1] == "x"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            scribble_arena(np.zeros(4), 0, width=0)
+        with pytest.raises(ValueError, match="scribble_width"):
+            FaultPlan(scribble=0.1, scribble_width=0)
+
+    def test_scribbled_is_deterministic_and_arena_keyed(self):
+        plan = FaultPlan(seed=3, scribble=0.5)
+        first = [plan.scribbled(s, 0, "x") for s in range(32)]
+        again = [plan.scribbled(s, 0, "x") for s in range(32)]
+        assert first == again
+        assert any(first) and not all(first)
+        other = [plan.scribbled(s, 0, "y") for s in range(32)]
+        assert first != other
+        salts = {plan.scribble_salt(s, 0, "x") for s in range(8)}
+        assert len(salts) > 1
+        assert plan.scribble_salt(2, 0, "x") == plan.scribble_salt(2, 0, "x")
+
+    def test_forced_scribbles_fire_without_rate(self):
+        plan = FaultPlan(seed=0, forced_scribbles=frozenset({(2, 1, "x")}))
+        assert plan.scribbled(2, 1, "x")
+        assert not plan.scribbled(2, 0, "x")
+        assert not plan.scribbled(1, 1, "x")
+
+    def test_vm_injects_and_traces_scribbles(self):
+        plan = FaultPlan(seed=0, forced_scribbles=frozenset({(0, 1, "x")}))
+        vm = VirtualMachine(2, fault_plan=plan)
+
+        def alloc(ctx):
+            mem = ctx.allocate("x", 8)
+            mem[:] = float(ctx.rank + 1)
+
+        vm.run(alloc)  # first barrier is superstep 0: the scribble fires
+        pristine = np.full(8, 2.0)
+        assert not np.array_equal(vm.processors[1].memory("x"), pristine)
+        assert np.array_equal(vm.processors[0].memory("x"), np.full(8, 1.0))
+        events = [e for e in vm.network.fault_events if e.kind == "scribble"]
+        assert len(events) == 1
+        assert events[0].source == 1 and events[0].tag == "x"
+        assert vm.processors[1].stats.scribbles == 1
+        report = machine_report(vm)
+        assert report["memory"][1]["scribbles"] == 1

@@ -33,7 +33,8 @@ from repro.runtime.resilient import (
 )
 
 SEEDS = [int(s) for s in os.environ.get("FAULT_SEEDS", "0,1,2,3").split(",")]
-DRAWS = range(3)
+# ``make soak`` widens the sweep without editing the file.
+DRAWS = range(int(os.environ.get("SOAK_DRAWS", "3")))
 
 
 def make_1d(name, n, p, k, a=1, b=0):
@@ -44,8 +45,13 @@ def make_1d(name, n, p, k, a=1, b=0):
     )
 
 
-def draw_fault_config(rng):
-    """A random fault mix; roughly half the draws include crash faults."""
+def draw_fault_config(rng, scribbles=False):
+    """A random fault mix; roughly half the draws include crash faults.
+
+    ``scribbles=True`` adds in-arena bit rot -- only meaningful for
+    exchanges running in verified mode (an auditor), since without one
+    a scribble outside the copied section corrupts silently by design.
+    """
     config = dict(
         drop=round(float(rng.uniform(0.0, 0.35)), 3),
         duplicate=round(float(rng.uniform(0.0, 0.25)), 3),
@@ -56,6 +62,9 @@ def draw_fault_config(rng):
     if rng.random() < 0.5:
         config["crash"] = 0.04
         config["crash_downtime"] = int(rng.integers(1, 4))
+    if scribbles:
+        config["scribble"] = round(float(rng.uniform(0.05, 0.3)), 3)
+        config["scribble_width"] = int(rng.integers(1, 4))
     return config
 
 
@@ -131,3 +140,89 @@ def test_redistribution_bit_identical_or_hard_error(seed, draw):
         return
     assert report.converged and report.verified
     assert collect(vm, dst).tobytes() == reference.tobytes()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("draw", DRAWS)
+def test_detector_sensitivity_no_silent_divergence(seed, draw):
+    """Detector-sensitivity property for the verified exchange: every
+    injected wire ``corrupt`` and in-arena ``scribble`` fault is either
+    *detected* or provably harmless, and the result is bit-identical to
+    the fault-free run (or the failure is hard).
+
+    Accounting, from the deterministic fault trace:
+
+    * a corrupted *data* packet is harmless only if it never reached a
+      live receiver (quarantined by a crash) -- every drained one must
+      show up in ``detected_corruptions``, including late stragglers
+      swept up by the cleanup phase;
+    * corrupted *control* traffic (ACK/NACK/heartbeat) is harmless by
+      checksummed discard, which the bit-identical result proves;
+    * every scribble whose victim survived its barrier (a same-superstep
+      crash wipes the evidence along with the arena -- harmless, the
+      restore replaces the arena wholesale) must show up as a ledger
+      divergence in ``scribbles_detected``.
+    """
+    rng = np.random.default_rng(4001 * seed + draw)
+    p = int(rng.integers(2, 5))
+    n = int(rng.integers(48, 160))
+    k_a, k_b = int(rng.integers(1, 9)), int(rng.integers(1, 9))
+    s = int(rng.integers(1, 5))
+    l = int(rng.integers(0, n // 3))
+    count = int(rng.integers(2, max(3, (n - l) // s)))
+    u = min(n - 1, l + (count - 1) * s)
+    sec = RegularSection(l, u, s)
+
+    host_b = rng.standard_normal(n)
+    a, b = make_1d("A", n, p, k_a), make_1d("B", n, p, k_b)
+
+    clean = VirtualMachine(p)
+    distribute(clean, a, np.zeros(n))
+    distribute(clean, b, host_b)
+    execute_copy(clean, a, sec, b, sec)
+    reference = collect(clean, a)
+
+    plan = FaultPlan.from_rates(
+        seed=seed, **draw_fault_config(rng, scribbles=True)
+    )
+    vm = VirtualMachine(p, fault_plan=plan)
+    distribute(vm, a, np.zeros(n))
+    distribute(vm, b, host_b)
+    try:
+        report = execute_copy_resilient(
+            vm, a, sec, b, sec,
+            checkpoints=checkpoint_store(rng), auditor=True,
+        )
+    except ExchangeFailure as exc:
+        assert exc.report is not None
+        return
+
+    # The headline property: nothing diverged silently.
+    assert report.converged and report.verified
+    assert collect(vm, a).tobytes() == reference.tobytes()
+
+    events = vm.network.fault_events
+    data_corrupts = sum(
+        1 for ev in events
+        if ev.kind == "corrupt"
+        and isinstance(ev.tag, tuple) and ev.tag and ev.tag[0] == "rxd"
+    )
+    data_quarantines = sum(
+        1 for ev in events
+        if ev.kind == "quarantine"
+        and isinstance(ev.tag, tuple) and ev.tag and ev.tag[0] == "rxd"
+    )
+    assert report.detected_corruptions >= data_corrupts - data_quarantines
+
+    crashed_at = set(vm.crash_log)
+    surviving_scribbles = sum(
+        1 for ev in events
+        if ev.kind == "scribble" and (ev.source, ev.superstep) not in crashed_at
+    )
+    assert report.scribbles_detected >= surviving_scribbles
+    # Detection is not decorative: everything found was healed (or the
+    # exchange would have raised above).
+    if report.scribbles_detected:
+        assert (
+            report.chunks_repaired + report.audit_escalations > 0
+        )

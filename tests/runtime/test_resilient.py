@@ -11,7 +11,9 @@ retries.
 ``FAULT_SEEDS`` environment variable.
 """
 
+import json
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -376,3 +378,152 @@ class TestCrashRecovery:
         vm.crash_rank(1, downtime=100)
         with pytest.raises(ValueError, match="dead"):
             redistribute_resilient(vm, dst, src)
+
+
+def scribble_everywhere(seed, rate=0.25, width=2, **extra):
+    return FaultPlan(seed=seed, scribble=rate, scribble_width=width, **extra)
+
+
+class TestVerifiedMode:
+    """The silent-corruption defense (docs/FAULT_MODEL.md §5): with the
+    auditor on, in-arena scribbles are detected and repaired and the
+    exchange finishes bit-identical; with it off, at least one pinned
+    configuration silently corrupts the result -- the detector is
+    load-bearing, not decorative."""
+
+    N, P, K_A, K_B = 64, 4, 4, 6
+    SEC_A = RegularSection(3, 58, 5)
+    SEC_B = RegularSection(1, 56, 5)
+
+    def build(self, plan=None):
+        vm = VirtualMachine(self.P, fault_plan=plan)
+        a = make_1d("A", self.N, self.P, self.K_A)
+        b = make_1d("B", self.N, self.P, self.K_B)
+        distribute(vm, a, np.zeros(self.N))
+        distribute(vm, b, np.arange(self.N, dtype=float) * 1.5)
+        return vm, a, b
+
+    def baseline(self):
+        vm, a, b = self.build()
+        execute_copy(vm, a, self.SEC_A, b, self.SEC_B)
+        return collect(vm, a)
+
+    # A-arena scribbles two supersteps in, on every rank: pinned so the
+    # silent-corruption demo below is deterministic.
+    def forced_a_plan(self, seed):
+        return FaultPlan(
+            seed=seed, scribble_width=2,
+            forced_scribbles=frozenset({(2, r, "A") for r in range(self.P)}),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scribbles_heal_bit_identical(self, seed):
+        expected = self.baseline()
+        vm, a, b = self.build(plan=scribble_everywhere(seed))
+        store = CheckpointStore(CheckpointPolicy(every=2, retention=3))
+        report = execute_copy_resilient(
+            vm, a, self.SEC_A, b, self.SEC_B,
+            checkpoints=store, auditor=True,
+        )
+        assert np.array_equal(collect(vm, a), expected)
+        assert report.verified
+        assert report.audits > 0 and report.audit_chunks_checked > 0
+        assert report.scribbles_detected > 0  # rate 0.25 always fires here
+        assert report.chunks_repaired + report.audit_escalations > 0
+        # The auditor's barrier hook and ledgers are cleaned up.
+        assert vm.barrier_hooks == []
+
+    def test_audit_off_silently_corrupts(self):
+        # Seed 0 places the forced A scribbles outside the copied
+        # section, where destination self-verification cannot see them:
+        # the exchange "succeeds" with a wrong result.  This is the
+        # configuration that proves the auditor is load-bearing.
+        expected = self.baseline()
+        vm, a, b = self.build(plan=self.forced_a_plan(0))
+        report = execute_copy_resilient(vm, a, self.SEC_A, b, self.SEC_B)
+        assert report.verified  # protocol saw nothing wrong...
+        assert not np.array_equal(collect(vm, a), expected)  # ...yet rot
+
+    def test_audit_on_heals_the_same_configuration(self):
+        expected = self.baseline()
+        vm, a, b = self.build(plan=self.forced_a_plan(0))
+        store = CheckpointStore(CheckpointPolicy(every=2, retention=3))
+        report = execute_copy_resilient(
+            vm, a, self.SEC_A, b, self.SEC_B,
+            checkpoints=store, auditor=True,
+        )
+        assert np.array_equal(collect(vm, a), expected)
+        assert report.scribbles_detected >= 1
+        assert report.repaired_from_retransmit + report.repaired_from_checkpoint > 0
+        assert report.unrecoverable_chunk is None
+
+    def test_unrecoverable_chunk_without_checkpoints(self, tmp_path):
+        # A scribble on B (never a copy destination) cannot be repaired
+        # from the retransmit buffer, and with no checkpoint store the
+        # ladder has nowhere to go: hard failure naming the chunk, with
+        # a flight-recorder dump for the post-mortem.
+        plan = FaultPlan(seed=7, forced_scribbles=frozenset({(2, 1, "B")}))
+        vm, a, b = self.build(plan=plan)
+        from repro.machine.audit import IntegrityAuditor
+
+        with pytest.raises(ExchangeFailure, match="unrecoverable") as excinfo:
+            execute_copy_resilient(
+                vm, a, self.SEC_A, b, self.SEC_B,
+                auditor=IntegrityAuditor(chunk_size=8),
+                flight_dir=tmp_path,
+            )
+        report = excinfo.value.report
+        assert report.unrecoverable_chunk is not None
+        rank, arena, chunk = report.unrecoverable_chunk
+        assert arena == "B" and rank == 1 and chunk >= 0
+        assert report.flight_dump is not None
+        dump = json.loads(Path(report.flight_dump).read_text())
+        assert str(rank) in dump["ranks"]
+        assert any(
+            rec["kind"] == "audit" for rec in dump["ranks"][str(rank)]
+        )
+
+    def test_b_scribble_repairs_from_checkpoint(self):
+        expected = self.baseline()
+        plan = FaultPlan(seed=7, forced_scribbles=frozenset({(2, 1, "B")}))
+        vm, a, b = self.build(plan=plan)
+        store = CheckpointStore(CheckpointPolicy(every=2, retention=3))
+        report = execute_copy_resilient(
+            vm, a, self.SEC_A, b, self.SEC_B,
+            checkpoints=store, auditor=True,
+        )
+        assert np.array_equal(collect(vm, a), expected)
+        assert report.repaired_from_checkpoint > 0
+
+    def test_verified_mode_clean_network_no_false_alarms(self):
+        expected = self.baseline()
+        vm, a, b = self.build()
+        report = execute_copy_resilient(
+            vm, a, self.SEC_A, b, self.SEC_B, auditor=True,
+        )
+        assert np.array_equal(collect(vm, a), expected)
+        assert report.scribbles_detected == 0
+        assert report.chunks_repaired == 0
+        assert report.audits > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scribbles_with_crashes_and_wire_faults(self, seed):
+        # The full gauntlet: bit rot, a mid-exchange crash, and a lossy
+        # wire.  Either bit-identical or a hard failure -- never silent.
+        expected = self.baseline()
+        plan = scribble_everywhere(
+            seed, rate=0.1, drop=0.15, corrupt=0.1, crash=0.05,
+            crash_downtime=2,
+        )
+        vm, a, b = self.build(plan=plan)
+        store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+        try:
+            report = execute_copy_resilient(
+                vm, a, self.SEC_A, b, self.SEC_B,
+                checkpoints=store, auditor=True,
+                policy=RetryPolicy(max_retries=16, max_supersteps=128),
+            )
+        except ExchangeFailure:
+            return
+        assert report.verified
+        assert np.array_equal(collect(vm, a), expected)
