@@ -1,6 +1,6 @@
 # Convenience targets for the PPoPP '95 reproduction.
 
-.PHONY: install test bench faults soak reproduce examples clean
+.PHONY: install test bench bench-kernels faults soak reproduce examples clean
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
@@ -19,6 +19,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Vectorized-kernel + plan-cache benchmark; verifies the vectorized
+# paths against the scalar oracles and writes BENCH_kernels.json.
+bench-kernels:
+	python benchmarks/bench_kernels.py
 
 # Fault-injection + resilient-protocol suites at several seeds
 # (docs/FAULT_MODEL.md): same seed => same fault trace, so any failure

@@ -1,0 +1,302 @@
+#!/usr/bin/env python
+"""Benchmark the vectorized access-sequence kernels and the plan cache.
+
+Times three variants of the runtime's hot paths and writes the results
+as machine-readable rows to ``BENCH_kernels.json``:
+
+* ``scalar``     -- the element-at-a-time reference implementations
+  (``compute_comm_schedule_reference``, ``distribute_reference``,
+  ``collect_reference``, ``localized_elements``);
+* ``vectorized`` -- the NumPy closed-form kernels with cold plan caches
+  (every call constructs its plans afresh);
+* ``cached``     -- the same calls with warm plan caches (the
+  steady-state of an iterative solver re-running one statement).
+
+Before timing anything the script cross-checks every vectorized path
+against its scalar oracle over a sweep of randomized configurations
+(including affine alignments, strided/negative-stride sections, empty
+owners) and **exits nonzero on any mismatch** -- CI runs it with
+``--quick`` as a correctness smoke test.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py           # full size
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distribution import (
+    Alignment,
+    AxisMap,
+    CyclicK,
+    DistributedArray,
+    ProcessorGrid,
+    RegularSection,
+    localized_arrays,
+    localized_elements,
+)
+from repro.machine.vm import VirtualMachine
+from repro.runtime import (
+    cache_stats,
+    cached_comm_schedule,
+    cached_localized_arrays,
+    clear_plan_caches,
+    collect,
+    collect_reference,
+    compute_comm_schedule,
+    compute_comm_schedule_reference,
+    distribute,
+    distribute_reference,
+)
+
+
+def make_1d(name: str, n: int, p: int, k: int, a: int = 1, b: int = 0) -> DistributedArray:
+    return DistributedArray(
+        name,
+        (n,),
+        ProcessorGrid("G", (p,)),
+        (AxisMap(CyclicK(k), Alignment(a, b), grid_axis=0),),
+    )
+
+
+def timeit(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Correctness sweep (the CI gate)
+# ----------------------------------------------------------------------
+
+def verify(draws: int, seed: int = 20260806) -> list[str]:
+    """Cross-check vectorized paths against scalar oracles; returns a
+    list of mismatch descriptions (empty = all good)."""
+    rng = np.random.default_rng(seed)
+    failures: list[str] = []
+    for i in range(draws):
+        p = int(rng.integers(1, 6))
+        k = int(rng.integers(1, 8))
+        n = int(rng.integers(1, 120))
+        a = int(rng.choice([1, 1, 1, 2, 3, -1]))
+        b = int(rng.integers(0, 5))
+        align = Alignment(a, b)
+        lo = int(rng.integers(0, n))
+        hi = int(rng.integers(0, n))
+        stride = int(rng.choice([1, 1, 2, 3, 5, -1, -2]))
+        sec = (
+            RegularSection(min(lo, hi), max(lo, hi), abs(stride))
+            if stride > 0
+            else RegularSection(max(lo, hi), min(lo, hi), stride)
+        )
+        tag = f"draw {i}: p={p} k={k} n={n} align=({a},{b}) sec={sec}"
+        for m in range(p):
+            pairs = localized_elements(p, k, n, align, sec, m)
+            idx, slots = localized_arrays(p, k, n, align, sec, m)
+            if [g for g, _ in pairs] != idx.tolist() or [
+                s for _, s in pairs
+            ] != slots.tolist():
+                failures.append(f"localized_arrays mismatch: {tag} m={m}")
+
+        # Schedules: random (k, alignment) on each side, same extent.
+        k2 = int(rng.integers(1, 8))
+        bsec_len = len(sec)
+        if bsec_len and bsec_len <= n:
+            asec = RegularSection(0, bsec_len - 1, 1)
+            lhs = make_1d("A", n, p, k2)
+            rhs = make_1d("B", n, p, k, a, b)
+            vec = compute_comm_schedule(lhs, asec, rhs, sec)
+            ref = compute_comm_schedule_reference(lhs, asec, rhs, sec)
+            if [t.astuples() for t in vec.locals_ + vec.transfers] != [
+                t.astuples() for t in ref.locals_ + ref.transfers
+            ]:
+                failures.append(f"comm schedule mismatch: {tag} k2={k2}")
+
+        # distribute/collect round trip vs the scalar sweep.
+        arr_v = make_1d("V", n, p, k, a, b)
+        arr_s = make_1d("S", n, p, k, a, b)
+        host = rng.standard_normal(n)
+        vm_v, vm_s = VirtualMachine(p), VirtualMachine(p)
+        distribute(vm_v, arr_v, host)
+        distribute_reference(vm_s, arr_s, host)
+        for m in range(p):
+            got = vm_v.processors[m].memory("V")
+            want = vm_s.processors[m].memory("S")
+            if not np.array_equal(got, want):
+                failures.append(f"distribute mismatch: {tag} m={m}")
+        if not np.array_equal(collect(vm_v, arr_v), host):
+            failures.append(f"collect round-trip mismatch: {tag}")
+        if not np.array_equal(
+            collect_reference(vm_v, arr_v), collect(vm_v, arr_v)
+        ):
+            failures.append(f"collect vs reference mismatch: {tag}")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Timed rows
+# ----------------------------------------------------------------------
+
+def bench_comm_schedule(n: int, p: int, repeats: int) -> list[dict]:
+    lhs = make_1d("A", n, p, 7)
+    rhs = make_1d("B", n, p, 3)
+    sec_a = RegularSection(0, n - 2, 1)
+    sec_b = RegularSection(1, n - 1, 1)
+    rows = []
+
+    t = timeit(lambda: compute_comm_schedule_reference(lhs, sec_a, rhs, sec_b), 1)
+    rows.append({"benchmark": "comm_schedule", "variant": "scalar", "seconds": t})
+
+    clear_plan_caches()
+    t = timeit(lambda: compute_comm_schedule(lhs, sec_a, rhs, sec_b), repeats)
+    rows.append({"benchmark": "comm_schedule", "variant": "vectorized", "seconds": t})
+
+    cached_comm_schedule(lhs, sec_a, rhs, sec_b)  # warm
+    t = timeit(lambda: cached_comm_schedule(lhs, sec_a, rhs, sec_b), max(repeats, 10))
+    rows.append({"benchmark": "comm_schedule", "variant": "cached", "seconds": t})
+
+    for row in rows:
+        row.update(n=n, p=p)
+    return rows
+
+
+def bench_distribute_collect(n: int, p: int, repeats: int) -> list[dict]:
+    arr = make_1d("X", n, p, 5)
+    host = np.arange(n, dtype=float)
+    rows = []
+
+    vm = VirtualMachine(p)
+    t = timeit(lambda: distribute_reference(vm, arr, host), 1)
+    rows.append({"benchmark": "distribute", "variant": "scalar", "seconds": t})
+    t = timeit(lambda: collect_reference(vm, arr), 1)
+    rows.append({"benchmark": "collect", "variant": "scalar", "seconds": t})
+
+    vm = VirtualMachine(p)
+
+    def cold_distribute():
+        clear_plan_caches()
+        distribute(vm, arr, host)
+
+    t = timeit(cold_distribute, repeats)
+    rows.append({"benchmark": "distribute", "variant": "vectorized", "seconds": t})
+
+    def cold_collect():
+        clear_plan_caches()
+        return collect(vm, arr)
+
+    t = timeit(cold_collect, repeats)
+    rows.append({"benchmark": "collect", "variant": "vectorized", "seconds": t})
+
+    distribute(vm, arr, host)  # warm the localized-array cache
+    t = timeit(lambda: distribute(vm, arr, host), repeats)
+    rows.append({"benchmark": "distribute", "variant": "cached", "seconds": t})
+    t = timeit(lambda: collect(vm, arr), repeats)
+    rows.append({"benchmark": "collect", "variant": "cached", "seconds": t})
+
+    for row in rows:
+        row.update(n=n, p=p)
+    return rows
+
+
+def bench_localized(n: int, p: int, repeats: int) -> list[dict]:
+    k = 6
+    align = Alignment(1, 0)
+    sec = RegularSection(0, n - 1, 3)
+    rows = []
+    t = timeit(lambda: [localized_elements(p, k, n, align, sec, m) for m in range(p)], 1)
+    rows.append({"benchmark": "localized", "variant": "scalar", "seconds": t})
+    t = timeit(lambda: [localized_arrays(p, k, n, align, sec, m) for m in range(p)], repeats)
+    rows.append({"benchmark": "localized", "variant": "vectorized", "seconds": t})
+    [cached_localized_arrays(p, k, n, align, sec, m) for m in range(p)]
+    t = timeit(
+        lambda: [cached_localized_arrays(p, k, n, align, sec, m) for m in range(p)],
+        max(repeats, 10),
+    )
+    rows.append({"benchmark": "localized", "variant": "cached", "seconds": t})
+    for row in rows:
+        row.update(n=n, p=p, k=k)
+    return rows
+
+
+def speedups(rows: list[dict]) -> dict:
+    by = {(r["benchmark"], r["variant"]): r["seconds"] for r in rows}
+    out: dict[str, dict] = {}
+    for bench in {r["benchmark"] for r in rows}:
+        scalar = by.get((bench, "scalar"))
+        entry = {}
+        for variant in ("vectorized", "cached"):
+            sec = by.get((bench, variant))
+            if scalar and sec:
+                entry[variant] = round(scalar / sec, 2)
+        out[bench] = entry
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes + fewer draws (CI smoke test)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="array size (default 100000, quick 8000)")
+    parser.add_argument("-p", "--procs", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--draws", type=int, default=None,
+                        help="verification sweep size (default 60, quick 25)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json")
+    args = parser.parse_args(argv)
+
+    n = args.n or (8_000 if args.quick else 100_000)
+    repeats = args.repeats or (3 if args.quick else 5)
+    draws = args.draws if args.draws is not None else (25 if args.quick else 60)
+
+    print(f"verifying vectorized kernels against scalar oracles ({draws} draws)...")
+    failures = verify(draws)
+    if failures:
+        for f in failures:
+            print(f"MISMATCH: {f}", file=sys.stderr)
+        print(f"{len(failures)} scalar-vs-vectorized mismatches", file=sys.stderr)
+        return 1
+    print("ok: vectorized kernels bit-identical to scalar paths")
+
+    clear_plan_caches()
+    rows = []
+    rows += bench_localized(n, args.procs, repeats)
+    rows += bench_comm_schedule(n, args.procs, repeats)
+    rows += bench_distribute_collect(n, args.procs, repeats)
+
+    report = {
+        "config": {"n": n, "p": args.procs, "repeats": repeats,
+                   "quick": args.quick, "verify_draws": draws},
+        "rows": rows,
+        "speedups": speedups(rows),
+        "cache_stats": cache_stats(),
+    }
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+
+    print(f"\n{'benchmark':<14} {'variant':<11} {'seconds':>12}")
+    for row in rows:
+        print(f"{row['benchmark']:<14} {row['variant']:<11} {row['seconds']:>12.6f}")
+    print("\nspeedups over scalar:")
+    for bench, entry in sorted(report["speedups"].items()):
+        pretty = ", ".join(f"{v}: {x}x" for v, x in entry.items())
+        print(f"  {bench:<14} {pretty}")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,9 @@ from .distribution import (
 from .lang import compile_source
 from .machine import VirtualMachine
 from .runtime import (
+    cache_stats,
+    cached_comm_schedule,
+    clear_plan_caches,
     collect,
     compute_comm_schedule,
     distribute,
@@ -119,6 +122,9 @@ __all__ = [
     "VirtualMachine",
     "make_plan",
     "compute_comm_schedule",
+    "cached_comm_schedule",
+    "cache_stats",
+    "clear_plan_caches",
     "distribute",
     "collect",
     "execute_fill",

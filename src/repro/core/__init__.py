@@ -25,6 +25,14 @@ from .counting import (
 from .diagonal import DiagonalAccess, diagonal_iterations
 from .euclid import ExtendedGcd, extended_gcd, gcd, lcm, mod_inverse
 from .fsm import AccessFSM, Transition
+from .kernels import (
+    expand_table,
+    local_addresses_of,
+    local_slots_of,
+    owners_of,
+    periodic_floor_rank_of,
+    periodic_rank_of,
+)
 from .multidim import compose_flat_addresses, odometer_addresses, row_major_strides
 from .generator import RLCursor, iter_global_indices, iter_local_addresses
 from .lattice import (
@@ -60,6 +68,12 @@ __all__ = [
     "compose_flat_addresses",
     "odometer_addresses",
     "row_major_strides",
+    "expand_table",
+    "owners_of",
+    "local_addresses_of",
+    "local_slots_of",
+    "periodic_rank_of",
+    "periodic_floor_rank_of",
     "ExtendedGcd",
     "extended_gcd",
     "gcd",

@@ -163,6 +163,35 @@ class AccessTable:
             idx += self.index_gaps[t % self.length]
         return out
 
+    def local_addresses_array(self, count: int):
+        """First ``count`` local addresses as one int64 vector (the
+        vectorized form of :meth:`local_addresses`, via
+        :func:`repro.core.kernels.expand_table`)."""
+        from .kernels import expand_table
+        import numpy as np
+
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.is_empty:
+            if count:
+                raise ValueError("processor owns no section elements")
+            return np.empty(0, dtype=np.int64)
+        return expand_table(self.start_local, self.gaps, count)
+
+    def global_indices_array(self, count: int):
+        """First ``count`` global indices as one int64 vector (the
+        vectorized form of :meth:`global_indices`)."""
+        from .kernels import expand_table
+        import numpy as np
+
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.is_empty:
+            if count:
+                raise ValueError("processor owns no section elements")
+            return np.empty(0, dtype=np.int64)
+        return expand_table(self.start, self.index_gaps, count)
+
     def iter_local_addresses(self) -> Iterator[int]:
         """Endless stream of local addresses (use with an upper bound)."""
         if self.is_empty:

@@ -18,6 +18,7 @@ from .localize import (
     LocalizedTable,
     RankFunction,
     localize_section,
+    localized_arrays,
     localized_elements,
 )
 from .section import RegularSection
@@ -42,4 +43,5 @@ __all__ = [
     "RankFunction",
     "localize_section",
     "localized_elements",
+    "localized_arrays",
 ]

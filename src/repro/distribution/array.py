@@ -202,6 +202,26 @@ class DistributedArray:
         for undistributed dimensions)."""
         return self._dims[dim].layout
 
+    def descriptor(self) -> tuple:
+        """Hashable layout descriptor: everything ownership and local
+        addressing depend on, and nothing else (not the name).  Arrays
+        with equal descriptors are interchangeable for plan and schedule
+        construction, which is what the runtime's plan caches key on.
+        """
+        return (
+            self.shape,
+            self.grid.shape,
+            tuple(
+                (
+                    dim.extent,
+                    dim.axis_map.grid_axis,
+                    dim.axis_map.alignment,
+                    (dim.layout.p, dim.layout.k) if dim.layout is not None else None,
+                )
+                for dim in self._dims
+            ),
+        )
+
     def is_replicated_over_axis(self, axis: int) -> bool:
         return all(am.grid_axis != axis for am in self.axis_maps)
 

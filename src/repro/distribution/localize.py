@@ -29,13 +29,22 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.access import AccessTable, compute_access_table
 from ..core.counting import local_count
 from ..core.euclid import extended_gcd
+from ..core.kernels import expand_table, periodic_floor_rank_of, periodic_rank_of
 from .align import Alignment
 from .section import RegularSection
 
-__all__ = ["RankFunction", "LocalizedTable", "localize_section", "localized_elements"]
+__all__ = [
+    "RankFunction",
+    "LocalizedTable",
+    "localize_section",
+    "localized_elements",
+    "localized_arrays",
+]
 
 
 class RankFunction:
@@ -60,6 +69,11 @@ class RankFunction:
         self.first = addrs[0]
         self._position = {addr - self.first: t for t, addr in enumerate(addrs)}
         self.cycle = addrs
+        # First-cycle relative offsets, ascending (the access sequence
+        # visits local addresses in increasing order): shared by
+        # floor_rank's bisect and the vectorized lookups.
+        self._rel = [a - self.first for a in addrs]
+        self._rel_arr = np.asarray(self._rel, dtype=np.int64)
 
     def rank(self, addr: int) -> int:
         """Array-local slot of the element stored at template-local
@@ -86,9 +100,22 @@ class RankFunction:
         if delta < 0:
             return -1
         q, r = divmod(delta, self.period_span)
-        rel = [a - self.first for a in self.cycle]
-        pos = bisect_right(rel, r) - 1
+        pos = bisect_right(self._rel, r) - 1
         return q * self.table.length + pos
+
+    def rank_array(self, addrs) -> np.ndarray:
+        """Vectorized :meth:`rank`: compressed slots of a whole address
+        vector in one divmod + ``searchsorted`` pass (KeyError when any
+        address holds no allocation point)."""
+        return periodic_rank_of(
+            addrs, self.first, self.period_span, self._rel_arr
+        )
+
+    def floor_rank_array(self, addrs) -> np.ndarray:
+        """Vectorized :meth:`floor_rank`."""
+        return periodic_floor_rank_of(
+            addrs, self.first, self.period_span, self._rel_arr
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -147,6 +174,28 @@ class LocalizedTable:
             idx += self.index_gaps[t % self.length]
         return out
 
+    def slots_array(self, count: int) -> np.ndarray:
+        """First ``count`` array-local slots as one int64 vector (the
+        vectorized form of :meth:`slots`)."""
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.is_empty:
+            if count:
+                raise ValueError("processor owns no section elements")
+            return np.empty(0, dtype=np.int64)
+        return expand_table(self.start_slot, self.gaps, count)
+
+    def indices_array(self, count: int) -> np.ndarray:
+        """First ``count`` global array indices as one int64 vector (the
+        vectorized form of :meth:`indices`)."""
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.is_empty:
+            if count:
+                raise ValueError("processor owns no section elements")
+            return np.empty(0, dtype=np.int64)
+        return expand_table(self.start_index, self.index_gaps, count)
+
 
 def localize_section(
     p: int,
@@ -202,6 +251,15 @@ def localize_section(
     )
 
 
+def _bounded_count(
+    p: int, k: int, alignment: Alignment, section: RegularSection, m: int
+) -> int:
+    """Owned-element count of the bounded section on processor ``m``."""
+    norm = section.normalized()
+    image = alignment.apply_section(norm).normalized()
+    return local_count(p, k, image.lower, image.upper, image.stride, m)
+
+
 def localized_elements(
     p: int,
     k: int,
@@ -212,11 +270,45 @@ def localized_elements(
 ) -> list[tuple[int, int]]:
     """All ``(array_index, array_local_slot)`` pairs of the section owned
     by processor ``m``, in template order.  Bounded by the section's
-    upper end; used by the runtime and as a convenient oracle target."""
+    upper end.
+
+    This is the *scalar reference path* (pure-Python expansion); the
+    runtime consumes :func:`localized_arrays`, which produces the same
+    sequence as NumPy vectors in O(count) vector ops.  The property
+    tests assert the two stay bit-identical.
+    """
     table = localize_section(p, k, extent, alignment, section, m)
     if table.is_empty:
         return []
-    norm = section.normalized()
-    image = alignment.apply_section(norm).normalized()
-    count = local_count(p, k, image.lower, image.upper, image.stride, m)
+    count = _bounded_count(p, k, alignment, section, m)
     return list(zip(table.indices(count), table.slots(count)))
+
+
+def localized_arrays(
+    p: int,
+    k: int,
+    extent: int,
+    alignment: Alignment,
+    section: RegularSection,
+    m: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`localized_elements`: the section's owned
+    ``(array_indices, array_local_slots)`` on processor ``m`` as two
+    parallel int64 vectors in template order.
+
+    The periodic table is built once with the O(k) algorithm and
+    expanded with :func:`repro.core.kernels.expand_table`; no
+    per-element Python executes.  The returned arrays are marked
+    read-only so cached copies can be shared safely
+    (see :mod:`repro.runtime.plancache`).
+    """
+    table = localize_section(p, k, extent, alignment, section, m)
+    if table.is_empty:
+        indices = slots = np.empty(0, dtype=np.int64)
+    else:
+        count = _bounded_count(p, k, alignment, section, m)
+        indices = table.indices_array(count)
+        slots = table.slots_array(count)
+    indices.flags.writeable = False
+    slots.flags.writeable = False
+    return indices, slots

@@ -32,8 +32,8 @@ from ..distribution.array import AxisMap, DistributedArray
 from ..distribution.dist import Block, Collapsed, Cyclic, CyclicK, ProcessorGrid
 from ..distribution.section import RegularSection
 from ..machine.vm import VirtualMachine
-from ..runtime.commsets import CommSchedule, compute_comm_schedule
-from ..runtime.commsets2d import compute_comm_schedule_2d
+from ..runtime.commsets import CommSchedule
+from ..runtime.plancache import cached_comm_schedule, cached_comm_schedule_2d
 from ..runtime.exec import (
     collect,
     distribute,
@@ -316,7 +316,7 @@ def compile_program(program: Program, *, default_shape: str = "d") -> CompiledPr
                     f"non-conformable assignment: {lengths_a} vs {lengths_b}"
                 )
             if a.rank == 1:
-                schedule = compute_comm_schedule(a, secs_a[0], b, secs_b[0])
+                schedule = cached_comm_schedule(a, secs_a[0], b, secs_b[0])
 
                 def run_copy(vm, a=a, secs_a=secs_a, b=b, secs_b=secs_b,
                              schedule=schedule):
@@ -324,7 +324,7 @@ def compile_program(program: Program, *, default_shape: str = "d") -> CompiledPr
                     return schedule.total_elements
 
             elif a.rank == 2:
-                schedule = compute_comm_schedule_2d(a, secs_a, b, secs_b)
+                schedule = cached_comm_schedule_2d(a, secs_a, b, secs_b)
 
                 def run_copy(vm, a=a, secs_a=secs_a, b=b, secs_b=secs_b,
                              schedule=schedule):
@@ -354,7 +354,7 @@ def compile_program(program: Program, *, default_shape: str = "d") -> CompiledPr
                     f"non-conformable TRANSPOSE: {lengths_a} vs "
                     f"{lengths_b} transposed"
                 )
-            schedule = compute_comm_schedule_2d(
+            schedule = cached_comm_schedule_2d(
                 a, secs_a, b, secs_b, rhs_dims=(1, 0)
             )
 
@@ -390,7 +390,7 @@ def compile_program(program: Program, *, default_shape: str = "d") -> CompiledPr
                     )
                 lowered_terms.append((term.coef, src, sec_t))
             term_schedules = [
-                compute_comm_schedule(a, sec_a, src, sec_t)
+                cached_comm_schedule(a, sec_a, src, sec_t)
                 for _, src, sec_t in lowered_terms
             ]
 

@@ -201,9 +201,18 @@ class FlightRecorder:
 
 
 def machine_report(vm: VirtualMachine) -> dict:
-    """Aggregate activity summary of a virtual machine run."""
+    """Aggregate activity summary of a virtual machine run.
+
+    Includes the runtime's plan-cache counters (``plan_caches``) so
+    reports show how much schedule/plan construction was amortized.
+    The import is deferred: the machine layer does not depend on the
+    runtime package at module level.
+    """
+    from ..runtime.plancache import cache_stats
+
     net = vm.network.stats
     return {
+        "plan_caches": cache_stats(),
         "ranks": vm.p,
         "messages": net.messages,
         "bytes": net.bytes,

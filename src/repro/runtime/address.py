@@ -21,8 +21,9 @@ from ..core.multidim import compose_flat_addresses
 from ..core.offsets import compute_offset_tables
 from ..distribution.array import DistributedArray
 from ..distribution.layout import CyclicLayout
-from ..distribution.localize import localize_section, localized_elements
+from ..distribution.localize import localize_section
 from ..distribution.section import RegularSection
+from .plancache import cached_localized_arrays
 
 __all__ = ["AccessPlan", "make_plan", "make_array_plan", "flat_local_addresses"]
 
@@ -202,9 +203,9 @@ def flat_local_addresses(
                                      dtype=np.int64))
         else:
             coord = coords[dim.axis_map.grid_axis]
-            pairs = localized_elements(
+            _, slots = cached_localized_arrays(
                 dim.layout.p, dim.layout.k, dim.extent,
                 dim.axis_map.alignment, sec, coord,
             )
-            per_dim.append(np.asarray([slot for _, slot in pairs], dtype=np.int64))
+            per_dim.append(slots)
     return compose_flat_addresses(per_dim, array.local_shape(rank))

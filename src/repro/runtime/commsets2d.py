@@ -23,9 +23,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..distribution.array import DistributedArray
-from ..distribution.localize import localized_elements
 from ..distribution.section import RegularSection
+from .commsets import iter_dim_buckets
 
 __all__ = ["Transfer2D", "CommSchedule2D", "compute_comm_schedule_2d"]
 
@@ -40,8 +42,8 @@ class Transfer2D:
 
     source: int
     dest: int
-    src_slots: tuple[int, ...]
-    dst_slots: tuple[int, ...]
+    src_slots: tuple[int, ...] | np.ndarray
+    dst_slots: tuple[int, ...] | np.ndarray
 
     def __len__(self) -> int:
         return len(self.src_slots)
@@ -52,6 +54,13 @@ class CommSchedule2D:
     n_iterations: tuple[int, int]
     locals_: list[Transfer2D] = field(default_factory=list)
     transfers: list[Transfer2D] = field(default_factory=list)
+    _send_index: dict[int, list[Transfer2D]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _recv_index: dict[int, list[Transfer2D]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _indexed_count: int = field(default=-1, repr=False, compare=False)
 
     @property
     def total_elements(self) -> int:
@@ -63,11 +72,25 @@ class CommSchedule2D:
     def communicated_elements(self) -> int:
         return sum(len(t) for t in self.transfers)
 
+    def _reindex(self) -> None:
+        if self._indexed_count == len(self.transfers):
+            return
+        send: dict[int, list[Transfer2D]] = {}
+        recv: dict[int, list[Transfer2D]] = {}
+        for t in self.transfers:
+            send.setdefault(t.source, []).append(t)
+            recv.setdefault(t.dest, []).append(t)
+        self._send_index = send
+        self._recv_index = recv
+        self._indexed_count = len(self.transfers)
+
     def sends_from(self, rank: int) -> list[Transfer2D]:
-        return [t for t in self.transfers if t.source == rank]
+        self._reindex()
+        return self._send_index.get(rank, [])
 
     def receives_at(self, rank: int) -> list[Transfer2D]:
-        return [t for t in self.transfers if t.dest == rank]
+        self._reindex()
+        return self._recv_index.get(rank, [])
 
 
 def _check_rank2(array: DistributedArray, role: str) -> None:
@@ -91,29 +114,21 @@ def _check_rank2(array: DistributedArray, role: str) -> None:
 def _dim_buckets(
     a: DistributedArray, dim_a_idx: int, sec_a: RegularSection,
     b: DistributedArray, dim_b_idx: int, sec_b: RegularSection,
-) -> dict[tuple[int, int], list[tuple[int, int]]]:
+) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
     """Transfer sets of one iteration axis pairing LHS dimension
     ``dim_a_idx`` with RHS dimension ``dim_b_idx``: maps ``(q, r)``
-    coordinate pairs to ``(src_slot, dst_slot)`` lists in increasing
-    iteration order."""
+    coordinate pairs to ``(src_slots, dst_slots)`` vectors in increasing
+    iteration order (the shared vectorized pass of
+    :func:`repro.runtime.commsets.iter_dim_buckets`)."""
     dim_a = a._dims[dim_a_idx]
     dim_b = b._dims[dim_b_idx]
-    buckets: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+    buckets: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
     for q in range(b.grid.shape[dim_b.axis_map.grid_axis]):
-        pairs = localized_elements(
-            dim_b.layout.p, dim_b.layout.k, dim_b.extent,
-            dim_b.axis_map.alignment, sec_b, q,
-        )
-        for b_index, b_slot in pairs:
-            t = sec_b.position_of(b_index)
-            a_index = sec_a.element(t)
-            r = dim_a.owner(a_index)
-            a_slot = dim_a.local_slot(a_index, r)
-            buckets.setdefault((q, r), []).append((t, b_slot, a_slot))
-    return {
-        key: [(bs, asl) for _, bs, asl in sorted(triples)]
-        for key, triples in buckets.items()
-    }
+        for r, _t, src_slots, dst_slots in iter_dim_buckets(
+            dim_a, sec_a, dim_b, sec_b, q
+        ):
+            buckets[(q, r)] = (src_slots, dst_slots)
+    return buckets
 
 
 def compute_comm_schedule_2d(
@@ -152,8 +167,8 @@ def compute_comm_schedule_2d(
     # Whether iteration axis e supplies the RHS's *row* (dim 0) slot.
     rhs_is_dim0 = [rhs_dims[e] == 0 for e in (0, 1)]
 
-    for (q0, r0), pairs0 in sorted(buckets[0].items()):
-        for (q1, r1), pairs1 in sorted(buckets[1].items()):
+    for (q0, r0), (bs0, as0) in sorted(buckets[0].items()):
+        for (q1, r1), (bs1, as1) in sorted(buckets[1].items()):
             src_coords = [0, 0]
             src_coords[axis_b[0]], src_coords[axis_b[1]] = q0, q1
             dst_coords = [0, 0]
@@ -162,17 +177,17 @@ def compute_comm_schedule_2d(
             dst = a.grid.linearize(tuple(dst_coords))
             src_shape1 = b.local_shape(src)[1]
             dst_shape1 = a.local_shape(dst)[1]
-            src_slots = []
-            dst_slots = []
-            for bs0, as0 in pairs0:
-                for bs1, as1 in pairs1:
-                    if rhs_is_dim0[0]:
-                        src_flat = bs0 * src_shape1 + bs1
-                    else:
-                        src_flat = bs1 * src_shape1 + bs0
-                    src_slots.append(src_flat)
-                    dst_slots.append(as0 * dst_shape1 + as1)
-            transfer = Transfer2D(src, dst, tuple(src_slots), tuple(dst_slots))
+            # Flat addresses as a broadcast outer sum, raveled odometer
+            # style (iteration axis 0 slowest) -- identical order to the
+            # scalar double loop it replaces.
+            if rhs_is_dim0[0]:
+                src_flat = bs0[:, None] * src_shape1 + bs1[None, :]
+            else:
+                src_flat = bs1[None, :] * src_shape1 + bs0[:, None]
+            dst_flat = as0[:, None] * dst_shape1 + as1[None, :]
+            transfer = Transfer2D(
+                src, dst, src_flat.reshape(-1), dst_flat.reshape(-1)
+            )
             if src == dst:
                 schedule.locals_.append(transfer)
             else:

@@ -20,14 +20,22 @@ import numpy as np
 from ..distribution.array import DistributedArray
 from ..distribution.section import RegularSection
 from ..machine.vm import VirtualMachine
-from .address import flat_local_addresses, make_array_plan
+from .address import flat_local_addresses
 from .codegen import get_shape, materialize_addresses
-from .commsets import CommSchedule, compute_comm_schedule
+from .commsets import CommSchedule
+from .plancache import (
+    cached_array_plan,
+    cached_comm_schedule,
+    cached_comm_schedule_2d,
+    cached_localized_arrays,
+)
 
 __all__ = [
     "as_index",
     "distribute",
     "collect",
+    "distribute_reference",
+    "collect_reference",
     "execute_fill",
     "execute_copy",
     "execute_combine",
@@ -50,9 +58,99 @@ def _check_vm(vm: VirtualMachine, array: DistributedArray) -> None:
         )
 
 
+def _dim_images(
+    array: DistributedArray, rank: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-dimension ``(global_indices, local_slots)`` vectors of the
+    *whole* array on ``rank`` -- the layout closed form each dimension's
+    access-sequence machinery produces for the full-extent section."""
+    rc = array.grid.coordinates(rank)
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    for dim in array._dims:
+        if dim.layout is None:
+            idx = np.arange(dim.extent, dtype=np.int64)
+            out.append((idx, idx))
+        else:
+            coord = rc[dim.axis_map.grid_axis]
+            out.append(
+                cached_localized_arrays(
+                    dim.layout.p, dim.layout.k, dim.extent,
+                    dim.axis_map.alignment,
+                    RegularSection(0, dim.extent - 1, 1), coord,
+                )
+            )
+    return out
+
+
+def _is_lowest_owner(array: DistributedArray, rank: int) -> bool:
+    """Whether ``rank`` is the lowest rank holding each of its elements
+    (true for every rank unless the array is replicated over some grid
+    axis; with row-major rank linearization the lowest replica holder
+    has coordinate 0 on every replicated axis)."""
+    rc = array.grid.coordinates(rank)
+    return all(
+        rc[axis] == 0
+        for axis in range(array.grid.rank)
+        if array.is_replicated_over_axis(axis)
+    )
+
+
 def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) -> None:
     """Scatter a host image into per-rank local memories (named after the
-    array).  Replicated axes receive full copies."""
+    array).  Replicated axes receive full copies.
+
+    Vectorized: each rank's local image is one cross-product fancy-index
+    gather/scatter built from the per-dimension layout closed forms --
+    no per-element ownership tests
+    (:func:`distribute_reference` keeps that scalar sweep as the oracle).
+    """
+    _check_vm(vm, array)
+    values = np.asarray(values)
+    if values.shape != array.shape:
+        raise ValueError(
+            f"host image shape {values.shape} != array shape {array.shape}"
+        )
+    for rank in range(vm.p):
+        shape = array.local_shape(rank)
+        local = np.zeros(shape, dtype=values.dtype)
+        dims = _dim_images(array, rank)
+        local[np.ix_(*[slots for _, slots in dims])] = values[
+            np.ix_(*[idx for idx, _ in dims])
+        ]
+        proc = vm.processors[rank]
+        proc.allocate(array.name, local.size, dtype=values.dtype)
+        proc.memory(array.name)[:] = local.reshape(-1)
+
+
+def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np.ndarray:
+    """Gather per-rank local memories back into one host image.
+
+    Replicated elements are taken from the lowest owning rank; the
+    integration tests separately assert replica coherence.  Vectorized
+    like :func:`distribute`: one cross-product fancy-index per
+    contributing rank instead of a per-element ownership sweep.
+    """
+    _check_vm(vm, array)
+    out = np.zeros(array.shape, dtype=dtype)
+    for rank in range(vm.p):
+        if not _is_lowest_owner(array, rank):
+            continue
+        dims = _dim_images(array, rank)
+        local = vm.processors[rank].memory(array.name).reshape(
+            array.local_shape(rank)
+        )
+        out[np.ix_(*[idx for idx, _ in dims])] = local[
+            np.ix_(*[slots for _, slots in dims])
+        ]
+    return out
+
+
+def distribute_reference(
+    vm: VirtualMachine, array: DistributedArray, values: np.ndarray
+) -> None:
+    """Element-at-a-time :func:`distribute` (the original ``np.ndindex``
+    sweep), kept as the oracle the property tests and the kernel
+    benchmarks compare the vectorized path against."""
     _check_vm(vm, array)
     values = np.asarray(values)
     if values.shape != array.shape:
@@ -69,12 +167,11 @@ def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) 
         proc.memory(array.name)[:] = local
 
 
-def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np.ndarray:
-    """Gather per-rank local memories back into one host image.
-
-    Replicated elements are taken from the lowest owning rank; the
-    integration tests separately assert replica coherence.
-    """
+def collect_reference(
+    vm: VirtualMachine, array: DistributedArray, dtype=np.float64
+) -> np.ndarray:
+    """Element-at-a-time :func:`collect` (the original per-element
+    ownership sweep), kept as the oracle for the vectorized path."""
     _check_vm(vm, array)
     out = np.zeros(array.shape, dtype=dtype)
     for idx in np.ndindex(*array.shape):
@@ -107,7 +204,7 @@ def execute_fill(
     total = 0
     if array.rank == 1:
         for rank in range(vm.p):
-            plan = make_array_plan(array, 0, sections[0], rank)
+            plan = cached_array_plan(array, 0, sections[0], rank)
             if plan.is_empty:
                 continue
             if shape == "d" and plan.start_offset is None:
@@ -153,12 +250,13 @@ def execute_copy(
     Three supersteps: local copies + packed sends, then delivery, then
     unpack into LHS local memory.  A precomputed ``schedule`` may be
     passed (the compile-time-constants case the paper discusses);
-    otherwise one is computed here.
+    otherwise one comes from the plan cache (repeated statements over
+    identically mapped operands reuse the schedule object).
     """
     _check_vm(vm, a)
     _check_vm(vm, b)
     if schedule is None:
-        schedule = compute_comm_schedule(a, sec_a, b, sec_b)
+        schedule = cached_comm_schedule(a, sec_a, b, sec_b)
     tag = ("copy", a.name, b.name)
 
     # Fortran semantics: the RHS is read in full before any element is
@@ -217,7 +315,7 @@ def execute_combine(
         _check_vm(vm, src)
     if schedules is None:
         schedules = [
-            compute_comm_schedule(a, sec_a, src, sec_src)
+            cached_comm_schedule(a, sec_a, src, sec_src)
             for _, src, sec_src in terms
         ]
     if len(schedules) != len(terms):
@@ -228,17 +326,13 @@ def execute_combine(
 
     # Destination slots owned by each rank (zeroed exactly once).
     dim_a = a._dims[0]
-    dst_slots_by_rank: dict[int, np.ndarray] = {}
-    for rank in range(vm.p):
-        from ..distribution.localize import localized_elements
-
-        pairs = localized_elements(
+    dst_slots_by_rank: dict[int, np.ndarray] = {
+        rank: cached_localized_arrays(
             dim_a.layout.p, dim_a.layout.k, dim_a.extent,
             dim_a.axis_map.alignment, sec_a, rank,
-        )
-        dst_slots_by_rank[rank] = np.asarray(
-            [slot for _, slot in pairs], dtype=np.int64
-        )
+        )[1]
+        for rank in range(vm.p)
+    }
 
     def tag(t: int) -> tuple:
         return ("combine", a.name, t)
@@ -292,12 +386,10 @@ def execute_copy_2d(
     ``rhs_dims=(1, 0)`` pairs LHS dimension 0 with RHS dimension 1 --
     the distributed transpose (see :func:`execute_transpose`).
     """
-    from .commsets2d import compute_comm_schedule_2d
-
     _check_vm(vm, a)
     _check_vm(vm, b)
     if schedule is None:
-        schedule = compute_comm_schedule_2d(
+        schedule = cached_comm_schedule_2d(
             a, tuple(secs_a), b, tuple(secs_b), rhs_dims
         )
     tag = ("copy2d", a.name, b.name)

@@ -1,0 +1,189 @@
+"""Keyed LRU caches for access plans and communication schedules.
+
+The paper's algorithm makes *constructing* an access sequence cheap
+(O(k) tables), but a runtime replays the same statements: every
+superstep of an iterative solver re-derives the same localized element
+vectors, the same per-dimension plans, and -- when section bounds are
+compile-time constants -- the same communication schedules.  All of
+these are pure functions of hashable layout descriptors, so this module
+memoizes them:
+
+* :func:`cached_localized_arrays` -- the ``(p, k, extent, alignment,
+  section, rank)``-keyed index/slot vectors of
+  :func:`repro.distribution.localize.localized_arrays`;
+* :func:`cached_array_plan` -- per-dimension :class:`AccessPlan` objects
+  keyed on the owning array's :meth:`DistributedArray.descriptor`;
+* :func:`cached_comm_schedule` / :func:`cached_comm_schedule_2d` --
+  whole communication schedules keyed on both sides' descriptors plus
+  the section bounds (name-independent: transfers carry only ranks and
+  slots, never array identities).
+
+Cached values are shared across callers, so they must be treated as
+immutable -- the vectorized producers already mark their arrays
+read-only, and schedules are never mutated after construction (the lazy
+per-rank send/receive indexes are idempotent).
+
+Hit/miss counters are kept per cache and surfaced through
+:func:`cache_stats`, which :func:`repro.machine.trace.machine_report`
+folds into every machine report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Callable, TypeVar
+
+from ..distribution.array import DistributedArray
+from ..distribution.localize import localized_arrays
+from ..distribution.section import RegularSection
+
+__all__ = [
+    "PlanCache",
+    "cached_localized_arrays",
+    "cached_array_plan",
+    "cached_comm_schedule",
+    "cached_comm_schedule_2d",
+    "cache_stats",
+    "clear_plan_caches",
+]
+
+T = TypeVar("T")
+
+
+class PlanCache:
+    """A small thread-safe LRU mapping with hit/miss accounting.
+
+    Values are computed at most once per resident key; eviction is
+    least-recently-used beyond ``maxsize`` entries.  The lock is held
+    only around bookkeeping, never around ``compute`` -- concurrent
+    misses on the same key may compute twice (both results are
+    equivalent; last write wins), which keeps slow plan construction out
+    of the critical section.
+    """
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get_or_compute(self, key, compute: Callable[[], T]) -> T:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_localized_cache = PlanCache("localized_arrays", maxsize=4096)
+_plan_cache = PlanCache("array_plans", maxsize=4096)
+_schedule_cache = PlanCache("comm_schedules", maxsize=512)
+_schedule2d_cache = PlanCache("comm_schedules_2d", maxsize=256)
+
+_CACHES = (_localized_cache, _plan_cache, _schedule_cache, _schedule2d_cache)
+
+
+def cached_localized_arrays(p, k, extent, alignment, section, rank):
+    """Memoized :func:`repro.distribution.localize.localized_arrays`.
+
+    The returned ``(indices, slots)`` vectors are read-only and shared;
+    copy before mutating.
+    """
+    key = (p, k, extent, alignment, section, rank)
+    return _localized_cache.get_or_compute(
+        key, lambda: localized_arrays(p, k, extent, alignment, section, rank)
+    )
+
+
+def cached_array_plan(
+    array: DistributedArray, dim: int, section: RegularSection, rank: int
+):
+    """Memoized :func:`repro.runtime.address.make_array_plan`, keyed on
+    the array's layout descriptor (not its identity/name)."""
+    from .address import make_array_plan
+
+    key = (array.descriptor(), dim, section, rank)
+    return _plan_cache.get_or_compute(
+        key, lambda: make_array_plan(array, dim, section, rank)
+    )
+
+
+def cached_comm_schedule(
+    a: DistributedArray,
+    sec_a: RegularSection,
+    b: DistributedArray,
+    sec_b: RegularSection,
+):
+    """Memoized :func:`repro.runtime.commsets.compute_comm_schedule`.
+
+    Keyed on both arrays' layout descriptors plus the section bounds --
+    two statements over identically mapped arrays share one schedule
+    object regardless of array names.  Callers must treat the schedule
+    as immutable (every executor already does).
+    """
+    from .commsets import compute_comm_schedule
+
+    key = (a.descriptor(), sec_a, b.descriptor(), sec_b)
+    return _schedule_cache.get_or_compute(
+        key, lambda: compute_comm_schedule(a, sec_a, b, sec_b)
+    )
+
+
+def cached_comm_schedule_2d(
+    a: DistributedArray,
+    secs_a: tuple[RegularSection, RegularSection],
+    b: DistributedArray,
+    secs_b: tuple[RegularSection, RegularSection],
+    rhs_dims: tuple[int, int] = (0, 1),
+):
+    """Memoized :func:`repro.runtime.commsets2d.compute_comm_schedule_2d`
+    (tensor-product 2-D schedules, including the transpose pairing)."""
+    from .commsets2d import compute_comm_schedule_2d
+
+    key = (a.descriptor(), tuple(secs_a), b.descriptor(), tuple(secs_b), rhs_dims)
+    return _schedule2d_cache.get_or_compute(
+        key,
+        lambda: compute_comm_schedule_2d(a, tuple(secs_a), b, tuple(secs_b), rhs_dims),
+    )
+
+
+def cache_stats() -> dict:
+    """Per-cache ``{entries, maxsize, hits, misses}`` counters."""
+    return {cache.name: cache.stats() for cache in _CACHES}
+
+
+def clear_plan_caches() -> None:
+    """Empty every plan cache and reset its counters (tests and
+    benchmarks call this between timed configurations)."""
+    for cache in _CACHES:
+        cache.clear()

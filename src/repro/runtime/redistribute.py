@@ -19,8 +19,9 @@ import numpy as np
 from ..distribution.array import DistributedArray
 from ..distribution.section import RegularSection
 from ..machine.vm import VirtualMachine
-from .commsets import CommSchedule, compute_comm_schedule
+from .commsets import CommSchedule
 from .exec import execute_copy
+from .plancache import cached_comm_schedule
 
 __all__ = [
     "RedistributionStats",
@@ -78,7 +79,7 @@ def plan_redistribution(
             f"shape mismatch: {dst.name}{list(dst.shape)} vs "
             f"{src.name}{list(src.shape)}"
         )
-    schedule = compute_comm_schedule(dst, _full_section(dst), src, _full_section(src))
+    schedule = cached_comm_schedule(dst, _full_section(dst), src, _full_section(src))
     return schedule, stats_from_schedule(schedule)
 
 

@@ -71,7 +71,8 @@ from ..machine.audit import IntegrityAuditor
 from ..machine.checkpoint import CheckpointStore
 from ..machine.trace import FlightRecorder
 from ..machine.vm import VirtualMachine
-from .commsets import CommSchedule, Transfer, compute_comm_schedule
+from .commsets import CommSchedule, Transfer
+from .plancache import cached_comm_schedule
 from .exec import _check_vm, as_index
 from .redistribute import RedistributionStats, stats_from_schedule
 
@@ -358,7 +359,7 @@ def _execute_copy_resilient(
     if policy is None:
         policy = RetryPolicy()
     if schedule is None:
-        schedule = compute_comm_schedule(a, sec_a, b, sec_b)
+        schedule = cached_comm_schedule(a, sec_a, b, sec_b)
     if vm.dead_ranks:
         raise ValueError(
             f"ranks {list(vm.dead_ranks)} are dead; an exchange must start "
@@ -982,7 +983,7 @@ def redistribute_resilient(
             f"{src.name}{list(src.shape)}"
         )
     if schedule is None:
-        schedule = compute_comm_schedule(
+        schedule = cached_comm_schedule(
             dst, _full_section(dst), src, _full_section(src)
         )
     stats = stats_from_schedule(schedule)

@@ -25,6 +25,7 @@ from ..distribution.array import DistributedArray
 from ..distribution.section import RegularSection
 from ..machine.vm import VirtualMachine
 from .address import flat_local_addresses
+from .plancache import cached_localized_arrays
 
 __all__ = ["gather_section", "scatter_section", "reduce_section"]
 
@@ -41,8 +42,6 @@ def _positions(
     """Flat positions (row-major over the section's iteration space) of
     the elements ``rank`` owns, aligned with
     :func:`flat_local_addresses`' odometer order."""
-    from ..distribution.localize import localized_elements
-
     coords = array.grid.coordinates(rank)
     shape = _section_shape(sections)
     per_dim: list[np.ndarray] = []
@@ -54,13 +53,13 @@ def _positions(
             pos = np.arange(len(norm), dtype=np.int64)
         else:
             coord = coords[dim.axis_map.grid_axis]
-            pairs = localized_elements(
+            indices, _ = cached_localized_arrays(
                 dim.layout.p, dim.layout.k, dim.extent,
                 dim.axis_map.alignment, sec, coord,
             )
-            pos = np.asarray(
-                [sec.position_of(g) for g, _ in pairs], dtype=np.int64
-            )
+            # Exact division: every owned index is a section member, so
+            # floor matches position_of for negative strides too.
+            pos = (indices - sec.lower) // sec.stride
         per_dim.append(pos)
     if any(p.size == 0 for p in per_dim):
         return np.empty(0, dtype=np.int64)

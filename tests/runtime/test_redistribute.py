@@ -103,7 +103,7 @@ class TestExecute:
             raise AssertionError("redistribute(schedule=...) must not replan")
 
         monkeypatch.setattr(redistribute_mod, "plan_redistribution", boom)
-        monkeypatch.setattr(redistribute_mod, "compute_comm_schedule", boom)
+        monkeypatch.setattr(redistribute_mod, "cached_comm_schedule", boom)
         vm = VirtualMachine(p)
         host = np.arange(n, dtype=float)
         distribute(vm, src, host)

@@ -258,7 +258,7 @@ class TestProtocolInternals:
         def boom(*args, **kwargs):
             raise AssertionError("schedule should not be recomputed")
 
-        monkeypatch.setattr(resilient_mod, "compute_comm_schedule", boom)
+        monkeypatch.setattr(resilient_mod, "cached_comm_schedule", boom)
         vm = VirtualMachine(3)
         host = np.arange(60, dtype=float)
         distribute(vm, src, host)
