@@ -1,6 +1,7 @@
 # Convenience targets for the PPoPP '95 reproduction.
 
-.PHONY: install test bench bench-kernels faults soak reproduce examples clean
+.PHONY: install test bench bench-kernels faults soak reproduce examples \
+	trace clean clean-reports
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
@@ -70,6 +71,12 @@ soak:
 		tail -n 1 $(FAULT_REPORT_DIR)/soak-$$seed.log; \
 	done
 
+# Capture a Chrome trace + metrics summary of an instrumented run
+# (docs/OBSERVABILITY.md).  Load trace.json at https://ui.perfetto.dev.
+trace:
+	python -m repro trace copy redistribute resilient --drop 0.2 \
+		--out trace.json --summary trace-summary.txt
+
 # Regenerate every table/figure of the paper (writes to stdout).
 reproduce:
 	python -m repro table1
@@ -85,6 +92,12 @@ reproduce:
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
-clean:
+clean: clean-reports
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
 	find . -name __pycache__ -type d -exec rm -rf {} +
+
+# Drop run artifacts: fault/soak sweep logs, flight-recorder and
+# observability dumps, traces, and bench metric sidecars.
+clean-reports:
+	rm -rf $(FAULT_REPORT_DIR)
+	rm -f trace.json trace.jsonl trace-summary.txt BENCH_*_metrics.json

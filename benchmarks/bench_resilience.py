@@ -7,6 +7,9 @@ one extra superstep plus checksum/ACK bookkeeping.  A second group
 measures recovery cost under a moderate drop rate.
 """
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -14,11 +17,29 @@ from repro.distribution.array import AxisMap, DistributedArray
 from repro.distribution.dist import CyclicK, ProcessorGrid
 from repro.machine.faults import FaultPlan
 from repro.machine.vm import VirtualMachine
+from repro.obs import Observability, set_ambient
 from repro.runtime.exec import distribute
 from repro.runtime.redistribute import plan_redistribution, redistribute
 from repro.runtime.resilient import RetryPolicy, redistribute_resilient
 
 P, N = 8, 8192
+
+# Every VM in this module shares one enabled observability handle so the
+# whole suite's counters (retries, repairs, checkpoints, fault kinds)
+# accumulate into a single snapshot dumped next to BENCH_resilience.json.
+OBS = Observability()
+METRICS_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience_metrics.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_metrics():
+    OBS.clear()
+    prev = set_ambient(OBS)
+    try:
+        yield
+    finally:
+        set_ambient(prev)
+        METRICS_PATH.write_text(json.dumps(OBS.snapshot(), indent=1) + "\n")
 
 PAIRS = [
     ("cyclic1-to-block32", CyclicK(1), CyclicK(N // P)),
@@ -32,7 +53,7 @@ def _setup(src_dist, dst_dist, fault_plan=None):
     src = DistributedArray("S", (N,), grid, (AxisMap(src_dist, grid_axis=0),))
     dst = DistributedArray("D", (N,), grid, (AxisMap(dst_dist, grid_axis=0),))
     schedule, _ = plan_redistribution(dst, src)
-    vm = VirtualMachine(P, fault_plan=fault_plan)
+    vm = VirtualMachine(P, fault_plan=fault_plan, obs=OBS)
     distribute(vm, src, np.arange(N, dtype=float))
     distribute(vm, dst, np.zeros(N))
     return vm, dst, src, schedule

@@ -9,6 +9,7 @@ Commands map one-to-one onto the paper's evaluation artifacts::
     python -m repro ablations  # DESIGN.md ablations A1-A3
     python -m repro opcounts   # platform-independent operation counts
     python -m repro claims     # Section 6.1 sensitivity claims
+    python -m repro trace      # run instrumented programs, export traces
 
 Remaining arguments are forwarded to the selected harness.
 """
@@ -27,6 +28,7 @@ COMMANDS = {
     "costs": "repro.bench.costs",
     "table2c": "repro.bench.table2_c",
     "table1c": "repro.bench.table1_c",
+    "trace": "repro.obs.cli",
 }
 
 

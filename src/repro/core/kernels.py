@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import ambient
+
 __all__ = [
     "expand_table",
     "owners_of",
@@ -49,6 +51,7 @@ def expand_table(start: int, gaps, count: int) -> np.ndarray:
     ``.indices`` -- in O(count) vector operations: tile the gap table,
     exclusive-``cumsum``, add the start.
     """
+    ambient().inc("kernels.expand_table")
     if count < 0:
         raise ValueError(f"count must be nonnegative, got {count}")
     if count == 0:
@@ -85,6 +88,7 @@ def owners_of(indices, p: int, k: int, a: int = 1, b: int = 0) -> np.ndarray:
     """
     if p <= 0 or k <= 0:
         raise ValueError(f"need p > 0 and k > 0, got p={p}, k={k}")
+    ambient().inc("kernels.owners_of")
     cells = _cells_of(indices, a, b)
     return cells % (p * k) // k
 
@@ -99,6 +103,7 @@ def local_addresses_of(indices, p: int, k: int, a: int = 1, b: int = 0) -> np.nd
     """
     if p <= 0 or k <= 0:
         raise ValueError(f"need p > 0 and k > 0, got p={p}, k={k}")
+    ambient().inc("kernels.local_addresses_of")
     cells = _cells_of(indices, a, b)
     rows, offsets = np.divmod(cells, p * k)
     return rows * k + offsets % k
@@ -130,6 +135,7 @@ def periodic_rank_of(
     length = offsets.size
     if length == 0:
         raise ValueError("cycle_offsets must be nonempty")
+    ambient().inc("kernels.periodic_rank_of")
     addr_arr = np.asarray(addrs, dtype=np.int64)
     q, r = np.divmod(addr_arr - first, period_span)
     pos = np.searchsorted(offsets, r)

@@ -25,6 +25,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs import Observability
 from .faults import FaultEvent, FaultPlan, corrupt_payload
 
 __all__ = ["Message", "Network", "NetworkStats", "payload_nbytes"]
@@ -141,7 +142,12 @@ class Network:
     to :attr:`fault_events`.
     """
 
-    def __init__(self, p: int, fault_plan: FaultPlan | None = None) -> None:
+    def __init__(
+        self,
+        p: int,
+        fault_plan: FaultPlan | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         if p <= 0:
             raise ValueError(f"need at least one rank, got p={p}")
         self.p = p
@@ -152,14 +158,45 @@ class Network:
         self.stats = NetworkStats()
         self.fault_events: list[FaultEvent] = []
         self.dead: set[int] = set()  # ranks whose NIC is down (crashed)
-        # Passive observers called as ``tap(event, msg, superstep)`` for
-        # every "send" / "deliver" / "drop" / "quarantine" -- the flight
-        # recorder subscribes here.  Taps must not mutate the message.
-        self.taps: list = []
+        # The observability sink for deliveries and faults: metric
+        # counters when enabled, and the per-rank machine-event rings
+        # the flight recorder is a view over (see repro.obs).
+        self.obs = obs if obs is not None else Observability(enabled=False)
 
-    def _tap(self, event: str, msg: Message, step: int) -> None:
-        for tap in self.taps:
-            tap(event, msg, step)
+    def _observe(self, event: str, msg: Message, step: int) -> None:
+        """Route a traffic event into the machine-event rings: sends to
+        the source's ring, deliveries to the destination's, quarantines
+        to both endpoints (drops go through :meth:`record_fault`)."""
+        events = self.obs.events
+        if not events.enabled:
+            return
+        detail = f"{msg.source}->{msg.dest} tag={msg.tag!r} {msg.nbytes}B"
+        if event == "send":
+            events.record(msg.source, step, event, detail)
+        elif event == "deliver":
+            events.record(msg.dest, step, event, detail)
+        else:
+            events.record(msg.source, step, event, detail)
+            if msg.dest != msg.source:
+                events.record(msg.dest, step, event, detail)
+
+    def record_fault(
+        self, step: int, kind: str, source: int, dest: int, tag: Any, seq: int
+    ) -> None:
+        """Single entry point for injected-fault bookkeeping: appends to
+        :attr:`fault_events` (the deterministic replay trace), bumps the
+        per-kind fault counter, and lands a machine event in the
+        victim's ring.  The VM routes crash/restart/scribble lifecycle
+        events through here too."""
+        self.fault_events.append(FaultEvent(step, kind, source, dest, tag, seq))
+        obs = self.obs
+        obs.inc(f"faults.{kind}")
+        if obs.events.enabled:
+            rank = source if dest < 0 else dest
+            obs.events.record(
+                rank, step, kind,
+                f"src={source} dest={dest} tag={tag!r} seq={seq}",
+            )
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.p:
@@ -171,8 +208,13 @@ class Network:
         msg = Message(source, dest, tag, payload)
         self._pending.append(msg)
         self.stats.record(msg)
-        if self.taps:
-            self._tap("send", msg, self.superstep)
+        obs = self.obs
+        if obs.enabled:
+            nbytes = msg.nbytes
+            obs.inc("net.messages_sent")
+            obs.inc("net.bytes_sent", nbytes)
+            obs.observe("net.message_bytes", nbytes)
+        self._observe("send", msg, self.superstep)
 
     # ------------------------------------------------------------------
     # Crash quarantine
@@ -211,8 +253,11 @@ class Network:
         self.fault_events.append(
             FaultEvent(step, "quarantine", msg.source, msg.dest, msg.tag, 0)
         )
-        if self.taps:
-            self._tap("quarantine", msg, step)
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("net.messages_quarantined")
+            obs.inc("net.bytes_quarantined", msg.nbytes)
+        self._observe("quarantine", msg, step)
 
     # ------------------------------------------------------------------
     # Barrier
@@ -240,11 +285,17 @@ class Network:
                 key = (msg.source, msg.dest, msg.tag)
                 self._queues.setdefault(key, deque()).append(msg)
                 self.stats.record_delivered(msg)
-                if self.taps:
-                    self._tap("deliver", msg, step)
+                self._record_delivered_obs(msg)
+                self._observe("deliver", msg, step)
             self._pending.clear()
             return n
         return self._deliver_faulty(plan, step)
+
+    def _record_delivered_obs(self, msg: Message) -> None:
+        obs = self.obs
+        if obs.enabled:
+            obs.inc("net.messages_delivered")
+            obs.inc("net.bytes_delivered", msg.nbytes)
 
     def _deliver_faulty(self, plan: FaultPlan, step: int) -> int:
         # Stalled ranks: their messages stay pending until a barrier at
@@ -257,9 +308,7 @@ class Network:
                 held.append(msg)
                 if msg.source not in stalled_ranks:
                     stalled_ranks.add(msg.source)
-                    self.fault_events.append(
-                        FaultEvent(step, "stall", msg.source, -1, None, 0)
-                    )
+                    self.record_fault(step, "stall", msg.source, -1, None, 0)
                 self.stats.stalled += 1
             else:
                 batch.append(msg)
@@ -275,19 +324,16 @@ class Network:
         for (source, dest), msgs in channels.items():
             order = plan.permutation(step, source, dest, len(msgs))
             if order != list(range(len(msgs))):
-                self.fault_events.append(
-                    FaultEvent(step, "reorder", source, dest, None, len(msgs))
-                )
+                self.record_fault(step, "reorder", source, dest, None, len(msgs))
             for seq, idx in enumerate(order):
                 msg = msgs[idx]
                 verdict = plan.decide(step, source, dest, seq)
                 if verdict.drop:
-                    self.fault_events.append(
-                        FaultEvent(step, "drop", source, dest, msg.tag, seq)
-                    )
+                    self.record_fault(step, "drop", source, dest, msg.tag, seq)
                     self.stats.record_dropped(msg)
-                    if self.taps:
-                        self._tap("drop", msg, step)
+                    if self.obs.enabled:
+                        self.obs.inc("net.messages_dropped")
+                        self.obs.inc("net.bytes_dropped", msg.nbytes)
                     continue
                 if verdict.corrupt:
                     salt = hash((plan.seed, step, source, dest, seq)) & 0x7FFFFFFF
@@ -297,22 +343,18 @@ class Network:
                         msg.tag,
                         corrupt_payload(msg.payload, salt),
                     )
-                    self.fault_events.append(
-                        FaultEvent(step, "corrupt", source, dest, msg.tag, seq)
-                    )
+                    self.record_fault(step, "corrupt", source, dest, msg.tag, seq)
                     self.stats.corrupted += 1
                 copies = 2 if verdict.duplicate else 1
                 if verdict.duplicate:
-                    self.fault_events.append(
-                        FaultEvent(step, "duplicate", source, dest, msg.tag, seq)
-                    )
+                    self.record_fault(step, "duplicate", source, dest, msg.tag, seq)
                     self.stats.duplicated += 1
                 key = (msg.source, msg.dest, msg.tag)
                 for _ in range(copies):
                     self._queues.setdefault(key, deque()).append(msg)
                     self.stats.record_delivered(msg)
-                    if self.taps:
-                        self._tap("deliver", msg, step)
+                    self._record_delivered_obs(msg)
+                    self._observe("deliver", msg, step)
                     delivered += 1
         return delivered
 

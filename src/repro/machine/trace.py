@@ -10,13 +10,12 @@ from __future__ import annotations
 
 import json
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from .network import Message
+from ..obs.spans import EventLog, EventRecord
 from .vm import VirtualMachine
 
 __all__ = [
@@ -75,13 +74,9 @@ class TracingMemory:
         self.arena[index] = value
 
 
-@dataclass(frozen=True, slots=True)
-class FlightRecord:
-    """One entry in a rank's flight-recorder ring."""
-
-    superstep: int
-    kind: str  # send/deliver/drop/quarantine, a fault kind, audit, repair
-    detail: str
+#: Flight-recorder entries are machine events; the recorder is a view
+#: over the observability event log, so they share one record type.
+FlightRecord = EventRecord
 
 
 class FlightRecorder:
@@ -95,22 +90,33 @@ class FlightRecorder:
     ``fault-reports/`` that tells the story of the final supersteps
     without having traced the whole (possibly enormous) run.
 
-    :meth:`attach` subscribes to the network's taps (sends land in the
-    source rank's ring, deliveries in the destination's, drops and
-    quarantines in both) and registers a barrier hook that folds new
-    ``fault_events`` into the victims' rings.  Runtime layers append
-    their own entries (audit verdicts, repair decisions) via
-    :meth:`record`.
+    Since the observability refactor this class owns no storage of its
+    own once attached: :meth:`attach` force-enables the machine's
+    :class:`repro.obs.spans.EventLog` (the single store the network and
+    VM write sends, deliveries, drops, quarantines, and fault events
+    into) and re-bounds it to ``capacity``; :meth:`detach` restores the
+    log's previous enabled state.  Runtime layers append their own
+    entries (audit verdicts, repair decisions) via :meth:`record`.
     """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._rings: dict[int, deque[FlightRecord]] = {}
         self._vm: VirtualMachine | None = None
-        self._events_seen = 0
-        self.dropped_records = 0  # ring evictions (bounded-buffer honesty)
+        # Standalone store used only until attach() points us at a
+        # machine's event log (record() before attach still works).
+        self._own = EventLog(capacity, enabled=True)
+        self._prev_enabled = False
+
+    @property
+    def _log(self) -> EventLog:
+        return self._vm.obs.events if self._vm is not None else self._own
+
+    @property
+    def dropped_records(self) -> int:
+        """Ring evictions in the backing log (bounded-buffer honesty)."""
+        return self._log.dropped
 
     # ------------------------------------------------------------------
     # Wiring
@@ -121,61 +127,35 @@ class FlightRecorder:
             raise ValueError("recorder is already attached to another machine")
         if self._vm is None:
             self._vm = vm
-            self._events_seen = len(vm.network.fault_events)
-            vm.network.taps.append(self._tap)
-            vm.barrier_hooks.append(self._on_barrier)
+            log = vm.obs.events
+            self._prev_enabled = log.enabled
+            log.enabled = True
+            log.set_capacity(self.capacity)
+            # Carry over anything recorded while unattached.
+            for rank, ring in self._own.rings().items():
+                for ev in ring:
+                    log.record(rank, ev.superstep, ev.kind, ev.detail)
+            self._own.clear()
 
     def detach(self) -> None:
         if self._vm is None:
             return
-        self.sync()
-        if self._tap in self._vm.network.taps:
-            self._vm.network.taps.remove(self._tap)
-        if self._on_barrier in self._vm.barrier_hooks:
-            self._vm.barrier_hooks.remove(self._on_barrier)
+        self._vm.obs.events.enabled = self._prev_enabled
         self._vm = None
 
-    def _tap(self, event: str, msg: Message, superstep: int) -> None:
-        detail = f"{msg.source}->{msg.dest} tag={msg.tag!r} {msg.nbytes}B"
-        if event == "send":
-            self.record(msg.source, superstep, event, detail)
-        elif event == "deliver":
-            self.record(msg.dest, superstep, event, detail)
-        else:  # drop / quarantine concern both endpoints
-            self.record(msg.source, superstep, event, detail)
-            if msg.dest != msg.source:
-                self.record(msg.dest, superstep, event, detail)
-
-    def _on_barrier(self, vm: VirtualMachine, superstep: int) -> None:
-        self.sync()
-
     def sync(self) -> None:
-        """Fold fault events appended since the last sync into the rings
-        (scribbles/crashes fire *after* the barrier hook, so they are
-        picked up one barrier later -- or by the pre-dump sync)."""
-        if self._vm is None:
-            return
-        events = self._vm.network.fault_events
-        for ev in events[self._events_seen :]:
-            rank = ev.source if ev.dest < 0 else ev.dest
-            detail = f"src={ev.source} dest={ev.dest} tag={ev.tag!r} seq={ev.seq}"
-            self.record(rank, ev.superstep, ev.kind, detail)
-        self._events_seen = len(events)
+        """Retained for backward compatibility: events are now recorded
+        at the source (``Network.record_fault`` writes straight into the
+        event log), so there is nothing to fold in."""
 
     # ------------------------------------------------------------------
     # Recording / dumping
     # ------------------------------------------------------------------
 
     def record(self, rank: int, superstep: int, kind: str, detail: str) -> None:
-        ring = self._rings.get(rank)
-        if ring is None:
-            ring = self._rings[rank] = deque(maxlen=self.capacity)
-        if len(ring) == self.capacity:
-            self.dropped_records += 1
-        ring.append(FlightRecord(superstep, kind, detail))
+        self._log.record(rank, superstep, kind, detail)
 
     def snapshot(self) -> dict:
-        self.sync()
         return {
             "capacity": self.capacity,
             "dropped_records": self.dropped_records,
@@ -185,7 +165,7 @@ class FlightRecorder:
                     {"superstep": r.superstep, "kind": r.kind, "detail": r.detail}
                     for r in ring
                 ]
-                for rank, ring in sorted(self._rings.items())
+                for rank, ring in sorted(self._log.rings().items())
             },
         }
 
@@ -204,15 +184,25 @@ def machine_report(vm: VirtualMachine) -> dict:
     """Aggregate activity summary of a virtual machine run.
 
     Includes the runtime's plan-cache counters (``plan_caches``) so
-    reports show how much schedule/plan construction was amortized.
-    The import is deferred: the machine layer does not depend on the
-    runtime package at module level.
+    reports show how much schedule/plan construction was amortized, and
+    the machine's observability snapshot (``metrics``/``observability``)
+    when an enabled handle is attached.  The plan-cache import is
+    deferred: the machine layer does not depend on the runtime package
+    at module level.
     """
     from ..runtime.plancache import cache_stats
 
     net = vm.network.stats
     return {
         "plan_caches": cache_stats(),
+        "metrics": vm.obs.metrics.snapshot(),
+        "observability": {
+            "enabled": vm.obs.enabled,
+            "spans": len(vm.obs.trace),
+            "dropped_spans": vm.obs.trace.dropped,
+            "events": vm.obs.events.count(),
+            "dropped_events": vm.obs.events.dropped,
+        },
         "ranks": vm.p,
         "messages": net.messages,
         "bytes": net.bytes,

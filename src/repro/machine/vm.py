@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from .faults import FaultEvent, FaultPlan, scribble_arena
+from ..obs import Observability
+from .faults import FaultPlan, scribble_arena
 from .network import Network
 from .processor import Processor
 
@@ -75,12 +76,21 @@ class VirtualMachine:
     job of :mod:`repro.machine.checkpoint`.
     """
 
-    def __init__(self, p: int, fault_plan: FaultPlan | None = None) -> None:
+    def __init__(
+        self,
+        p: int,
+        fault_plan: FaultPlan | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         if p <= 0:
             raise ValueError(f"need at least one rank, got p={p}")
         self.p = p
+        # The machine's observability handle (repro.obs): superstep and
+        # barrier spans, network/fault metrics, and the machine-event
+        # rings all hang off it.  Disabled (free) unless one is passed.
+        self.obs = obs if obs is not None else Observability(enabled=False)
         self.processors = [Processor(rank) for rank in range(p)]
-        self.network = Network(p, fault_plan=fault_plan)
+        self.network = Network(p, fault_plan=fault_plan, obs=self.obs)
         self.crash_log: list[tuple[int, int]] = []  # (rank, superstep)
         self._restart_at: dict[int, int] = {}
         # Called at every barrier *after* node execution but *before*
@@ -121,9 +131,7 @@ class VirtualMachine:
     def _crash(self, rank: int, step: int, downtime: int) -> None:
         self.processors[rank].crash(step)
         self.network.mark_dead(rank, step)
-        self.network.fault_events.append(
-            FaultEvent(step, "crash", rank, -1, None, 0)
-        )
+        self.network.record_fault(step, "crash", rank, -1, None, 0)
         self.crash_log.append((rank, step))
         self._restart_at[rank] = step + 1 + downtime
 
@@ -136,8 +144,8 @@ class VirtualMachine:
                 proc = self.processors[rank]
                 proc.restart()
                 self.network.mark_alive(rank)
-                self.network.fault_events.append(
-                    FaultEvent(step, "restart", rank, -1, None, proc.incarnation)
+                self.network.record_fault(
+                    step, "restart", rank, -1, None, proc.incarnation
                 )
                 del self._restart_at[rank]
 
@@ -146,15 +154,17 @@ class VirtualMachine:
         step's scribble points (in-arena bit rot) and crash points
         (quarantining the victims' in-flight sends), then deliver."""
         step = self.network.superstep
-        for hook in self.barrier_hooks:
-            hook(self, step)
-        plan = self.network.fault_plan
-        if plan is not None:
-            self._inject_scribbles(plan, step)
-            for rank in range(self.p):
-                if self.processors[rank].alive and plan.crashed(step, rank):
-                    self._crash(rank, step, plan.crash_downtime)
-        self.network.deliver()
+        with self.obs.span("barrier", step=step):
+            for hook in self.barrier_hooks:
+                hook(self, step)
+            plan = self.network.fault_plan
+            if plan is not None:
+                self._inject_scribbles(plan, step)
+                for rank in range(self.p):
+                    if self.processors[rank].alive and plan.crashed(step, rank):
+                        self._crash(rank, step, plan.crash_downtime)
+            self.network.deliver()
+        self.obs.inc("vm.supersteps")
 
     def _inject_scribbles(self, plan: FaultPlan, step: int) -> None:
         """Fire this barrier's ``(superstep, rank, arena)`` scribble
@@ -176,8 +186,8 @@ class VirtualMachine:
                 if not touched:
                     continue
                 proc.stats.scribbles += 1
-                self.network.fault_events.append(
-                    FaultEvent(step, "scribble", rank, -1, name, touched[0])
+                self.network.record_fault(
+                    step, "scribble", rank, -1, name, touched[0]
                 )
 
     # ------------------------------------------------------------------
@@ -187,14 +197,18 @@ class VirtualMachine:
     def run(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
         """Run one superstep: ``fn(ctx, *args)`` on every live rank, then
         a barrier.  Dead ranks skip execution and yield ``None``."""
-        self._revive_due()
-        results = [
-            fn(NodeContext(self, rank), *args)
-            if self.processors[rank].alive
-            else None
-            for rank in range(self.p)
-        ]
-        self._barrier()
+        obs = self.obs
+        step = self.network.superstep
+        with obs.span("superstep", step=step):
+            self._revive_due()
+            results = []
+            for rank in range(self.p):
+                if not self.processors[rank].alive:
+                    results.append(None)
+                    continue
+                with obs.span("node", rank=rank, step=step):
+                    results.append(fn(NodeContext(self, rank), *args))
+            self._barrier()
         return results
 
     def bsp(self, *phases: Callable[..., Any]) -> list[list[Any]]:
@@ -213,15 +227,19 @@ class VirtualMachine:
             raise ValueError(
                 f"need {self.p} argument tuples, got {len(per_rank_args)}"
             )
-        self._revive_due()
-        results = []
-        for rank in range(self.p):
-            if not self.processors[rank].alive:
-                results.append(None)
-                continue
-            args = per_rank_args[rank] if per_rank_args is not None else ()
-            results.append(fn(NodeContext(self, rank), *args))
-        self._barrier()
+        obs = self.obs
+        step = self.network.superstep
+        with obs.span("superstep", step=step):
+            self._revive_due()
+            results = []
+            for rank in range(self.p):
+                if not self.processors[rank].alive:
+                    results.append(None)
+                    continue
+                args = per_rank_args[rank] if per_rank_args is not None else ()
+                with obs.span("node", rank=rank, step=step):
+                    results.append(fn(NodeContext(self, rank), *args))
+            self._barrier()
         return results
 
     # ------------------------------------------------------------------

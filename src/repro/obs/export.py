@@ -1,0 +1,194 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines, and text summaries.
+
+The Chrome format (one ``{"traceEvents": [...]}`` object of complete
+``"X"`` duration events and ``"i"`` instants) loads directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; lanes are
+one host thread plus one thread per rank.  Timestamps are microseconds
+relative to the earliest record, emitted strictly increasing per lane
+(ties from clock granularity are nudged by 1 ns) so downstream
+consumers can binary-search them.
+
+The JSON-lines form is the post-mortem/archival dump: one object per
+span, instant, and machine event, with a final ``metrics`` line, all
+greppable without loading a viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from . import Observability
+from .spans import SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_records",
+    "span_stats",
+    "summary",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_summary",
+]
+
+#: Chrome tid for host-side (rank-less) records; ranks map to rank + 1.
+HOST_TID = 0
+
+
+def _tid(rank: int | None) -> int:
+    return HOST_TID if rank is None else rank + 1
+
+
+def chrome_trace(obs: Observability, pid: int = 0) -> dict:
+    """Render the trace buffer as a Chrome trace-event object.
+
+    Spans become complete ``"X"`` events (``ts``/``dur`` in µs), instants
+    become thread-scoped ``"i"`` events; metadata events name the
+    process and per-rank thread lanes.  Within each lane events are
+    sorted by start time and de-tied so ``ts`` is strictly increasing.
+    """
+    records = obs.trace.records()
+    base_ns = min((r.ts_ns for r in records), default=0)
+
+    by_tid: dict[int, list[SpanRecord]] = {}
+    for rec in records:
+        by_tid.setdefault(_tid(rec.rank), []).append(rec)
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": HOST_TID,
+            "args": {"name": "repro SPMD machine"},
+        }
+    ]
+    for tid in sorted(by_tid):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": "host" if tid == HOST_TID else f"rank {tid - 1}"},
+            }
+        )
+    for tid, recs in sorted(by_tid.items()):
+        recs.sort(key=lambda r: (r.ts_ns, -(r.dur_ns or 0)))
+        last_ns = -1
+        for rec in recs:
+            ts_ns = rec.ts_ns - base_ns
+            if ts_ns <= last_ns:  # clock-granularity tie: nudge 1 ns
+                ts_ns = last_ns + 1
+            last_ns = ts_ns
+            event = {
+                "name": rec.name,
+                "ph": "X" if not rec.is_instant else "i",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts_ns / 1000.0,
+                "args": rec.attrs_dict(),
+            }
+            if rec.is_instant:
+                event["s"] = "t"  # thread-scoped instant
+            else:
+                event["dur"] = rec.dur_ns / 1000.0
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(obs: Observability, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(obs), indent=1) + "\n")
+    return path
+
+
+def jsonl_records(obs: Observability) -> list[dict]:
+    """Every span/instant/machine-event as one flat dict each, followed
+    by a single ``metrics`` record (the registry + plan-cache snapshot)."""
+    out: list[dict] = []
+    for rec in obs.trace.records():
+        out.append(
+            {
+                "type": "instant" if rec.is_instant else "span",
+                "name": rec.name,
+                "rank": rec.rank,
+                "ts_ns": rec.ts_ns,
+                "dur_ns": rec.dur_ns,
+                "depth": rec.depth,
+                "attrs": rec.attrs_dict(),
+            }
+        )
+    for rank, ring in obs.events.rings().items():
+        for ev in ring:
+            out.append(
+                {
+                    "type": "event",
+                    "rank": rank,
+                    "superstep": ev.superstep,
+                    "kind": ev.kind,
+                    "detail": ev.detail,
+                }
+            )
+    out.append({"type": "metrics", **obs.snapshot()})
+    return out
+
+
+def write_jsonl(obs: Observability, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in jsonl_records(obs):
+            fh.write(json.dumps(record, default=str) + "\n")
+    return path
+
+
+def span_stats(obs: Observability) -> list[dict]:
+    """Per-span-name aggregates: count, total/mean/max duration (ms),
+    sorted by total descending -- the profile table of the summary."""
+    agg: dict[str, list[int]] = {}
+    for rec in obs.trace.records():
+        if rec.is_instant:
+            continue
+        entry = agg.setdefault(rec.name, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += rec.dur_ns
+        entry[2] = max(entry[2], rec.dur_ns)
+    rows = [
+        {
+            "name": name,
+            "count": count,
+            "total_ms": total / 1e6,
+            "mean_ms": total / count / 1e6,
+            "max_ms": peak / 1e6,
+        }
+        for name, (count, total, peak) in agg.items()
+    ]
+    rows.sort(key=lambda r: -r["total_ms"])
+    return rows
+
+
+def summary(obs: Observability) -> str:
+    """Plain-text report: span profile, metric values, buffer health."""
+    from ..viz.tables import render_metrics, render_span_stats
+
+    snap = obs.snapshot()
+    parts = [
+        render_span_stats(span_stats(obs)),
+        "",
+        render_metrics(snap["metrics"], plan_caches=snap["plan_caches"]),
+        "",
+        (
+            f"buffers: {snap['spans']} spans ({snap['dropped_spans']} dropped), "
+            f"{snap['events']} machine events ({snap['dropped_events']} dropped)"
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def write_summary(obs: Observability, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(summary(obs) + "\n")
+    return path

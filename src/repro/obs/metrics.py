@@ -1,0 +1,208 @@
+"""Counters, gauges, and fixed-bucket histograms with no-op disabled mode.
+
+A :class:`MetricsRegistry` hands out named instruments on first use.
+When the registry is disabled every lookup returns the shared null
+instrument, whose mutators are empty methods -- the hot paths
+(:meth:`repro.machine.network.Network.send`, the resilient protocol
+rounds, the vectorized kernels) pay one attribute lookup and one no-op
+call, nothing else.  There is no locking: the virtual machine is
+single-threaded by construction (node programs run in rank order inside
+a superstep), so plain integer addition is already atomic enough.
+
+The registry's :meth:`~MetricsRegistry.snapshot` is plain JSON-ready
+data; :func:`repro.viz.tables.render_metrics` renders it as the summary
+table and :mod:`repro.obs.export` folds it into the JSONL dump.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_NS",
+]
+
+#: Power-of-4 byte buckets: 64 B .. 64 MiB (message and payload sizes).
+DEFAULT_BYTE_BUCKETS: tuple[int, ...] = tuple(64 * 4**i for i in range(10))
+
+#: Power-of-4 nanosecond buckets: 1 µs .. 256 ms (span durations).
+DEFAULT_TIME_BUCKETS_NS: tuple[int, ...] = tuple(1_000 * 4**i for i in range(10))
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins scalar (queue depths, cache sizes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations ``<= bucket[i]``
+    per bucket plus one overflow slot, with running count and sum."""
+
+    __slots__ = ("buckets", "counts", "count", "total")
+
+    def __init__(self, buckets: tuple[int, ...] = DEFAULT_BYTE_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be non-empty and ascending: {buckets}")
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_right(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0
+
+    def set(self, value) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    buckets: tuple[int, ...] = ()
+    counts: list[int] = []
+    count = 0
+    total = 0
+    mean = 0.0
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Disabled registries hand out shared null instruments and record
+    nothing; :meth:`snapshot` is then empty.  Names are free-form but
+    the runtime uses dotted ``layer.metric`` names (see
+    docs/OBSERVABILITY.md for the taxonomy).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors -----------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, buckets: tuple[int, ...] = DEFAULT_BYTE_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(buckets)
+        return h
+
+    # -- one-shot conveniences (the instrumentation call sites) -------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def set(self, name: str, value) -> None:
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value, buckets: tuple[int, ...] = DEFAULT_BYTE_BUCKETS
+    ) -> None:
+        if self.enabled:
+            self.histogram(name, buckets).observe(value)
+
+    # -- introspection ------------------------------------------------
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{counters, gauges, histograms}`` view."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

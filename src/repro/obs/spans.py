@@ -1,0 +1,174 @@
+"""Nestable low-overhead spans and the in-memory trace/event stores.
+
+Two stores live here, both bounded and both pure data:
+
+* :class:`TraceBuffer` -- the global append-only ring of
+  :class:`SpanRecord` entries (timed spans and zero-duration instants)
+  that :mod:`repro.obs.export` turns into Chrome trace-event JSON and
+  JSON-lines.  Every record carries a monotonic ``ts_ns`` start, a
+  ``dur_ns`` duration (``None`` for instants), the rank it concerns
+  (``None`` = the host/driver), its nesting ``depth``, and a tuple of
+  attribute pairs.
+
+* :class:`EventLog` -- per-rank bounded rings of terse
+  :class:`EventRecord` machine events (sends, deliveries, drops,
+  injected faults, audit verdicts, repairs).  This is the store the
+  flight recorder (:class:`repro.machine.trace.FlightRecorder`) is a
+  view over; it can be enabled independently of span tracing so a
+  post-mortem ring is available even when full tracing is off.
+
+Timing uses ``time.perf_counter_ns`` (monotonic, ns resolution); the
+clock is injectable for tests.  Neither store allocates anything on the
+disabled path -- the enabled checks live in
+:class:`repro.obs.Observability`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "EventLog",
+    "EventRecord",
+    "SpanRecord",
+    "TraceBuffer",
+    "monotonic_ns",
+]
+
+#: The span clock: monotonic nanoseconds.
+monotonic_ns: Callable[[], int] = time.perf_counter_ns
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span (``dur_ns`` set) or instant (``dur_ns`` None)."""
+
+    name: str
+    rank: int | None  # None = host/driver work outside any rank
+    ts_ns: int  # monotonic start timestamp
+    dur_ns: int | None  # None for instant events
+    depth: int  # nesting depth at emission (0 = top level)
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def is_instant(self) -> bool:
+        return self.dur_ns is None
+
+    def attrs_dict(self) -> dict:
+        return dict(self.attrs)
+
+
+class TraceBuffer:
+    """Bounded global ring of :class:`SpanRecord` entries.
+
+    Appends are O(1); when the ring is full the oldest record is evicted
+    and counted in :attr:`dropped` (bounded-buffer honesty, as with the
+    flight recorder).  Records are kept in *completion* order -- a
+    parent span completes after its children -- so exporters re-sort by
+    ``ts_ns`` where formats require it.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._records: deque[SpanRecord] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: SpanRecord) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of the buffer contents (completion order)."""
+        return list(self._records)
+
+    def spans(self, name: str | None = None) -> list[SpanRecord]:
+        """Timed spans only, optionally filtered by name."""
+        return [
+            r for r in self._records
+            if not r.is_instant and (name is None or r.name == name)
+        ]
+
+    def instants(self, name: str | None = None) -> list[SpanRecord]:
+        """Instant events only, optionally filtered by name."""
+        return [
+            r for r in self._records
+            if r.is_instant and (name is None or r.name == name)
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One entry in a rank's machine-event ring."""
+
+    superstep: int
+    kind: str  # send/deliver/drop/quarantine, a fault kind, audit, repair
+    detail: str
+
+
+class EventLog:
+    """Per-rank bounded rings of machine events.
+
+    The storage behind the flight recorder: the machine layers
+    (:mod:`repro.machine.network`, :mod:`repro.machine.vm`) append here
+    through :meth:`repro.obs.Observability.machine_event`, and
+    :class:`repro.machine.trace.FlightRecorder` reads the rings back out
+    -- there is exactly one copy of each event.  ``enabled`` gates
+    recording so the rings cost nothing unless tracing is on or a
+    recorder is attached.
+    """
+
+    def __init__(self, capacity: int = 256, enabled: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.dropped = 0
+        self._rings: dict[int, deque[EventRecord]] = {}
+
+    def record(self, rank: int, superstep: int, kind: str, detail: str) -> None:
+        ring = self._rings.get(rank)
+        if ring is None:
+            ring = self._rings[rank] = deque(maxlen=self.capacity)
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append(EventRecord(superstep, kind, detail))
+
+    def set_capacity(self, capacity: int) -> None:
+        """Re-bound every ring (keeps the newest ``capacity`` entries)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if capacity != self.capacity:
+            self.capacity = capacity
+            self._rings = {
+                rank: deque(ring, maxlen=capacity)
+                for rank, ring in self._rings.items()
+            }
+
+    def rings(self) -> dict[int, list[EventRecord]]:
+        """Snapshot: rank -> events, oldest first."""
+        return {rank: list(ring) for rank, ring in sorted(self._rings.items())}
+
+    def count(self, kind: str | None = None) -> int:
+        return sum(
+            1
+            for ring in self._rings.values()
+            for ev in ring
+            if kind is None or ev.kind == kind
+        )
+
+    def clear(self) -> None:
+        self._rings.clear()
+        self.dropped = 0

@@ -110,16 +110,17 @@ def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) 
         raise ValueError(
             f"host image shape {values.shape} != array shape {array.shape}"
         )
-    for rank in range(vm.p):
-        shape = array.local_shape(rank)
-        local = np.zeros(shape, dtype=values.dtype)
-        dims = _dim_images(array, rank)
-        local[np.ix_(*[slots for _, slots in dims])] = values[
-            np.ix_(*[idx for idx, _ in dims])
-        ]
-        proc = vm.processors[rank]
-        proc.allocate(array.name, local.size, dtype=values.dtype)
-        proc.memory(array.name)[:] = local.reshape(-1)
+    with vm.obs.span("distribute", array=array.name):
+        for rank in range(vm.p):
+            shape = array.local_shape(rank)
+            local = np.zeros(shape, dtype=values.dtype)
+            dims = _dim_images(array, rank)
+            local[np.ix_(*[slots for _, slots in dims])] = values[
+                np.ix_(*[idx for idx, _ in dims])
+            ]
+            proc = vm.processors[rank]
+            proc.allocate(array.name, local.size, dtype=values.dtype)
+            proc.memory(array.name)[:] = local.reshape(-1)
 
 
 def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np.ndarray:
@@ -132,16 +133,17 @@ def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np
     """
     _check_vm(vm, array)
     out = np.zeros(array.shape, dtype=dtype)
-    for rank in range(vm.p):
-        if not _is_lowest_owner(array, rank):
-            continue
-        dims = _dim_images(array, rank)
-        local = vm.processors[rank].memory(array.name).reshape(
-            array.local_shape(rank)
-        )
-        out[np.ix_(*[idx for idx, _ in dims])] = local[
-            np.ix_(*[slots for _, slots in dims])
-        ]
+    with vm.obs.span("collect", array=array.name):
+        for rank in range(vm.p):
+            if not _is_lowest_owner(array, rank):
+                continue
+            dims = _dim_images(array, rank)
+            local = vm.processors[rank].memory(array.name).reshape(
+                array.local_shape(rank)
+            )
+            out[np.ix_(*[idx for idx, _ in dims])] = local[
+                np.ix_(*[slots for _, slots in dims])
+            ]
     return out
 
 
@@ -151,6 +153,9 @@ def distribute_reference(
     """Element-at-a-time :func:`distribute` (the original ``np.ndindex``
     sweep), kept as the oracle the property tests and the kernel
     benchmarks compare the vectorized path against."""
+    from ..obs import ambient
+
+    ambient().inc("kernels.scalar_path_calls")
     _check_vm(vm, array)
     values = np.asarray(values)
     if values.shape != array.shape:
@@ -172,6 +177,9 @@ def collect_reference(
 ) -> np.ndarray:
     """Element-at-a-time :func:`collect` (the original per-element
     ownership sweep), kept as the oracle for the vectorized path."""
+    from ..obs import ambient
+
+    ambient().inc("kernels.scalar_path_calls")
     _check_vm(vm, array)
     out = np.zeros(array.shape, dtype=dtype)
     for idx in np.ndindex(*array.shape):
@@ -202,38 +210,39 @@ def execute_fill(
         )
     fill = get_shape(shape)
     total = 0
-    if array.rank == 1:
+    with vm.obs.span("execute_fill", array=array.name, shape=shape):
+        if array.rank == 1:
+            for rank in range(vm.p):
+                plan = cached_array_plan(array, 0, sections[0], rank)
+                if plan.is_empty:
+                    continue
+                if shape == "d" and plan.start_offset is None:
+                    raise ValueError(
+                        "shape 'd' requires identity alignment; use shapes a/b/c/v"
+                    )
+                memory = vm.processors[rank].memory(array.name)
+                total += fill(memory, plan, value)
+            return total
+        replicated = any(
+            array.is_replicated_over_axis(axis) for axis in range(array.grid.rank)
+        )
         for rank in range(vm.p):
-            plan = cached_array_plan(array, 0, sections[0], rank)
-            if plan.is_empty:
-                continue
-            if shape == "d" and plan.start_offset is None:
-                raise ValueError(
-                    "shape 'd' requires identity alignment; use shapes a/b/c/v"
-                )
             memory = vm.processors[rank].memory(array.name)
-            total += fill(memory, plan, value)
-        return total
-    replicated = any(
-        array.is_replicated_over_axis(axis) for axis in range(array.grid.rank)
-    )
-    for rank in range(vm.p):
-        memory = vm.processors[rank].memory(array.name)
-        if replicated:
-            # Slow path: per-element ownership bookkeeping so each logical
-            # element is counted once (at its lowest owner) even though it
-            # is written on every holding rank.
-            pairs = array.local_section_elements(sections, rank)
-            for idx, addr in pairs:
-                memory[addr] = value
-            total += sum(1 for idx, _ in pairs if array.owners(idx)[0] == rank)
-        else:
-            # Fast path (the Section-2 reduction, vectorized): outer-sum of
-            # the per-dimension 1-D slot vectors, one fancy-indexed store.
-            addrs = flat_local_addresses(array, sections, rank)
-            if len(addrs):
-                memory[addrs] = value
-            total += len(addrs)
+            if replicated:
+                # Slow path: per-element ownership bookkeeping so each logical
+                # element is counted once (at its lowest owner) even though it
+                # is written on every holding rank.
+                pairs = array.local_section_elements(sections, rank)
+                for idx, addr in pairs:
+                    memory[addr] = value
+                total += sum(1 for idx, _ in pairs if array.owners(idx)[0] == rank)
+            else:
+                # Fast path (the Section-2 reduction, vectorized): outer-sum of
+                # the per-dimension 1-D slot vectors, one fancy-indexed store.
+                addrs = flat_local_addresses(array, sections, rank)
+                if len(addrs):
+                    memory[addrs] = value
+                total += len(addrs)
     return total
 
 
@@ -256,7 +265,8 @@ def execute_copy(
     _check_vm(vm, a)
     _check_vm(vm, b)
     if schedule is None:
-        schedule = cached_comm_schedule(a, sec_a, b, sec_b)
+        with vm.obs.span("schedule", statement="copy"):
+            schedule = cached_comm_schedule(a, sec_a, b, sec_b)
     tag = ("copy", a.name, b.name)
 
     # Fortran semantics: the RHS is read in full before any element is
@@ -283,7 +293,8 @@ def execute_copy(
             payload = ctx.recv(tr.source, tag)
             dst_mem[as_index(tr.dst_slots)] = payload
 
-    vm.bsp(pack_phase, unpack_phase)
+    with vm.obs.span("execute_copy", array=a.name, rhs=b.name):
+        vm.bsp(pack_phase, unpack_phase)
     return schedule
 
 
@@ -365,7 +376,8 @@ def execute_combine(
                     coef * payload,
                 )
 
-    vm.bsp(pack_phase, unpack_phase)
+    with vm.obs.span("execute_combine", array=a.name, terms=len(terms)):
+        vm.bsp(pack_phase, unpack_phase)
     return schedules
 
 
@@ -416,7 +428,8 @@ def execute_copy_2d(
             payload = ctx.recv(tr.source, tag)
             dst_mem[as_index(tr.dst_slots)] = payload
 
-    vm.bsp(pack_phase, unpack_phase)
+    with vm.obs.span("execute_copy_2d", array=a.name, rhs=b.name):
+        vm.bsp(pack_phase, unpack_phase)
     return schedule
 
 

@@ -37,6 +37,7 @@ from typing import Callable, TypeVar
 from ..distribution.array import DistributedArray
 from ..distribution.localize import localized_arrays
 from ..distribution.section import RegularSection
+from ..obs import ambient
 
 __all__ = [
     "PlanCache",
@@ -69,6 +70,7 @@ class PlanCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: OrderedDict = OrderedDict()
         self._lock = Lock()
 
@@ -76,18 +78,24 @@ class PlanCache:
         return len(self._data)
 
     def get_or_compute(self, key, compute: Callable[[], T]) -> T:
+        obs = ambient()
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
                 self.hits += 1
+                obs.inc(f"plancache.{self.name}.hits")
                 return self._data[key]
             self.misses += 1
-        value = compute()
+        obs.inc(f"plancache.{self.name}.misses")
+        with obs.span("plan_compute", cache=self.name):
+            value = compute()
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                self.evictions += 1
+                obs.inc(f"plancache.{self.name}.evictions")
         return value
 
     def clear(self) -> None:
@@ -95,6 +103,7 @@ class PlanCache:
             self._data.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> dict:
         return {
@@ -102,6 +111,7 @@ class PlanCache:
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
 

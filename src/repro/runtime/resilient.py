@@ -62,6 +62,7 @@ import itertools
 import struct
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -242,6 +243,7 @@ class ResilienceReport:
     audit_escalations: int = 0  # full rank restores after failed localization
     unrecoverable_chunk: tuple[int, str, int] | None = None  # (rank, arena, chunk)
     flight_dump: str | None = None  # flight-recorder JSON path, set on failure
+    trace_dump: str | None = None  # observability JSONL path, set on failure
     schedule: CommSchedule | None = field(default=None, repr=False)
 
     @property
@@ -322,16 +324,25 @@ def execute_copy_resilient(
         if auditor is not None:
             auditor.attach(vm)
             attached_auditor = True
-        return _execute_copy_resilient(
-            vm, a, sec_a, b, sec_b, schedule, policy, checkpoints,
-            auditor, recorder,
-        )
+        with vm.obs.span("exchange", array=a.name):
+            return _execute_copy_resilient(
+                vm, a, sec_a, b, sec_b, schedule, policy, checkpoints,
+                auditor, recorder,
+            )
     except ExchangeFailure as exc:
         if recorder is not None:
             try:
                 exc.report.flight_dump = str(
                     recorder.dump(flight_dir, label=a.name)
                 )
+            except OSError:  # pragma: no cover - dump dir unwritable
+                pass
+        if vm.obs.enabled:
+            from ..obs.export import write_jsonl
+
+            try:
+                path = Path(flight_dir) / f"obs-{a.name}.jsonl"
+                exc.report.trace_dump = str(write_jsonl(vm.obs, path))
             except OSError:  # pragma: no cover - dump dir unwritable
                 pass
         raise
@@ -366,6 +377,7 @@ def _execute_copy_resilient(
             "on an all-alive machine"
         )
 
+    obs = vm.obs
     xid = next(_EXCHANGE_IDS)
     data_tag = ("rxd", xid)
     ack_tag = ("rxa", xid)
@@ -422,18 +434,21 @@ def _execute_copy_resilient(
                 )
 
     def take_checkpoint() -> None:
-        ckpt = checkpoints.save(
-            vm,
-            states={
-                r: {
-                    "applied": frozenset(applied[r]),
-                    "locals_applied": locals_applied,
-                }
-                for r in range(vm.p)
-            },
-        )
+        with obs.span("checkpoint", step=vm.superstep):
+            ckpt = checkpoints.save(
+                vm,
+                states={
+                    r: {
+                        "applied": frozenset(applied[r]),
+                        "locals_applied": locals_applied,
+                    }
+                    for r in range(vm.p)
+                },
+            )
         report.checkpoints_taken += 1
         report.checkpoint_bytes += ckpt.nbytes
+        obs.inc("resilient.checkpoints")
+        obs.inc("resilient.checkpoint_bytes", ckpt.nbytes)
 
     def recover_rank(rank: int, round_no: int) -> None:
         """Restore a rebooted rank from its last checkpoint and arrange
@@ -467,6 +482,11 @@ def _execute_copy_resilient(
                 f"crash at superstep {crash_step}, rewound to "
                 f"checkpoint superstep {ckpt.superstep}",
             )
+        obs.instant(
+            "restore", rank=rank, crash_superstep=crash_step,
+            checkpoint_superstep=ckpt.superstep,
+        )
+        obs.inc("resilient.restores")
         replayed = 0
         for tid, tr in expected[rank].items():
             if tid in applied[rank]:
@@ -564,6 +584,11 @@ def _execute_copy_resilient(
             arena[idx] = values[idx].astype(arena.dtype, copy=False)
             report.repaired_from_checkpoint += len(leftover)
         report.chunks_repaired += 1
+        obs.instant(
+            "repair", rank=div.rank, arena=div.arena, chunk=div.chunk,
+            from_checkpoint=len(leftover),
+        )
+        obs.inc("resilient.chunks_repaired")
         if recorder is not None:
             recorder.record(
                 div.rank, vm.superstep, "repair",
@@ -610,6 +635,11 @@ def _execute_copy_resilient(
             reopened += 1
         report.replayed_transfers += reopened
         report.audit_escalations += 1
+        obs.instant(
+            "restore", rank=div.rank, arena=div.arena, chunk=div.chunk,
+            checkpoint_superstep=ckpt.superstep, escalation=True,
+        )
+        obs.inc("resilient.restores")
         auditor.capture_rank(proc)
         if recorder is not None:
             recorder.record(
@@ -626,10 +656,13 @@ def _execute_copy_resilient(
         if auditor is None:
             return
         try:
-            divs = auditor.audit(vm)
+            with obs.span("audit", round=round_no):
+                divs = auditor.audit(vm)
+            obs.inc("resilient.audits")
             if not divs:
                 return
             report.scribbles_detected += len(divs)
+            obs.inc("resilient.scribbles_detected", len(divs))
             if recorder is not None:
                 for div in divs:
                     recorder.record(
@@ -698,7 +731,8 @@ def _execute_copy_resilient(
             if auditor is not None:
                 auditor.note_write(ctx.rank, a.name, tr.dst_slots)
 
-    vm.run(pack_phase)
+    with obs.span("pack_phase", array=a.name, transfers=len(transfers)):
+        vm.run(pack_phase)
     report.supersteps += 1
     locals_applied = True
     observe_crashes()
@@ -749,10 +783,12 @@ def _execute_copy_resilient(
                 last_heard[source] = max(last_heard[source], round_no)
                 if not isinstance(payload, Packet) or not payload.valid():
                     report.detected_corruptions += 1
+                    obs.inc("resilient.detected_corruptions")
                     tid = getattr(payload, "tid", None)
                     if isinstance(tid, int) and tid in expected[rank]:
                         ctx.send(source, nack_tag, _nack(tid))
                         report.nacks_sent += 1
+                        obs.inc("resilient.nacks_sent")
                     continue
                 tr = expected[rank].get(payload.tid)
                 if tr is None or tr.source != source:
@@ -760,9 +796,11 @@ def _execute_copy_resilient(
                     # does not expect -- only reachable through tag/routing
                     # corruption; drop it.
                     report.detected_corruptions += 1
+                    obs.inc("resilient.detected_corruptions")
                     continue
                 if payload.tid in applied[rank]:
                     report.duplicates_ignored += 1
+                    obs.inc("resilient.duplicates_ignored")
                     continue
                 dst_mem[as_index(tr.dst_slots)] = payload.payload
                 applied[rank].add(payload.tid)
@@ -801,6 +839,13 @@ def _execute_copy_resilient(
                 ob.nacked = False
                 report.retries += 1
                 report.retransmitted_bytes += int(ob.payload.nbytes) + _HEADER_BYTES
+                # Emitted at the same code point as report.retries so the
+                # Chrome-trace instant count always equals the report.
+                obs.instant(
+                    "retransmit", rank=rank, tid=tid,
+                    dest=ob.transfer.dest, seq=seq,
+                )
+                obs.inc("resilient.retries")
 
             # Liveness beacon to every peer (cheap, checksummed).
             for q in peers.get(rank, ()):
@@ -835,8 +880,10 @@ def _execute_copy_resilient(
             # asserts every injected wire fault is accounted for.
             if isinstance(payload, Packet) and payload.valid():
                 report.duplicates_ignored += 1
+                obs.inc("resilient.duplicates_ignored")
             else:
                 report.detected_corruptions += 1
+                obs.inc("resilient.detected_corruptions")
         ctx.drain(ack_tag)
         ctx.drain(nack_tag)
         ctx.drain(hb_tag)
@@ -871,7 +918,10 @@ def _execute_copy_resilient(
             round_no += 1
             if suspects:
                 report.parked_rounds += 1
-            vm.run(protocol_round(round_no, suspects))
+            with obs.span(
+                "protocol_round", round=round_no, suspects=len(suspects)
+            ):
+                vm.run(protocol_round(round_no, suspects))
             report.supersteps += 1
             observe_crashes()
             integrate_reboots(round_no)
@@ -891,7 +941,8 @@ def _execute_copy_resilient(
         # any health change we fall back into the protocol loop.
         reopened = False
         while vm.network.outstanding(all_tags) and report.supersteps < policy.max_supersteps:
-            vm.run(cleanup)
+            with obs.span("cleanup_round"):
+                vm.run(cleanup)
             report.supersteps += 1
             observe_crashes()
             integrate_reboots(round_no)
@@ -910,18 +961,19 @@ def _execute_copy_resilient(
     # ------------------------------------------------------------------
 
     failures = []
-    for rank in range(vm.p):
-        dst_mem = vm.processors[rank].memory(a.name)
-        checks = [
-            (tid, expected[rank][tid], outbox[expected[rank][tid].source][tid].payload)
-            for tid in expected[rank]
-        ]
-        checks += [(None, tr, values) for tr, values in staged_locals[rank]]
-        for tid, tr, payload in checks:
-            predicted = _values_checksum(payload.astype(dst_mem.dtype, copy=False))
-            actual = _values_checksum(dst_mem[as_index(tr.dst_slots)])
-            if predicted != actual:
-                failures.append((rank, tid, tr.source))
+    with obs.span("verify_destinations", array=a.name):
+        for rank in range(vm.p):
+            dst_mem = vm.processors[rank].memory(a.name)
+            checks = [
+                (tid, expected[rank][tid], outbox[expected[rank][tid].source][tid].payload)
+                for tid in expected[rank]
+            ]
+            checks += [(None, tr, values) for tr, values in staged_locals[rank]]
+            for tid, tr, payload in checks:
+                predicted = _values_checksum(payload.astype(dst_mem.dtype, copy=False))
+                actual = _values_checksum(dst_mem[as_index(tr.dst_slots)])
+                if predicted != actual:
+                    failures.append((rank, tid, tr.source))
     if failures:
         raise ExchangeFailure(
             f"destination verification failed for {len(failures)} transfer(s) "

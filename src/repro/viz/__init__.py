@@ -2,7 +2,12 @@
 
 from .lattice_diagram import describe_basis, render_lattice_plane
 from .layout_ascii import processor_header, render_layout, render_walk
-from .tables import render_am_tables, render_traffic
+from .tables import (
+    render_am_tables,
+    render_metrics,
+    render_span_stats,
+    render_traffic,
+)
 
 __all__ = [
     "render_layout",
@@ -11,5 +16,7 @@ __all__ = [
     "render_lattice_plane",
     "describe_basis",
     "render_am_tables",
+    "render_metrics",
+    "render_span_stats",
     "render_traffic",
 ]

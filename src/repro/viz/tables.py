@@ -1,10 +1,12 @@
-"""Tabular renderings: per-processor AM tables and traffic heatmaps.
+"""Tabular renderings: AM tables, traffic heatmaps, metric summaries.
 
 Complements the layout pictures: `render_am_tables` prints the paper's
 AM table for every processor (the §6.1 observation that gcd(s,pk)=1
 makes them cyclic shifts of one another is visible directly), and
 `render_traffic` draws a sender×receiver element-count heatmap for a
-communication schedule.
+communication schedule.  `render_metrics` and `render_span_stats` are
+the text backends of the observability summary
+(:func:`repro.obs.export.summary`, docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -13,7 +15,12 @@ import numpy as np
 
 from ..core.access import compute_access_table
 
-__all__ = ["render_am_tables", "render_traffic"]
+__all__ = [
+    "render_am_tables",
+    "render_metrics",
+    "render_span_stats",
+    "render_traffic",
+]
 
 
 def render_am_tables(p: int, k: int, l: int, s: int) -> str:
@@ -29,6 +36,58 @@ def render_am_tables(p: int, k: int, l: int, s: int) -> str:
         lines.append(
             f"  m={m:<{width}}  start={table.start:<6} local={table.start_local:<5} "
             f"AM={list(table.gaps)}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict, plan_caches: dict | None = None) -> str:
+    """Table of a metric-registry snapshot (`MetricsRegistry.snapshot`):
+    counters and gauges one per line, histograms as count/mean/max
+    bucket, optionally followed by the plan-cache hit/miss block."""
+    lines = ["metrics:"]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if not (counters or gauges or histograms):
+        lines.append("  (none recorded -- observability disabled?)")
+    width = max((len(n) for n in (*counters, *gauges, *histograms)), default=0)
+    for name, value in counters.items():
+        lines.append(f"  {name:<{width}}  {value}")
+    for name, value in gauges.items():
+        lines.append(f"  {name:<{width}}  {value} (gauge)")
+    for name, h in histograms.items():
+        lines.append(
+            f"  {name:<{width}}  n={h['count']} mean={h['mean']:.1f} "
+            f"total={h['total']}"
+        )
+    if plan_caches:
+        lines.append("plan caches (hits/misses/evictions, entries):")
+        cw = max(len(n) for n in plan_caches)
+        for name, st in sorted(plan_caches.items()):
+            lines.append(
+                f"  {name:<{cw}}  {st['hits']}/{st['misses']}"
+                f"/{st.get('evictions', 0)}  "
+                f"{st['entries']}/{st['maxsize']} entries"
+            )
+    return "\n".join(lines)
+
+
+def render_span_stats(rows: list[dict]) -> str:
+    """Profile table of per-span-name aggregates
+    (:func:`repro.obs.export.span_stats` rows)."""
+    lines = ["spans (by total time):"]
+    if not rows:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    width = max(len(r["name"]) for r in rows)
+    lines.append(
+        f"  {'name':<{width}}  {'count':>7}  {'total ms':>10}  "
+        f"{'mean ms':>9}  {'max ms':>9}"
+    )
+    for r in rows:
+        lines.append(
+            f"  {r['name']:<{width}}  {r['count']:>7}  {r['total_ms']:>10.3f}  "
+            f"{r['mean_ms']:>9.4f}  {r['max_ms']:>9.4f}"
         )
     return "\n".join(lines)
 

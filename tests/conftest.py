@@ -2,8 +2,28 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 from hypothesis import strategies as st
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On any test failure, dump every live enabled observability handle
+    into ``fault-reports/`` so the trace that was being recorded when
+    things went wrong sits next to the flight-recorder dumps (CI uploads
+    the directory on failure)."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        from repro.obs import dump_active
+
+        label = re.sub(r"[^A-Za-z0-9_.-]+", "-", item.name)[:60]
+        try:
+            dump_active("fault-reports", label=label)
+        except OSError:  # pragma: no cover - dump dir unwritable
+            pass
 
 # ---------------------------------------------------------------------------
 # Hypothesis strategies for distribution / section parameters.

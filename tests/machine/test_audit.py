@@ -202,7 +202,8 @@ class TestFlightRecorder:
         kinds0 = [r["kind"] for r in snap["ranks"]["0"]]
         assert "send" in kinds0 and "deliver" in kinds0
         rec.detach()
-        assert rec._tap not in vm.network.taps
+        # Detaching restores the event log's previous (disabled) state.
+        assert not vm.obs.events.enabled
 
     def test_capacity_bound_and_eviction_count(self):
         vm = VirtualMachine(2)

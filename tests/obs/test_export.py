@@ -1,0 +1,133 @@
+"""Exporter tests: Chrome trace-event validity, JSONL round-trip, summary."""
+
+import json
+
+from repro.obs import Observability, dump_active
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_records,
+    span_stats,
+    summary,
+    write_chrome_trace,
+    write_jsonl,
+    write_summary,
+)
+
+from .test_spans import FakeClock
+
+
+def build_trace() -> Observability:
+    obs = Observability(clock=FakeClock())
+    with obs.span("superstep", step=0):
+        with obs.span("node", rank=0, step=0):
+            obs.instant("retransmit", rank=0, tid=1)
+        with obs.span("node", rank=1, step=0):
+            pass
+        with obs.span("barrier", step=0):
+            pass
+    obs.machine_event(0, 0, "send", "0->1 tag='t' 8B")
+    obs.inc("vm.supersteps")
+    return obs
+
+
+class TestChromeTrace:
+    def test_event_structure_and_lanes(self):
+        doc = chrome_trace(build_trace())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {
+            "repro SPMD machine", "host", "rank 0", "rank 1"
+        }
+        xs = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(xs) == 4 and len(instants) == 1
+        assert instants[0]["s"] == "t"
+        assert all("dur" in e and e["dur"] > 0 for e in xs)
+        # Host spans on tid 0, rank r on tid r + 1.
+        assert {e["tid"] for e in xs} == {0, 1, 2}
+        assert instants[0]["tid"] == 1
+
+    def test_ts_strictly_increasing_per_tid(self):
+        # Zero-step clock: every record gets the same timestamp, the
+        # degenerate case the 1 ns de-tie exists for.
+        obs = Observability(clock=FakeClock(step_ns=0))
+        for i in range(5):
+            obs.instant("e", rank=0, i=i)
+        for tid, events in _by_tid(chrome_trace(obs)).items():
+            ts = [e["ts"] for e in events]
+            assert ts == sorted(ts) and len(set(ts)) == len(ts), tid
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(build_trace(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"] and doc["displayTimeUnit"] == "ms"
+
+
+def _by_tid(doc: dict) -> dict:
+    out: dict = {}
+    for e in doc["traceEvents"]:
+        if e["ph"] != "M":
+            out.setdefault(e["tid"], []).append(e)
+    return out
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        obs = build_trace()
+        path = write_jsonl(obs, tmp_path / "trace.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        by_type: dict = {}
+        for r in records:
+            by_type.setdefault(r["type"], []).append(r)
+        assert len(by_type["span"]) == 4
+        assert len(by_type["instant"]) == 1
+        assert len(by_type["event"]) == 1
+        (metrics,) = by_type["metrics"]
+        assert metrics["metrics"]["counters"]["vm.supersteps"] == 1
+        assert records[-1] is metrics  # metrics record closes the file
+
+    def test_records_match_buffer(self):
+        obs = build_trace()
+        recs = jsonl_records(obs)
+        names = [r["name"] for r in recs if r["type"] == "span"]
+        assert names == ["node", "node", "barrier", "superstep"]
+
+
+class TestSummary:
+    def test_span_stats_aggregation(self):
+        rows = span_stats(build_trace())
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["node"]["count"] == 2
+        assert rows == sorted(rows, key=lambda r: -r["total_ms"])
+        assert all(r["total_ms"] >= r["max_ms"] > 0 for r in rows)
+
+    def test_text_summary_mentions_everything(self, tmp_path):
+        obs = build_trace()
+        text = summary(obs)
+        assert "superstep" in text and "vm.supersteps" in text
+        assert "plan caches" in text
+        path = write_summary(obs, tmp_path / "summary.txt")
+        assert path.read_text().rstrip("\n") == text
+
+
+class TestDumpActive:
+    def test_dumps_live_enabled_handles(self, tmp_path):
+        obs = build_trace()
+        paths = dump_active(tmp_path, label="unit")
+        mine = [p for p in paths if _covers(p, obs)]
+        assert mine, "the freshly built handle should be dumped"
+
+    def test_empty_handles_skipped(self, tmp_path):
+        obs = Observability()  # live but empty
+        paths = dump_active(tmp_path / "sub", label="empty")
+        assert all(not _covers(p, obs) for p in paths)
+        del obs
+
+
+def _covers(path, obs: Observability) -> bool:
+    """Whether a dump file holds exactly this handle's record count."""
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    spans = [r for r in records if r["type"] in ("span", "instant")]
+    return len(spans) == len(obs.trace) and any(
+        r["type"] == "metrics" for r in records
+    )

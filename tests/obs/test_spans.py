@@ -1,0 +1,148 @@
+"""Tests for the span/metric substrate (:mod:`repro.obs`)."""
+
+import pytest
+
+from repro.obs import Observability, ambient, set_ambient
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import EventLog, TraceBuffer
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances a fixed step per call."""
+
+    def __init__(self, step_ns: int = 1000) -> None:
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+class TestSpans:
+    def test_nesting_depths_and_durations(self):
+        obs = Observability(clock=FakeClock())
+        with obs.span("outer"):
+            assert obs.depth == 1
+            with obs.span("inner", rank=2, step=7):
+                assert obs.depth == 2
+        assert obs.depth == 0
+        inner, outer = obs.trace.records()  # completion order: inner first
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.depth == 1 and outer.depth == 0
+        assert inner.rank == 2 and outer.rank is None
+        assert inner.attrs_dict() == {"step": 7}
+        # The outer span strictly contains the inner one.
+        assert outer.ts_ns < inner.ts_ns
+        assert outer.ts_ns + outer.dur_ns > inner.ts_ns + inner.dur_ns
+
+    def test_set_attrs_while_open(self):
+        obs = Observability(clock=FakeClock())
+        with obs.span("s") as sp:
+            sp.set(result="ok")
+        assert obs.trace.records()[0].attrs_dict() == {"result": "ok"}
+
+    def test_instants(self):
+        obs = Observability(clock=FakeClock())
+        obs.instant("retransmit", rank=1, tid=3)
+        (rec,) = obs.trace.records()
+        assert rec.is_instant and rec.dur_ns is None
+        assert obs.trace.instants("retransmit") == [rec]
+        assert obs.trace.spans() == []
+
+    def test_disabled_is_noop(self):
+        obs = Observability(enabled=False)
+        with obs.span("x") as sp:
+            sp.set(a=1)
+            obs.instant("y")
+            obs.inc("c")
+            obs.observe("h", 5)
+            obs.set_gauge("g", 2)
+        assert len(obs.trace) == 0
+        assert obs.metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_trace_buffer_bounded_with_drop_count(self):
+        buf = TraceBuffer(capacity=3)
+        obs = Observability(clock=FakeClock())
+        obs.trace = buf
+        for i in range(5):
+            obs.instant("e", i=i)
+        assert len(buf) == 3 and buf.dropped == 2
+        assert [r.attrs_dict()["i"] for r in buf.records()] == [2, 3, 4]
+
+    def test_trace_buffer_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceBuffer(capacity=0)
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 4)
+        m.set("g", 7)
+        m.observe("h", 100, buckets=(10, 1000))
+        m.observe("h", 5000, buckets=(10, 1000))
+        snap = m.snapshot()
+        assert snap["counters"]["a"] == 5
+        assert snap["gauges"]["g"] == 7
+        h = snap["histograms"]["h"]
+        assert h["count"] == 2 and h["total"] == 5100 and h["mean"] == 2550.0
+        assert h["counts"] == [0, 1, 1]  # <=10, <=1000, overflow
+        assert m.value("a") == 5 and m.value("never") == 0
+
+    def test_disabled_registry_returns_nulls(self):
+        m = MetricsRegistry(enabled=False)
+        c = m.counter("x")
+        c.inc(100)
+        assert c.value == 0
+        assert m.counter("x") is m.counter("y")  # shared null singleton
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram(buckets=(10, 5))
+
+
+class TestEventLog:
+    def test_per_rank_rings_bounded(self):
+        log = EventLog(capacity=2, enabled=True)
+        for i in range(4):
+            log.record(0, i, "send", f"e{i}")
+        log.record(1, 0, "deliver", "x")
+        rings = log.rings()
+        assert [e.detail for e in rings[0]] == ["e2", "e3"]
+        assert log.dropped == 2
+        assert log.count() == 3 and log.count("deliver") == 1
+
+    def test_set_capacity_rebounds(self):
+        log = EventLog(capacity=8, enabled=True)
+        for i in range(6):
+            log.record(0, i, "send", str(i))
+        log.set_capacity(3)
+        assert [e.detail for e in log.rings()[0]] == ["3", "4", "5"]
+
+
+class TestAmbient:
+    def test_install_and_restore(self):
+        assert not ambient().enabled  # default: disabled
+        obs = Observability()
+        prev = set_ambient(obs)
+        try:
+            assert ambient() is obs
+        finally:
+            set_ambient(prev)
+        assert not ambient().enabled
+
+    def test_kernels_report_to_ambient(self):
+        from repro.core.kernels import expand_table
+
+        obs = Observability()
+        prev = set_ambient(obs)
+        try:
+            expand_table(0, [1, 2], 5)
+        finally:
+            set_ambient(prev)
+        assert obs.metrics.value("kernels.expand_table") == 1
