@@ -1,13 +1,16 @@
 # Convenience targets for the PPoPP '95 reproduction.
 
-.PHONY: install test bench bench-kernels faults soak reproduce examples \
-	trace clean clean-reports
+.PHONY: install test bench bench-kernels faults soak mp-soak reproduce \
+	examples trace clean clean-reports
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
 # Wider seed pool + more property draws for the soak sweep.
 SOAK_SEED_SWEEP ?= 0 1 2 3 5 7 11 13 42 97
 SOAK_DRAWS ?= 5
+# Seeds for the multiprocess-backend soak (real processes per rank, so
+# each seed costs more wall-clock than the in-process sweeps).
+MP_SEED_SWEEP ?= 0 1 7
 # Where the sweep leaves its per-seed logs and junit reports (CI
 # uploads this directory as an artifact when the sweep fails).
 FAULT_REPORT_DIR ?= fault-reports
@@ -69,6 +72,27 @@ soak:
 			exit 1; \
 		fi; \
 		tail -n 1 $(FAULT_REPORT_DIR)/soak-$$seed.log; \
+	done
+
+# Multiprocess-backend soak (docs/BACKENDS.md): the differential
+# oracle-vs-real-process suites plus the SIGKILL crash scenarios, swept
+# over several seeds.  Real worker processes per rank; any failure
+# leaves per-PID flight-recorder/observability dumps plus junit logs in
+# $(FAULT_REPORT_DIR)/ and replays with FAULT_SEEDS=<seed>.
+mp-soak:
+	mkdir -p $(FAULT_REPORT_DIR)
+	for seed in $(MP_SEED_SWEEP); do \
+		echo "== mp backend soak, seed $$seed"; \
+		if ! FAULT_SEEDS=$$seed pytest -q \
+			tests/machine/mp \
+			tests/runtime/test_differential.py \
+			--junitxml=$(FAULT_REPORT_DIR)/mp-$$seed.xml \
+			> $(FAULT_REPORT_DIR)/mp-$$seed.log 2>&1; then \
+			cat $(FAULT_REPORT_DIR)/mp-$$seed.log; \
+			echo "mp soak FAILED at seed $$seed (replay: FAULT_SEEDS=$$seed)"; \
+			exit 1; \
+		fi; \
+		tail -n 1 $(FAULT_REPORT_DIR)/mp-$$seed.log; \
 	done
 
 # Capture a Chrome trace + metrics summary of an instrumented run

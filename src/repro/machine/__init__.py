@@ -26,10 +26,12 @@ from .audit import AuditStats, Divergence, IntegrityAuditor, localize_divergence
 from .costmodel import CostModel, MessageCost, SuperstepEstimate, estimate_superstep
 from .faults import (
     FAULT_KINDS,
+    ChannelAction,
     FaultDecision,
     FaultEvent,
     FaultPlan,
     corrupt_payload,
+    plan_channel_delivery,
     scribble_arena,
 )
 from .network import Message, Network, NetworkStats, payload_nbytes
@@ -49,9 +51,14 @@ from .trace import (
     fault_report,
     machine_report,
 )
+from .iface import BACKENDS, Machine, RankState, create_machine
 from .vm import NodeContext, VirtualMachine
 
 __all__ = [
+    "BACKENDS",
+    "Machine",
+    "RankState",
+    "create_machine",
     "VirtualMachine",
     "NodeContext",
     "Processor",
@@ -63,6 +70,8 @@ __all__ = [
     "FAULT_KINDS",
     "FaultPlan",
     "FaultDecision",
+    "ChannelAction",
+    "plan_channel_delivery",
     "FaultEvent",
     "corrupt_payload",
     "scribble_arena",

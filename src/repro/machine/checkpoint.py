@@ -31,8 +31,7 @@ from typing import Any
 
 import numpy as np
 
-from .processor import Processor
-from .vm import VirtualMachine
+from .iface import Machine, RankState
 
 __all__ = [
     "ArenaSnapshot",
@@ -96,7 +95,7 @@ class RankSnapshot:
     state_checksum: int = 0
 
     @classmethod
-    def capture(cls, proc: Processor, state: Any = None) -> "RankSnapshot":
+    def capture(cls, proc: RankState, state: Any = None) -> "RankSnapshot":
         arenas = tuple(
             ArenaSnapshot.capture(name, proc.memory(name))
             for name in proc.memory_names
@@ -123,7 +122,7 @@ class RankSnapshot:
                 return snap.restore()
         return None
 
-    def restore_into(self, proc: Processor) -> Any:
+    def restore_into(self, proc: RankState) -> Any:
         """Reallocate every snapshotted arena on ``proc`` (checksums
         verified) and return the verified opaque ``state``."""
         if not proc.alive:
@@ -202,7 +201,7 @@ class CheckpointStore:
 
     def save(
         self,
-        vm: VirtualMachine,
+        vm: Machine,
         states: dict[int, Any] | None = None,
     ) -> Checkpoint:
         """Snapshot every live rank of ``vm`` (dead ranks are omitted:
@@ -238,7 +237,7 @@ class CheckpointStore:
         return None
 
     def restore_rank(
-        self, vm: VirtualMachine, rank: int, checkpoint: Checkpoint | None = None
+        self, vm: Machine, rank: int, checkpoint: Checkpoint | None = None
     ) -> Any:
         """Restore ``rank``'s arenas from ``checkpoint`` (default: the
         newest covering it); returns the snapshot's opaque runtime state.

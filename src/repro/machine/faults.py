@@ -43,10 +43,12 @@ import numpy as np
 
 __all__ = [
     "FAULT_KINDS",
+    "ChannelAction",
     "FaultDecision",
     "FaultEvent",
     "FaultPlan",
     "corrupt_payload",
+    "plan_channel_delivery",
     "scribble_arena",
 ]
 
@@ -274,6 +276,63 @@ class FaultPlan:
             j = int(self._chance("perm", superstep, source, dest, i) * (i + 1))
             order[i], order[j] = order[j], order[i]
         return order
+
+
+# ----------------------------------------------------------------------
+# Channel delivery planning (shared by every backend)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelAction:
+    """What happens to one message of a channel batch at a barrier.
+
+    ``index`` is the message's position in the batch in *send order*;
+    ``seq`` its delivery sequence number after the (possibly reordered)
+    permutation -- the key every per-message verdict was derived from.
+    ``corrupt_salt`` is the deterministic salt for
+    :func:`corrupt_payload` when the corrupt coin fired, else ``None``.
+    """
+
+    index: int
+    seq: int
+    drop: bool
+    copies: int  # 1, or 2 when the duplicate coin fired
+    corrupt_salt: int | None
+
+
+def plan_channel_delivery(
+    plan: "FaultPlan", superstep: int, source: int, dest: int, n: int
+) -> tuple[list[ChannelAction], bool]:
+    """Delivery schedule for an ``n``-message channel batch.
+
+    Returns ``(actions, reordered)``: the per-message actions in
+    delivery order, and whether the batch permutation was non-identity.
+    This is the **single source of truth** for how a fault plan maps
+    onto a batch of messages -- the in-process
+    :class:`~repro.machine.network.Network` and the multiprocess
+    backend's worker delivery both consume it, which is what makes the
+    two backends' fault schedules bit-identical under the same seed
+    (the differential-acceptance property of
+    ``tests/runtime/test_differential.py``).  Every piece of the
+    computation is a pure function of ``(seed, superstep, source,
+    dest, seq)``; the corrupt salt hashes only integers, so it is
+    stable across processes regardless of ``PYTHONHASHSEED``.
+    """
+    order = plan.permutation(superstep, source, dest, n)
+    reordered = order != list(range(n))
+    actions: list[ChannelAction] = []
+    for seq, idx in enumerate(order):
+        verdict = plan.decide(superstep, source, dest, seq)
+        salt = None
+        if verdict.corrupt:
+            salt = hash((plan.seed, superstep, source, dest, seq)) & 0x7FFFFFFF
+        actions.append(
+            ChannelAction(
+                idx, seq, verdict.drop, 2 if verdict.duplicate else 1, salt
+            )
+        )
+    return actions, reordered
 
 
 # ----------------------------------------------------------------------

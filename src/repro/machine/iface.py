@@ -1,0 +1,178 @@
+"""The execution-backend seam: what a *machine* is, independent of how
+its ranks actually run.
+
+Everything above this layer -- the executors in :mod:`repro.runtime`,
+the resilient exchange, checkpointing, the integrity auditor, the
+collectives -- drives a distributed-memory machine through a small
+surface: per-rank named memory arenas, point-to-point messages that
+cross superstep barriers, and a rank crash/restart lifecycle.  This
+module names that surface as two structural protocols so the system can
+run on more than one substrate:
+
+* :class:`RankState` -- one rank's volatile state (what
+  :class:`repro.machine.processor.Processor` models in-process, and
+  what the multiprocess backend's rank handles mirror for a real OS
+  process);
+* :class:`Machine` -- the whole machine: superstep execution, message
+  delivery, barriers, lifecycle, and teardown.
+
+Two backends implement :class:`Machine`:
+
+* :class:`repro.machine.vm.VirtualMachine` -- the in-process simulator,
+  deterministic by construction.  It is the **oracle**: every other
+  backend must produce bit-identical results under the same seeds
+  (``tests/runtime/test_differential.py``).
+* :class:`repro.machine.mp.MpMachine` -- each rank a real OS process
+  with arenas in ``multiprocessing.shared_memory`` and exchange over
+  framed unix-socket packets, supervised with monotonic-clock
+  heartbeats and real ``SIGKILL`` crash recovery
+  (docs/BACKENDS.md).
+
+The protocols are structural (:func:`typing.runtime_checkable`): a
+backend never inherits from them, it just has the members.  Code that
+accepts "any machine" should annotate with :class:`Machine` and stick
+to this surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+__all__ = ["BACKENDS", "Machine", "RankState", "create_machine"]
+
+
+@runtime_checkable
+class RankState(Protocol):
+    """One rank's volatile state: identity, liveness, and named arenas.
+
+    The in-process backend's :class:`~repro.machine.processor.Processor`
+    is the reference implementation; the multiprocess backend exposes
+    the same surface over shared-memory segments owned by a real rank
+    process.  ``incarnation`` counts restarts (so peers and the
+    recovery loop can tell a reboot from a stall) and ``crashed_at``
+    records the superstep of the latest crash.
+    """
+
+    rank: int
+    alive: bool
+    incarnation: int
+    crashed_at: int | None
+
+    @property
+    def memory_names(self) -> tuple[str, ...]: ...
+
+    def memory(self, name: str) -> np.ndarray: ...
+
+    def allocate(
+        self, name: str, size: int, dtype=np.float64, fill=0
+    ) -> np.ndarray: ...
+
+    def has_memory(self, name: str) -> bool: ...
+
+    def arenas(self) -> list[tuple[str, np.ndarray]]: ...
+
+
+@runtime_checkable
+class Machine(Protocol):
+    """A ``p``-rank bulk-synchronous distributed-memory machine.
+
+    The contract every executor and resilience layer relies on:
+
+    * **Execution** -- :meth:`run` executes a node function once per
+      live rank and then crosses a barrier; messages sent during
+      superstep ``t`` are receivable during superstep ``t + 1``.
+    * **Messaging** -- :meth:`send` / :meth:`recv` / :meth:`probe` /
+      :meth:`drain` are the per-rank mailbox ops
+      (:class:`~repro.machine.vm.NodeContext` routes through them);
+      :meth:`outstanding` is the host-side quiescence check.
+    * **Lifecycle** -- ranks crash (losing their volatile arenas and
+      in-flight traffic) and restart with a bumped incarnation;
+      ``crash_log`` records ``(rank, superstep)`` pairs in the order
+      observed.
+    * **Hooks** -- ``barrier_hooks`` run at every barrier after node
+      execution but before fault injection (the integrity auditor's
+      commit point).
+    * **Teardown** -- :meth:`close` releases whatever the backend
+      holds (a no-op in-process; processes, sockets, and shared-memory
+      segments for the multiprocess backend).  Machines are usable as
+      context managers via ``closing()`` semantics in the backends.
+    """
+
+    p: int
+    obs: Any
+    processors: Sequence[RankState]
+    crash_log: list[tuple[int, int]]
+    barrier_hooks: list[Callable[..., None]]
+
+    @property
+    def superstep(self) -> int: ...
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> list[Any]: ...
+
+    def run_spmd(
+        self, fn: Callable[..., Any], per_rank_args: Sequence[tuple] | None = None
+    ) -> list[Any]: ...
+
+    def bsp(self, *phases: Callable[..., Any]) -> list[list[Any]]: ...
+
+    # -- messaging -----------------------------------------------------
+
+    def send(self, source: int, dest: int, tag: Any, payload: Any) -> None: ...
+
+    def recv(self, dest: int, source: int, tag: Any) -> Any: ...
+
+    def probe(self, dest: int, source: int, tag: Any) -> bool: ...
+
+    def drain(self, dest: int, tag: Any) -> list[tuple[int, Any]]: ...
+
+    def outstanding(self, tags: Any) -> int: ...
+
+    # -- lifecycle -----------------------------------------------------
+
+    def alive(self, rank: int) -> bool: ...
+
+    @property
+    def dead_ranks(self) -> tuple[int, ...]: ...
+
+    def crash_rank(self, rank: int, downtime: int | None = None) -> None: ...
+
+    # -- whole-machine conveniences ------------------------------------
+
+    def allocate_all(self, name: str, sizes: Iterable[int], **kw) -> None: ...
+
+    def memories(self, name: str) -> list: ...
+
+    def close(self) -> None: ...
+
+
+#: Backend registry for :func:`create_machine`.  Values are import
+#: paths resolved lazily so importing the machine package never drags
+#: in the multiprocess machinery (sockets, shared memory) unless asked.
+BACKENDS = {
+    "inprocess": ("repro.machine.vm", "VirtualMachine"),
+    "mp": ("repro.machine.mp", "MpMachine"),
+}
+
+
+def create_machine(p: int, backend: str = "inprocess", **kw) -> Machine:
+    """Construct a machine by backend name.
+
+    ``create_machine(p, "inprocess", fault_plan=...)`` returns the
+    deterministic in-process oracle; ``create_machine(p, "mp", ...)``
+    the real-process backend (see :class:`repro.machine.mp.MpConfig`
+    for its keyword knobs).  Both accept ``fault_plan`` and ``obs``.
+    """
+    try:
+        module_name, cls_name = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; known backends: {sorted(BACKENDS)}"
+        ) from None
+    import importlib
+
+    cls = getattr(importlib.import_module(module_name), cls_name)
+    return cls(p, **kw)

@@ -1,0 +1,18 @@
+"""Real-process execution backend for the SPMD machine.
+
+Each rank is an OS process: arenas in POSIX shared memory, superstep
+exchange over framed unix-domain sockets, supervision with
+monotonic-clock heartbeats, real ``SIGKILL`` crash injection, restart
+with incarnation bump, and orphan-free teardown.  The in-process
+:class:`~repro.machine.vm.VirtualMachine` is the deterministic oracle
+this backend is differentially tested against (docs/BACKENDS.md).
+
+Import this package only when you want the real thing --
+``create_machine(p, "mp")`` resolves it lazily so the simulator never
+pays for sockets and shared memory it does not use.
+"""
+
+from .machine import MpConfig, MpError, MpMachine, RankHandle
+from .timeouts import Backoff, Deadline
+
+__all__ = ["Backoff", "Deadline", "MpConfig", "MpError", "MpMachine", "RankHandle"]

@@ -1,0 +1,116 @@
+"""Shared-memory arena plumbing for the multiprocess backend.
+
+Rank arenas live in POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) so that the driver, the rank's
+own worker process, and fault injection all see the same bytes: a
+scribble applied *inside the worker process* is visible to the driver's
+checkpoint capture without any copy -- which is exactly the proof that
+the memory is really shared (``tests/machine/mp/test_mp_machine.py``).
+
+Ownership is deliberately one-sided: the **driver** creates and unlinks
+every segment.  Worker processes only ever *attach*.  That sidesteps
+CPython's resource-tracker misfeature (gh-82300): in 3.8--3.12 an
+attaching process registers the segment with its own resource tracker,
+which then unlinks it when that process exits -- so a crashed worker
+would tear arenas out from under the survivors.  :func:`attach_array`
+unregisters the attachment immediately, leaving exactly one owner.
+
+Segment names are short (``psm``-style namespaces cap out around 30
+chars on some platforms) and namespaced by the driver PID plus a
+counter, so concurrent test sessions never collide.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArena", "attach_array", "create_arena", "unlink_quietly"]
+
+_counter = 0
+
+
+def _next_name() -> str:
+    global _counter
+    _counter += 1
+    return f"rp{os.getpid():x}x{_counter:x}"
+
+
+class ShmArena:
+    """One named arena backed by a driver-owned shared-memory segment.
+
+    ``array`` is the driver-side NumPy view (what checkpoint capture
+    and :meth:`RankHandle.memory` hand out); ``shm_name`` is what a
+    worker needs to attach its own view.  Zero-length arenas are backed
+    by a 1-byte segment (POSIX shm rejects empty maps) and sliced back
+    to size.
+    """
+
+    __slots__ = ("name", "shm", "array", "dtype", "size")
+
+    def __init__(self, name: str, size: int, dtype, fill) -> None:
+        self.name = name
+        self.size = size
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, size * self.dtype.itemsize)
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=nbytes, name=_next_name()
+        )
+        self.array = np.ndarray(size, dtype=self.dtype, buffer=self.shm.buf)
+        self.array[:] = fill
+
+    @property
+    def shm_name(self) -> str:
+        return self.shm.name
+
+    def close(self, unlink: bool = True) -> None:
+        # Drop the view before closing the mmap or CPython refuses with
+        # BufferError("cannot close exported pointers exist").
+        self.array = None
+        self.shm.close()
+        if unlink:
+            unlink_quietly(self.shm)
+
+
+def create_arena(name: str, size: int, dtype=np.float64, fill=0) -> ShmArena:
+    if size < 0:
+        raise ValueError(f"size must be nonnegative, got {size}")
+    return ShmArena(name, size, dtype, fill)
+
+
+def attach_array(
+    shm_name: str, size: int, dtype
+) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach an existing segment and view it as a 1-D array.
+
+    The caller must keep the returned ``SharedMemory`` alive as long as
+    the array view and ``close()`` it afterwards (never unlink -- the
+    driver owns the segment).
+    """
+    # Suppress the attach-side resource-tracker registration (gh-82300):
+    # only the creating process may own the segment's lifetime, and an
+    # unregister-after-the-fact would also cancel the creator's
+    # registration (the tracker's cache is a set shared over one
+    # inherited pipe), making teardown noisy.
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = original_register
+    array = np.ndarray(size, dtype=np.dtype(dtype), buffer=shm.buf)
+    return shm, array
+
+
+def unlink_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Unlink, tolerating a segment that is already gone (teardown runs
+    from both ``close()`` and an ``atexit`` hook; the second pass must
+    be a no-op, not a crash)."""
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:
+        pass

@@ -1,0 +1,159 @@
+"""Process supervision for the multiprocess backend.
+
+The supervisor owns the worker :class:`multiprocessing.Process` handles
+and the two failure detectors layered on them:
+
+* **Exit detection** -- ``Process.exitcode`` polling.  A worker that
+  took ``SIGKILL`` shows ``-9`` here; this is ground truth and needs no
+  timeout.
+* **Heartbeat suspicion** -- workers beat on a datagram socket; the
+  supervisor stamps each beat with *its own* ``time.monotonic()``.  A
+  worker whose process is alive but whose latest beat is older than
+  ``suspect_after`` is *suspected*: the machine fences it with a real
+  ``SIGKILL`` (so suspicion can never be half-true) and then treats it
+  as crashed.  Stamping receiver-side means no clock value ever crosses
+  a process boundary.
+
+The supervisor is deliberately thread-free on the driver side: the
+heartbeat socket is non-blocking and drained at barriers and while
+waiting out barrier replies, the only places suspicion matters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import socket
+import time
+from multiprocessing import get_context
+
+from .timeouts import Deadline
+from .worker import worker_main
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Spawn, watch, fence, and reap one worker process per rank."""
+
+    def __init__(
+        self,
+        session_dir: str,
+        start_method: str,
+        hb_sock: socket.socket,
+        suspect_after: float,
+    ) -> None:
+        self._ctx = get_context(start_method)
+        self.session_dir = session_dir
+        self._hb_sock = hb_sock
+        self.suspect_after = suspect_after
+        self.procs: dict[int, object] = {}  # rank -> Process (current incarnation)
+        self.incarnations: dict[int, int] = {}
+        self.last_hb: dict[int, float] = {}
+        #: (rank, incarnation) -> exitcode, for post-mortem diagnostics.
+        self.exit_codes: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, rank: int, incarnation: int, spec: dict) -> None:
+        """Start (or restart) ``rank``'s worker.  ``daemon=True`` is the
+        interpreter-exit backstop: even an unclean driver death takes
+        the fleet down with it (workers also self-exit on orphanhood)."""
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(spec,),
+            name=f"repro-mp-r{rank}-i{incarnation}",
+            daemon=True,
+        )
+        proc.start()
+        self.procs[rank] = proc
+        self.incarnations[rank] = incarnation
+        self.last_hb[rank] = time.monotonic()
+
+    def pid(self, rank: int) -> int | None:
+        proc = self.procs.get(rank)
+        return proc.pid if proc is not None else None
+
+    def exitcode(self, rank: int) -> int | None:
+        """``None`` while running; the OS exit status once dead
+        (``-9`` after ``SIGKILL``)."""
+        proc = self.procs.get(rank)
+        if proc is None:
+            return None
+        code = proc.exitcode
+        if code is not None:
+            self.exit_codes[(rank, self.incarnations[rank])] = code
+        return code
+
+    def kill(self, rank: int, join_timeout: float = 2.0) -> int | None:
+        """Fence ``rank`` with a real ``SIGKILL`` and reap it."""
+        proc = self.procs.get(rank)
+        if proc is None:
+            return None
+        if proc.exitcode is None and proc.pid is not None:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        proc.join(join_timeout)
+        return self.exitcode(rank)
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+
+    def drain_heartbeats(self) -> None:
+        """Soak up every queued beat, stamping arrival on the driver's
+        monotonic clock.  Beats from a stale incarnation (a ghost that
+        has not died yet) are discarded."""
+        now = time.monotonic()
+        while True:
+            try:
+                datagram = self._hb_sock.recv(4096)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            try:
+                rank, incarnation, _seq = pickle.loads(datagram)
+            except Exception:
+                continue  # torn datagram; the next beat corrects it
+            if self.incarnations.get(rank) == incarnation:
+                self.last_hb[rank] = now
+
+    def suspected(self, rank: int) -> bool:
+        """Process looks alive but has not beaten within
+        ``suspect_after`` seconds of driver-monotonic time."""
+        last = self.last_hb.get(rank)
+        if last is None:
+            return False
+        return time.monotonic() - last > self.suspect_after
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def shutdown_all(self, join_timeout: float) -> None:
+        """Reap every worker: join, escalate to terminate, then kill.
+        After this returns no worker process of this session exists."""
+        deadline = Deadline(join_timeout)
+        for proc in self.procs.values():
+            proc.join(max(deadline.remaining(), 0.05))
+        for proc in self.procs.values():
+            if proc.exitcode is None:
+                proc.terminate()
+        for proc in self.procs.values():
+            if proc.exitcode is None:
+                proc.join(0.5)
+            if proc.exitcode is None and proc.pid is not None:
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                proc.join(0.5)
+        for rank in list(self.procs):
+            self.exitcode(rank)  # record final codes
+        self.procs.clear()

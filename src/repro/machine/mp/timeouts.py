@@ -1,0 +1,91 @@
+"""Monotonic-clock deadlines and bounded retry backoff.
+
+Every wait in the multiprocess backend -- socket connects, framed
+reads, barrier mark waits, heartbeat suspicion, shutdown joins -- is
+bounded by a :class:`Deadline` built on ``time.monotonic()``, never on
+wall-clock time (``time.time()`` jumps under NTP slew and would turn a
+clock step into a spurious crash suspicion or an unbounded hang).
+Retries use :class:`Backoff`, a deterministic capped exponential
+schedule: no randomized jitter, because the backend's tests replay
+failure schedules from seeds and the retry cadence must not introduce a
+hidden nondeterministic clock.
+
+The hard rule these two types encode (learned the painful way from a
+spawn-context probe that blocked forever on a queue read): **no wait
+without a deadline**.  A dead peer must surface as a timeout and then a
+diagnostic, never as a hang.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Backoff", "Deadline"]
+
+
+class Deadline:
+    """A fixed point on the monotonic clock to race against.
+
+    ``Deadline(2.5)`` expires 2.5 seconds from construction;
+    :meth:`remaining` is clamped to zero so it can feed a socket
+    timeout directly.  A ``None``/non-positive budget means *already
+    expired* -- useful for "poll once, never block" call sites.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, seconds: float) -> None:
+        self._expires_at = time.monotonic() + max(0.0, seconds)
+
+    def remaining(self) -> float:
+        """Seconds left, clamped to 0.0 (safe as a socket timeout)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class Backoff:
+    """Deterministic capped exponential backoff for bounded retries.
+
+    ``for delay in Backoff(...)`` never terminates on its own -- pair it
+    with a :class:`Deadline` (see :func:`~repro.machine.mp.framing.connect_framed`)
+    or call :meth:`sleep` inside an attempt-bounded loop.
+    """
+
+    __slots__ = ("initial", "factor", "ceiling", "_next")
+
+    def __init__(
+        self, initial: float = 0.005, factor: float = 2.0, ceiling: float = 0.25
+    ) -> None:
+        if initial <= 0 or factor < 1.0 or ceiling < initial:
+            raise ValueError(
+                f"bad backoff schedule: initial={initial} factor={factor} "
+                f"ceiling={ceiling}"
+            )
+        self.initial = initial
+        self.factor = factor
+        self.ceiling = ceiling
+        self._next = initial
+
+    def peek(self) -> float:
+        """The delay the next :meth:`sleep` would take."""
+        return self._next
+
+    def sleep(self, deadline: Deadline | None = None) -> float:
+        """Sleep the current delay (truncated to the deadline's
+        remaining budget, if one is given) and advance the schedule.
+        Returns the seconds actually slept."""
+        delay = self._next
+        if deadline is not None:
+            delay = min(delay, deadline.remaining())
+        if delay > 0:
+            time.sleep(delay)
+        self._next = min(self._next * self.factor, self.ceiling)
+        return delay
+
+    def reset(self) -> None:
+        self._next = self.initial

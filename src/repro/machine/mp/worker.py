@@ -1,0 +1,544 @@
+"""The rank worker: one real OS process per rank.
+
+Node *programs* stay on the driver (they are Python closures over
+host-side protocol state and cannot cross a process boundary), but the
+machine underneath them is real: each rank is a separate process whose
+arenas live in shared memory and whose superstep traffic crosses
+unix-domain sockets to its peers.  ``kill -9`` on a worker is therefore
+a *real* crash -- buffered sends, receive queues, and in-flight frames
+die with the process, exactly the loss model the in-process oracle
+simulates with quarantine.
+
+Wire protocol (all frames via :mod:`repro.machine.mp.framing`):
+
+* **Control** (driver <-> worker, strict request/reply): ``flush``,
+  ``deliver``, ``recv`` / ``probe`` / ``drain`` / ``outstanding``,
+  ``scribble``, ``ping``, ``shutdown``.
+* **Peer data** (worker -> worker, one stream socket per ordered pair):
+  ``data`` frames carrying ``(step, source, tag, payload)`` and a
+  ``mark`` frame per superstep.  Because a stream socket is FIFO, a
+  peer's ``mark`` for step *t* proves all of its step-*t* data frames
+  arrived -- the two-phase barrier the driver builds on.
+* **Heartbeat** (worker -> driver, datagram): ``(rank, incarnation,
+  seq)`` every ``hb_interval`` seconds.  The driver judges staleness on
+  *its own* monotonic clock, so no cross-process clock comparison ever
+  happens.
+
+Fault parity with the oracle: sends buffer locally until the barrier
+(so a **stall** really holds bytes off the wire, and a crash really
+loses them), and delivery consults the *same*
+:func:`~repro.machine.faults.plan_channel_delivery` schedule the
+in-process network uses -- same seed, same drops, same corrupt salts,
+bit for bit.  An orphaned worker (driver died without cleanup) notices
+its parent change and exits on its own; no zombie ranks outlive a
+session.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+from collections import deque
+from typing import Any
+
+from ..faults import corrupt_payload, plan_channel_delivery, scribble_arena
+from .framing import FrameClosed, FrameError, connect_framed, recv_frame, send_frame
+from .shm import attach_array
+from .timeouts import Deadline
+
+__all__ = ["Worker", "ctrl_path", "hb_path", "peer_path", "worker_main"]
+
+#: Practically-unbounded deadline for reads whose termination is the
+#: connection itself closing (ctrl loop, peer readers).
+_FOREVER = 1e9
+
+
+def peer_path(session_dir: str, rank: int, incarnation: int) -> str:
+    """A rank incarnation's peer listener: restarted ranks bind a fresh
+    path so a peer can never talk to a ghost of the old incarnation."""
+    return os.path.join(session_dir, f"r{rank}-i{incarnation}.sock")
+
+
+def ctrl_path(session_dir: str) -> str:
+    return os.path.join(session_dir, "ctrl.sock")
+
+
+def hb_path(session_dir: str) -> str:
+    return os.path.join(session_dir, "hb.sock")
+
+
+class Worker:
+    """Per-process state machine executing the driver's commands."""
+
+    def __init__(self, spec: dict) -> None:
+        self.rank: int = spec["rank"]
+        self.incarnation: int = spec["incarnation"]
+        self.p: int = spec["p"]
+        self.plan = spec["plan"]  # FaultPlan or None (picklable either way)
+        self.session_dir: str = spec["session_dir"]
+        self.hb_interval: float = spec["hb_interval"]
+        self.mark_timeout: float = spec["mark_timeout"]
+        self.connect_timeout: float = spec["connect_timeout"]
+        self._ppid = os.getppid()
+        # Send side: messages buffer here until a flush command -- the
+        # analogue of the oracle network's pending list, and the state a
+        # stall holds back / a crash loses.
+        self.outgoing: list[tuple[int, Any, Any]] = []  # (dest, tag, payload)
+        # Receive side (written by peer-reader threads under _cond):
+        # step -> source -> [(tag, payload)] in arrival order, which per
+        # connection equals send order.
+        self.recv_buf: dict[int, dict[int, list[tuple[Any, Any]]]] = {}
+        self.marks: dict[int, set[int]] = {}
+        self._cond = threading.Condition()
+        # Delivered, receivable messages: (source, tag) -> FIFO.
+        self.queues: dict[tuple[int, Any], deque] = {}
+        self._flushed: set[int] = set()  # idempotency for re-issued flushes
+        self._peers: dict[int, tuple[int, socket.socket]] = {}  # dest -> (inc, sock)
+        # Incarnations whose listener refused us: presumed dead, never
+        # retried (an incarnation cannot come back; its successor gets a
+        # fresh key).  Bounds the cost of racing a peer's death to one
+        # short connect attempt instead of a full retry budget.
+        self._unreachable: set[tuple[int, int]] = set()
+        self._stop = threading.Event()
+        self.listener: socket.socket | None = None
+        self.ctrl: socket.socket | None = None
+        self._hb_sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------
+    # Startup / threads
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the peer listener, start heartbeats, say hello.
+
+        The listener binds *before* the hello frame is sent, so once the
+        driver has collected every hello it knows every peer is
+        connectable -- no flush ever races a missing listener except
+        across a restart, which the connect retry absorbs.
+        """
+        self.listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.listener.bind(peer_path(self.session_dir, self.rank, self.incarnation))
+        self.listener.listen(self.p + 1)
+        threading.Thread(
+            target=self._accept_loop, name=f"r{self.rank}-accept", daemon=True
+        ).start()
+        self._hb_sock = socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM)
+        self._hb_sock.setblocking(False)
+        threading.Thread(
+            target=self._hb_loop, name=f"r{self.rank}-hb", daemon=True
+        ).start()
+        self.ctrl = connect_framed(
+            ctrl_path(self.session_dir), Deadline(self.connect_timeout)
+        )
+        send_frame(
+            self.ctrl,
+            {
+                "op": "hello",
+                "rank": self.rank,
+                "incarnation": self.incarnation,
+                "pid": os.getpid(),
+            },
+        )
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            threading.Thread(
+                target=self._peer_reader, args=(conn,), daemon=True
+            ).start()
+
+    def _peer_reader(self, conn: socket.socket) -> None:
+        """Drain one inbound peer connection into the receive buffers."""
+        try:
+            while not self._stop.is_set():
+                frame = recv_frame(conn, Deadline(_FOREVER))
+                with self._cond:
+                    if frame["kind"] == "data":
+                        self.recv_buf.setdefault(frame["step"], {}).setdefault(
+                            frame["source"], []
+                        ).append((frame["tag"], frame["payload"]))
+                    elif frame["kind"] == "mark":
+                        self.marks.setdefault(frame["step"], set()).add(
+                            frame["source"]
+                        )
+                        self._cond.notify_all()
+        except (FrameError, OSError):
+            pass  # peer died or closed; the barrier protocol notices
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _hb_loop(self) -> None:
+        """Beat every ``hb_interval`` and watch for orphanhood: if the
+        driver vanishes (parent changes, or the heartbeat endpoint is
+        gone) the worker exits rather than linger as a zombie rank."""
+        target = hb_path(self.session_dir)
+        seq = 0
+        while not self._stop.is_set():
+            if os.getppid() != self._ppid:
+                os._exit(3)
+            try:
+                self._hb_sock.sendto(
+                    pickle.dumps((self.rank, self.incarnation, seq)), target
+                )
+            except (BlockingIOError, InterruptedError):
+                pass  # driver is slow draining; skip this beat
+            except OSError:
+                os._exit(3)  # heartbeat endpoint gone: orphaned
+            seq += 1
+            self._stop.wait(self.hb_interval)
+
+    # ------------------------------------------------------------------
+    # Peer connections
+    # ------------------------------------------------------------------
+
+    def _peer(self, dest: int, incarnation: int) -> socket.socket | None:
+        """Connected socket to ``dest``'s current incarnation, or
+        ``None`` when the peer is unreachable (presumed dead; the
+        caller quarantines).  Reconnects when the peer restarted.
+
+        The connect attempt is deliberately short: the driver collects
+        every incarnation's hello (sent *after* its listener is bound)
+        before naming it in a live set, so a listener that refuses or
+        is missing means the peer died -- there is no slow-start case
+        worth a long retry budget, and a dead peer must not be allowed
+        to eat the barrier deadline."""
+        cached = self._peers.get(dest)
+        if cached is not None:
+            if cached[0] == incarnation:
+                return cached[1]
+            self._drop_peer(dest)
+        if (dest, incarnation) in self._unreachable:
+            return None
+        try:
+            sock = connect_framed(
+                peer_path(self.session_dir, dest, incarnation),
+                Deadline(min(self.connect_timeout, 0.25)),
+            )
+        except FrameError:
+            self._unreachable.add((dest, incarnation))
+            return None
+        self._peers[dest] = (incarnation, sock)
+        return sock
+
+    def _drop_peer(self, dest: int) -> None:
+        cached = self._peers.pop(dest, None)
+        if cached is not None:
+            try:
+                cached[1].close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Command loop
+    # ------------------------------------------------------------------
+
+    def serve(self) -> None:
+        while True:
+            try:
+                cmd = recv_frame(self.ctrl, Deadline(_FOREVER))
+            except (FrameClosed, FrameError, OSError):
+                return  # driver gone; shutdown() runs in worker_main
+            try:
+                reply = self._handle(cmd)
+            except Exception as exc:  # surface, never kill the loop
+                reply = {
+                    "ok": False,
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+            try:
+                send_frame(self.ctrl, reply)
+            except OSError:
+                return
+            if cmd.get("op") == "shutdown":
+                return
+
+    def _handle(self, cmd: dict) -> dict:
+        op = cmd["op"]
+        if op == "flush":
+            return self._flush(cmd)
+        if op == "deliver":
+            return self._deliver(cmd)
+        if op == "recv":
+            return self._recv(cmd)
+        if op == "probe":
+            key = (cmd["source"], cmd["tag"])
+            return {"ok": True, "result": bool(self.queues.get(key))}
+        if op == "drain":
+            return self._drain(cmd)
+        if op == "outstanding":
+            return {"ok": True, "result": self._outstanding(cmd["tags"])}
+        if op == "scribble":
+            return self._scribble(cmd)
+        if op == "ping":
+            return {
+                "ok": True,
+                "pid": os.getpid(),
+                "rank": self.rank,
+                "incarnation": self.incarnation,
+            }
+        if op == "shutdown":
+            return {"ok": True}
+        return {"ok": False, "error": "ValueError", "message": f"unknown op {op!r}"}
+
+    # ------------------------------------------------------------------
+    # Barrier phase 1: flush
+    # ------------------------------------------------------------------
+
+    def _flush(self, cmd: dict) -> dict:
+        """Push buffered sends to live peers, then exchange marks.
+
+        Faithful to the oracle barrier: a stalled rank holds its whole
+        buffer (new sends append *behind* held ones, preserving
+        held-first delivery next step); sends to dead peers are
+        quarantined; everything else hits the wire, followed by a mark
+        on every live peer connection.  The reply reports which live
+        peers' marks never arrived before the (monotonic) deadline --
+        the driver's cue to poll liveness and shrink the live set.
+
+        Idempotent per step: a re-issued flush only re-enters the mark
+        wait, it never re-sends data.
+        """
+        step: int = cmd["step"]
+        live = set(cmd["live"])
+        incarnations: dict[int, int] = cmd["incarnations"]
+        events: list[tuple] = []
+        counters = {"stalled": 0, "quarantined": 0, "sent": 0}
+        self.outgoing.extend(cmd.get("msgs", ()))
+        if step not in self._flushed:
+            self._flushed.add(step)
+            stalled = (
+                self.plan is not None
+                and bool(self.outgoing)
+                and self.plan.stalled(step, self.rank)
+            )
+            if stalled:
+                events.append((step, "stall", self.rank, -1, None, 0))
+                counters["stalled"] = len(self.outgoing)
+            else:
+                by_dest: dict[int, list[tuple[Any, Any]]] = {}
+                for dest, tag, payload in self.outgoing:
+                    by_dest.setdefault(dest, []).append((tag, payload))
+                self.outgoing = []
+                for dest, msgs in by_dest.items():
+                    if dest == self.rank:
+                        # Self-sends loop back without touching a socket.
+                        with self._cond:
+                            self.recv_buf.setdefault(step, {}).setdefault(
+                                self.rank, []
+                            ).extend(msgs)
+                        counters["sent"] += len(msgs)
+                        continue
+                    if dest not in live:
+                        for tag, _ in msgs:
+                            events.append(
+                                (step, "quarantine", self.rank, dest, tag, 0)
+                            )
+                            counters["quarantined"] += 1
+                        continue
+                    sock = self._peer(dest, incarnations[dest])
+                    if sock is None:
+                        for tag, _ in msgs:
+                            events.append(
+                                (step, "quarantine", self.rank, dest, tag, 0)
+                            )
+                            counters["quarantined"] += 1
+                        continue
+                    try:
+                        for tag, payload in msgs:
+                            send_frame(
+                                sock,
+                                {
+                                    "kind": "data",
+                                    "step": step,
+                                    "source": self.rank,
+                                    "tag": tag,
+                                    "payload": payload,
+                                },
+                            )
+                            counters["sent"] += 1
+                    except OSError:
+                        # Peer died mid-batch; its process state is gone
+                        # anyway, so the lost tail is moot.
+                        self._drop_peer(dest)
+            # Marks go out even when stalled: "done sending for step t"
+            # is true -- the stalled bytes are not step-t traffic.
+            for dest in sorted(live):
+                if dest == self.rank:
+                    continue
+                sock = self._peer(dest, incarnations[dest])
+                if sock is None:
+                    continue
+                try:
+                    send_frame(
+                        sock, {"kind": "mark", "step": step, "source": self.rank}
+                    )
+                except OSError:
+                    self._drop_peer(dest)
+        needed = live - {self.rank}
+        deadline = Deadline(self.mark_timeout)
+        with self._cond:
+            while not needed <= self.marks.get(step, set()):
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            missing = sorted(needed - self.marks.get(step, set()))
+        return {"ok": True, "missing": missing, "events": events, "counters": counters}
+
+    # ------------------------------------------------------------------
+    # Barrier phase 2: deliver
+    # ------------------------------------------------------------------
+
+    def _deliver(self, cmd: dict) -> dict:
+        """Move this step's arrived batches into the receive queues,
+        applying the shared fault schedule per source channel.
+
+        Batches from sources no longer in the live set (they died after
+        flushing part of their data) are quarantined whole -- the
+        oracle's mark-dead semantics.  Sources iterate in sorted order
+        so the reply's event list is deterministic; queue FIFO order is
+        per channel and unaffected.
+        """
+        step: int = cmd["step"]
+        live = set(cmd["live"])
+        events: list[tuple] = []
+        counters = {
+            "delivered": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "corrupted": 0,
+            "quarantined": 0,
+        }
+        with self._cond:
+            batches = self.recv_buf.pop(step, {})
+            self.marks.pop(step, None)
+        for source in sorted(batches):
+            msgs = batches[source]
+            if source not in live:
+                for tag, _ in msgs:
+                    events.append((step, "quarantine", source, self.rank, tag, 0))
+                    counters["quarantined"] += 1
+                continue
+            if self.plan is None:
+                for tag, payload in msgs:
+                    self.queues.setdefault((source, tag), deque()).append(payload)
+                    counters["delivered"] += 1
+                continue
+            actions, reordered = plan_channel_delivery(
+                self.plan, step, source, self.rank, len(msgs)
+            )
+            if reordered:
+                events.append((step, "reorder", source, self.rank, None, len(msgs)))
+            for act in actions:
+                tag, payload = msgs[act.index]
+                if act.drop:
+                    events.append((step, "drop", source, self.rank, tag, act.seq))
+                    counters["dropped"] += 1
+                    continue
+                if act.corrupt_salt is not None:
+                    payload = corrupt_payload(payload, act.corrupt_salt)
+                    events.append((step, "corrupt", source, self.rank, tag, act.seq))
+                    counters["corrupted"] += 1
+                if act.copies > 1:
+                    events.append(
+                        (step, "duplicate", source, self.rank, tag, act.seq)
+                    )
+                    counters["duplicated"] += 1
+                for _ in range(act.copies):
+                    self.queues.setdefault((source, tag), deque()).append(payload)
+                    counters["delivered"] += 1
+        return {"ok": True, "events": events, "counters": counters}
+
+    # ------------------------------------------------------------------
+    # Mailbox ops
+    # ------------------------------------------------------------------
+
+    def _recv(self, cmd: dict) -> dict:
+        key = (cmd["source"], cmd["tag"])
+        queue = self.queues.get(key)
+        if not queue:
+            return {
+                "ok": False,
+                "error": "LookupError",
+                "message": (
+                    f"rank {self.rank}: no delivered message from "
+                    f"{cmd['source']} with tag {cmd['tag']!r} (BSP programs "
+                    "may only receive what a previous superstep sent)"
+                ),
+            }
+        return {"ok": True, "payload": queue.popleft()}
+
+    def _drain(self, cmd: dict) -> dict:
+        tag = cmd["tag"]
+        out = []
+        for source in range(self.p):
+            queue = self.queues.get((source, tag))
+            while queue:
+                out.append((source, queue.popleft()))
+        return {"ok": True, "result": out}
+
+    def _outstanding(self, tags: Any) -> int:
+        tags = set(tags)
+        n = sum(1 for _, tag, _ in self.outgoing if tag in tags)
+        with self._cond:
+            for per_source in self.recv_buf.values():
+                for msgs in per_source.values():
+                    n += sum(1 for tag, _ in msgs if tag in tags)
+        n += sum(len(q) for (_, tag), q in self.queues.items() if tag in tags)
+        return n
+
+    # ------------------------------------------------------------------
+    # In-arena corruption (proves the memory is really shared)
+    # ------------------------------------------------------------------
+
+    def _scribble(self, cmd: dict) -> dict:
+        """Attach the named shared arena and rot bits *in this process*.
+
+        The driver (and checkpoint capture, and the auditor) observe the
+        flip through their own mappings -- the differential test's proof
+        that arenas are one physical segment, not copies."""
+        shm, array = attach_array(cmd["shm_name"], cmd["size"], cmd["dtype"])
+        try:
+            touched = scribble_arena(array, cmd["salt"], cmd["width"])
+        finally:
+            del array
+            shm.close()
+        return {"ok": True, "touched": touched}
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        for dest in list(self._peers):
+            self._drop_peer(dest)
+        for sock in (self.listener, self.ctrl, self._hb_sock):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        try:
+            os.unlink(peer_path(self.session_dir, self.rank, self.incarnation))
+        except OSError:
+            pass
+
+
+def worker_main(spec: dict) -> None:
+    """Process entry point (importable, so ``spawn`` can find it)."""
+    worker = Worker(spec)
+    try:
+        worker.start()
+        worker.serve()
+    finally:
+        worker.shutdown()

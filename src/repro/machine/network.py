@@ -26,7 +26,7 @@ from typing import Any
 import numpy as np
 
 from ..obs import Observability
-from .faults import FaultEvent, FaultPlan, corrupt_payload
+from .faults import FaultEvent, FaultPlan, corrupt_payload, plan_channel_delivery
 
 __all__ = ["Message", "Network", "NetworkStats", "payload_nbytes"]
 
@@ -322,35 +322,39 @@ class Network:
 
         delivered = 0
         for (source, dest), msgs in channels.items():
-            order = plan.permutation(step, source, dest, len(msgs))
-            if order != list(range(len(msgs))):
+            # The delivery schedule comes from the backend-shared
+            # helper so the in-process oracle and the multiprocess
+            # worker apply byte-identical fault schedules per seed.
+            actions, reordered = plan_channel_delivery(
+                plan, step, source, dest, len(msgs)
+            )
+            if reordered:
                 self.record_fault(step, "reorder", source, dest, None, len(msgs))
-            for seq, idx in enumerate(order):
-                msg = msgs[idx]
-                verdict = plan.decide(step, source, dest, seq)
-                if verdict.drop:
-                    self.record_fault(step, "drop", source, dest, msg.tag, seq)
+            for act in actions:
+                msg = msgs[act.index]
+                if act.drop:
+                    self.record_fault(step, "drop", source, dest, msg.tag, act.seq)
                     self.stats.record_dropped(msg)
                     if self.obs.enabled:
                         self.obs.inc("net.messages_dropped")
                         self.obs.inc("net.bytes_dropped", msg.nbytes)
                     continue
-                if verdict.corrupt:
-                    salt = hash((plan.seed, step, source, dest, seq)) & 0x7FFFFFFF
+                if act.corrupt_salt is not None:
                     msg = Message(
                         msg.source,
                         msg.dest,
                         msg.tag,
-                        corrupt_payload(msg.payload, salt),
+                        corrupt_payload(msg.payload, act.corrupt_salt),
                     )
-                    self.record_fault(step, "corrupt", source, dest, msg.tag, seq)
+                    self.record_fault(step, "corrupt", source, dest, msg.tag, act.seq)
                     self.stats.corrupted += 1
-                copies = 2 if verdict.duplicate else 1
-                if verdict.duplicate:
-                    self.record_fault(step, "duplicate", source, dest, msg.tag, seq)
+                if act.copies > 1:
+                    self.record_fault(
+                        step, "duplicate", source, dest, msg.tag, act.seq
+                    )
                     self.stats.duplicated += 1
                 key = (msg.source, msg.dest, msg.tag)
-                for _ in range(copies):
+                for _ in range(act.copies):
                     self._queues.setdefault(key, deque()).append(msg)
                     self.stats.record_delivered(msg)
                     self._record_delivered_obs(msg)

@@ -9,6 +9,7 @@ the spirit of the paper's per-processor measurements.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -16,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from ..obs.spans import EventLog, EventRecord
+from .iface import Machine
 from .vm import VirtualMachine
 
 __all__ = [
@@ -103,7 +105,7 @@ class FlightRecorder:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._vm: VirtualMachine | None = None
+        self._vm: Machine | None = None
         # Standalone store used only until attach() points us at a
         # machine's event log (record() before attach still works).
         self._own = EventLog(capacity, enabled=True)
@@ -122,7 +124,7 @@ class FlightRecorder:
     # Wiring
     # ------------------------------------------------------------------
 
-    def attach(self, vm: VirtualMachine) -> None:
+    def attach(self, vm: Machine) -> None:
         if self._vm is not None and self._vm is not vm:
             raise ValueError("recorder is already attached to another machine")
         if self._vm is None:
@@ -175,7 +177,9 @@ class FlightRecorder:
         on any ``ExchangeFailure``."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"flight-{label}-{int(time.time() * 1000):x}.json"
+        # Per-PID filename: worker processes and the driver can all dump
+        # without clobbering each other under fault-reports/.
+        path = directory / f"flight-{label}-p{os.getpid()}-{int(time.time() * 1000):x}.json"
         path.write_text(json.dumps(self.snapshot(), indent=1))
         return path
 

@@ -31,9 +31,17 @@ __all__ = ["NodeContext", "VirtualMachine"]
 
 @dataclass
 class NodeContext:
-    """Per-rank view handed to node programs."""
+    """Per-rank view handed to node programs.
 
-    vm: "VirtualMachine"
+    Backend-agnostic: it drives its machine purely through the
+    :class:`repro.machine.iface.Machine` surface (machine-level
+    ``send``/``recv``/``probe``/``drain`` and the rank's
+    :class:`~repro.machine.iface.RankState`), so the same node function
+    runs unchanged on the in-process oracle and the multiprocess
+    backend.
+    """
+
+    vm: Any  # any Machine backend
     rank: int
 
     @property
@@ -41,7 +49,7 @@ class NodeContext:
         return self.vm.p
 
     @property
-    def processor(self) -> Processor:
+    def processor(self):
         return self.vm.processors[self.rank]
 
     def memory(self, name: str):
@@ -51,16 +59,16 @@ class NodeContext:
         return self.processor.allocate(name, size, **kw)
 
     def send(self, dest: int, tag: Any, payload: Any) -> None:
-        self.vm.network.send(self.rank, dest, tag, payload)
+        self.vm.send(self.rank, dest, tag, payload)
 
     def recv(self, source: int, tag: Any) -> Any:
-        return self.vm.network.recv(self.rank, source, tag)
+        return self.vm.recv(self.rank, source, tag)
 
     def probe(self, source: int, tag: Any) -> bool:
-        return self.vm.network.probe(self.rank, source, tag)
+        return self.vm.probe(self.rank, source, tag)
 
     def drain(self, tag: Any) -> list[tuple[int, Any]]:
-        return self.vm.network.drain(self.rank, tag)
+        return self.vm.drain(self.rank, tag)
 
 
 class VirtualMachine:
@@ -104,6 +112,40 @@ class VirtualMachine:
     def superstep(self) -> int:
         """Number of barriers crossed so far (the fault plan's clock)."""
         return self.network.superstep
+
+    # ------------------------------------------------------------------
+    # Machine-level messaging (the Machine protocol surface; the
+    # in-process backend simply delegates to its Network)
+    # ------------------------------------------------------------------
+
+    def send(self, source: int, dest: int, tag: Any, payload: Any) -> None:
+        self.network.send(source, dest, tag, payload)
+
+    def recv(self, dest: int, source: int, tag: Any) -> Any:
+        return self.network.recv(dest, source, tag)
+
+    def probe(self, dest: int, source: int, tag: Any) -> bool:
+        return self.network.probe(dest, source, tag)
+
+    def drain(self, dest: int, tag: Any) -> list[tuple[int, Any]]:
+        return self.network.drain(dest, tag)
+
+    def outstanding(self, tags: Any) -> int:
+        """Pending or delivered-but-unreceived messages with a tag in
+        ``tags`` -- the quiescence check of the resilient protocols."""
+        return self.network.outstanding(tags)
+
+    def close(self) -> None:
+        """Release backend resources (nothing to do in-process; the
+        multiprocess backend tears down processes, sockets, and
+        shared-memory segments here)."""
+
+    def __enter__(self) -> "VirtualMachine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Crash lifecycle

@@ -26,6 +26,7 @@ See docs/OBSERVABILITY.md for the event taxonomy and overhead budget.
 
 from __future__ import annotations
 
+import os
 import weakref
 from pathlib import Path
 
@@ -258,7 +259,9 @@ def dump_active(directory, label: str = "trace") -> list[Path]:
         if len(obs.trace) == 0 and obs.events.count() == 0:
             continue
         directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"obs-{label}-{i}.jsonl"
+        # Per-PID filename: with the multiprocess backend several
+        # processes may dump into one fault-reports/ directory at once.
+        path = directory / f"obs-{label}-p{os.getpid()}-{i}.jsonl"
         write_jsonl(obs, path)
         paths.append(path)
     return paths

@@ -30,6 +30,7 @@ folds into every machine report.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from threading import Lock
 from typing import Callable, TypeVar
@@ -78,6 +79,8 @@ class PlanCache:
         return len(self._data)
 
     def get_or_compute(self, key, compute: Callable[[], T]) -> T:
+        if os.getpid() != _owner_pid:
+            _reset_inherited_state()
         obs = ambient()
         with self._lock:
             if key in self._data:
@@ -121,6 +124,41 @@ _schedule_cache = PlanCache("comm_schedules", maxsize=512)
 _schedule2d_cache = PlanCache("comm_schedules_2d", maxsize=256)
 
 _CACHES = (_localized_cache, _plan_cache, _schedule_cache, _schedule2d_cache)
+
+# ---------------------------------------------------------------------------
+# Fork/spawn hygiene
+# ---------------------------------------------------------------------------
+#
+# The multiprocess backend (repro.machine.mp) forks worker processes while
+# the driver may be mid-``get_or_compute``: a child would then inherit a
+# *held* lock (instant deadlock on its first cache access) plus the parent's
+# cached plans and hit/miss counters, which would double-count in any
+# observability dump the child writes.  Two layers of defence:
+#
+# * ``os.register_at_fork(after_in_child=...)`` -- the normal path: every
+#   fork re-arms fresh locks and empty caches in the child.
+# * a pid check in ``get_or_compute`` -- the backstop for processes created
+#   without running the fork hooks (exotic embedders, pre-registration
+#   forks).  Spawned children re-import this module and need neither.
+
+_owner_pid = os.getpid()
+
+
+def _reset_inherited_state() -> None:
+    """Give this process pristine caches: fresh (unheld) locks, no
+    inherited entries, zeroed counters."""
+    global _owner_pid
+    _owner_pid = os.getpid()
+    for cache in _CACHES:
+        cache._lock = Lock()
+        cache._data = OrderedDict()
+        cache.hits = 0
+        cache.misses = 0
+        cache.evictions = 0
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_inherited_state)
 
 
 def cached_localized_arrays(p, k, extent, alignment, section, rank):

@@ -59,6 +59,7 @@ data.  At zero fault rate the protocol costs one extra superstep over
 from __future__ import annotations
 
 import itertools
+import os
 import struct
 import zlib
 from dataclasses import dataclass, field
@@ -71,7 +72,7 @@ from ..distribution.section import RegularSection
 from ..machine.audit import IntegrityAuditor
 from ..machine.checkpoint import CheckpointStore
 from ..machine.trace import FlightRecorder
-from ..machine.vm import VirtualMachine
+from ..machine.iface import Machine
 from .commsets import CommSchedule, Transfer
 from .plancache import cached_comm_schedule
 from .exec import _check_vm, as_index
@@ -266,7 +267,7 @@ class _Outbound:
 
 
 def execute_copy_resilient(
-    vm: VirtualMachine,
+    vm: Machine,
     a: DistributedArray,
     sec_a: RegularSection,
     b: DistributedArray,
@@ -341,7 +342,7 @@ def execute_copy_resilient(
             from ..obs.export import write_jsonl
 
             try:
-                path = Path(flight_dir) / f"obs-{a.name}.jsonl"
+                path = Path(flight_dir) / f"obs-{a.name}-p{os.getpid()}.jsonl"
                 exc.report.trace_dump = str(write_jsonl(vm.obs, path))
             except OSError:  # pragma: no cover - dump dir unwritable
                 pass
@@ -354,7 +355,7 @@ def execute_copy_resilient(
 
 
 def _execute_copy_resilient(
-    vm: VirtualMachine,
+    vm: Machine,
     a: DistributedArray,
     sec_a: RegularSection,
     b: DistributedArray,
@@ -908,7 +909,7 @@ def _execute_copy_resilient(
                 healthy()
                 and not suspects
                 and _all_exhausted(outbox, expected, applied, vm.p)
-                and not vm.network.outstanding(core_tags)
+                and not vm.outstanding(core_tags)
             ):
                 raise ExchangeFailure(
                     "retries exhausted with transfers still undelivered "
@@ -940,7 +941,7 @@ def _execute_copy_resilient(
         # exchange (the victim's recovery resets its applied set), so on
         # any health change we fall back into the protocol loop.
         reopened = False
-        while vm.network.outstanding(all_tags) and report.supersteps < policy.max_supersteps:
+        while vm.outstanding(all_tags) and report.supersteps < policy.max_supersteps:
             with obs.span("cleanup_round"):
                 vm.run(cleanup)
             report.supersteps += 1
@@ -1010,7 +1011,7 @@ def _full_section(array: DistributedArray) -> RegularSection:
 
 
 def redistribute_resilient(
-    vm: VirtualMachine,
+    vm: Machine,
     dst: DistributedArray,
     src: DistributedArray,
     schedule: CommSchedule | None = None,

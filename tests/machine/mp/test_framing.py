@@ -1,0 +1,166 @@
+"""Unit tests for the multiprocess backend's plumbing: monotonic
+deadlines, deterministic backoff, and checksummed frame transport."""
+
+import socket
+import struct
+import time
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.machine.mp.framing import (
+    MAGIC,
+    MAX_FRAME,
+    FrameClosed,
+    FrameError,
+    FrameTimeout,
+    connect_framed,
+    recv_frame,
+    send_frame,
+)
+from repro.machine.mp.timeouts import Backoff, Deadline
+
+_HEADER = struct.Struct("<2sII")
+
+
+class TestDeadline:
+    def test_remaining_clamps_to_zero(self):
+        deadline = Deadline(0.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+
+    def test_negative_budget_is_already_expired(self):
+        assert Deadline(-5.0).expired()
+
+    def test_counts_down_on_the_monotonic_clock(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        first = deadline.remaining()
+        assert 0.0 < first <= 60.0
+        assert deadline.remaining() <= first
+
+
+class TestBackoff:
+    def test_schedule_doubles_to_ceiling(self):
+        backoff = Backoff(initial=0.01, factor=2.0, ceiling=0.05)
+        seen = []
+        for _ in range(5):
+            seen.append(backoff.peek())
+            backoff.sleep(Deadline(0.0))  # truncated: advances, no sleep
+        assert seen == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_reset_restores_the_initial_delay(self):
+        backoff = Backoff(initial=0.01, factor=2.0, ceiling=0.05)
+        backoff.sleep(Deadline(0.0))
+        backoff.reset()
+        assert backoff.peek() == 0.01
+
+    def test_sleep_is_truncated_by_the_deadline(self):
+        backoff = Backoff(initial=10.0, factor=2.0, ceiling=10.0)
+        start = time.monotonic()
+        slept = backoff.sleep(Deadline(0.01))
+        assert time.monotonic() - start < 1.0
+        assert slept <= 0.011
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(initial=0.0),
+            dict(initial=-1.0),
+            dict(factor=0.5),
+            dict(initial=0.5, ceiling=0.1),
+        ],
+    )
+    def test_rejects_bad_schedules(self, kwargs):
+        with pytest.raises(ValueError):
+            Backoff(**kwargs)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFrames:
+    def test_round_trips_arbitrary_objects(self, pair):
+        left, right = pair
+        payload = {"arr": np.arange(7, dtype=float), "meta": ("x", 3)}
+        send_frame(left, payload)
+        out = recv_frame(right, Deadline(2.0))
+        assert np.array_equal(out["arr"], payload["arr"])
+        assert out["meta"] == payload["meta"]
+
+    def test_frames_arrive_in_fifo_order(self, pair):
+        left, right = pair
+        for i in range(5):
+            send_frame(left, i)
+        assert [recv_frame(right, Deadline(2.0)) for _ in range(5)] == list(range(5))
+
+    def test_crc_mismatch_is_a_frame_error(self, pair):
+        left, right = pair
+        body = b"not the bytes the crc covers"
+        left.sendall(_HEADER.pack(MAGIC, len(body), zlib.crc32(b"other")) + body)
+        with pytest.raises(FrameError, match="CRC"):
+            recv_frame(right, Deadline(2.0))
+
+    def test_bad_magic_is_a_frame_error(self, pair):
+        left, right = pair
+        left.sendall(_HEADER.pack(b"XX", 1, zlib.crc32(b"a")) + b"a")
+        with pytest.raises(FrameError, match="magic"):
+            recv_frame(right, Deadline(2.0))
+
+    def test_oversized_length_is_refused_without_allocating(self, pair):
+        left, right = pair
+        left.sendall(_HEADER.pack(MAGIC, MAX_FRAME + 1, 0))
+        with pytest.raises(FrameError, match="exceeds"):
+            recv_frame(right, Deadline(2.0))
+
+    def test_clean_eof_between_frames_is_frame_closed(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(FrameClosed):
+            recv_frame(right, Deadline(2.0))
+
+    def test_death_mid_frame_is_a_frame_error_not_a_hang(self, pair):
+        left, right = pair
+        body = b"truncated"
+        frame = _HEADER.pack(MAGIC, len(body) + 10, zlib.crc32(body)) + body
+        left.sendall(frame)
+        left.close()
+        with pytest.raises(FrameError):
+            recv_frame(right, Deadline(2.0))
+
+    def test_silence_surfaces_as_timeout_not_a_hang(self, pair):
+        _, right = pair
+        start = time.monotonic()
+        with pytest.raises(FrameTimeout):
+            recv_frame(right, Deadline(0.1))
+        assert time.monotonic() - start < 2.0
+
+
+class TestConnectFramed:
+    def test_absent_listener_times_out_with_the_path_named(self, tmp_path):
+        path = str(tmp_path / "nobody.sock")
+        start = time.monotonic()
+        with pytest.raises(FrameTimeout, match="nobody.sock"):
+            connect_framed(path, Deadline(0.2))
+        assert time.monotonic() - start < 5.0
+
+    def test_connects_once_the_listener_exists(self, tmp_path):
+        path = str(tmp_path / "peer.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(1)
+        try:
+            sock = connect_framed(path, Deadline(2.0))
+            conn, _ = listener.accept()
+            send_frame(sock, "hello")
+            assert recv_frame(conn, Deadline(2.0)) == "hello"
+            sock.close()
+            conn.close()
+        finally:
+            listener.close()

@@ -1,6 +1,7 @@
 """Exporter tests: Chrome trace-event validity, JSONL round-trip, summary."""
 
 import json
+import os
 
 from repro.obs import Observability, dump_active
 from repro.obs.export import (
@@ -122,6 +123,15 @@ class TestDumpActive:
         paths = dump_active(tmp_path / "sub", label="empty")
         assert all(not _covers(p, obs) for p in paths)
         del obs
+
+    def test_dump_filenames_are_per_pid(self, tmp_path):
+        # Several processes (mp-backend driver + workers) may dump into
+        # one fault-reports/ directory; the PID in the name keeps them
+        # from clobbering each other.
+        obs = build_trace()
+        paths = dump_active(tmp_path, label="unit")
+        mine = [p for p in paths if _covers(p, obs)]
+        assert all(f"-p{os.getpid()}-" in p.name for p in mine)
 
 
 def _covers(path, obs: Observability) -> bool:

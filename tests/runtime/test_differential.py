@@ -1,0 +1,124 @@
+"""Differential acceptance: the in-process oracle vs the real-process
+backend.
+
+The property (ISSUE 6, docs/BACKENDS.md): the same program under the
+same fault seed produces **bit-identical** results on the in-process
+:class:`VirtualMachine` and the multiprocess :class:`MpMachine` --
+including runs whose fault plans drop, duplicate, corrupt, reorder and
+stall wire traffic, and runs where a rank dies mid-exchange (a
+simulated crash flag on the oracle, a real ``SIGKILL`` on the backend)
+and is restored from checkpoints.  Both backends consume the same
+:func:`repro.machine.faults.plan_channel_delivery` schedule, which is
+what makes the comparison exact rather than statistical.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distribution.align import Alignment
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+from repro.machine.faults import FaultPlan
+from repro.machine.mp import MpConfig, MpMachine
+from repro.machine.vm import VirtualMachine
+from repro.runtime.exec import collect, distribute
+from repro.runtime.redistribute import redistribute
+from repro.runtime.resilient import redistribute_resilient
+
+SEEDS = [int(s) for s in os.environ.get("FAULT_SEEDS", "0,1").split(",")][:4]
+
+WIRE_FAULTS = [
+    pytest.param(dict(drop=0.2), id="drop"),
+    pytest.param(dict(reorder=0.8, duplicate=0.2), id="reorder-dup"),
+    pytest.param(
+        dict(drop=0.25, duplicate=0.2, corrupt=0.2, reorder=0.5, stall=0.2),
+        id="everything",
+    ),
+]
+
+CFG = MpConfig(mark_timeout=1.5, barrier_grace=1.5, suspect_after=1.0)
+
+
+def make_1d(name, n, p, k, a=1, b=0):
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(
+        name, (n,), grid, (AxisMap(CyclicK(k), Alignment(a, b), grid_axis=0),)
+    )
+
+
+def run_on(vm, n, p, host, plan=None, checkpoints=None):
+    """One resilient redistribution on ``vm``; returns the collected
+    bytes plus the crash log (the observable record both backends must
+    agree on)."""
+    src, dst = make_1d("S", n, p, 3), make_1d("D", n, p, 5)
+    distribute(vm, src, host)
+    distribute(vm, dst, np.zeros(n))
+    stats, report = redistribute_resilient(vm, dst, src, checkpoints=checkpoints)
+    assert report.converged and report.verified
+    return collect(vm, dst).tobytes(), list(vm.crash_log)
+
+
+class TestFaultFree:
+    def test_plain_redistribute_matches_across_backends(self):
+        n, p = 96, 4
+        host = np.arange(n, dtype=float) * 1.5
+        src, dst = make_1d("S", n, p, 2), make_1d("D", n, p, 7)
+        oracle = VirtualMachine(p)
+        distribute(oracle, src, host)
+        distribute(oracle, dst, np.zeros(n))
+        redistribute(oracle, dst, src)
+        expected = collect(oracle, dst)
+        with MpMachine(p, config=CFG) as vm:
+            distribute(vm, src, host)
+            distribute(vm, dst, np.zeros(n))
+            redistribute(vm, dst, src)
+            got = collect(vm, dst)
+        assert got.tobytes() == expected.tobytes()
+
+
+class TestWireFaults:
+    @pytest.mark.parametrize("config", WIRE_FAULTS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_resilient_exchange_is_bit_identical(self, seed, config):
+        n, p = 60, 3
+        host = np.arange(n, dtype=float) + 0.5
+        plan = FaultPlan.from_rates(seed=seed, **config)
+        oracle_bytes, oracle_crashes = run_on(
+            VirtualMachine(p, fault_plan=plan), n, p, host
+        )
+        with MpMachine(p, fault_plan=plan, config=CFG) as vm:
+            mp_bytes, mp_crashes = run_on(vm, n, p, host)
+        assert mp_bytes == oracle_bytes
+        assert mp_crashes == oracle_crashes
+        assert mp_bytes == host.tobytes()
+
+
+class TestCrashes:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeded_kill_point_is_bit_identical(self, seed):
+        # The same (superstep, rank) kill point: the oracle flips a
+        # crash flag; the backend delivers a real SIGKILL.  Both restore
+        # from the same checkpoint schedule and must agree to the byte.
+        n, p = 60, 3
+        host = np.arange(n, dtype=float) * 2.0 + 0.125
+        plan = FaultPlan(
+            seed=seed, drop=0.05, forced_crashes=frozenset({(2, 1)})
+        )
+
+        def store():
+            return CheckpointStore(CheckpointPolicy(every=1, retention=6))
+
+        oracle_bytes, oracle_crashes = run_on(
+            VirtualMachine(p, fault_plan=plan), n, p, host, checkpoints=store()
+        )
+        with MpMachine(p, fault_plan=plan, config=CFG) as vm:
+            mp_bytes, mp_crashes = run_on(vm, n, p, host, checkpoints=store())
+            exit_codes = dict(vm.supervisor.exit_codes)
+        assert mp_bytes == oracle_bytes
+        assert mp_crashes == oracle_crashes
+        assert (1, 2) in mp_crashes  # rank 1 died at superstep 2...
+        assert exit_codes[(1, 0)] == -9  # ...from a real SIGKILL
+        assert mp_bytes == host.tobytes()

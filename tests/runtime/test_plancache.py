@@ -1,5 +1,7 @@
 """Tests for the runtime plan/schedule caches (:mod:`repro.runtime.plancache`)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -186,3 +188,56 @@ class TestReporting:
             c["entries"] == 0 and c["hits"] == 0 and c["misses"] == 0
             for c in cache_stats().values()
         )
+
+
+class TestForkSafety:
+    def test_forked_children_start_with_pristine_caches(self):
+        # The multiprocess backend forks workers while the driver's
+        # caches are warm (and possibly mid-lookup): a child must see
+        # empty caches with fresh locks and zeroed counters, never the
+        # parent's entries or hit/miss history.
+        import multiprocessing
+
+        a = make_1d("A", 30, 3, 2)
+        cached_array_plan(a, 0, RegularSection(0, 29, 1), 0)
+        cached_localized_arrays(3, 2, 30, Alignment(1, 0), RegularSection(0, 29, 1), 0)
+        parent_stats = cache_stats()
+        assert any(c["entries"] for c in parent_stats.values())
+
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+
+        def child(queue):
+            from repro.runtime.plancache import cache_stats
+
+            queue.put(cache_stats())
+
+        proc = ctx.Process(target=child, args=(queue,))
+        proc.start()
+        child_stats = queue.get()
+        proc.join(10.0)
+        assert proc.exitcode == 0
+        for name, entry in child_stats.items():
+            assert entry["entries"] == 0, f"{name} leaked entries into the child"
+            assert entry["hits"] == 0 and entry["misses"] == 0
+        # The parent's caches are untouched by the child's reset.
+        assert cache_stats() == parent_stats
+
+    def test_pid_guard_resets_state_inherited_without_fork_hooks(self):
+        # Backstop for processes created without running the at-fork
+        # hooks: the first lookup under a new PID starts clean.
+        from repro.runtime import plancache
+
+        a = make_1d("A", 30, 3, 2)
+        cached_array_plan(a, 0, RegularSection(0, 29, 1), 0)
+        assert cache_stats()["array_plans"]["entries"] == 1
+        original = plancache._owner_pid
+        try:
+            plancache._owner_pid = original - 1  # simulate an inherited pid
+            cached_array_plan(a, 0, RegularSection(0, 29, 1), 0)
+            stats = cache_stats()["array_plans"]
+            # The stale entry was discarded and this lookup recomputed.
+            assert stats["entries"] == 1
+            assert stats["hits"] == 0 and stats["misses"] == 1
+        finally:
+            assert plancache._owner_pid == os.getpid()
