@@ -1,7 +1,7 @@
 # Convenience targets for the PPoPP '95 reproduction.
 
-.PHONY: install test bench bench-kernels faults soak mp-soak reproduce \
-	examples trace clean clean-reports
+.PHONY: install test bench bench-kernels bench-elastic faults soak mp-soak \
+	elastic-soak reproduce examples trace clean clean-reports
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
@@ -11,6 +11,9 @@ SOAK_DRAWS ?= 5
 # Seeds for the multiprocess-backend soak (real processes per rank, so
 # each seed costs more wall-clock than the in-process sweeps).
 MP_SEED_SWEEP ?= 0 1 7
+# Seeds for the elastic-membership soak (grow/shrink/migrate sweeps on
+# both backends, SIGKILL-during-migration included).
+ELASTIC_SEED_SWEEP ?= 0 1 7
 # Where the sweep leaves its per-seed logs and junit reports (CI
 # uploads this directory as an artifact when the sweep fails).
 FAULT_REPORT_DIR ?= fault-reports
@@ -28,6 +31,11 @@ bench:
 # paths against the scalar oracles and writes BENCH_kernels.json.
 bench-kernels:
 	python benchmarks/bench_kernels.py
+
+# Live re-layout benchmark; verifies every migration against a
+# static-p' oracle and writes BENCH_elastic.json.
+bench-elastic:
+	python benchmarks/bench_elastic.py
 
 # Fault-injection + resilient-protocol suites at several seeds
 # (docs/FAULT_MODEL.md): same seed => same fault trace, so any failure
@@ -93,6 +101,27 @@ mp-soak:
 			exit 1; \
 		fi; \
 		tail -n 1 $(FAULT_REPORT_DIR)/mp-$$seed.log; \
+	done
+
+# Elastic-membership soak (docs/FAULT_MODEL.md §6): randomized p -> p'
+# migration sweeps on the oracle plus the real-process grow/shrink and
+# SIGKILL-during-migration suites, swept over several seeds.  Any
+# failure leaves flight-recorder/observability dumps plus junit logs in
+# $(FAULT_REPORT_DIR)/ and replays with FAULT_SEEDS=<seed>.
+elastic-soak:
+	mkdir -p $(FAULT_REPORT_DIR)
+	for seed in $(ELASTIC_SEED_SWEEP); do \
+		echo "== elastic soak, seed $$seed"; \
+		if ! FAULT_SEEDS=$$seed pytest -q \
+			tests/runtime/test_elastic.py \
+			tests/machine/mp/test_mp_elastic.py \
+			--junitxml=$(FAULT_REPORT_DIR)/elastic-$$seed.xml \
+			> $(FAULT_REPORT_DIR)/elastic-$$seed.log 2>&1; then \
+			cat $(FAULT_REPORT_DIR)/elastic-$$seed.log; \
+			echo "elastic soak FAILED at seed $$seed (replay: FAULT_SEEDS=$$seed)"; \
+			exit 1; \
+		fi; \
+		tail -n 1 $(FAULT_REPORT_DIR)/elastic-$$seed.log; \
 	done
 
 # Capture a Chrome trace + metrics summary of an instrumented run

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Benchmark live re-layout (elastic membership) and write BENCH_elastic.json.
+
+Times :func:`repro.runtime.relayout` -- the planned, crash-tolerant
+migration that moves an array between distributions and rank counts
+mid-program -- and records alongside each wall time the communication
+volume its schedule induces (elements moved remotely, bytes on the
+wire, supersteps).  Three groups:
+
+* ``scale``  -- migration cost vs array size ``n`` for one fixed
+  grow shape (cyclic(3) on p -> cyclic(8) on p');
+* ``shapes`` -- fixed ``n`` across membership shapes: grow, shrink,
+  and same-p redistribution;
+* ``faults`` -- the same grow with a forced mid-migration crash, i.e.
+  the price of one checkpoint restore + replay (or epoch rollback)
+  relative to the clean run.
+
+Every migration is verified bit-identical against a freshly built
+static-``p'`` machine before its timing is reported; the script **exits
+nonzero on any mismatch** so CI can run it with ``--quick`` as a
+correctness smoke test.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py           # full size
+    PYTHONPATH=src python benchmarks/bench_elastic.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distribution import AxisMap, CyclicK, DistributedArray, ProcessorGrid
+from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+from repro.machine.faults import FaultPlan
+from repro.machine.vm import VirtualMachine
+from repro.runtime import clear_plan_caches, collect, distribute, relayout
+
+
+def make_1d(name: str, n: int, p: int, k: int) -> DistributedArray:
+    return DistributedArray(
+        name, (n,), ProcessorGrid("P", (p,)), (AxisMap(CyclicK(k), grid_axis=0),)
+    )
+
+
+def static_image(n: int, p: int, k: int, host: np.ndarray) -> np.ndarray:
+    vm = VirtualMachine(p)
+    arr = make_1d("REF", n, p, k)
+    distribute(vm, arr, host)
+    return collect(vm, arr)
+
+
+def run_one(
+    n: int,
+    old_p: int,
+    old_k: int,
+    new_p: int,
+    new_k: int,
+    repeats: int,
+    fault_plan: FaultPlan | None = None,
+) -> dict:
+    """Best-of-``repeats`` relayout; returns a result row.  Each repeat
+    rebuilds the machine (migration is a one-shot event, so there is no
+    warm-cache steady state to measure -- but the plan cache is cleared
+    too, making every repeat a full plan + exchange)."""
+    host = np.arange(n, dtype=float)
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        clear_plan_caches()
+        vm = VirtualMachine(old_p, fault_plan=fault_plan)
+        a = make_1d("A", n, old_p, old_k)
+        distribute(vm, a, host)
+        store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+        t0 = time.perf_counter()
+        a2, report = relayout(
+            vm, a, CyclicK(new_k), new_p=new_p, checkpoints=store
+        )
+        best = min(best, time.perf_counter() - t0)
+        got = collect(vm, a2)
+        if not np.array_equal(got, static_image(n, new_p, new_k, host)):
+            raise SystemExit(
+                f"MISMATCH: relayout n={n} p={old_p}->{new_p} "
+                f"k={old_k}->{new_k} differs from the static oracle"
+            )
+    return {
+        "n": n,
+        "old_p": old_p,
+        "new_p": new_p,
+        "old_k": old_k,
+        "new_k": new_k,
+        "seconds": best,
+        "moved_elements": report.stats.remote_elements,
+        "total_elements": report.stats.elements,
+        "moved_bytes": report.moved_bytes,
+        "supersteps": report.supersteps,
+        "attempts": report.attempts,
+        "rollbacks": report.rollbacks,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke testing")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repeats per configuration (default 3, quick 2)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_elastic.json")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.quick else 3)
+    sizes = [2_000, 8_000] if args.quick else [10_000, 50_000, 200_000]
+    n_shapes = 8_000 if args.quick else 50_000
+
+    rows = []
+
+    print("== scale: grow 4 -> 6 (cyclic(3) -> cyclic(8)) vs n ==")
+    for n in sizes:
+        row = run_one(n, 4, 3, 6, 8, repeats) | {"benchmark": "scale",
+                                                 "variant": "grow-4-to-6"}
+        rows.append(row)
+        print(f"  n={n:>7}: {row['seconds'] * 1e3:8.2f} ms, "
+              f"{row['moved_elements']}/{row['total_elements']} moved, "
+              f"{row['supersteps']} supersteps")
+
+    print("== shapes: membership changes at fixed n ==")
+    shapes = [
+        ("grow-4-to-8", 4, 3, 8, 3),
+        ("shrink-8-to-4", 8, 3, 4, 3),
+        ("shrink-4-to-2", 4, 5, 2, 5),
+        ("redist-same-p", 4, 3, 4, 8),
+    ]
+    for variant, old_p, old_k, new_p, new_k in shapes:
+        row = run_one(n_shapes, old_p, old_k, new_p, new_k, repeats) | {
+            "benchmark": "shapes", "variant": variant}
+        rows.append(row)
+        print(f"  {variant:>14}: {row['seconds'] * 1e3:8.2f} ms, "
+              f"{row['moved_elements']}/{row['total_elements']} moved")
+
+    print("== faults: grow 4 -> 6 with a mid-migration crash ==")
+    plan = FaultPlan(forced_crashes=frozenset({(2, 1)}), crash_downtime=1)
+    clean = run_one(n_shapes, 4, 3, 6, 8, repeats) | {
+        "benchmark": "faults", "variant": "clean"}
+    faulted = run_one(n_shapes, 4, 3, 6, 8, repeats, fault_plan=plan) | {
+        "benchmark": "faults", "variant": "crash-recover"}
+    rows.extend([clean, faulted])
+    overhead = faulted["seconds"] / max(clean["seconds"], 1e-12)
+    print(f"  clean {clean['seconds'] * 1e3:.2f} ms vs crash+recover "
+          f"{faulted['seconds'] * 1e3:.2f} ms ({overhead:.2f}x, "
+          f"{faulted['rollbacks']} rollback(s), "
+          f"{faulted['supersteps']} supersteps)")
+
+    report = {
+        "config": {"sizes": sizes, "n_shapes": n_shapes, "repeats": repeats,
+                   "quick": args.quick},
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Elastic LU panel factorization: grow the machine mid-factorization.
+
+The LU workload example (``lu_panel_workload.py``) shows *why* cyclic(k)
+keeps the shrinking trailing submatrix balanced.  This example runs the
+factorization itself -- a right-looking, unpivoted LU on rows
+distributed cyclic(k) -- and halfway through **grows the machine from 2
+to 4 ranks live**, using :func:`repro.runtime.relayout`:
+
+* the migration is one planned communication schedule (old layout ->
+  new layout) pulled from the plan cache;
+* it executes through the resilient exchange with a migration-epoch
+  checkpoint as the rollback point, so a crash mid-migration can never
+  leave a half-migrated arena;
+* membership commits atomically (new ranks join, plans keyed to the old
+  ``p`` are invalidated) and the factorization simply continues on the
+  bigger machine.
+
+The factors computed across the membership change are verified
+bit-for-bit against the same elimination run sequentially in NumPy.
+
+Run:  python examples/elastic_lu_panel.py
+"""
+
+import numpy as np
+
+from repro.distribution import (
+    AxisMap,
+    CyclicK,
+    DistributedArray,
+    ProcessorGrid,
+)
+from repro.machine import VirtualMachine
+from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
+from repro.obs import Observability
+from repro.runtime import collect, distribute, relayout
+
+N = 64          # matrix order
+K = 4           # cyclic block of rows per shard
+P0, P1 = 2, 4   # starting and grown rank counts
+GROW_AT = N // 2
+
+
+def build(p: int) -> DistributedArray:
+    # Rows cyclic(K) over p ranks; columns "cyclic(N)" on a size-1 grid
+    # axis, i.e. every rank holds full rows.
+    grid = ProcessorGrid("P", (p, 1))
+    return DistributedArray(
+        "A", (N, N), grid,
+        (AxisMap(CyclicK(K), grid_axis=0), AxisMap(CyclicK(N), grid_axis=1)),
+    )
+
+
+def eliminate(vm: VirtualMachine, a: DistributedArray, k: int) -> None:
+    """One right-looking panel step: scale column k below the pivot and
+    update the trailing submatrix, each rank on its own rows."""
+    owner = a.owner((k, 0))
+    proc = vm.processors[owner]
+    row_slot = a.local_slots((k, 0), owner)[0]
+    pivot = np.array(
+        proc.memory("A").reshape(a.local_shape(owner))[row_slot], copy=True
+    )
+
+    def update(ctx):
+        mem = ctx.memory("A").reshape(a.local_shape(ctx.rank))
+        for r in range(mem.shape[0]):
+            gi = a.global_index((r, 0), ctx.rank)[0]
+            if gi > k:
+                mem[r, k] /= pivot[k]
+                mem[r, k + 1:] -= mem[r, k] * pivot[k + 1:]
+
+    vm.run(update)
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    host = rng.random((N, N)) + N * np.eye(N)  # diagonally dominant: no pivoting
+
+    obs = Observability(enabled=True)
+    vm = VirtualMachine(P0, obs=obs)
+    store = CheckpointStore(CheckpointPolicy(every=1, retention=4))
+    a = build(P0)
+    distribute(vm, a, host)
+
+    print(f"factorizing {N}x{N} (rows cyclic({K})) on p={P0}...")
+    for k in range(GROW_AT):
+        eliminate(vm, a, k)
+
+    # --- The cluster hands us two more nodes: live re-layout 2 -> 4.
+    a, report = relayout(
+        vm, a, None, new_p=P1, checkpoints=store, grid_shape=(P1, 1)
+    )
+    assert report.committed and vm.p == P1
+    print(
+        f"grew p={report.old_p} -> p={report.new_p} at panel {GROW_AT}: "
+        f"moved {report.stats.remote_elements} of {report.stats.elements} "
+        f"elements remotely ({report.moved_bytes} bytes) in "
+        f"{report.supersteps} supersteps, {report.attempts} attempt(s)"
+    )
+
+    print(f"continuing factorization on p={P1}...")
+    for k in range(GROW_AT, N - 1):
+        eliminate(vm, a, k)
+
+    # --- Verify against the identical elimination done sequentially.
+    ref = host.copy()
+    for k in range(N - 1):
+        ref[k + 1:, k] /= ref[k, k]
+        ref[k + 1:, k + 1:] -= np.outer(ref[k + 1:, k], ref[k, k + 1:])
+    got = collect(vm, a)
+    assert np.array_equal(got, ref), "factors differ from sequential LU"
+    lower = np.tril(got, -1) + np.eye(N)
+    upper = np.triu(got)
+    assert np.allclose(lower @ upper, host)
+    print("in-place LU factors match the sequential elimination exactly  [ok]")
+
+    spans = obs.trace.spans("migration")
+    counters = obs.metrics.snapshot()["counters"]
+    print(
+        f"observability: {len(spans)} migration span(s), "
+        f"{counters.get('elastic.commits', 0)} commit(s), "
+        f"{counters.get('elastic.rollbacks', 0)} rollback(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

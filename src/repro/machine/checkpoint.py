@@ -223,6 +223,55 @@ class CheckpointStore:
         self.bytes_saved += ckpt.nbytes
         return ckpt
 
+    def covering(
+        self, superstep: int, rank: int | None = None
+    ) -> Checkpoint | None:
+        """Newest retained checkpoint taken at or before ``superstep``
+        (optionally required to cover ``rank``), or ``None`` when
+        retention has already evicted every candidate.
+
+        This is the question degraded-mode membership decisions ask:
+        "can rank ``r``'s state as of superstep ``s`` still be
+        recovered?"  A ``None`` answer means the crash outlived the
+        retention window (see :meth:`retention_window`).
+        """
+        for ckpt in reversed(self._checkpoints):
+            if ckpt.superstep > superstep:
+                continue
+            if rank is not None and rank not in ckpt.snapshots:
+                continue
+            return ckpt
+        return None
+
+    def retention_window(self) -> dict[str, Any]:
+        """The store's current retention window, for diagnostics: the
+        oldest and newest retained supersteps (``None`` when empty) and
+        the policy's ``every``/``retention`` knobs.  Failure paths embed
+        this in their error messages so "crash outlived retention" is
+        diagnosable from the exception alone."""
+        steps = [ckpt.superstep for ckpt in self._checkpoints]
+        return {
+            "oldest": min(steps) if steps else None,
+            "newest": max(steps) if steps else None,
+            "retained": len(steps),
+            "every": self.policy.every,
+            "retention": self.policy.retention,
+        }
+
+    def describe_window(self) -> str:
+        """One-line human rendering of :meth:`retention_window`."""
+        win = self.retention_window()
+        if win["retained"] == 0:
+            held = "no checkpoints retained"
+        else:
+            held = (
+                f"retained supersteps [{win['oldest']}, {win['newest']}] "
+                f"({win['retained']} checkpoint(s))"
+            )
+        return (
+            f"{held}; policy every={win['every']} retention={win['retention']}"
+        )
+
     def latest_for(
         self, rank: int, before: int | None = None
     ) -> tuple[Checkpoint, RankSnapshot] | None:

@@ -91,6 +91,10 @@ class Machine(Protocol):
       in-flight traffic) and restart with a bumped incarnation;
       ``crash_log`` records ``(rank, superstep)`` pairs in the order
       observed.
+    * **Elastic membership** -- :meth:`grow_to` appends fresh, empty
+      ranks; :meth:`retire_to` fences the top ranks' traffic and removes
+      them.  :mod:`repro.runtime.elastic` drives crash-tolerant
+      re-layout migrations through this pair.
     * **Hooks** -- ``barrier_hooks`` run at every barrier after node
       execution but before fault injection (the integrity auditor's
       commit point).
@@ -139,6 +143,12 @@ class Machine(Protocol):
     def dead_ranks(self) -> tuple[int, ...]: ...
 
     def crash_rank(self, rank: int, downtime: int | None = None) -> None: ...
+
+    # -- elastic membership --------------------------------------------
+
+    def grow_to(self, new_p: int) -> None: ...
+
+    def retire_to(self, new_p: int) -> None: ...
 
     # -- whole-machine conveniences ------------------------------------
 

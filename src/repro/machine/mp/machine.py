@@ -495,6 +495,98 @@ class MpMachine:
                 del self._restart_at[rank]
 
     # ------------------------------------------------------------------
+    # Elastic membership (Machine protocol)
+    # ------------------------------------------------------------------
+
+    def grow_to(self, new_p: int) -> None:
+        """Admit ranks ``p .. new_p-1``: spawn their worker processes,
+        wait for their hellos (bounded), and tell every existing worker
+        the new world size.  The new ranks start with empty arenas --
+        populating them is the elastic runtime's job
+        (:mod:`repro.runtime.elastic`)."""
+        if new_p <= self.p:
+            raise ValueError(f"grow_to({new_p}) from p={self.p}: need new_p > p")
+        step = self._superstep
+        old_p = self.p
+        for rank in range(old_p, new_p):
+            self.processors.append(RankHandle(rank, self._shm_names))
+            self._staged[rank] = []
+        self.p = new_p
+        try:
+            for rank in range(old_p, new_p):
+                self._spawn(rank)
+            self._await_hello(set(range(old_p, new_p)))
+        except Exception:
+            # Failed admission: put the machine back the way it was.
+            self.p = old_p
+            for rank in range(old_p, new_p):
+                self.supervisor.retire(rank, join_timeout=0.5)
+                self._staged.pop(rank, None)
+                sock = self._ctrl.pop(rank, None)
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                    if sock in self._socks:
+                        self._socks.remove(sock)
+            del self.processors[old_p:]
+            raise
+        for rank in range(old_p):
+            if not self.processors[rank].alive:
+                continue  # a respawn picks up the new p from its spec
+            try:
+                self._command(rank, {"op": "resize", "p": new_p})
+            except RankDied:
+                pass
+        self.obs.inc("elastic.grow")
+        self.record_fault(step, "grow", -1, -1, None, new_p)
+
+    def retire_to(self, new_p: int) -> None:
+        """Release ranks ``new_p .. p-1``: graceful shutdown, then the
+        supervisor reaps (escalating to ``SIGKILL``), shared-memory
+        arenas are unlinked, control channels closed, and survivors told
+        the shrunk world size.  Dead retiring ranks lose their scheduled
+        respawn -- a retired rank can never come back."""
+        if not 0 < new_p < self.p:
+            raise ValueError(
+                f"retire_to({new_p}) from p={self.p}: need 0 < new_p < p"
+            )
+        step = self._superstep
+        old_p = self.p
+        for rank in range(new_p, old_p):
+            handle = self.processors[rank]
+            self._restart_at.pop(rank, None)
+            sock = self._ctrl.pop(rank, None)
+            if sock is not None:
+                if handle.alive:
+                    try:
+                        send_frame(sock, {"op": "shutdown"})
+                        recv_frame(sock, Deadline(self.config.shutdown_timeout))
+                    except (FrameError, OSError):
+                        pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                if sock in self._socks:
+                    self._socks.remove(sock)
+            self.supervisor.retire(rank)
+            handle._wipe()
+            self._staged.pop(rank, None)
+        del self.processors[new_p:]
+        self.p = new_p
+        for rank in range(new_p):
+            if not self.processors[rank].alive:
+                continue
+            try:
+                self._command(rank, {"op": "resize", "p": new_p})
+            except RankDied:
+                pass
+        self.obs.inc("elastic.retire")
+        self.record_fault(step, "retire", -1, -1, None, new_p)
+
+    # ------------------------------------------------------------------
     # Fault/event bookkeeping (oracle parity)
     # ------------------------------------------------------------------
 

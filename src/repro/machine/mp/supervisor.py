@@ -101,6 +101,26 @@ class Supervisor:
         proc.join(join_timeout)
         return self.exitcode(rank)
 
+    def retire(self, rank: int, join_timeout: float = 2.0) -> None:
+        """Permanently remove ``rank`` from supervision (elastic
+        shrink): reap its process if still running and forget its
+        handle, incarnation, and heartbeat state so a stale beat from a
+        straggling worker can never resurrect a retired rank."""
+        proc = self.procs.pop(rank, None)
+        incarnation = self.incarnations.pop(rank, None)
+        self.last_hb.pop(rank, None)
+        if proc is None:
+            return
+        proc.join(join_timeout)
+        if proc.exitcode is None and proc.pid is not None:
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            proc.join(0.5)
+        if incarnation is not None and proc.exitcode is not None:
+            self.exit_codes[(rank, incarnation)] = proc.exitcode
+
     # ------------------------------------------------------------------
     # Heartbeats
     # ------------------------------------------------------------------

@@ -278,6 +278,8 @@ class Worker:
             return {"ok": True, "result": self._outstanding(cmd["tags"])}
         if op == "scribble":
             return self._scribble(cmd)
+        if op == "resize":
+            return self._resize(cmd)
         if op == "ping":
             return {
                 "ok": True,
@@ -495,6 +497,34 @@ class Worker:
                     n += sum(1 for tag, _ in msgs if tag in tags)
         n += sum(len(q) for (_, tag), q in self.queues.items() if tag in tags)
         return n
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+
+    def _resize(self, cmd: dict) -> dict:
+        """Adopt a new world size (elastic grow/shrink).
+
+        On shrink, connections to retired peers are dropped and their
+        delivered-but-unreceived messages discarded -- the worker-side
+        analogue of the driver network's retire quarantine.  On grow,
+        nothing else is needed: new peers are dialled lazily from the
+        live set the next flush carries.
+        """
+        new_p: int = cmd["p"]
+        old_p = self.p
+        self.p = new_p
+        dropped = 0
+        if new_p < old_p:
+            for dest in [d for d in self._peers if d >= new_p]:
+                self._drop_peer(dest)
+            for key in [k for k in self.queues if k[0] >= new_p]:
+                dropped += len(self.queues.pop(key))
+            with self._cond:
+                for per_source in self.recv_buf.values():
+                    for source in [s for s in per_source if s >= new_p]:
+                        dropped += len(per_source.pop(source))
+        return {"ok": True, "p": new_p, "dropped": dropped}
 
     # ------------------------------------------------------------------
     # In-arena corruption (proves the memory is really shared)

@@ -248,6 +248,46 @@ class Network:
     def mark_alive(self, rank: int) -> None:
         self.dead.discard(rank)
 
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+
+    def resize(self, new_p: int) -> int:
+        """Change the rank count of the fabric (elastic membership).
+
+        Growing simply widens the valid rank range -- channels are
+        created lazily, so no other state changes.  Shrinking fences the
+        retired ranks first: any pending send and any
+        delivered-but-unreceived message touching a rank ``>= new_p`` is
+        quarantined (counted, never delivered), exactly like a crashed
+        rank's traffic, so a retired rank can never leak stale messages
+        into a later membership epoch.  Returns the number of messages
+        quarantined."""
+        if new_p <= 0:
+            raise ValueError(f"need at least one rank, got p={new_p}")
+        if new_p >= self.p:
+            self.p = new_p
+            return 0
+        step = self.superstep
+        gone = 0
+        keep: list[Message] = []
+        for msg in self._pending:
+            if msg.source >= new_p or msg.dest >= new_p:
+                self._quarantine(msg, step)
+                gone += 1
+            else:
+                keep.append(msg)
+        self._pending = keep
+        for (source, dest, tag), queue in list(self._queues.items()):
+            if source >= new_p or dest >= new_p:
+                while queue:
+                    self._quarantine(queue.popleft(), step)
+                    gone += 1
+                del self._queues[(source, dest, tag)]
+        self.dead = {rank for rank in self.dead if rank < new_p}
+        self.p = new_p
+        return gone
+
     def _quarantine(self, msg: Message, step: int) -> None:
         self.stats.record_quarantined(msg)
         self.fault_events.append(

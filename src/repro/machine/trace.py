@@ -181,6 +181,9 @@ class FlightRecorder:
         # without clobbering each other under fault-reports/.
         path = directory / f"flight-{label}-p{os.getpid()}-{int(time.time() * 1000):x}.json"
         path.write_text(json.dumps(self.snapshot(), indent=1))
+        from ..obs.export import rotate_reports
+
+        rotate_reports(directory)
         return path
 
 

@@ -233,6 +233,40 @@ class VirtualMachine:
                 )
 
     # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+
+    def grow_to(self, new_p: int) -> None:
+        """Add ranks ``p .. new_p-1`` to the machine (empty memories,
+        alive, incarnation 0).  Existing ranks, their arenas, and any
+        in-flight traffic are untouched."""
+        if new_p <= self.p:
+            raise ValueError(f"grow_to({new_p}) from p={self.p}: need new_p > p")
+        step = self.network.superstep
+        for rank in range(self.p, new_p):
+            self.processors.append(Processor(rank))
+        self.network.resize(new_p)
+        self.p = new_p
+        self.obs.inc("elastic.grow")
+        self.network.record_fault(step, "grow", -1, -1, None, new_p)
+
+    def retire_to(self, new_p: int) -> None:
+        """Retire ranks ``new_p .. p-1``: their arenas are freed, their
+        in-flight traffic is quarantined (like a crash, but permanent),
+        and the machine shrinks to ``new_p`` ranks.  Surviving ranks are
+        untouched."""
+        if not 0 < new_p < self.p:
+            raise ValueError(f"retire_to({new_p}) from p={self.p}: need 0 < new_p < p")
+        step = self.network.superstep
+        for rank in range(new_p, self.p):
+            self._restart_at.pop(rank, None)
+        self.network.resize(new_p)
+        del self.processors[new_p:]
+        self.p = new_p
+        self.obs.inc("elastic.retire")
+        self.network.record_fault(step, "retire", -1, -1, None, new_p)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 

@@ -264,4 +264,8 @@ def dump_active(directory, label: str = "trace") -> list[Path]:
         path = directory / f"obs-{label}-p{os.getpid()}-{i}.jsonl"
         write_jsonl(obs, path)
         paths.append(path)
+    if paths:
+        from .export import rotate_reports
+
+        rotate_reports(directory)
     return paths

@@ -16,6 +16,7 @@ greppable without loading a viewer.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from . import Observability
@@ -24,12 +25,55 @@ from .spans import SpanRecord
 __all__ = [
     "chrome_trace",
     "jsonl_records",
+    "rotate_reports",
     "span_stats",
     "summary",
     "write_chrome_trace",
     "write_jsonl",
     "write_summary",
 ]
+
+#: Per-PID dump filenames look like ``flight-A-p1234-18f3a.json`` or
+#: ``obs-A-p1234.jsonl``; the *kind* is everything before the ``-p<pid>``
+#: suffix (``flight-A``, ``obs-A``), so rotation keeps the newest dumps
+#: of each kind rather than the newest overall.
+_REPORT_KIND = re.compile(r"^(?P<kind>.+?)-p\d+")
+
+
+def rotate_reports(directory, keep: int = 16) -> list[Path]:
+    """Bound a report directory's growth: keep the newest ``keep`` dump
+    files *per kind* (flight recorder, obs trace, ... -- grouped by the
+    filename prefix before the per-PID suffix) and delete the rest,
+    oldest first by mtime.  Files that do not match the per-PID naming
+    scheme are never touched.  Returns the deleted paths.
+
+    Every dump site calls this after writing, so soak runs that fail
+    thousands of exchanges leave a bounded, freshest-first
+    ``fault-reports/`` instead of an unbounded one.
+    """
+    directory = Path(directory)
+    if keep < 1 or not directory.is_dir():
+        return []
+    groups: dict[str, list[tuple[float, Path]]] = {}
+    for path in directory.iterdir():
+        match = _REPORT_KIND.match(path.name)
+        if match is None or not path.is_file():
+            continue
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            continue  # raced a concurrent rotation
+        groups.setdefault(match.group("kind"), []).append((mtime, path))
+    deleted: list[Path] = []
+    for entries in groups.values():
+        entries.sort(key=lambda e: (e[0], e[1].name), reverse=True)
+        for _, path in entries[keep:]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            deleted.append(path)
+    return deleted
 
 #: Chrome tid for host-side (rank-less) records; ranks map to rank + 1.
 HOST_TID = 0

@@ -15,8 +15,11 @@ dimensions: the default ``(0, 1)`` is the elementwise statement;
 ``(1, 0)`` pairs LHS dimension 0 with RHS dimension 1 -- the
 **distributed transpose** ``A(i, j) = B(j, i)``.  Arrays may map their
 dimensions onto grid axes in any (distinct) order and use different
-block sizes and affine alignments; the grids must have equal total size
-(they share the machine's ranks).
+block sizes and affine alignments.  The two grids may even differ in
+total size -- each transfer's source rank is linearized through the
+RHS grid and its destination rank through the LHS grid, which is what
+lets :mod:`repro.runtime.elastic` schedule a live re-layout between a
+``p``-rank and a ``p'``-rank grid on a machine of ``max(p, p')`` ranks.
 """
 
 from __future__ import annotations
@@ -144,10 +147,6 @@ def compute_comm_schedule_2d(
     _check_rank2(b, "RHS")
     if sorted(rhs_dims) != [0, 1]:
         raise ValueError(f"rhs_dims must be a permutation of (0, 1), got {rhs_dims}")
-    if a.grid.size != b.grid.size:
-        raise ValueError(
-            f"grid sizes differ: {a.grid.size} vs {b.grid.size}"
-        )
     lengths_a = tuple(len(sec) for sec in secs_a)
     lengths_b = tuple(len(secs_b[rhs_dims[e]]) for e in (0, 1))
     if lengths_a != lengths_b:

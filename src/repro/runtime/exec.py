@@ -51,7 +51,10 @@ def as_index(slots) -> np.ndarray:
 
 
 def _check_vm(vm: VirtualMachine, array: DistributedArray) -> None:
-    if vm.p != array.grid.size:
+    # A machine may have *more* ranks than the array's grid (elastic
+    # membership runs migrations on a machine grown to max(p, p'); the
+    # extra ranks simply hold no shard), but never fewer.
+    if vm.p < array.grid.size:
         raise ValueError(
             f"machine has {vm.p} ranks but {array.name} is mapped onto "
             f"{array.grid.size}"
@@ -111,7 +114,7 @@ def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) 
             f"host image shape {values.shape} != array shape {array.shape}"
         )
     with vm.obs.span("distribute", array=array.name):
-        for rank in range(vm.p):
+        for rank in range(array.grid.size):
             shape = array.local_shape(rank)
             local = np.zeros(shape, dtype=values.dtype)
             dims = _dim_images(array, rank)
@@ -134,7 +137,7 @@ def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np
     _check_vm(vm, array)
     out = np.zeros(array.shape, dtype=dtype)
     with vm.obs.span("collect", array=array.name):
-        for rank in range(vm.p):
+        for rank in range(array.grid.size):
             if not _is_lowest_owner(array, rank):
                 continue
             dims = _dim_images(array, rank)
@@ -162,7 +165,7 @@ def distribute_reference(
         raise ValueError(
             f"host image shape {values.shape} != array shape {array.shape}"
         )
-    for rank in range(vm.p):
+    for rank in range(array.grid.size):
         local = np.zeros(array.local_size(rank), dtype=values.dtype)
         for idx in np.ndindex(*array.shape):
             if array.is_local(idx, rank):
@@ -212,7 +215,7 @@ def execute_fill(
     total = 0
     with vm.obs.span("execute_fill", array=array.name, shape=shape):
         if array.rank == 1:
-            for rank in range(vm.p):
+            for rank in range(array.grid.size):
                 plan = cached_array_plan(array, 0, sections[0], rank)
                 if plan.is_empty:
                     continue
@@ -226,7 +229,7 @@ def execute_fill(
         replicated = any(
             array.is_replicated_over_axis(axis) for axis in range(array.grid.rank)
         )
-        for rank in range(vm.p):
+        for rank in range(array.grid.size):
             memory = vm.processors[rank].memory(array.name)
             if replicated:
                 # Slow path: per-element ownership bookkeeping so each logical
@@ -273,9 +276,12 @@ def execute_copy(
     # stored.  All payloads -- remote sends AND local copies -- are
     # gathered (fancy indexing copies) before the first write, so
     # aliased self-copies like A(0:n-2) = A(1:n-1) stay correct.
+    # Ranks beyond an operand's grid (elastic machines run with
+    # vm.p >= grid.size) hold no shard of it and skip its phase.
     def pack_phase(ctx):
+        if ctx.rank >= b.grid.size:
+            return
         src_mem = ctx.memory(b.name)
-        dst_mem = ctx.memory(a.name)
         for tr in schedule.sends_from(ctx.rank):
             payload = src_mem[as_index(tr.src_slots)].copy()
             ctx.send(tr.dest, tag, payload)
@@ -284,10 +290,14 @@ def execute_copy(
             for tr in schedule.locals_
             if tr.source == ctx.rank
         ]
-        for tr, values in staged:
-            dst_mem[as_index(tr.dst_slots)] = values
+        if staged:
+            dst_mem = ctx.memory(a.name)
+            for tr, values in staged:
+                dst_mem[as_index(tr.dst_slots)] = values
 
     def unpack_phase(ctx):
+        if ctx.rank >= a.grid.size:
+            return
         dst_mem = ctx.memory(a.name)
         for tr in schedule.receives_at(ctx.rank):
             payload = ctx.recv(tr.source, tag)
@@ -342,7 +352,7 @@ def execute_combine(
             dim_a.layout.p, dim_a.layout.k, dim_a.extent,
             dim_a.axis_map.alignment, sec_a, rank,
         )[1]
-        for rank in range(vm.p)
+        for rank in range(a.grid.size)
     }
 
     def tag(t: int) -> tuple:
@@ -351,6 +361,8 @@ def execute_combine(
     def pack_phase(ctx):
         staged = []
         for t, ((coef, src, _), sched) in enumerate(zip(terms, schedules)):
+            if ctx.rank >= src.grid.size:
+                continue
             src_mem = ctx.memory(src.name)
             for tr in sched.sends_from(ctx.rank):
                 payload = src_mem[as_index(tr.src_slots)].copy()
@@ -359,6 +371,8 @@ def execute_combine(
                 if tr.source == ctx.rank:
                     values = src_mem[as_index(tr.src_slots)].copy()
                     staged.append((coef, tr.dst_slots, values))
+        if ctx.rank >= a.grid.size:
+            return
         dst_mem = ctx.memory(a.name)
         dst_mem[dst_slots_by_rank[ctx.rank]] = 0.0
         for coef, dst_slots, values in staged:
@@ -367,6 +381,8 @@ def execute_combine(
             )
 
     def unpack_phase(ctx):
+        if ctx.rank >= a.grid.size:
+            return
         dst_mem = ctx.memory(a.name)
         for t, ((coef, _, _), sched) in enumerate(zip(terms, schedules)):
             for tr in sched.receives_at(ctx.rank):
@@ -409,8 +425,9 @@ def execute_copy_2d(
     # Read-before-write staging, as in execute_copy (a rank may carry
     # several local transfers in 2-D, so all are gathered first).
     def pack_phase(ctx):
+        if ctx.rank >= b.grid.size:
+            return
         src_mem = ctx.memory(b.name)
-        dst_mem = ctx.memory(a.name)
         for tr in schedule.sends_from(ctx.rank):
             payload = src_mem[as_index(tr.src_slots)].copy()
             ctx.send(tr.dest, tag, payload)
@@ -419,10 +436,14 @@ def execute_copy_2d(
             for tr in schedule.locals_
             if tr.source == ctx.rank
         ]
-        for tr, values in staged:
-            dst_mem[as_index(tr.dst_slots)] = values
+        if staged:
+            dst_mem = ctx.memory(a.name)
+            for tr, values in staged:
+                dst_mem[as_index(tr.dst_slots)] = values
 
     def unpack_phase(ctx):
+        if ctx.rank >= a.grid.size:
+            return
         dst_mem = ctx.memory(a.name)
         for tr in schedule.receives_at(ctx.rank):
             payload = ctx.recv(tr.source, tag)

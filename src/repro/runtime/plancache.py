@@ -48,6 +48,7 @@ __all__ = [
     "cached_comm_schedule_2d",
     "cache_stats",
     "clear_plan_caches",
+    "invalidate_for_p",
 ]
 
 T = TypeVar("T")
@@ -72,13 +73,19 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self._data: OrderedDict = OrderedDict()
+        # Per-entry rank-count tags: key -> frozenset of the p values the
+        # cached plan was computed for.  ``invalidate_for(p)`` drops every
+        # entry tagged with a retired p so a later membership epoch can
+        # never be served a stale-p plan (see ``invalidate_for_p``).
+        self._ps: dict = {}
         self._lock = Lock()
 
     def __len__(self) -> int:
         return len(self._data)
 
-    def get_or_compute(self, key, compute: Callable[[], T]) -> T:
+    def get_or_compute(self, key, compute: Callable[[], T], ps=()) -> T:
         if os.getpid() != _owner_pid:
             _reset_inherited_state()
         obs = ambient()
@@ -95,18 +102,42 @@ class PlanCache:
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
+            if ps:
+                self._ps[key] = frozenset(ps)
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                evicted, _ = self._data.popitem(last=False)
+                self._ps.pop(evicted, None)
                 self.evictions += 1
                 obs.inc(f"plancache.{self.name}.evictions")
         return value
 
+    def invalidate_for(self, p: int) -> int:
+        """Drop every entry whose plan was computed for rank count ``p``
+        (by tag when present, falling back to a leading-``p`` key
+        component).  Returns the number of entries dropped."""
+        dropped = 0
+        with self._lock:
+            for key in list(self._data):
+                tags = self._ps.get(key)
+                if tags is None:
+                    tags = _ps_from_key(key)
+                if p in tags:
+                    del self._data[key]
+                    self._ps.pop(key, None)
+                    dropped += 1
+            self.invalidations += dropped
+        if dropped:
+            ambient().inc(f"plancache.{self.name}.invalidations", dropped)
+        return dropped
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._ps.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.invalidations = 0
 
     def stats(self) -> dict:
         return {
@@ -115,7 +146,21 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
+
+
+def _ps_from_key(key) -> frozenset:
+    """Fallback rank-count tags for untagged entries: every int in the
+    key's leading component (all cached_* keys lead with their p
+    values; see the key layouts below)."""
+    if isinstance(key, tuple) and key:
+        head = key[0]
+        if isinstance(head, int):
+            return frozenset((head,))
+        if isinstance(head, tuple) and all(isinstance(x, int) for x in head):
+            return frozenset(head)
+    return frozenset()
 
 
 _localized_cache = PlanCache("localized_arrays", maxsize=4096)
@@ -152,9 +197,11 @@ def _reset_inherited_state() -> None:
     for cache in _CACHES:
         cache._lock = Lock()
         cache._data = OrderedDict()
+        cache._ps = {}
         cache.hits = 0
         cache.misses = 0
         cache.evictions = 0
+        cache.invalidations = 0
 
 
 if hasattr(os, "register_at_fork"):
@@ -169,7 +216,9 @@ def cached_localized_arrays(p, k, extent, alignment, section, rank):
     """
     key = (p, k, extent, alignment, section, rank)
     return _localized_cache.get_or_compute(
-        key, lambda: localized_arrays(p, k, extent, alignment, section, rank)
+        key,
+        lambda: localized_arrays(p, k, extent, alignment, section, rank),
+        ps=(p,),
     )
 
 
@@ -177,12 +226,16 @@ def cached_array_plan(
     array: DistributedArray, dim: int, section: RegularSection, rank: int
 ):
     """Memoized :func:`repro.runtime.address.make_array_plan`, keyed on
-    the array's layout descriptor (not its identity/name)."""
+    ``(p, layout descriptor)`` -- not the array's identity/name.  The
+    explicit leading rank count makes membership epochs first-class in
+    the key space: :func:`invalidate_for_p` can drop a retired epoch's
+    plans without parsing descriptors."""
     from .address import make_array_plan
 
-    key = (array.descriptor(), dim, section, rank)
+    p = array.grid.size
+    key = (p, array.descriptor(), dim, section, rank)
     return _plan_cache.get_or_compute(
-        key, lambda: make_array_plan(array, dim, section, rank)
+        key, lambda: make_array_plan(array, dim, section, rank), ps=(p,)
     )
 
 
@@ -194,16 +247,19 @@ def cached_comm_schedule(
 ):
     """Memoized :func:`repro.runtime.commsets.compute_comm_schedule`.
 
-    Keyed on both arrays' layout descriptors plus the section bounds --
-    two statements over identically mapped arrays share one schedule
-    object regardless of array names.  Callers must treat the schedule
-    as immutable (every executor already does).
+    Keyed on ``((p_a, p_b), layout descriptors, section bounds)`` -- two
+    statements over identically mapped arrays share one schedule object
+    regardless of array names, and both sides' rank counts are explicit
+    so a membership change can invalidate exactly the schedules that
+    mention a retired p (cross-p migration schedules included).  Callers
+    must treat the schedule as immutable (every executor already does).
     """
     from .commsets import compute_comm_schedule
 
-    key = (a.descriptor(), sec_a, b.descriptor(), sec_b)
+    ps = (a.grid.size, b.grid.size)
+    key = (ps, a.descriptor(), sec_a, b.descriptor(), sec_b)
     return _schedule_cache.get_or_compute(
-        key, lambda: compute_comm_schedule(a, sec_a, b, sec_b)
+        key, lambda: compute_comm_schedule(a, sec_a, b, sec_b), ps=ps
     )
 
 
@@ -215,19 +271,35 @@ def cached_comm_schedule_2d(
     rhs_dims: tuple[int, int] = (0, 1),
 ):
     """Memoized :func:`repro.runtime.commsets2d.compute_comm_schedule_2d`
-    (tensor-product 2-D schedules, including the transpose pairing)."""
+    (tensor-product 2-D schedules, including the transpose pairing);
+    keyed with both sides' rank counts explicit, as in
+    :func:`cached_comm_schedule`."""
     from .commsets2d import compute_comm_schedule_2d
 
-    key = (a.descriptor(), tuple(secs_a), b.descriptor(), tuple(secs_b), rhs_dims)
+    ps = (a.grid.size, b.grid.size)
+    key = (ps, a.descriptor(), tuple(secs_a), b.descriptor(), tuple(secs_b), rhs_dims)
     return _schedule2d_cache.get_or_compute(
         key,
         lambda: compute_comm_schedule_2d(a, tuple(secs_a), b, tuple(secs_b), rhs_dims),
+        ps=ps,
     )
 
 
 def cache_stats() -> dict:
     """Per-cache ``{entries, maxsize, hits, misses}`` counters."""
     return {cache.name: cache.stats() for cache in _CACHES}
+
+
+def invalidate_for_p(p: int) -> int:
+    """Drop every cached plan/schedule computed for rank count ``p``
+    across all caches; returns the total entries dropped.
+
+    The elastic runtime (:mod:`repro.runtime.elastic`) calls this when a
+    membership epoch retires so a later epoch that happens to reuse the
+    same rank count starts from freshly keyed plans -- a retired epoch
+    can never serve a stale plan because the keys carry p explicitly.
+    """
+    return sum(cache.invalidate_for(p) for cache in _CACHES)
 
 
 def clear_plan_caches() -> None:

@@ -339,11 +339,12 @@ def execute_copy_resilient(
             except OSError:  # pragma: no cover - dump dir unwritable
                 pass
         if vm.obs.enabled:
-            from ..obs.export import write_jsonl
+            from ..obs.export import rotate_reports, write_jsonl
 
             try:
                 path = Path(flight_dir) / f"obs-{a.name}-p{os.getpid()}.jsonl"
                 exc.report.trace_dump = str(write_jsonl(vm.obs, path))
+                rotate_reports(flight_dir)
             except OSError:  # pragma: no cover - dump dir unwritable
                 pass
         raise
@@ -459,9 +460,29 @@ def _execute_copy_resilient(
         entry = checkpoints.latest_for(rank) if checkpoints is not None else None
         if entry is None:
             report.unrecoverable = (rank, crash_step)
+            # Name the retention window so degraded-mode membership
+            # decisions (runtime/elastic.py) are diagnosable from the
+            # exception alone: the covering checkpoint either never
+            # existed or was evicted by the retention policy.
+            window = (
+                checkpoints.describe_window()
+                if checkpoints is not None
+                else "checkpointing disabled"
+            )
+            covered = (
+                checkpoints.covering(crash_step)
+                if checkpoints is not None and crash_step >= 0
+                else None
+            )
+            why = (
+                "the covering checkpoint was evicted by retention"
+                if covered is None
+                else f"the checkpoint at superstep {covered.superstep} omits the rank"
+            )
             raise ExchangeFailure(
                 f"rank {rank} crashed at superstep {crash_step} and no "
-                "retained checkpoint covers it -- exchange unrecoverable",
+                f"retained checkpoint covers it ({why}; {window}) -- "
+                "exchange unrecoverable",
                 report,
             )
         ckpt, _ = entry
@@ -713,8 +734,11 @@ def _execute_copy_resilient(
         take_checkpoint()
 
     def pack_phase(ctx):
+        # Ranks beyond the RHS grid (elastic machines run with
+        # vm.p >= grid.size) hold no source shard: nothing to pack.
+        if ctx.rank >= b.grid.size:
+            return
         src_mem = ctx.memory(b.name)
-        dst_mem = ctx.memory(a.name)
         for tid, tr in enumerate(transfers):
             if tr.source != ctx.rank:
                 continue
@@ -727,10 +751,12 @@ def _execute_copy_resilient(
             if tr.source == ctx.rank
         ]
         staged_locals[ctx.rank] = staged
-        for tr, values in staged:
-            dst_mem[as_index(tr.dst_slots)] = values
-            if auditor is not None:
-                auditor.note_write(ctx.rank, a.name, tr.dst_slots)
+        if staged:
+            dst_mem = ctx.memory(a.name)
+            for tr, values in staged:
+                dst_mem[as_index(tr.dst_slots)] = values
+                if auditor is not None:
+                    auditor.note_write(ctx.rank, a.name, tr.dst_slots)
 
     with obs.span("pack_phase", array=a.name, transfers=len(transfers)):
         vm.run(pack_phase)
@@ -963,7 +989,7 @@ def _execute_copy_resilient(
 
     failures = []
     with obs.span("verify_destinations", array=a.name):
-        for rank in range(vm.p):
+        for rank in range(a.grid.size):
             dst_mem = vm.processors[rank].memory(a.name)
             checks = [
                 (tid, expected[rank][tid], outbox[expected[rank][tid].source][tid].payload)

@@ -1,0 +1,144 @@
+"""Elastic membership on the real-process backend.
+
+Growing spawns real worker processes mid-program; shrinking drains,
+fences, and reaps them (no orphans, no leaked shared memory); and a
+``SIGKILL`` landing mid-migration is absorbed -- either by the resilient
+exchange's checkpoint recovery or by a full epoch rollback and retry --
+with the committed result bit-identical to a static-``p'`` run.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distribution.align import Alignment
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.machine.faults import FaultPlan
+from repro.machine.mp import MpConfig, MpMachine
+from repro.machine.vm import VirtualMachine
+from repro.runtime.elastic import ElasticPolicy, relayout
+from repro.runtime.exec import collect, distribute
+
+CFG = MpConfig(mark_timeout=1.5, barrier_grace=1.5, suspect_after=1.0)
+
+
+def make_1d(name, n, p, k):
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(
+        name, (n,), grid, (AxisMap(CyclicK(k), Alignment(1, 0), grid_axis=0),)
+    )
+
+
+def static_image(n, p, k, host):
+    vm = VirtualMachine(p)
+    arr = make_1d("R", n, p, k)
+    distribute(vm, arr, host)
+    return collect(vm, arr)
+
+
+def alive(pid):
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+
+
+class TestMpMembership:
+    def test_grow_spawns_real_workers(self):
+        with MpMachine(2, config=CFG) as vm:
+            pids_before = {r: vm.supervisor.pid(r) for r in range(2)}
+            vm.grow_to(4)
+            assert vm.p == 4
+            new_pids = {r: vm.supervisor.pid(r) for r in range(4)}
+            assert all(pid is not None and alive(pid) for pid in new_pids.values())
+            assert new_pids[0] == pids_before[0]  # old ranks untouched
+            # The grown machine exchanges across old/new rank boundary.
+            vm.run(lambda ctx: ctx.send((ctx.rank + 1) % 4, "t", ctx.rank))
+            got = vm.run(lambda ctx: ctx.recv((ctx.rank - 1) % 4, "t"))
+            assert got == [3, 0, 1, 2]
+
+    def test_retire_reaps_workers_without_orphans(self):
+        with MpMachine(4, config=CFG) as vm:
+            retired_pids = [vm.supervisor.pid(r) for r in (2, 3)]
+            vm.retire_to(2)
+            assert vm.p == 2
+            for pid in retired_pids:
+                assert pid is not None and not alive(pid)
+            assert 2 not in vm.supervisor.procs and 3 not in vm.supervisor.procs
+            # Survivors keep exchanging at the shrunk world size.
+            vm.run(lambda ctx: ctx.send(1 - ctx.rank, "t", ctx.rank * 5))
+            got = vm.run(lambda ctx: ctx.recv(1 - ctx.rank, "t"))
+            assert got == [5, 0]
+
+    def test_retired_rank_messages_are_dropped_by_resize(self):
+        with MpMachine(3, config=CFG) as vm:
+            # Deliver a message from rank 2, then retire it before the
+            # receiver drains: the resize op discards the orphan.
+            vm.run(lambda ctx: ctx.send(0, "t", 99) if ctx.rank == 2 else None)
+            vm.run(lambda ctx: None)  # barrier delivers
+            vm.retire_to(2)
+            drained = vm.drain(0, "t")
+            assert drained == []
+
+
+class TestMpRelayout:
+    def test_grow_bit_identical(self):
+        n = 60
+        host = np.arange(n, dtype=float)
+        with MpMachine(3, config=CFG) as vm:
+            a = make_1d("A", n, 3, 4)
+            distribute(vm, a, host)
+            a2, report = relayout(vm, a, CyclicK(7), new_p=5)
+            assert vm.p == 5 and report.committed
+            assert np.array_equal(collect(vm, a2), host)
+            assert np.array_equal(collect(vm, a2), static_image(n, 5, 7, host))
+
+    def test_shrink_bit_identical(self):
+        n = 60
+        host = np.linspace(0.0, 2.0, n)
+        with MpMachine(5, config=CFG) as vm:
+            a = make_1d("A", n, 5, 3)
+            distribute(vm, a, host)
+            a2, report = relayout(vm, a, CyclicK(4), new_p=2)
+            assert vm.p == 2 and report.committed
+            assert np.array_equal(collect(vm, a2), static_image(n, 2, 4, host))
+
+    def test_sigkill_mid_migration_recovers_bit_identical(self):
+        """A real SIGKILL lands on a worker during the migration
+        exchange; the epoch machinery must still commit the exact
+        static-p' image (checkpoint recovery or rollback + retry)."""
+        n = 48
+        host = np.arange(n, dtype=float) * 0.5
+        plan = FaultPlan(forced_crashes=frozenset({(2, 1)}), crash_downtime=1)
+        with MpMachine(3, fault_plan=plan, config=CFG) as vm:
+            a = make_1d("A", n, 3, 2)
+            distribute(vm, a, host)
+            incarnation_before = vm.processors[1].incarnation
+            a2, report = relayout(
+                vm, a, CyclicK(3), new_p=4,
+                policy=ElasticPolicy(max_attempts=3, revive_wait=8),
+            )
+            assert report.committed
+            # The kill really happened: rank 1 runs a later incarnation.
+            assert vm.processors[1].incarnation > incarnation_before
+            assert np.array_equal(collect(vm, a2), static_image(n, 4, 3, host))
+
+    def test_small_random_sweep(self):
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            n = int(rng.integers(20, 64))
+            old_p = int(rng.integers(2, 5))
+            new_p = int(rng.integers(2, 5))
+            new_k = int(rng.integers(1, 6))
+            host = rng.standard_normal(n)
+            with MpMachine(old_p, config=CFG) as vm:
+                a = make_1d("A", n, old_p, 3)
+                distribute(vm, a, host)
+                a2, report = relayout(vm, a, CyclicK(new_k), new_p=new_p)
+                assert report.committed and vm.p == new_p
+                assert np.array_equal(
+                    collect(vm, a2), static_image(n, new_p, new_k, host)
+                )

@@ -141,3 +141,69 @@ def _covers(path, obs: Observability) -> bool:
     return len(spans) == len(obs.trace) and any(
         r["type"] == "metrics" for r in records
     )
+
+
+class TestRotateReports:
+    """Rotation bounds fault-reports/ growth: newest N per dump kind."""
+
+    def _mk(self, directory, name, age):
+        path = directory / name
+        path.write_text("{}")
+        stamp = 1_700_000_000 + age
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_keeps_newest_per_kind(self, tmp_path):
+        from repro.obs.export import rotate_reports
+
+        old = [self._mk(tmp_path, f"flight-A-p10{i}-aa.json", i) for i in range(5)]
+        obs_dumps = [self._mk(tmp_path, f"obs-A-p20{i}.jsonl", i) for i in range(5)]
+        deleted = rotate_reports(tmp_path, keep=2)
+        assert sorted(p.name for p in deleted) == sorted(
+            p.name for p in old[:3] + obs_dumps[:3]
+        )
+        # Newest two of each kind survive.
+        assert all(p.exists() for p in old[3:] + obs_dumps[3:])
+
+    def test_kinds_rotate_independently(self, tmp_path):
+        from repro.obs.export import rotate_reports
+
+        for i in range(3):
+            self._mk(tmp_path, f"flight-A-p1-{i}.json", i)
+        self._mk(tmp_path, "flight-B-p1-x.json", 0)
+        rotate_reports(tmp_path, keep=2)
+        # flight-B has only one file: untouched even though flight-A
+        # overflowed.
+        assert (tmp_path / "flight-B-p1-x.json").exists()
+        assert len(list(tmp_path.glob("flight-A-*"))) == 2
+
+    def test_non_dump_files_never_touched(self, tmp_path):
+        from repro.obs.export import rotate_reports
+
+        keepsake = tmp_path / "junit.xml"
+        keepsake.write_text("<xml/>")
+        for i in range(40):
+            self._mk(tmp_path, f"obs-t-p{i}.jsonl", i)
+        rotate_reports(tmp_path, keep=4)
+        assert keepsake.exists()
+        assert len(list(tmp_path.glob("obs-t-*"))) == 4
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        from repro.obs.export import rotate_reports
+
+        assert rotate_reports(tmp_path / "nope") == []
+
+    def test_dump_sites_rotate(self, tmp_path):
+        # FlightRecorder.dump and dump_active both invoke rotation, so a
+        # soak loop's report directory stays bounded without any sweeper.
+        from repro.machine.trace import FlightRecorder
+        from repro.machine.vm import VirtualMachine
+
+        vm = VirtualMachine(2)
+        recorder = FlightRecorder(capacity=8)
+        recorder.attach(vm)
+        vm.run(lambda ctx: None)
+        for i in range(25):
+            recorder.dump(tmp_path, label="soak")
+        assert len(list(tmp_path.glob("flight-soak-*"))) <= 16
+        recorder.detach()

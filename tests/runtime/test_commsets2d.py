@@ -61,12 +61,21 @@ class TestValidation:
                 m, (RegularSection(0, 6, 1), RegularSection(0, 7, 1)),
             )
 
-    def test_grid_size_mismatch(self):
+    def test_cross_p_grids(self):
+        """Grids of different total size are allowed (elastic re-layout
+        migrates between rank counts): executed at p = max(sizes), the
+        cross-p copy is exact."""
         a = make_2d("A", (8, 8), (2, 2), 2, 2)
         b = make_2d("B", (8, 8), (3, 2), 2, 2)
         sec = (RegularSection(0, 7, 1), RegularSection(0, 7, 1))
-        with pytest.raises(ValueError, match="grid sizes"):
-            compute_comm_schedule_2d(a, sec, b, sec)
+        sched = compute_comm_schedule_2d(a, sec, b, sec)
+        assert sched.total_elements == 64
+        vm = VirtualMachine(6)
+        host_b = np.arange(64, dtype=float).reshape(8, 8)
+        distribute(vm, a, np.zeros((8, 8)))
+        distribute(vm, b, host_b)
+        execute_copy_2d(vm, a, sec, b, sec, schedule=sched)
+        assert np.array_equal(collect(vm, a), host_b)
 
     def test_different_grid_shapes_same_size(self):
         """A 2x2-mapped array may copy from a 4x1-mapped one: the grids

@@ -176,7 +176,10 @@ class TestReporting:
             "comm_schedules_2d",
         ):
             entry = report["plan_caches"][name]
-            assert set(entry) == {"entries", "maxsize", "hits", "misses", "evictions"}
+            assert set(entry) == {
+                "entries", "maxsize", "hits", "misses", "evictions",
+                "invalidations",
+            }
 
     def test_clear_resets_all(self):
         a = make_1d("A", 30, 3, 2)
