@@ -1,0 +1,317 @@
+#!/usr/bin/env python
+"""Benchmark the planning service and write BENCH_service.json.
+
+Boots a real :class:`repro.service.PlanServer` on a unix socket (the
+asyncio loop on its own thread) and drives it with concurrent
+:class:`repro.service.PlanClient` workers over a seeded workload with
+realistic key reuse.  Four groups:
+
+* ``latency`` -- p50/p99 request latency, throughput, and cache hit
+  rate over 12,000+ requests against the default 8-shard result cache;
+* ``shards``  -- the same workload against 1/4/8 result-cache shards
+  (the lock-contention ablation for the sharded plan cache);
+* ``chaos``   -- the workload under seeded fault injection (compute
+  stalls, failures, worker deaths) with tight deadlines: the robustness
+  column -- sheds, deadline hits, breaker trips, degraded serves, and
+  the no-crash/no-hang guarantee;
+* ``snapshot`` -- stop/boot cycle: entries persisted, warm-start count,
+  and that a warm boot serves without recomputing.
+
+Every served plan in the verification sample is compared bit-identically
+(canonical JSON bytes) against direct in-process computation; the script
+**exits nonzero on any mismatch or protocol violation**, so CI runs it
+with ``--quick`` as a correctness smoke test.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full size
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.service import PlanClient, PlanServer, ServiceChaos, ServiceConfig
+from repro.service.protocol import RETRYABLE_CODES, ServiceError
+from repro.service.queries import evaluate
+
+KNOWN_CODES = RETRYABLE_CODES | {"BAD_REQUEST", "INTERNAL"}
+
+
+def canonical(obj) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+class ServerThread:
+    """A PlanServer running its asyncio loop on a dedicated thread."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.server: PlanServer | None = None
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.server = PlanServer(config)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not started.wait(timeout=10.0):
+            raise SystemExit("server failed to start within 10s")
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(30.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+
+
+def build_pool(rng: random.Random, distinct: int) -> list[tuple[str, dict]]:
+    """A pool of distinct queries; the workload samples it with reuse."""
+    pool: list[tuple[str, dict]] = []
+    while len(pool) < distinct:
+        kind = rng.random()
+        if kind < 0.7:
+            p = rng.choice([2, 4, 8])
+            pool.append(("plan", {
+                "p": p, "k": rng.choice([4, 8, 16, 64]),
+                "l": rng.randrange(0, 8), "s": rng.randrange(1, 40),
+                "m": rng.randrange(0, p),
+            }))
+        elif kind < 0.9:
+            p = rng.choice([2, 4])
+            pool.append(("localize", {
+                "p": p, "k": rng.choice([4, 8]), "extent": 256,
+                "align_a": rng.choice([1, 2, -1]), "align_b": rng.randrange(0, 4),
+                "lower": 0, "upper": 255, "stride": rng.randrange(1, 9),
+                "rank": rng.randrange(0, p),
+            }))
+        else:
+            n = 128
+            stride = rng.choice([1, 2, 4])
+            upper = n - 1 - (n - 1) % stride
+            side = lambda: {"k": rng.choice([4, 8]), "align_a": 1, "align_b": 0,
+                            "lower": 0, "upper": upper, "stride": stride}
+            pool.append(("schedule", {"n": n, "p": 4, "lhs": side(), "rhs": side()}))
+    return pool
+
+
+def drive(
+    address: str,
+    pool: list,
+    total_requests: int,
+    workers: int,
+    seed: int,
+    deadline_ms: int,
+) -> dict:
+    """Hammer the server from ``workers`` client threads; returns
+    latency percentiles and outcome counts.  Protocol violations (an
+    unknown error code, a crash, a response past deadline+slack) are
+    collected and fail the benchmark."""
+    per_worker = total_requests // workers
+    latencies_ns: list[list[int]] = [[] for _ in range(workers)]
+    outcomes: list[dict] = [
+        {"ok": 0, "degraded": 0, "errors": {}, "violations": []}
+        for _ in range(workers)
+    ]
+
+    def work(w: int) -> None:
+        rng = random.Random((seed << 8) ^ w)
+        out = outcomes[w]
+        with PlanClient(address, default_deadline_ms=deadline_ms,
+                        max_retries=0) as client:
+            for _ in range(per_worker):
+                op, params = rng.choice(pool)
+                t0 = time.perf_counter_ns()
+                try:
+                    resp = client.call(op, params)
+                except ServiceError as exc:
+                    if exc.code not in KNOWN_CODES:
+                        out["violations"].append(f"unknown code {exc.code}")
+                    out["errors"][exc.code] = out["errors"].get(exc.code, 0) + 1
+                except Exception as exc:  # noqa: BLE001 - a violation
+                    out["violations"].append(f"{type(exc).__name__}: {exc}")
+                    return
+                else:
+                    out["ok"] += 1
+                    if resp["degraded"]:
+                        out["degraded"] += 1
+                latencies_ns[w].append(time.perf_counter_ns() - t0)
+
+    threads = [threading.Thread(target=work, args=(w,)) for w in range(workers)]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t_start
+
+    lat = sorted(x for bucket in latencies_ns for x in bucket)
+    errors: dict = {}
+    for out in outcomes:
+        for code, n in out["errors"].items():
+            errors[code] = errors.get(code, 0) + n
+    violations = [v for out in outcomes for v in out["violations"]]
+
+    def pct(q: float) -> float:
+        return lat[min(len(lat) - 1, int(q * len(lat)))] / 1e6 if lat else 0.0
+
+    return {
+        "requests": len(lat),
+        "ok": sum(o["ok"] for o in outcomes),
+        "degraded": sum(o["degraded"] for o in outcomes),
+        "errors": errors,
+        "violations": violations,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(len(lat) / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(pct(0.50), 3),
+        "p99_ms": round(pct(0.99), 3),
+        "max_ms": round(lat[-1] / 1e6, 3) if lat else 0.0,
+    }
+
+
+def verify_sample(address: str, pool: list, sample: int, rng: random.Random) -> int:
+    """Served results must be bit-identical to direct computation --
+    including any served degraded.  Returns the number verified."""
+    checked = 0
+    with PlanClient(address, default_deadline_ms=10000, max_retries=3) as client:
+        for op, params in rng.sample(pool, min(sample, len(pool))):
+            resp = client.call(op, params)
+            if canonical(resp["result"]) != canonical(evaluate(op, params)):
+                raise SystemExit(
+                    f"MISMATCH: served {op} plan differs from direct "
+                    f"computation for {params}"
+                )
+            checked += 1
+    return checked
+
+
+def hit_rate(server: PlanServer) -> float:
+    c = server.counters
+    served = c.cache_hits + c.computed
+    return round(c.cache_hits / served, 4) if served else 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke testing")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    requests_main = 1_000 if args.quick else 12_000
+    requests_sweep = 500 if args.quick else 3_000
+    workers = 4
+    distinct = 100 if args.quick else 300
+    rng = random.Random(args.seed)
+    pool = build_pool(rng, distinct)
+    rows = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = f"{tmp}/bench.sock"
+        snap = f"{tmp}/bench.snap"
+
+        print(f"== latency: {requests_main} requests, {workers} workers, "
+              f"{distinct} distinct queries ==")
+        cfg = ServiceConfig(unix_path=sock, snapshot_path=snap,
+                            snapshot_interval_s=600.0, max_inflight=64)
+        st = ServerThread(cfg)
+        row = drive(sock, pool, requests_main, workers, args.seed, 5000)
+        row |= {"benchmark": "latency", "variant": "shards-8",
+                "hit_rate": hit_rate(st.server),
+                "verified": verify_sample(sock, pool, 50, rng)}
+        rows.append(row)
+        print(f"  p50 {row['p50_ms']:.2f} ms  p99 {row['p99_ms']:.2f} ms  "
+              f"{row['throughput_rps']:.0f} req/s  hit-rate {row['hit_rate']:.1%}  "
+              f"verified {row['verified']} bit-identical")
+        persisted = len(st.server._cache.hot_entries(cfg.snapshot_limit))
+        st.stop()
+
+        print("== snapshot: warm-start cycle ==")
+        st = ServerThread(cfg)
+        warm = st.server.warm_started_entries
+        warm_row = drive(sock, pool, requests_sweep, workers, args.seed + 1, 5000)
+        rows.append(warm_row | {
+            "benchmark": "snapshot", "variant": "warm-boot",
+            "persisted_entries": persisted, "warm_started_entries": warm,
+            "hit_rate": hit_rate(st.server),
+        })
+        print(f"  persisted {persisted}, warm-started {warm}, "
+              f"hit-rate {rows[-1]['hit_rate']:.1%} (cold compute skipped)")
+        st.stop()
+
+        for shards in (1, 4, 8):
+            sock_s = f"{tmp}/bench-{shards}.sock"
+            st = ServerThread(ServiceConfig(unix_path=sock_s, cache_shards=shards,
+                                            max_inflight=64))
+            row = drive(sock_s, pool, requests_sweep, workers, args.seed + 2, 5000)
+            row |= {"benchmark": "shards", "variant": f"shards-{shards}",
+                    "hit_rate": hit_rate(st.server)}
+            rows.append(row)
+            print(f"  shards={shards}: p50 {row['p50_ms']:.2f} ms  "
+                  f"p99 {row['p99_ms']:.2f} ms  {row['throughput_rps']:.0f} req/s")
+            st.stop()
+
+        print("== chaos: stalls + failures + kills under tight deadlines ==")
+        chaos = ServiceChaos(seed=args.seed, stall_rate=0.02, fail_rate=0.05,
+                             kill_rate=0.02, stall_s=0.4)
+        sock_c = f"{tmp}/bench-chaos.sock"
+        st = ServerThread(ServiceConfig(
+            unix_path=sock_c, chaos=chaos, max_inflight=16,
+            breaker_threshold=5, breaker_reset_s=0.25, cache_shards=8,
+        ))
+        row = drive(sock_c, pool, requests_sweep, workers, args.seed + 3, 250)
+        server = st.server
+        row |= {
+            "benchmark": "chaos", "variant": "stall2-fail5-kill2",
+            "hit_rate": hit_rate(server),
+            "injected": dict(chaos.injected),
+            "breaker_trips": sum(b.trips for b in server._breakers),
+            "degraded_stale": server.counters.degraded_stale,
+            "degraded_reference": server.counters.degraded_reference,
+            "shed_overload": server.counters.shed_overload,
+            "deadline_exceeded": server.counters.deadline_exceeded,
+            "verified": verify_sample(sock_c, pool, 25, rng),
+        }
+        rows.append(row)
+        st.stop()
+        print(f"  injected {row['injected']}  breaker trips {row['breaker_trips']}  "
+              f"degraded {row['degraded']}  deadline {row['deadline_exceeded']}  "
+              f"shed {row['shed_overload']}")
+        print(f"  p99 {row['p99_ms']:.2f} ms under chaos; every response ok or "
+              f"diagnostic; verified {row['verified']} bit-identical")
+
+    violations = [v for r in rows for v in r.get("violations", [])]
+    if violations:
+        for v in violations[:10]:
+            print(f"VIOLATION: {v}", file=sys.stderr)
+        raise SystemExit(f"{len(violations)} protocol violations")
+
+    report = {
+        "config": {"quick": args.quick, "seed": args.seed, "workers": workers,
+                   "distinct_queries": distinct,
+                   "requests_main": requests_main,
+                   "requests_sweep": requests_sweep},
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,11 @@ Commands map one-to-one onto the paper's evaluation artifacts::
     python -m repro claims     # Section 6.1 sensitivity claims
     python -m repro trace      # run instrumented programs, export traces
 
+Plus the long-running planning service (ROADMAP item 3)::
+
+    python -m repro serve        # the crash-safe planning server
+    python -m repro plan-client  # query a running server from the shell
+
 Remaining arguments are forwarded to the selected harness.
 """
 
@@ -29,6 +34,9 @@ COMMANDS = {
     "table2c": "repro.bench.table2_c",
     "table1c": "repro.bench.table1_c",
     "trace": "repro.obs.cli",
+    # "module:function" targets call that function instead of main().
+    "serve": "repro.service.cli:serve_main",
+    "plan-client": "repro.service.cli:client_main",
 }
 
 
@@ -62,9 +70,12 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     import importlib
 
-    module = importlib.import_module(COMMANDS[command])
-    module.main(rest)
-    return 0
+    target = COMMANDS[command]
+    module_name, _, func_name = target.partition(":")
+    module = importlib.import_module(module_name)
+    entry = getattr(module, func_name) if func_name else module.main
+    result = entry(rest)
+    return result if isinstance(result, int) else 0
 
 
 if __name__ == "__main__":

@@ -34,13 +34,19 @@ __all__ = [
     "FrameClosed",
     "FrameError",
     "FrameTimeout",
+    "HEADER_SIZE",
     "connect_framed",
+    "pack_frame",
+    "parse_header",
     "recv_frame",
     "send_frame",
+    "verify_payload",
 ]
 
 MAGIC = b"\xabM"
 _HEADER = struct.Struct("<2sII")
+#: Size of the fixed frame header (magic + length + crc32).
+HEADER_SIZE = _HEADER.size
 #: Refuse frames above this size -- a corrupted length prefix must not
 #: make a reader try to allocate gigabytes.
 MAX_FRAME = 1 << 30
@@ -58,16 +64,50 @@ class FrameTimeout(FrameError):
     """The deadline expired before a complete frame arrived."""
 
 
+# ---------------------------------------------------------------------------
+# Byte-level primitives (transport-agnostic)
+# ---------------------------------------------------------------------------
+#
+# The planning service (:mod:`repro.service`) reuses the exact same frame
+# format over asyncio streams with JSON payloads, so the header packing,
+# parsing, and CRC verification are exposed as pure byte functions; the
+# blocking socket helpers below and the service's async reader are both
+# thin shells over them.
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Wrap an already-encoded payload in one complete frame."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"payload length {len(payload)} exceeds cap {MAX_FRAME}")
+    return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def parse_header(header: bytes) -> tuple[int, int]:
+    """Validate a frame header and return ``(payload_length, crc32)``."""
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise FrameError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    return length, crc
+
+
+def verify_payload(payload: bytes, crc: int) -> bytes:
+    """Check the payload against its header CRC; returns the payload."""
+    if zlib.crc32(payload) != crc:
+        raise FrameError(f"frame CRC mismatch on {len(payload)}-byte payload")
+    return payload
+
+
 def send_frame(sock: socket.socket, obj: Any) -> int:
     """Pickle ``obj`` and write it as one frame; returns bytes written.
 
     ``sendall`` either completes or raises (``BrokenPipeError`` when the
     peer died); partial writes never leak onto the wire unnoticed.
     """
-    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    header = _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload))
-    sock.sendall(header + payload)
-    return len(header) + len(payload)
+    frame = pack_frame(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    sock.sendall(frame)
+    return len(frame)
 
 
 def _recv_exact(sock: socket.socket, n: int, deadline: Deadline, what: str) -> bytes:
@@ -93,16 +133,10 @@ def _recv_exact(sock: socket.socket, n: int, deadline: Deadline, what: str) -> b
 
 def recv_frame(sock: socket.socket, deadline: Deadline) -> Any:
     """Read one complete frame and return the unpickled object."""
-    header = _recv_exact(sock, _HEADER.size, deadline, "frame header")
-    magic, length, crc = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise FrameError(f"bad frame magic {magic!r}")
-    if length > MAX_FRAME:
-        raise FrameError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    header = _recv_exact(sock, HEADER_SIZE, deadline, "frame header")
+    length, crc = parse_header(header)
     payload = _recv_exact(sock, length, deadline, "frame payload")
-    if zlib.crc32(payload) != crc:
-        raise FrameError(f"frame CRC mismatch on {length}-byte payload")
-    return pickle.loads(payload)
+    return pickle.loads(verify_payload(payload, crc))
 
 
 def connect_framed(path: str, deadline: Deadline) -> socket.socket:

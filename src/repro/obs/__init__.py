@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import weakref
+from dataclasses import dataclass
 from pathlib import Path
 
 from .metrics import (
@@ -41,6 +42,7 @@ from .metrics import (
 from .spans import EventLog, EventRecord, SpanRecord, TraceBuffer, monotonic_ns
 
 __all__ = [
+    "HandleLimits",
     "Observability",
     "ambient",
     "set_ambient",
@@ -60,6 +62,29 @@ __all__ = [
 #: Live *enabled* handles, weakly held, so a test-failure hook can dump
 #: whatever was being traced when things went wrong (see dump_active).
 _LIVE: "weakref.WeakSet[Observability]" = weakref.WeakSet()
+
+
+@dataclass(frozen=True)
+class HandleLimits:
+    """Memory bounds for one :class:`Observability` handle.
+
+    Long-running processes (the planning service foremost) cannot let
+    trace state grow with uptime: spans and machine events live in rings
+    of these sizes, and :meth:`Observability.flush_jsonl` periodically
+    drains the rings to disk -- keeping at most ``flush_keep`` flush
+    files per label via :func:`repro.obs.export.rotate_reports` -- so
+    the steady-state footprint is ``O(max_spans + ranks *
+    event_capacity)`` regardless of how long the process runs.
+    """
+
+    max_spans: int = 65536
+    event_capacity: int = 256
+    flush_keep: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("max_spans", "event_capacity", "flush_keep"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
 
 
 class _NullSpan:
@@ -139,13 +164,20 @@ class Observability:
         max_spans: int = 65536,
         event_capacity: int = 256,
         clock=monotonic_ns,
+        handle_limits: HandleLimits | None = None,
     ) -> None:
+        if handle_limits is None:
+            handle_limits = HandleLimits(
+                max_spans=max_spans, event_capacity=event_capacity
+            )
         self.enabled = enabled
+        self.limits = handle_limits
         self.clock = clock
         self.metrics = MetricsRegistry(enabled)
-        self.trace = TraceBuffer(max_spans)
-        self.events = EventLog(event_capacity, enabled=enabled)
+        self.trace = TraceBuffer(handle_limits.max_spans)
+        self.events = EventLog(handle_limits.event_capacity, enabled=enabled)
         self._stack: list[_Span] = []
+        self._flush_n = 0
         if enabled:
             _LIVE.add(self)
 
@@ -223,6 +255,31 @@ class Observability:
         self.metrics.clear()
         self.trace.clear()
         self.events.clear()
+
+    def flush_jsonl(self, directory, label: str = "obs") -> Path | None:
+        """Drain the span/event rings to a JSON-lines file and clear
+        them (metrics are cumulative and stay).  The flush counter keeps
+        filenames unique within one process; old flushes are rotated
+        away past ``limits.flush_keep`` per label -- this is what keeps
+        a long-running server's trace memory *and* disk bounded.
+
+        Returns the written path, or ``None`` when disabled or when
+        there is nothing buffered to flush.
+        """
+        if not self.enabled:
+            return None
+        if len(self.trace) == 0 and self.events.count() == 0:
+            return None
+        from .export import rotate_reports, write_jsonl
+
+        directory = Path(directory)
+        self._flush_n += 1
+        path = directory / f"obs-{label}-p{os.getpid()}-f{self._flush_n:06d}.jsonl"
+        write_jsonl(self, path)
+        self.trace.clear()
+        self.events.clear()
+        rotate_reports(directory, keep=self.limits.flush_keep)
+        return path
 
 
 #: Process-wide fallback handle for layers with no machine in scope.

@@ -1,11 +1,11 @@
-"""Keyed LRU caches for access plans and communication schedules.
+"""Keyed, sharded caches for access plans and communication schedules.
 
 The paper's algorithm makes *constructing* an access sequence cheap
 (O(k) tables), but a runtime replays the same statements: every
 superstep of an iterative solver re-derives the same localized element
 vectors, the same per-dimension plans, and -- when section bounds are
 compile-time constants -- the same communication schedules.  All of
-these are pure functions of hashable layout descriptors, so this module
+these are pure functions of hashable layout descriptors, so this package
 memoizes them:
 
 * :func:`cached_localized_arrays` -- the ``(p, k, extent, alignment,
@@ -18,6 +18,14 @@ memoizes them:
   the section bounds (name-independent: transfers carry only ranks and
   slots, never array identities).
 
+The cache class itself is :class:`~repro.runtime.plancache.sharded.ShardedPlanCache`
+(per-shard locks, TTL+LFU admission, size bounds, single-flight
+coalescing of identical in-flight keys) -- promoted to a package so the
+long-running planning service (:mod:`repro.service`) can share it; see
+``sharded.py`` for the concurrency model.  The global caches here use a
+handful of shards each; :func:`configure_plan_caches` rebuilds them with
+different shard counts / TTLs for service and benchmark use.
+
 Cached values are shared across callers, so they must be treated as
 immutable -- the vectorized producers already mark their arrays
 read-only, and schedules are never mutated after construction (the lazy
@@ -25,150 +33,35 @@ per-rank send/receive indexes are idempotent).
 
 Hit/miss counters are kept per cache and surfaced through
 :func:`cache_stats`, which :func:`repro.machine.trace.machine_report`
-folds into every machine report.
+folds into every machine report; :func:`reset_cache_stats` zeroes every
+counter without dropping cached plans (windowed rates in week-long
+processes), and :func:`evict_expired` returns expired entries' memory.
 """
 
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
-from threading import Lock
-from typing import Callable, TypeVar
 
-from ..distribution.array import DistributedArray
-from ..distribution.localize import localized_arrays
-from ..distribution.section import RegularSection
-from ..obs import ambient
+from ...distribution.array import DistributedArray
+from ...distribution.localize import localized_arrays
+from ...distribution.section import RegularSection
+from .sharded import INT64_MAX, PlanCache, ShardedPlanCache, _ps_from_key
 
 __all__ = [
     "PlanCache",
+    "ShardedPlanCache",
+    "INT64_MAX",
     "cached_localized_arrays",
     "cached_array_plan",
     "cached_comm_schedule",
     "cached_comm_schedule_2d",
     "cache_stats",
     "clear_plan_caches",
+    "configure_plan_caches",
+    "evict_expired",
     "invalidate_for_p",
+    "reset_cache_stats",
 ]
-
-T = TypeVar("T")
-
-
-class PlanCache:
-    """A small thread-safe LRU mapping with hit/miss accounting.
-
-    Values are computed at most once per resident key; eviction is
-    least-recently-used beyond ``maxsize`` entries.  The lock is held
-    only around bookkeeping, never around ``compute`` -- concurrent
-    misses on the same key may compute twice (both results are
-    equivalent; last write wins), which keeps slow plan construction out
-    of the critical section.
-    """
-
-    def __init__(self, name: str, maxsize: int) -> None:
-        if maxsize <= 0:
-            raise ValueError(f"maxsize must be positive, got {maxsize}")
-        self.name = name
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self._data: OrderedDict = OrderedDict()
-        # Per-entry rank-count tags: key -> frozenset of the p values the
-        # cached plan was computed for.  ``invalidate_for(p)`` drops every
-        # entry tagged with a retired p so a later membership epoch can
-        # never be served a stale-p plan (see ``invalidate_for_p``).
-        self._ps: dict = {}
-        self._lock = Lock()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def get_or_compute(self, key, compute: Callable[[], T], ps=()) -> T:
-        if os.getpid() != _owner_pid:
-            _reset_inherited_state()
-        obs = ambient()
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                self.hits += 1
-                obs.inc(f"plancache.{self.name}.hits")
-                return self._data[key]
-            self.misses += 1
-        obs.inc(f"plancache.{self.name}.misses")
-        with obs.span("plan_compute", cache=self.name):
-            value = compute()
-        with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            if ps:
-                self._ps[key] = frozenset(ps)
-            while len(self._data) > self.maxsize:
-                evicted, _ = self._data.popitem(last=False)
-                self._ps.pop(evicted, None)
-                self.evictions += 1
-                obs.inc(f"plancache.{self.name}.evictions")
-        return value
-
-    def invalidate_for(self, p: int) -> int:
-        """Drop every entry whose plan was computed for rank count ``p``
-        (by tag when present, falling back to a leading-``p`` key
-        component).  Returns the number of entries dropped."""
-        dropped = 0
-        with self._lock:
-            for key in list(self._data):
-                tags = self._ps.get(key)
-                if tags is None:
-                    tags = _ps_from_key(key)
-                if p in tags:
-                    del self._data[key]
-                    self._ps.pop(key, None)
-                    dropped += 1
-            self.invalidations += dropped
-        if dropped:
-            ambient().inc(f"plancache.{self.name}.invalidations", dropped)
-        return dropped
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-            self._ps.clear()
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
-            self.invalidations = 0
-
-    def stats(self) -> dict:
-        return {
-            "entries": len(self._data),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
-
-
-def _ps_from_key(key) -> frozenset:
-    """Fallback rank-count tags for untagged entries: every int in the
-    key's leading component (all cached_* keys lead with their p
-    values; see the key layouts below)."""
-    if isinstance(key, tuple) and key:
-        head = key[0]
-        if isinstance(head, int):
-            return frozenset((head,))
-        if isinstance(head, tuple) and all(isinstance(x, int) for x in head):
-            return frozenset(head)
-    return frozenset()
-
-
-_localized_cache = PlanCache("localized_arrays", maxsize=4096)
-_plan_cache = PlanCache("array_plans", maxsize=4096)
-_schedule_cache = PlanCache("comm_schedules", maxsize=512)
-_schedule2d_cache = PlanCache("comm_schedules_2d", maxsize=256)
-
-_CACHES = (_localized_cache, _plan_cache, _schedule_cache, _schedule2d_cache)
 
 # ---------------------------------------------------------------------------
 # Fork/spawn hygiene
@@ -182,11 +75,17 @@ _CACHES = (_localized_cache, _plan_cache, _schedule_cache, _schedule2d_cache)
 #
 # * ``os.register_at_fork(after_in_child=...)`` -- the normal path: every
 #   fork re-arms fresh locks and empty caches in the child.
-# * a pid check in ``get_or_compute`` -- the backstop for processes created
-#   without running the fork hooks (exotic embedders, pre-registration
-#   forks).  Spawned children re-import this module and need neither.
+# * ``_pid_guard`` installed on every global cache -- the backstop for
+#   processes created without running the fork hooks (exotic embedders,
+#   pre-registration forks).  Spawned children re-import this package and
+#   need neither.
 
 _owner_pid = os.getpid()
+
+
+def _pid_guard() -> None:
+    if os.getpid() != _owner_pid:
+        _reset_inherited_state()
 
 
 def _reset_inherited_state() -> None:
@@ -195,17 +94,55 @@ def _reset_inherited_state() -> None:
     global _owner_pid
     _owner_pid = os.getpid()
     for cache in _CACHES:
-        cache._lock = Lock()
-        cache._data = OrderedDict()
-        cache._ps = {}
-        cache.hits = 0
-        cache.misses = 0
-        cache.evictions = 0
-        cache.invalidations = 0
+        cache._reset_for_new_process()
 
 
 if hasattr(os, "register_at_fork"):
     os.register_at_fork(after_in_child=_reset_inherited_state)
+
+
+#: Default shard counts: sized so a multi-threaded service sees little
+#: lock contention while single-threaded runtime use pays nothing.
+_DEFAULT_SHAPES = {
+    "localized_arrays": dict(maxsize=4096, shards=8),
+    "array_plans": dict(maxsize=4096, shards=8),
+    "comm_schedules": dict(maxsize=512, shards=4),
+    "comm_schedules_2d": dict(maxsize=256, shards=4),
+}
+
+
+def _build_caches(shards: int | None = None, ttl_s: float | None = None,
+                  maxsize: int | None = None) -> tuple:
+    return tuple(
+        ShardedPlanCache(
+            name,
+            maxsize if maxsize is not None else shape["maxsize"],
+            shards=shards if shards is not None else shape["shards"],
+            ttl_s=ttl_s,
+            guard=_pid_guard,
+        )
+        for name, shape in _DEFAULT_SHAPES.items()
+    )
+
+
+_CACHES = _build_caches()
+(_localized_cache, _plan_cache, _schedule_cache, _schedule2d_cache) = _CACHES
+
+
+def configure_plan_caches(
+    shards: int | None = None,
+    ttl_s: float | None = None,
+    maxsize: int | None = None,
+) -> None:
+    """Rebuild the global plan caches with new shard counts / TTL /
+    size bounds (dropping all current entries).  The planning server
+    calls this at boot from its ``--shards``/``--ttl-s`` knobs; the
+    service benchmark sweeps shard counts through it.  ``None`` keeps a
+    parameter at its default."""
+    global _CACHES, _localized_cache, _plan_cache, _schedule_cache
+    global _schedule2d_cache
+    _CACHES = _build_caches(shards=shards, ttl_s=ttl_s, maxsize=maxsize)
+    (_localized_cache, _plan_cache, _schedule_cache, _schedule2d_cache) = _CACHES
 
 
 def cached_localized_arrays(p, k, extent, alignment, section, rank):
@@ -230,7 +167,7 @@ def cached_array_plan(
     explicit leading rank count makes membership epochs first-class in
     the key space: :func:`invalidate_for_p` can drop a retired epoch's
     plans without parsing descriptors."""
-    from .address import make_array_plan
+    from ..address import make_array_plan
 
     p = array.grid.size
     key = (p, array.descriptor(), dim, section, rank)
@@ -254,7 +191,7 @@ def cached_comm_schedule(
     mention a retired p (cross-p migration schedules included).  Callers
     must treat the schedule as immutable (every executor already does).
     """
-    from .commsets import compute_comm_schedule
+    from ..commsets import compute_comm_schedule
 
     ps = (a.grid.size, b.grid.size)
     key = (ps, a.descriptor(), sec_a, b.descriptor(), sec_b)
@@ -274,7 +211,7 @@ def cached_comm_schedule_2d(
     (tensor-product 2-D schedules, including the transpose pairing);
     keyed with both sides' rank counts explicit, as in
     :func:`cached_comm_schedule`."""
-    from .commsets2d import compute_comm_schedule_2d
+    from ..commsets2d import compute_comm_schedule_2d
 
     ps = (a.grid.size, b.grid.size)
     key = (ps, a.descriptor(), tuple(secs_a), b.descriptor(), tuple(secs_b), rhs_dims)
@@ -286,7 +223,8 @@ def cached_comm_schedule_2d(
 
 
 def cache_stats() -> dict:
-    """Per-cache ``{entries, maxsize, hits, misses}`` counters."""
+    """Per-cache ``{entries, maxsize, shards, hits, misses, evictions,
+    invalidations, expirations, coalesced}`` counters."""
     return {cache.name: cache.stats() for cache in _CACHES}
 
 
@@ -300,6 +238,22 @@ def invalidate_for_p(p: int) -> int:
     can never serve a stale plan because the keys carry p explicitly.
     """
     return sum(cache.invalidate_for(p) for cache in _CACHES)
+
+
+def evict_expired() -> int:
+    """Drop every expired entry across all plan caches (no-op unless a
+    TTL was configured); returns the total dropped.  Long-running
+    processes call this periodically so TTL actually returns memory
+    instead of merely gating hits."""
+    return sum(cache.evict_expired() for cache in _CACHES)
+
+
+def reset_cache_stats() -> None:
+    """Zero every cache's hit/miss/eviction counters *without* dropping
+    any cached plan -- windowed rate reporting for long-running
+    processes (the planning server's ``stats`` op exposes this)."""
+    for cache in _CACHES:
+        cache.reset_stats()
 
 
 def clear_plan_caches() -> None:

@@ -1,0 +1,66 @@
+"""The crash-safe layout-planning service (ROADMAP item 3).
+
+A long-running asyncio server that answers the paper's three layout
+queries -- access-table plans, localized section vectors, and 1-D
+communication schedules -- over framed JSON, backed by the sharded plan
+cache, with the full robustness kit: server-side deadlines, bounded
+queues with load-shedding admission control, per-shard circuit
+breakers, graceful degradation (stale/reference plans tagged
+``degraded`` but always bit-identical to fresh computation), and
+crash-safe CRC-checksummed cache snapshots.
+
+Layers, bottom up:
+
+* :mod:`.wire`      -- framed canonical-JSON messages (sync + asyncio);
+* :mod:`.protocol`  -- request/response schema, error codes, cache keys;
+* :mod:`.queries`   -- the pure query evaluators (production + oracle);
+* :mod:`.breaker`   -- the per-shard circuit breaker;
+* :mod:`.snapshot`  -- atomic, paranoidly-verified persistence;
+* :mod:`.chaos`     -- seeded deterministic fault injection;
+* :mod:`.server`    -- :class:`PlanServer` (the asyncio data plane);
+* :mod:`.client`    -- :class:`PlanClient` (budgeted-retry client);
+* :mod:`.cli`       -- ``python -m repro serve`` / ``plan-client``.
+
+See docs/SERVICE.md for the protocol, the degradation ladder, and the
+fault model; benchmarks/bench_service.py measures it.
+"""
+
+from .breaker import CircuitBreaker
+from .chaos import ChaosFailure, ChaosKill, ServiceChaos
+from .client import PlanClient, RetryBudget
+from .protocol import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    INTERNAL,
+    OVERLOADED,
+    RETRYABLE_CODES,
+    UNAVAILABLE,
+    RequestError,
+    ServiceError,
+    canonical_key,
+)
+from .server import PlanServer, ServiceConfig
+from .snapshot import SnapshotError, load_snapshot, save_snapshot
+
+__all__ = [
+    "BAD_REQUEST",
+    "DEADLINE_EXCEEDED",
+    "INTERNAL",
+    "OVERLOADED",
+    "RETRYABLE_CODES",
+    "UNAVAILABLE",
+    "ChaosFailure",
+    "ChaosKill",
+    "CircuitBreaker",
+    "PlanClient",
+    "PlanServer",
+    "RequestError",
+    "RetryBudget",
+    "ServiceChaos",
+    "ServiceConfig",
+    "ServiceError",
+    "SnapshotError",
+    "canonical_key",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,110 @@
+"""A per-shard circuit breaker for the planning service's compute path.
+
+Classic three-state breaker (closed -> open -> half-open) on the
+monotonic clock:
+
+* **closed** -- requests flow; ``record_failure`` counts *consecutive*
+  failures and trips the breaker at ``failure_threshold``.
+* **open** -- :meth:`allow` refuses for ``reset_after_s`` seconds; the
+  server answers from the degradation ladder (stale cache, reference
+  path) instead of hammering a failing compute path.
+* **half-open** -- after the cooldown one probe request is admitted; a
+  success closes the breaker, a failure re-opens it for another
+  cooldown.
+
+The server keeps one breaker per cache shard, keyed the same way as the
+result cache, so a poisoned key family (e.g. a compute bug tickled by
+one parameter region, or injected chaos faults concentrated on one
+shard) degrades only its shard while the rest of the key space stays on
+the fast path.
+
+Single-threaded by design: the server calls it only from the event
+loop.  The clock is injectable so tests drive the state machine without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after_s <= 0:
+            raise ValueError(f"reset_after_s must be positive, got {reset_after_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0  # lifetime count of closed/half-open -> open
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open on cooldown expiry."""
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request take the normal compute path right now?
+
+        In half-open, exactly one probe is admitted per cooldown; its
+        outcome (reported via ``record_success``/``record_failure``)
+        decides the next state.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probing = False
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probing = False
+        self.trips += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+        }

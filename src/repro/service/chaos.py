@@ -1,0 +1,84 @@
+"""Seeded, deterministic fault injection for the planning service.
+
+The same philosophy as :mod:`repro.machine.faults`: chaos is a *plan*
+derived from a seed, never ambient randomness, so any soak failure
+replays exactly from its seed.  The decision for request ``n`` is a
+pure function of ``(seed, n)`` -- independent of thread interleaving,
+connection multiplexing, or retry order.
+
+Three compute-side fault kinds (client-side stalls and snapshot
+truncation are driven directly by the tests/bench, since they live
+outside the server process):
+
+* ``stall`` -- the compute sleeps ``stall_s`` seconds, long enough to
+  blow a request deadline (exercises server-side deadline enforcement
+  and queue backpressure);
+* ``fail``  -- the compute raises :class:`ChaosFailure` (exercises the
+  circuit breaker and the INTERNAL error path);
+* ``kill``  -- the compute raises :class:`ChaosKill`, modelling a
+  compute worker that dies abruptly mid-plan (same observable effect as
+  ``fail`` but counted separately, mirroring the machine layer's
+  crash-vs-corrupt distinction).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosFailure", "ChaosKill", "ServiceChaos"]
+
+
+class ChaosFailure(RuntimeError):
+    """Injected compute failure (deterministic from the chaos seed)."""
+
+
+class ChaosKill(ChaosFailure):
+    """Injected abrupt compute-worker death."""
+
+
+@dataclass
+class ServiceChaos:
+    """Per-request fault plan for the service's compute path."""
+
+    seed: int
+    stall_rate: float = 0.0
+    fail_rate: float = 0.0
+    kill_rate: float = 0.0
+    stall_s: float = 0.2
+    injected: dict = field(default_factory=lambda: {"stall": 0, "fail": 0, "kill": 0})
+
+    def __post_init__(self) -> None:
+        for name in ("stall_rate", "fail_rate", "kill_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+    def decision(self, request_n: int) -> str | None:
+        """The fault (if any) injected into request number ``request_n``:
+        one draw, partitioned stall | fail | kill | None."""
+        draw = random.Random((self.seed << 20) ^ request_n).random()
+        if draw < self.stall_rate:
+            return "stall"
+        draw -= self.stall_rate
+        if draw < self.fail_rate:
+            return "fail"
+        draw -= self.fail_rate
+        if draw < self.kill_rate:
+            return "kill"
+        return None
+
+    def perturb_compute(self, request_n: int) -> None:
+        """Apply request ``request_n``'s fault inside the compute path
+        (called from the worker thread, before the real evaluation)."""
+        kind = self.decision(request_n)
+        if kind is None:
+            return
+        self.injected[kind] += 1
+        if kind == "stall":
+            time.sleep(self.stall_s)
+        elif kind == "fail":
+            raise ChaosFailure(f"injected compute failure (request {request_n})")
+        else:
+            raise ChaosKill(f"injected compute-worker death (request {request_n})")

@@ -1,0 +1,300 @@
+"""CLI entry points: ``python -m repro serve`` and ``repro plan-client``.
+
+``serve`` runs one :class:`~repro.service.server.PlanServer` in the
+foreground until SIGINT/SIGTERM, then shuts down gracefully (final
+snapshot included).  ``plan-client`` sends queries from the shell --
+smoke tests, scripting, and the soak driver all go through it.
+
+Examples::
+
+    python -m repro serve --unix /tmp/plan.sock --snapshot /tmp/plan.snap
+    python -m repro serve --host 127.0.0.1 --port 7421 --max-inflight 32
+
+    python -m repro plan-client --unix /tmp/plan.sock ping
+    python -m repro plan-client --unix /tmp/plan.sock plan p=4 k=8 l=4 s=9 m=1
+    python -m repro plan-client --unix /tmp/plan.sock schedule \\
+        --json '{"n": 64, "p": 4, "lhs": {"k": 8, "lower": 0, "upper": 63,
+                 "stride": 1}, "rhs": {"k": 4, "lower": 0, "upper": 63,
+                 "stride": 1}}'
+
+See docs/SERVICE.md for the protocol and the full knob reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+
+__all__ = ["serve_main", "client_main"]
+
+
+def _add_address_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--unix", metavar="PATH", help="unix-domain socket path")
+    group.add_argument("--host", help="TCP host to bind/connect")
+    parser.add_argument(
+        "--port", type=int, default=7421, help="TCP port (with --host; default 7421)"
+    )
+
+
+def _resolve_address(args) -> str | tuple:
+    if args.unix:
+        return args.unix
+    if args.host:
+        return (args.host, args.port)
+    return "/tmp/repro-plan.sock"
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the crash-safe layout-planning service.",
+    )
+    _add_address_args(parser)
+    parser.add_argument(
+        "--deadline-ms", type=int, default=2000,
+        help="default per-request deadline when the client sends none",
+    )
+    parser.add_argument(
+        "--max-deadline-ms", type=int, default=30000,
+        help="cap on client-requested deadlines",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="bounded compute queue; beyond this requests are shed",
+    )
+    parser.add_argument(
+        "--retry-after-ms", type=int, default=50,
+        help="retry hint attached to OVERLOADED sheds",
+    )
+    parser.add_argument(
+        "--compute-threads", type=int, default=8, help="compute worker threads"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=8192, help="result-cache entry bound"
+    )
+    parser.add_argument(
+        "--cache-shards", type=int, default=8, help="result-cache shard count"
+    )
+    parser.add_argument(
+        "--cache-ttl-s", type=float, default=300.0,
+        help="result freshness window; 0 disables expiry",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive compute failures that trip a shard breaker",
+    )
+    parser.add_argument(
+        "--breaker-reset-s", type=float, default=1.0,
+        help="breaker cooldown before the half-open probe",
+    )
+    parser.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="crash-safe cache snapshot file (warm-start + periodic save)",
+    )
+    parser.add_argument(
+        "--snapshot-interval-s", type=float, default=30.0,
+        help="seconds between periodic snapshots",
+    )
+    parser.add_argument(
+        "--snapshot-limit", type=int, default=1024,
+        help="hottest-N entries persisted per snapshot",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="enable observability and flush JSONL traces here periodically",
+    )
+    parser.add_argument(
+        "--flush-interval-s", type=float, default=60.0,
+        help="seconds between trace flushes (with --trace-dir)",
+    )
+    parser.add_argument(
+        "--max-spans", type=int, default=65536,
+        help="span ring size (with --trace-dir)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="enable deterministic compute chaos with this seed (soak only)",
+    )
+    parser.add_argument("--chaos-stall", type=float, default=0.0)
+    parser.add_argument("--chaos-fail", type=float, default=0.0)
+    parser.add_argument("--chaos-kill", type=float, default=0.0)
+    parser.add_argument("--chaos-stall-s", type=float, default=0.2)
+    return parser
+
+
+def _build_config(args):
+    from ..obs import HandleLimits, Observability
+    from .chaos import ServiceChaos
+    from .server import ServiceConfig
+
+    address = _resolve_address(args)
+    obs = None
+    if args.trace_dir:
+        obs = Observability(
+            handle_limits=HandleLimits(max_spans=args.max_spans)
+        )
+    chaos = None
+    if args.chaos_seed is not None:
+        chaos = ServiceChaos(
+            seed=args.chaos_seed,
+            stall_rate=args.chaos_stall,
+            fail_rate=args.chaos_fail,
+            kill_rate=args.chaos_kill,
+            stall_s=args.chaos_stall_s,
+        )
+    return ServiceConfig(
+        unix_path=address if isinstance(address, str) else None,
+        host=None if isinstance(address, str) else address[0],
+        port=0 if isinstance(address, str) else address[1],
+        default_deadline_ms=args.deadline_ms,
+        max_deadline_ms=args.max_deadline_ms,
+        max_inflight=args.max_inflight,
+        retry_after_ms=args.retry_after_ms,
+        compute_threads=args.compute_threads,
+        cache_size=args.cache_size,
+        cache_shards=args.cache_shards,
+        cache_ttl_s=args.cache_ttl_s if args.cache_ttl_s > 0 else None,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset_s,
+        snapshot_path=args.snapshot,
+        snapshot_interval_s=args.snapshot_interval_s,
+        snapshot_limit=args.snapshot_limit,
+        obs=obs,
+        flush_dir=args.trace_dir,
+        flush_interval_s=args.flush_interval_s,
+        chaos=chaos,
+    )
+
+
+async def _run_server(config) -> None:
+    from .server import PlanServer
+
+    server = PlanServer(config)
+    await server.start()
+    print(
+        f"[repro.service] pid {os.getpid()} listening on {server.address}"
+        + (
+            f" (warm-started {server.warm_started_entries} entries)"
+            if server.warm_started_entries
+            else ""
+        ),
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix loops
+            pass
+    serve_task = loop.create_task(server.serve_forever())
+    await stop.wait()
+    print("[repro.service] shutting down", flush=True)
+    serve_task.cancel()
+    try:
+        await serve_task
+    except asyncio.CancelledError:
+        pass
+    await server.stop()
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    args = _serve_parser().parse_args(argv)
+    asyncio.run(_run_server(_build_config(args)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# plan-client
+# ---------------------------------------------------------------------------
+
+
+def _client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro plan-client",
+        description="Query a running planning service.",
+    )
+    _add_address_args(parser)
+    parser.add_argument(
+        "op", choices=["ping", "stats", "plan", "localize", "schedule"]
+    )
+    parser.add_argument(
+        "params", nargs="*", metavar="key=int",
+        help="integer query parameters, e.g. p=4 k=8 l=4 s=9 m=1",
+    )
+    parser.add_argument(
+        "--json", dest="params_json", metavar="JSON", default=None,
+        help="full params object as JSON (for nested schedule params)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=int, default=2000, help="per-request deadline"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3,
+        help="max budgeted retries on retryable failures",
+    )
+    parser.add_argument(
+        "--count", type=int, default=1, help="send the request N times"
+    )
+    return parser
+
+
+def _parse_params(args) -> dict:
+    if args.params_json is not None:
+        if args.params:
+            raise SystemExit("use either key=int params or --json, not both")
+        params = json.loads(args.params_json)
+        if not isinstance(params, dict):
+            raise SystemExit("--json must be a JSON object")
+        return params
+    params: dict = {}
+    for item in args.params:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"malformed parameter {item!r}; want key=int")
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise SystemExit(f"parameter {key!r} must be an integer, got {value!r}")
+    return params
+
+
+def client_main(argv: list[str] | None = None) -> int:
+    from .client import PlanClient
+    from .protocol import ServiceError
+
+    args = _client_parser().parse_args(argv)
+    params = _parse_params(args)
+    client = PlanClient(
+        _resolve_address(args),
+        default_deadline_ms=args.deadline_ms,
+        max_retries=args.retries,
+    )
+    status = 0
+    with client:
+        for _ in range(args.count):
+            try:
+                response = client.call(args.op, params)
+            except ServiceError as exc:
+                print(
+                    json.dumps({"ok": False, "code": exc.code, "message": exc.message}),
+                    file=sys.stderr,
+                )
+                status = 1
+                continue
+            print(json.dumps(response, sort_keys=True))
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - alias
+    return serve_main(argv)

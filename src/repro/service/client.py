@@ -1,0 +1,262 @@
+"""The blocking planning-service client: deadlines, budgeted retries.
+
+:class:`PlanClient` speaks the framed-JSON protocol over a unix or TCP
+socket, one request/response pair at a time.  Its retry discipline is
+the client half of the service's robustness contract:
+
+* every attempt carries a deadline (propagated to the server in
+  ``deadline_ms`` and enforced locally on the socket read);
+* retries happen **only** for retryable failures -- ``OVERLOADED`` /
+  ``UNAVAILABLE`` / ``DEADLINE_EXCEEDED`` responses and transport
+  errors.  All query ops are pure functions (no side effects), so
+  retrying a timed-out request is always safe; ``BAD_REQUEST`` and
+  ``INTERNAL`` are deterministic and never retried;
+* the retry pacing is a deterministic capped exponential
+  :class:`~repro.machine.mp.timeouts.Backoff` (no jitter -- soak
+  failures must replay exactly), floored by any ``retry_after_ms`` the
+  server attached to its shed response;
+* total retry volume is bounded by a :class:`RetryBudget` token bucket
+  shared across the client's lifetime, so a degraded server sees the
+  client's retry traffic *decay* instead of amplifying the overload --
+  the retry storm is structurally impossible, not just discouraged.
+
+After any transport error the byte stream may be desynchronized (e.g. a
+response that arrives after our read deadline), so the client always
+reconnects before retrying.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+
+from ..machine.mp.framing import FrameError
+from ..machine.mp.timeouts import Backoff, Deadline
+from .protocol import ServiceError
+from .wire import recv_message, send_message
+
+__all__ = ["PlanClient", "RetryBudget"]
+
+
+class RetryBudget:
+    """A token bucket bounding retries (not first attempts) over time.
+
+    ``capacity`` tokens, refilled at ``refill_per_s``; each retry spends
+    one.  An exhausted budget turns would-be retries into immediate
+    failures -- under sustained overload the client degrades to
+    one-attempt behaviour instead of multiplying load.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 10.0,
+        refill_per_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity <= 0 or refill_per_s < 0:
+            raise ValueError(
+                f"need capacity > 0 and refill_per_s >= 0, got "
+                f"{capacity}/{refill_per_s}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+        self.spent = 0
+        self.denied = 0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.capacity, self._tokens + (now - self._last) * self.refill_per_s
+        )
+        self._last = now
+
+    def try_spend(self) -> bool:
+        """Take one token if available; ``False`` means do not retry."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+@dataclass
+class _ClientCounters:
+    requests: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    degraded_responses: int = 0
+    retries_denied: int = 0
+
+
+class PlanClient:
+    """Blocking client for one planning server.
+
+    ``address`` is a unix-socket path (str) or a ``(host, port)`` pair.
+    Usable as a context manager; connects lazily on first call.
+    """
+
+    def __init__(
+        self,
+        address,
+        *,
+        connect_timeout_s: float = 5.0,
+        default_deadline_ms: int = 2000,
+        max_retries: int = 3,
+        backoff: Backoff | None = None,
+        retry_budget: RetryBudget | None = None,
+    ) -> None:
+        if default_deadline_ms < 1:
+            raise ValueError(
+                f"default_deadline_ms must be >= 1, got {default_deadline_ms}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.address = address
+        self.connect_timeout_s = connect_timeout_s
+        self.default_deadline_ms = default_deadline_ms
+        self.max_retries = max_retries
+        self.backoff = backoff if backoff is not None else Backoff(
+            initial=0.02, factor=2.0, ceiling=1.0
+        )
+        self.retry_budget = (
+            retry_budget if retry_budget is not None else RetryBudget()
+        )
+        self.counters = _ClientCounters()
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+
+    # -- connection management ----------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout_s)
+        try:
+            sock.connect(
+                self.address if isinstance(self.address, str) else tuple(self.address)
+            )
+        except OSError:
+            sock.close()
+            raise
+        self._sock = sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "PlanClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request path ---------------------------------------------
+
+    def call(self, op: str, params: dict | None = None, deadline_ms: int | None = None) -> dict:
+        """Send one request, retrying retryable failures within the
+        deadline/budget; returns the full ``ok`` response dict (with
+        ``result``, ``source``, ``degraded``) or raises
+        :class:`ServiceError` / the final transport error."""
+        deadline_ms = deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        self.counters.requests += 1
+        self.backoff.reset()
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(op, params or {}, deadline_ms)
+            except ServiceError as exc:
+                if not exc.retryable or not self._may_retry(attempt):
+                    raise
+                self._pause(exc.retry_after_ms)
+            except (FrameError, ConnectionError, OSError) as exc:
+                # Transport failure: the stream may hold a late response,
+                # so resynchronize by reconnecting before any retry.
+                self.close()
+                if not self._may_retry(attempt):
+                    raise
+                self.counters.reconnects += 1
+                self._pause(None)
+            attempt += 1
+            self.counters.retries += 1
+
+    def _may_retry(self, attempt: int) -> bool:
+        if attempt >= self.max_retries:
+            return False
+        if not self.retry_budget.try_spend():
+            self.counters.retries_denied += 1
+            return False
+        return True
+
+    def _pause(self, retry_after_ms: int | None) -> None:
+        """Sleep the longer of the server's retry-after hint and the
+        local backoff schedule (which still advances)."""
+        planned = self.backoff.peek()
+        self.backoff.sleep()
+        if retry_after_ms is not None and retry_after_ms / 1000.0 > planned:
+            time.sleep(retry_after_ms / 1000.0 - planned)
+
+    def _attempt(self, op: str, params: dict, deadline_ms: int) -> dict:
+        self.connect()
+        assert self._sock is not None
+        self._next_id += 1
+        req_id = self._next_id
+        request = {
+            "id": req_id,
+            "op": op,
+            "params": params,
+            "deadline_ms": deadline_ms,
+        }
+        # Local read bound: the server's deadline plus slack for the
+        # network and response serialization.  No wait without a deadline.
+        deadline = Deadline(deadline_ms / 1000.0 + 1.0)
+        self._sock.settimeout(max(deadline.remaining(), 1e-4))
+        send_message(self._sock, request)
+        response = recv_message(self._sock, deadline)
+        if response.get("id") not in (req_id, None):
+            # Protocol is strict request/response in order; an id
+            # mismatch means the stream is desynchronized.
+            self.close()
+            raise FrameError(
+                f"response id {response.get('id')!r} does not match request {req_id}"
+            )
+        if response.get("ok"):
+            if response.get("degraded"):
+                self.counters.degraded_responses += 1
+            return response
+        error = response.get("error") or {}
+        raise ServiceError(
+            str(error.get("code", "INTERNAL")),
+            str(error.get("message", "malformed error response")),
+            retry_after_ms=response.get("retry_after_ms"),
+        )
+
+    # -- conveniences --------------------------------------------------
+
+    def ping(self, deadline_ms: int | None = None) -> dict:
+        return self.call("ping", deadline_ms=deadline_ms)["result"]
+
+    def stats(self, deadline_ms: int | None = None) -> dict:
+        return self.call("stats", deadline_ms=deadline_ms)["result"]
+
+    def plan(self, deadline_ms: int | None = None, **params) -> dict:
+        return self.call("plan", params, deadline_ms=deadline_ms)
+
+    def localize(self, deadline_ms: int | None = None, **params) -> dict:
+        return self.call("localize", params, deadline_ms=deadline_ms)
+
+    def schedule(self, params: dict, deadline_ms: int | None = None) -> dict:
+        return self.call("schedule", params, deadline_ms=deadline_ms)

@@ -1,0 +1,161 @@
+"""Request/response schema, error codes, and canonical cache keys.
+
+One request, one response, in order, per connection::
+
+    request  = {"id": int, "op": str, "params": {...}, "deadline_ms": int?}
+    response = {"id": int|null, "ok": true,  "result": {...},
+                "degraded": bool, "source": str, "server_ms": float}
+             | {"id": int|null, "ok": false,
+                "error": {"code": str, "message": str},
+                "retry_after_ms": int?}
+
+``source`` says where a successful plan came from (``cache``,
+``computed``, ``coalesced``, ``stale-cache``, ``reference``, or
+``inline`` for ping/stats); ``degraded: true`` marks the last two --
+plans served while the normal path was unavailable (tripped breaker,
+saturated queue).  Degraded plans are still *correct* -- every query is
+a pure function of its parameters, so a stale cache entry or a
+reference-path computation is bit-identical to the fresh plan; the flag
+tells the client the service was not healthy, never that the answer
+might be wrong.
+
+Error codes partition by retryability:
+
+* ``OVERLOADED`` -- admission control shed the request; retry after
+  ``retry_after_ms`` (the explicit backpressure signal, never unbounded
+  buffering).
+* ``DEADLINE_EXCEEDED`` -- the server-side deadline fired; the request
+  never had side effects, so an idempotent retry is safe.
+* ``UNAVAILABLE`` -- tripped shard with nothing to degrade to, or the
+  server is shutting down; retryable.
+* ``BAD_REQUEST`` / ``INTERNAL`` -- deterministic failures; retrying
+  the identical request cannot help and clients must not.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = [
+    "BAD_REQUEST",
+    "DEADLINE_EXCEEDED",
+    "INTERNAL",
+    "OVERLOADED",
+    "RETRYABLE_CODES",
+    "UNAVAILABLE",
+    "PROTOCOL_OPS",
+    "RequestError",
+    "ServiceError",
+    "Request",
+    "canonical_key",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]
+
+BAD_REQUEST = "BAD_REQUEST"
+DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+OVERLOADED = "OVERLOADED"
+UNAVAILABLE = "UNAVAILABLE"
+INTERNAL = "INTERNAL"
+
+#: Codes a client may retry (idempotent timeout / explicit backpressure).
+RETRYABLE_CODES = frozenset({DEADLINE_EXCEEDED, OVERLOADED, UNAVAILABLE})
+
+#: Every operation the server answers.  ``ping`` and ``stats`` are
+#: control-plane (answered inline, never queued, never cached).
+PROTOCOL_OPS = ("ping", "stats", "plan", "localize", "schedule")
+
+
+class ServiceError(Exception):
+    """A protocol-level failure carrying its wire error code."""
+
+    def __init__(self, code: str, message: str, retry_after_ms: int | None = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after_ms = retry_after_ms
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE_CODES
+
+
+class RequestError(ServiceError):
+    """Malformed or out-of-range request (``BAD_REQUEST``)."""
+
+    def __init__(self, message: str):
+        super().__init__(BAD_REQUEST, message)
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """A validated request envelope (params validated per-op later)."""
+
+    id: int
+    op: str
+    params: dict
+    deadline_ms: int | None
+
+
+def parse_request(msg: dict) -> Request:
+    """Validate the request envelope; :class:`RequestError` on anything
+    malformed (the caller maps that to a ``BAD_REQUEST`` response)."""
+    req_id = msg.get("id")
+    if not isinstance(req_id, int) or isinstance(req_id, bool):
+        raise RequestError(f"request id must be an integer, got {req_id!r}")
+    op = msg.get("op")
+    if op not in PROTOCOL_OPS:
+        raise RequestError(f"unknown op {op!r}; choose from {list(PROTOCOL_OPS)}")
+    params = msg.get("params", {})
+    if not isinstance(params, dict):
+        raise RequestError(f"params must be an object, got {type(params).__name__}")
+    deadline_ms = msg.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, int) or isinstance(deadline_ms, bool):
+            raise RequestError(f"deadline_ms must be an integer, got {deadline_ms!r}")
+        if deadline_ms <= 0:
+            raise RequestError(f"deadline_ms must be positive, got {deadline_ms}")
+    unknown = set(msg) - {"id", "op", "params", "deadline_ms"}
+    if unknown:
+        raise RequestError(f"unknown request fields {sorted(unknown)}")
+    return Request(req_id, op, params, deadline_ms)
+
+
+def canonical_key(op: str, params: dict) -> str:
+    """The cache/snapshot key: op plus canonically serialized params.
+    Equal queries produce equal keys regardless of field order."""
+    return f"{op}:" + json.dumps(
+        params, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def ok_response(
+    req_id: int | None,
+    result: dict,
+    *,
+    source: str,
+    degraded: bool,
+    server_ms: float,
+) -> dict:
+    return {
+        "id": req_id,
+        "ok": True,
+        "result": result,
+        "source": source,
+        "degraded": degraded,
+        "server_ms": round(server_ms, 3),
+    }
+
+
+def error_response(
+    req_id: int | None,
+    code: str,
+    message: str,
+    retry_after_ms: int | None = None,
+) -> dict:
+    resp: dict = {"id": req_id, "ok": False, "error": {"code": code, "message": message}}
+    if retry_after_ms is not None:
+        resp["retry_after_ms"] = retry_after_ms
+    return resp

@@ -1,0 +1,624 @@
+"""The asyncio planning server: deadlines, backpressure, degradation.
+
+:class:`PlanServer` answers plan/localize/schedule queries over framed
+JSON (unix-domain or TCP; :mod:`repro.service.wire`), backed by a
+:class:`~repro.runtime.plancache.ShardedPlanCache` of canonical-query
+results.  The design goal is *robust by construction*: the server may
+refuse, time out, or degrade, but it never serves a wrong plan, never
+buffers without bound, and never blocks past a deadline.
+
+Request lifecycle::
+
+    read (idle-bounded) -> validate -> fresh cache hit?  ---- yes --> serve
+        |no
+    breaker open for this key's shard? -- yes --> stale entry / reference
+        |no                                        (both tagged degraded)
+    inflight full? -- yes --> stale entry (degraded) or OVERLOADED shed
+        |no                     with retry_after_ms -- never queued blind
+    compute in worker thread, bounded by the request deadline
+        ok --> serve (source: computed | cache)     timeout --> DEADLINE_
+        failure --> breaker.record_failure, INTERNAL            EXCEEDED
+
+Every await is bounded: connection reads by ``idle_timeout_s`` (a
+stalled client loses its connection, not a server task), response
+writes by ``write_timeout_s`` (a client that stops draining is shed),
+and computes by the per-request deadline (enforced server-side with
+``asyncio.wait_for``; the worker thread finishes in the background and
+releases its admission slot only then, so zombie stalls still count
+against ``max_inflight`` -- that *is* the backpressure).
+
+Degraded responses (``degraded: true``) are stale-cache or
+reference-path plans: bit-identical to fresh computation (pure
+functions), flagged so clients know the service was unhealthy.  See
+docs/SERVICE.md for the full fault model and ladder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..machine.mp.framing import FrameClosed, FrameError, FrameTimeout
+from ..obs import Observability, SpanRecord, ambient
+from ..runtime import plancache as plancache_mod
+from ..runtime.plancache import ShardedPlanCache
+from .breaker import CircuitBreaker
+from .chaos import ServiceChaos
+from .protocol import (
+    DEADLINE_EXCEEDED,
+    INTERNAL,
+    OVERLOADED,
+    UNAVAILABLE,
+    RequestError,
+    ServiceError,
+    canonical_key,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .queries import QUERY_OPS, evaluate, reference
+from .snapshot import SnapshotError, load_snapshot, save_snapshot
+from .wire import read_message, write_message
+
+__all__ = ["PlanServer", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Every knob of one server instance (CLI flags map 1:1 onto this)."""
+
+    # Transport: exactly one of unix_path / (host, port).
+    unix_path: str | None = None
+    host: str | None = None
+    port: int = 0
+
+    # Deadlines and connection bounds.
+    default_deadline_ms: int = 2000
+    max_deadline_ms: int = 30000
+    idle_timeout_s: float = 60.0
+    write_timeout_s: float = 10.0
+    max_connections: int = 256
+
+    # Admission control (the bounded work queue).
+    max_inflight: int = 64
+    retry_after_ms: int = 50
+    compute_threads: int = 8
+
+    # Result cache.
+    cache_size: int = 8192
+    cache_shards: int = 8
+    cache_ttl_s: float | None = 300.0
+
+    # Circuit breakers (one per cache shard).
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 1.0
+
+    # Crash-safe persistence.
+    snapshot_path: str | None = None
+    snapshot_interval_s: float = 30.0
+    snapshot_limit: int = 1024
+
+    # Observability: bounded rings + periodic flush (docs/SERVICE.md §5).
+    obs: Observability | None = None
+    flush_dir: str | None = None
+    flush_interval_s: float = 60.0
+
+    # Deterministic fault injection (soak/bench only).
+    chaos: ServiceChaos | None = None
+
+    def __post_init__(self) -> None:
+        if (self.unix_path is None) == (self.host is None):
+            raise ValueError("configure exactly one of unix_path or host/port")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.default_deadline_ms < 1 or self.max_deadline_ms < self.default_deadline_ms:
+            raise ValueError(
+                f"need 1 <= default_deadline_ms <= max_deadline_ms, got "
+                f"{self.default_deadline_ms}/{self.max_deadline_ms}"
+            )
+
+
+@dataclass
+class _Counters:
+    """Server-lifetime counters surfaced by the ``stats`` op."""
+
+    requests: int = 0
+    responses_ok: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    degraded_stale: int = 0
+    degraded_reference: int = 0
+    shed_overload: int = 0
+    deadline_exceeded: int = 0
+    bad_requests: int = 0
+    internal_errors: int = 0
+    unavailable: int = 0
+    breaker_rejections: int = 0
+    connections_total: int = 0
+    connections_refused: int = 0
+    frame_errors: int = 0
+    client_stalls_dropped: int = 0
+    snapshots_saved: int = 0
+    snapshot_failures: int = 0
+
+    def snapshot(self) -> dict:
+        return {k: int(v) for k, v in self.__dict__.items()}
+
+
+class PlanServer:
+    """One planning-service instance; see the module docstring."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.counters = _Counters()
+        self._cache = ShardedPlanCache(
+            "service_results",
+            maxsize=config.cache_size,
+            shards=config.cache_shards,
+            ttl_s=config.cache_ttl_s,
+        )
+        self._breakers = [
+            CircuitBreaker(config.breaker_threshold, config.breaker_reset_s)
+            for _ in range(config.cache_shards)
+        ]
+        self._obs = config.obs if config.obs is not None else ambient()
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.compute_threads, thread_name_prefix="plan-compute"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._inflight = 0
+        self._connections = 0
+        self._request_n = 0
+        self._closing = False
+        self._started_at = time.monotonic()
+        self.warm_started_entries = 0
+        self.snapshot_diagnostic: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm-start from the snapshot (if intact), bind the listener,
+        and launch the background maintenance tasks."""
+        self._warm_start()
+        if self.config.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host, port=self.config.port
+            )
+        loop_specs = [
+            (self._snapshot_loop, self.config.snapshot_path),
+            (self._flush_loop, self.config.flush_dir),
+            (self._evict_loop, self.config.cache_ttl_s),
+        ]
+        for factory, enabled in loop_specs:
+            if enabled:
+                self._tasks.append(asyncio.get_running_loop().create_task(factory()))
+
+    @property
+    def address(self):
+        """The bound address: the unix path, or ``(host, port)`` with the
+        kernel-assigned port resolved (useful with ``port=0``)."""
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, cancel maintenance, write a
+        final snapshot, release the compute pool."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        if self.config.snapshot_path:
+            await asyncio.get_running_loop().run_in_executor(None, self._save_snapshot)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.config.unix_path and os.path.exists(self.config.unix_path):
+            try:
+                os.unlink(self.config.unix_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _warm_start(self) -> None:
+        path = self.config.snapshot_path
+        if not path or not os.path.exists(path):
+            return
+        try:
+            entries, _meta = load_snapshot(path)
+        except SnapshotError as exc:
+            # Reject diagnostically and boot cold -- a corrupt snapshot
+            # must never warm-start (it could hold torn bytes), and the
+            # operator must see why.
+            self.snapshot_diagnostic = str(exc)
+            self._obs.inc("service.snapshot.rejected")
+            print(f"[repro.service] cold start: {exc}", file=sys.stderr)
+            return
+        for key, value, freq in entries[: self.config.cache_size]:
+            self._cache.put(key, value, freq=freq)
+        self.warm_started_entries = len(entries[: self.config.cache_size])
+        self._obs.inc("service.snapshot.warm_entries", self.warm_started_entries)
+
+    def _save_snapshot(self) -> None:
+        path = self.config.snapshot_path
+        if not path:
+            return
+        try:
+            entries = self._cache.hot_entries(self.config.snapshot_limit)
+            save_snapshot(
+                path,
+                entries,
+                meta={
+                    "pid": os.getpid(),
+                    "uptime_s": round(time.monotonic() - self._started_at, 3),
+                    "entries": len(entries),
+                },
+            )
+            self.counters.snapshots_saved += 1
+            self._obs.inc("service.snapshot.saved")
+        except Exception as exc:
+            self.counters.snapshot_failures += 1
+            self.snapshot_diagnostic = f"snapshot save failed: {exc}"
+            self._obs.inc("service.snapshot.failed")
+
+    async def _snapshot_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.snapshot_interval_s)
+            await loop.run_in_executor(None, self._save_snapshot)
+
+    async def _flush_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.flush_interval_s)
+            obs = self._obs
+            if obs.enabled and self.config.flush_dir:
+                obs.flush_jsonl(self.config.flush_dir, label="service")
+
+    async def _evict_loop(self) -> None:
+        interval = max(1.0, (self.config.cache_ttl_s or 60.0) / 2)
+        while True:
+            await asyncio.sleep(interval)
+            self._cache.evict_expired()
+            plancache_mod.evict_expired()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._connections >= self.config.max_connections or self._closing:
+            self.counters.connections_refused += 1
+            try:
+                await write_message(
+                    writer,
+                    error_response(
+                        None, OVERLOADED, "connection limit reached",
+                        retry_after_ms=self.config.retry_after_ms,
+                    ),
+                    timeout=self.config.write_timeout_s,
+                )
+            except (FrameError, ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._connections += 1
+        self.counters.connections_total += 1
+        try:
+            await self._connection_loop(reader, writer)
+        finally:
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._closing:
+            try:
+                msg = await read_message(reader, timeout=self.config.idle_timeout_s)
+            except FrameClosed:
+                return
+            except FrameTimeout:
+                # Stalled/slow client: drop the connection rather than
+                # hold a task (and its buffers) hostage.
+                self.counters.client_stalls_dropped += 1
+                self._obs.inc("service.client_stalls_dropped")
+                return
+            except (FrameError, ConnectionError, OSError) as exc:
+                self.counters.frame_errors += 1
+                self._obs.inc("service.frame_errors")
+                try:
+                    await write_message(
+                        writer,
+                        error_response(None, "BAD_REQUEST", f"bad frame: {exc}"),
+                        timeout=self.config.write_timeout_s,
+                    )
+                except (FrameError, ConnectionError, OSError):
+                    pass
+                return  # the byte stream may be out of sync: resynchronize by reconnect
+            response = await self._dispatch(msg)
+            try:
+                await write_message(
+                    writer, response, timeout=self.config.write_timeout_s
+                )
+            except (FrameTimeout, ConnectionError, OSError):
+                self.counters.client_stalls_dropped += 1
+                self._obs.inc("service.client_stalls_dropped")
+                return
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, msg: dict) -> dict:
+        """Turn one message into one response; never raises."""
+        t0 = time.perf_counter_ns()
+        self.counters.requests += 1
+        req_id: int | None = None
+        try:
+            req = parse_request(msg)
+            req_id = req.id
+            if req.op == "ping":
+                result, source, degraded = {"pong": True, "pid": os.getpid()}, "inline", False
+            elif req.op == "stats":
+                result, source, degraded = self._stats_result(), "inline", False
+            else:
+                result, source, degraded = await self._answer_query(req, t0)
+            self.counters.responses_ok += 1
+            response = ok_response(
+                req_id, result, source=source, degraded=degraded,
+                server_ms=(time.perf_counter_ns() - t0) / 1e6,
+            )
+        except ServiceError as exc:
+            self._count_error(exc)
+            response = error_response(
+                req_id, exc.code, exc.message, retry_after_ms=exc.retry_after_ms
+            )
+        except Exception as exc:  # noqa: BLE001 -- the no-crash boundary
+            self.counters.internal_errors += 1
+            self._obs.inc("service.internal_errors")
+            response = error_response(req_id, INTERNAL, f"{type(exc).__name__}: {exc}")
+        self._record_request(msg, response, t0)
+        return response
+
+    def _count_error(self, exc: ServiceError) -> None:
+        c = self.counters
+        if exc.code == OVERLOADED:
+            c.shed_overload += 1
+        elif exc.code == DEADLINE_EXCEEDED:
+            c.deadline_exceeded += 1
+        elif exc.code == UNAVAILABLE:
+            c.unavailable += 1
+        elif exc.code == INTERNAL:
+            c.internal_errors += 1
+        else:
+            c.bad_requests += 1
+        self._obs.inc(f"service.errors.{exc.code.lower()}")
+
+    def _deadline_s(self, req) -> float:
+        ms = req.deadline_ms if req.deadline_ms is not None else self.config.default_deadline_ms
+        return min(ms, self.config.max_deadline_ms) / 1000.0
+
+    async def _answer_query(self, req, t0: int):
+        """The data-plane path: cache, breaker, admission, compute."""
+        if req.op not in QUERY_OPS:  # defensive; parse_request screened ops
+            raise RequestError(f"unknown op {req.op!r}")
+        key = canonical_key(req.op, req.params)
+        deadline_s = self._deadline_s(req)
+        self._request_n += 1
+        request_n = self._request_n
+
+        # 1. Fresh cache hit: served even under overload (no compute).
+        found, value = self._cache.peek(key, allow_stale=False, touch=True)
+        if found:
+            self.counters.cache_hits += 1
+            return value, "cache", False
+
+        # 2. Tripped shard: degrade rather than hammer a failing path.
+        breaker = self._breakers[hash(key) % len(self._breakers)]
+        if not breaker.allow():
+            self.counters.breaker_rejections += 1
+            self._obs.inc("service.breaker_rejections")
+            return await self._degrade(req, key, deadline_s, "breaker open")
+
+        # 3. Admission control: bounded in-flight work, explicit shed.
+        if self._inflight >= self.config.max_inflight:
+            found, value = self._cache.peek(key, allow_stale=True)
+            if found:
+                self.counters.degraded_stale += 1
+                self._obs.inc("service.degraded_stale")
+                return value, "stale-cache", True
+            raise ServiceError(
+                OVERLOADED,
+                f"{self._inflight} requests in flight (max {self.config.max_inflight})",
+                retry_after_ms=self.config.retry_after_ms,
+            )
+
+        # 4. Compute, bounded by the request deadline.
+        try:
+            value, computed = await self._run_compute(
+                lambda: self._compute_cached(key, req.op, req.params, request_n),
+                deadline_s,
+            )
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                DEADLINE_EXCEEDED,
+                f"deadline of {int(deadline_s * 1000)}ms exceeded in {req.op}",
+            ) from None
+        except RequestError:
+            raise  # malformed params: deterministic, not a shard failure
+        except Exception as exc:
+            breaker.record_failure()
+            self._obs.inc("service.compute_failures")
+            degraded = await self._try_stale(key)
+            if degraded is not None:
+                return degraded
+            raise ServiceError(
+                INTERNAL, f"compute failed: {type(exc).__name__}: {exc}"
+            ) from None
+        breaker.record_success()
+        if computed:
+            self.counters.computed += 1
+            return value, "computed", False
+        self.counters.cache_hits += 1
+        return value, "cache", False
+
+    async def _run_compute(self, fn, deadline_s: float):
+        """Run ``fn`` on the compute pool under the deadline.  The
+        admission slot is held until the *thread* finishes -- a compute
+        that outlives its deadline still occupies capacity, which is
+        exactly the backpressure that sheds the flood behind it."""
+        loop = asyncio.get_running_loop()
+        self._inflight += 1
+        self._obs.set_gauge("service.inflight", self._inflight)
+        future = self._executor.submit(fn)
+
+        def _release(_f) -> None:
+            try:
+                loop.call_soon_threadsafe(self._release_slot)
+            except RuntimeError:
+                self._inflight -= 1  # loop already closed at shutdown
+
+        future.add_done_callback(_release)
+        return await asyncio.wait_for(
+            asyncio.wrap_future(future), timeout=deadline_s
+        )
+
+    def _release_slot(self) -> None:
+        self._inflight -= 1
+        self._obs.set_gauge("service.inflight", self._inflight)
+
+    def _compute_cached(self, key: str, op: str, params: dict, request_n: int):
+        """Worker-thread body: single-flight compute through the result
+        cache (with chaos perturbation when configured)."""
+        computed = False
+
+        def compute():
+            nonlocal computed
+            computed = True
+            if self.config.chaos is not None:
+                self.config.chaos.perturb_compute(request_n)
+            return evaluate(op, params)
+
+        p = params.get("p")
+        ps = (p,) if isinstance(p, int) and not isinstance(p, bool) else ()
+        value = self._cache.get_or_compute(key, compute, ps=ps)
+        return value, computed
+
+    async def _try_stale(self, key: str):
+        found, value = self._cache.peek(key, allow_stale=True)
+        if found:
+            self.counters.degraded_stale += 1
+            self._obs.inc("service.degraded_stale")
+            return value, "stale-cache", True
+        return None
+
+    async def _degrade(self, req, key: str, deadline_s: float, why: str):
+        """The degradation ladder below the normal path: stale cache
+        entry, then reference-path compute, then UNAVAILABLE.  Both
+        successful rungs are tagged degraded -- and both are
+        bit-identical to fresh computation, because every query is a
+        pure function of its parameters."""
+        degraded = await self._try_stale(key)
+        if degraded is not None:
+            return degraded
+        try:
+            value, _ = await self._run_compute(
+                lambda: (reference(req.op, req.params), True), deadline_s
+            )
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                DEADLINE_EXCEEDED,
+                f"deadline of {int(deadline_s * 1000)}ms exceeded on the "
+                f"degraded reference path ({why})",
+            ) from None
+        except RequestError:
+            raise
+        except Exception as exc:
+            raise ServiceError(
+                UNAVAILABLE,
+                f"{why}; no stale entry; reference path failed: "
+                f"{type(exc).__name__}: {exc}",
+                retry_after_ms=self.config.retry_after_ms,
+            ) from None
+        self.counters.degraded_reference += 1
+        self._obs.inc("service.degraded_reference")
+        return value, "reference", True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _stats_result(self) -> dict:
+        chaos = self.config.chaos
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "pid": os.getpid(),
+            "inflight": self._inflight,
+            "connections": self._connections,
+            "counters": self.counters.snapshot(),
+            "cache": self._cache.stats(),
+            "plan_caches": plancache_mod.cache_stats(),
+            "breakers": [b.snapshot() for b in self._breakers],
+            "warm_started_entries": self.warm_started_entries,
+            "snapshot_diagnostic": self.snapshot_diagnostic,
+            "chaos_injected": dict(chaos.injected) if chaos is not None else None,
+        }
+
+    def _record_request(self, msg: dict, response: dict, t0: int) -> None:
+        obs = self._obs
+        if not obs.enabled:
+            return
+        dur = time.perf_counter_ns() - t0
+        obs.inc("service.requests")
+        obs.observe("service.request_ns", dur)
+        # Direct trace append: concurrent request tasks interleave, so
+        # the nesting span stack (LIFO within one logical thread) does
+        # not apply here.
+        obs.trace.add(
+            SpanRecord(
+                "service.request",
+                None,
+                t0,
+                dur,
+                0,
+                (
+                    ("op", msg.get("op")),
+                    ("ok", response.get("ok")),
+                    ("source", response.get("source")),
+                    ("degraded", response.get("degraded", False)),
+                ),
+            )
+        )

@@ -1,0 +1,136 @@
+"""Crash-safe persistence of the service's hot cache entries.
+
+The snapshot is one CRC frame (the same ``MAGIC | length | crc32 |
+payload`` format as the wire and the mp backend) whose payload is a
+canonical-JSON document::
+
+    {"format": 1,
+     "saved_at_unix": <float>,
+     "meta": {...},                      # free-form server info
+     "entries": [{"key": "<op>:<canonical params>",
+                  "value": {...},       # the served result, verbatim
+                  "freq": <int>}, ...]}
+
+Writes are atomic: the frame is written to ``<path>.tmp.<pid>``,
+flushed, fsync'd, and ``os.replace``d over the destination -- a crash
+at any instant leaves either the old snapshot or the new one, never a
+torn file.  (A stray tmp file from a crashed writer is inert and gets
+overwritten by the next save.)
+
+Loads are paranoid: magic, length bound, *exact* length match, CRC,
+JSON decode, format version, and per-entry shape are all checked, and
+every failure raises :class:`SnapshotError` naming what was wrong --
+the server logs the diagnostic and boots cold rather than warm-starting
+from a corrupt snapshot.  Because the snapshot holds pure-function
+results keyed by canonical query, a *stale* (old but intact) snapshot
+can never make the server serve a wrong plan; only torn/corrupt bytes
+are dangerous, and the CRC catches those.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from ..machine.mp.framing import (
+    HEADER_SIZE,
+    FrameError,
+    pack_frame,
+    parse_header,
+    verify_payload,
+)
+
+__all__ = ["SnapshotError", "load_snapshot", "save_snapshot"]
+
+SNAPSHOT_FORMAT = 1
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file that must not be warm-started from; the message
+    names the failing check (truncation, CRC, format, shape)."""
+
+
+def save_snapshot(path, entries: list[tuple[str, dict, int]], meta: dict | None = None) -> Path:
+    """Atomically persist ``(key, value, freq)`` triples to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "format": SNAPSHOT_FORMAT,
+        "saved_at_unix": time.time(),
+        "meta": meta or {},
+        "entries": [
+            {"key": key, "value": value, "freq": int(freq)}
+            for key, value, freq in entries
+        ],
+    }
+    payload = json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    frame = pack_frame(payload)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(frame)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_snapshot(path) -> tuple[list[tuple[str, dict, int]], dict]:
+    """Read and fully verify a snapshot; returns ``(entries, meta)``.
+
+    Raises :class:`SnapshotError` on any defect (missing file included)
+    -- callers decide whether a cold start is acceptable.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from None
+    if len(blob) < HEADER_SIZE:
+        raise SnapshotError(
+            f"snapshot {path} truncated: {len(blob)} bytes < {HEADER_SIZE}-byte header"
+        )
+    try:
+        length, crc = parse_header(blob[:HEADER_SIZE])
+    except FrameError as exc:
+        raise SnapshotError(f"snapshot {path} header invalid: {exc}") from None
+    payload = blob[HEADER_SIZE:]
+    if len(payload) != length:
+        raise SnapshotError(
+            f"snapshot {path} truncated or padded: header says {length} payload "
+            f"bytes, file has {len(payload)}"
+        )
+    try:
+        verify_payload(payload, crc)
+    except FrameError as exc:
+        raise SnapshotError(f"snapshot {path} corrupt: {exc}") from None
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(
+            f"snapshot {path} payload passed CRC but is not JSON: {exc}"
+        ) from None
+    if not isinstance(doc, dict) or doc.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"snapshot {path} has unsupported format "
+            f"{doc.get('format') if isinstance(doc, dict) else type(doc).__name__!r} "
+            f"(want {SNAPSHOT_FORMAT})"
+        )
+    raw_entries = doc.get("entries")
+    if not isinstance(raw_entries, list):
+        raise SnapshotError(f"snapshot {path} has no entries list")
+    entries: list[tuple[str, dict, int]] = []
+    for i, entry in enumerate(raw_entries):
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("key"), str)
+            or not isinstance(entry.get("value"), dict)
+            or not isinstance(entry.get("freq"), int)
+        ):
+            raise SnapshotError(f"snapshot {path} entry {i} malformed: {entry!r}")
+        entries.append((entry["key"], entry["value"], entry["freq"]))
+    meta = doc.get("meta")
+    return entries, meta if isinstance(meta, dict) else {}

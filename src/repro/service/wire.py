@@ -1,0 +1,136 @@
+"""JSON messages over the CRC frame format, sync and asyncio.
+
+The planning service speaks the multiprocess backend's frame format
+(:mod:`repro.machine.mp.framing`: ``MAGIC | length | crc32 | payload``)
+with JSON payloads instead of pickle -- clients in any language can
+speak it, and a hostile or confused peer can never make the server
+unpickle arbitrary objects.  The CRC turns truncated or interleaved
+writes into a clean :class:`~repro.machine.mp.framing.FrameError`
+instead of a JSON parse error mid-stream.
+
+Two transports share the byte-level helpers:
+
+* blocking sockets (the CLI client) via :func:`send_message` /
+  :func:`recv_message`, deadline-bounded like every mp-backend read;
+* asyncio streams (the server) via :func:`read_message` /
+  :func:`write_message`, each await bounded by a timeout so a stalled
+  peer surfaces as :class:`~repro.machine.mp.framing.FrameTimeout`,
+  never as a hung connection task.
+
+Messages are JSON *objects* (dicts) by construction; anything else is a
+protocol error.  Encoding is canonical (sorted keys, compact
+separators, ``allow_nan=False``) so equal messages are equal bytes --
+the differential tests compare served plans byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from ..machine.mp.framing import (
+    HEADER_SIZE,
+    FrameClosed,
+    FrameError,
+    FrameTimeout,
+    _recv_exact,
+    pack_frame,
+    parse_header,
+    verify_payload,
+)
+from ..machine.mp.timeouts import Deadline
+
+__all__ = [
+    "encode_message",
+    "decode_payload",
+    "send_message",
+    "recv_message",
+    "read_message",
+    "write_message",
+]
+
+
+def encode_message(obj: dict) -> bytes:
+    """Canonical JSON encoding wrapped in one CRC frame."""
+    payload = json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return pack_frame(payload)
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse a verified frame payload into a message dict."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise FrameError(f"message must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Blocking-socket transport (client side)
+# ---------------------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, obj: dict) -> int:
+    """Write one message; returns bytes written (all-or-raise)."""
+    frame = encode_message(obj)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def recv_message(sock: socket.socket, deadline: Deadline) -> dict:
+    """Read one complete message before the deadline or raise."""
+    header = _recv_exact(sock, HEADER_SIZE, deadline, "frame header")
+    length, crc = parse_header(header)
+    payload = _recv_exact(sock, length, deadline, "frame payload")
+    return decode_payload(verify_payload(payload, crc))
+
+
+# ---------------------------------------------------------------------------
+# Asyncio-stream transport (server side)
+# ---------------------------------------------------------------------------
+
+
+async def _read_exact(
+    reader: asyncio.StreamReader, n: int, timeout: float, what: str
+) -> bytes:
+    try:
+        return await asyncio.wait_for(reader.readexactly(n), timeout=timeout)
+    except asyncio.TimeoutError:
+        raise FrameTimeout(f"timed out reading {what}") from None
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise FrameError(
+                f"peer closed mid-{what} ({len(exc.partial)}/{n} bytes)"
+            ) from None
+        raise FrameClosed(f"peer closed before {what}") from None
+
+
+async def read_message(reader: asyncio.StreamReader, timeout: float) -> dict:
+    """Read one complete message within ``timeout`` seconds total."""
+    deadline = Deadline(timeout)
+    header = await _read_exact(
+        reader, HEADER_SIZE, max(deadline.remaining(), 1e-4), "frame header"
+    )
+    length, crc = parse_header(header)
+    payload = await _read_exact(
+        reader, length, max(deadline.remaining(), 1e-4), "frame payload"
+    )
+    return decode_payload(verify_payload(payload, crc))
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, obj: dict, timeout: float = 30.0
+) -> None:
+    """Write one message and drain within ``timeout`` seconds -- a client
+    that stops reading surfaces as :class:`FrameTimeout`, never as a
+    connection task blocked forever on a full socket buffer."""
+    writer.write(encode_message(obj))
+    try:
+        await asyncio.wait_for(writer.drain(), timeout=timeout)
+    except asyncio.TimeoutError:
+        raise FrameTimeout("timed out draining response to peer") from None

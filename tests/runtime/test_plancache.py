@@ -177,8 +177,8 @@ class TestReporting:
         ):
             entry = report["plan_caches"][name]
             assert set(entry) == {
-                "entries", "maxsize", "hits", "misses", "evictions",
-                "invalidations",
+                "entries", "maxsize", "shards", "hits", "misses",
+                "evictions", "invalidations", "expirations", "coalesced",
             }
 
     def test_clear_resets_all(self):

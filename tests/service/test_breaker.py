@@ -1,0 +1,82 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestBreaker:
+    def test_starts_closed_and_allows(self, clock):
+        b = CircuitBreaker(3, 1.0, clock=clock)
+        assert b.state == b.CLOSED
+        assert all(b.allow() for _ in range(10))
+
+    def test_trips_at_threshold_consecutive(self, clock):
+        b = CircuitBreaker(3, 1.0, clock=clock)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == b.CLOSED
+        b.record_failure()
+        assert b.state == b.OPEN
+        assert not b.allow()
+        assert b.trips == 1
+
+    def test_success_resets_consecutive_count(self, clock):
+        b = CircuitBreaker(2, 1.0, clock=clock)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == b.CLOSED  # never two in a row
+
+    def test_half_open_single_probe(self, clock):
+        b = CircuitBreaker(1, 1.0, clock=clock)
+        b.record_failure()
+        assert b.state == b.OPEN and not b.allow()
+        clock.advance(1.0)
+        assert b.state == b.HALF_OPEN
+        assert b.allow()  # the probe
+        assert not b.allow()  # only one probe per cooldown
+        b.record_success()
+        assert b.state == b.CLOSED and b.allow()
+
+    def test_half_open_failure_reopens(self, clock):
+        b = CircuitBreaker(1, 1.0, clock=clock)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == b.OPEN and not b.allow()
+        assert b.trips == 2
+        clock.advance(0.5)
+        assert not b.allow()  # cooldown restarted at the re-trip
+        clock.advance(0.5)
+        assert b.allow()
+
+    def test_snapshot(self, clock):
+        b = CircuitBreaker(2, 1.0, clock=clock)
+        b.record_failure()
+        snap = b.snapshot()
+        assert snap == {"state": "closed", "consecutive_failures": 1, "trips": 0}
+
+    @pytest.mark.parametrize("threshold,reset", [(0, 1.0), (1, 0.0), (1, -1.0)])
+    def test_bad_config_rejected(self, threshold, reset):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold, reset)

@@ -1,0 +1,64 @@
+"""Deterministic chaos: same seed, same fault plan, every time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.chaos import ChaosFailure, ChaosKill, ServiceChaos
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        a = ServiceChaos(seed=7, stall_rate=0.2, fail_rate=0.2, kill_rate=0.1)
+        b = ServiceChaos(seed=7, stall_rate=0.2, fail_rate=0.2, kill_rate=0.1)
+        plan_a = [a.decision(n) for n in range(500)]
+        plan_b = [b.decision(n) for n in range(500)]
+        assert plan_a == plan_b
+
+    def test_different_seeds_differ(self):
+        a = ServiceChaos(seed=1, fail_rate=0.5)
+        b = ServiceChaos(seed=2, fail_rate=0.5)
+        assert [a.decision(n) for n in range(200)] != [
+            b.decision(n) for n in range(200)
+        ]
+
+    def test_rates_partition(self):
+        chaos = ServiceChaos(seed=3, stall_rate=0.3, fail_rate=0.3, kill_rate=0.4)
+        kinds = {chaos.decision(n) for n in range(300)}
+        assert kinds == {"stall", "fail", "kill"}  # rates sum to 1: no clean runs
+        calm = ServiceChaos(seed=3)
+        assert all(calm.decision(n) is None for n in range(100))
+
+
+class TestPerturbation:
+    def test_fail_raises_and_counts(self):
+        chaos = ServiceChaos(seed=5, fail_rate=1.0)
+        with pytest.raises(ChaosFailure):
+            chaos.perturb_compute(1)
+        assert chaos.injected["fail"] == 1
+
+    def test_kill_is_a_failure_subtype(self):
+        chaos = ServiceChaos(seed=5, kill_rate=1.0)
+        with pytest.raises(ChaosKill):
+            chaos.perturb_compute(1)
+        assert chaos.injected["kill"] == 1
+        assert issubclass(ChaosKill, ChaosFailure)
+
+    def test_stall_sleeps_briefly(self):
+        import time
+
+        chaos = ServiceChaos(seed=5, stall_rate=1.0, stall_s=0.05)
+        t0 = time.monotonic()
+        chaos.perturb_compute(1)
+        assert time.monotonic() - t0 >= 0.05
+        assert chaos.injected["stall"] == 1
+
+    def test_clean_request_untouched(self):
+        chaos = ServiceChaos(seed=5)
+        chaos.perturb_compute(1)
+        assert chaos.injected == {"stall": 0, "fail": 0, "kill": 0}
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_validated(self, bad):
+        with pytest.raises(ValueError):
+            ServiceChaos(seed=1, fail_rate=bad)

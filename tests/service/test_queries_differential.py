@@ -1,0 +1,121 @@
+"""Differential tests: production vs oracle evaluation, bit-identical.
+
+The acceptance bar for the service is that every served plan is
+bit-identical to direct computation.  "Bit-identical" is checked at the
+representation that actually crosses the wire: the canonical JSON
+encoding (sorted keys, compact separators), compared as bytes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import RequestError
+from repro.service.queries import evaluate, reference
+
+
+def canonical(obj: dict) -> bytes:
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode()
+
+
+PLAN_CASES = [
+    {"p": 4, "k": 8, "l": 4, "s": 9, "m": 1},  # the paper's worked example
+    {"p": 1, "k": 1, "l": 0, "s": 1, "m": 0},
+    {"p": 3, "k": 5, "l": 2, "s": 7, "m": 2},
+    {"p": 8, "k": 3, "l": 11, "s": 13, "m": 5},
+    {"p": 2, "k": 16, "l": 0, "s": 31, "m": 1},
+    {"p": 5, "k": 4, "l": 3, "s": 20, "m": 0},  # stride spanning full courses
+]
+
+LOCALIZE_CASES = [
+    dict(p=4, k=8, extent=64, align_a=1, align_b=0, lower=0, upper=63, stride=3, rank=2),
+    dict(p=2, k=4, extent=40, align_a=2, align_b=1, lower=3, upper=37, stride=5, rank=1),
+    dict(p=3, k=5, extent=50, align_a=-1, align_b=49, lower=0, upper=49, stride=7, rank=0),
+    dict(p=1, k=3, extent=20, align_a=1, align_b=0, lower=19, upper=0, stride=4, rank=0),
+]
+
+SCHEDULE_CASES = [
+    {
+        "n": 64, "p": 4,
+        "lhs": {"k": 8, "align_a": 1, "align_b": 0, "lower": 0, "upper": 63, "stride": 1},
+        "rhs": {"k": 4, "align_a": 1, "align_b": 0, "lower": 0, "upper": 63, "stride": 1},
+    },
+    {
+        "n": 48, "p": 3,
+        "lhs": {"k": 4, "align_a": 1, "align_b": 2, "lower": 1, "upper": 43, "stride": 3},
+        "rhs": {"k": 6, "align_a": 1, "align_b": 0, "lower": 2, "upper": 44, "stride": 3},
+    },
+    {
+        "n": 30, "p": 2,
+        "lhs": {"k": 5, "align_a": 1, "align_b": 0, "lower": 0, "upper": 29, "stride": 2},
+        "rhs": {"k": 3, "align_a": 1, "align_b": 1, "lower": 0, "upper": 28, "stride": 2},
+    },
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("params", PLAN_CASES)
+    def test_plan_bit_identical(self, params):
+        assert canonical(evaluate("plan", params)) == canonical(
+            reference("plan", params)
+        )
+
+    @pytest.mark.parametrize("params", LOCALIZE_CASES)
+    def test_localize_bit_identical(self, params):
+        cached = evaluate("localize", params)
+        uncached = evaluate("localize", params, use_cache=False)
+        oracle = reference("localize", params)
+        assert canonical(cached) == canonical(uncached) == canonical(oracle)
+
+    @pytest.mark.parametrize("params", SCHEDULE_CASES)
+    def test_schedule_bit_identical(self, params):
+        cached = evaluate("schedule", params)
+        uncached = evaluate("schedule", params, use_cache=False)
+        oracle = reference("schedule", params)
+        assert canonical(cached) == canonical(uncached) == canonical(oracle)
+
+    def test_results_are_pure_json(self):
+        # No numpy scalars or other non-JSON types may leak through.
+        for params in PLAN_CASES[:2]:
+            json.dumps(evaluate("plan", params), allow_nan=False)
+        for params in LOCALIZE_CASES[:2]:
+            json.dumps(evaluate("localize", params), allow_nan=False)
+        for params in SCHEDULE_CASES[:1]:
+            json.dumps(evaluate("schedule", params), allow_nan=False)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "op,params,match",
+        [
+            ("plan", {}, "missing required parameter 'p'"),
+            ("plan", {"p": 0, "k": 1, "l": 0, "s": 1, "m": 0}, ">= 1"),
+            ("plan", {"p": 4, "k": 8, "l": 4, "s": 9, "m": 4}, "<= 3"),
+            ("plan", {"p": 4, "k": 8, "l": 4, "s": 9, "m": True}, "integer"),
+            ("plan", {"p": 4, "k": 8, "l": 4, "s": 9, "m": 0, "zz": 1}, "unknown"),
+            ("plan", {"p": 1 << 13, "k": 1 << 12, "l": 0, "s": 1, "m": 0}, "p\\*k"),
+            ("localize", {"p": 2, "k": 2, "extent": 10, "align_a": 0,
+                          "align_b": 0, "lower": 0, "upper": 9, "stride": 1,
+                          "rank": 0}, "nonzero"),
+            ("schedule", {"n": 10, "p": 2, "lhs": 3, "rhs": {}}, "object"),
+            ("schedule", {"n": 10, "p": 2,
+                          "lhs": {"k": 2, "lower": 0, "upper": 9, "stride": 1},
+                          "rhs": {"k": 2, "lower": 0, "upper": 4, "stride": 1}},
+             "conformable"),
+        ],
+    )
+    def test_bad_params_named(self, op, params, match):
+        with pytest.raises(RequestError, match=match):
+            evaluate(op, params)
+        with pytest.raises(RequestError):
+            reference(op, params)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(RequestError, match="unknown query op"):
+            evaluate("nonesuch", {})
+        with pytest.raises(RequestError, match="unknown query op"):
+            reference("nonesuch", {})

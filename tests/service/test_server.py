@@ -1,0 +1,459 @@
+"""End-to-end planning-server tests over real unix-socket connections.
+
+pytest-asyncio is not a dependency: each test drives its own event loop
+with ``asyncio.run`` from a synchronous test function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from repro.service import PlanServer, ServiceChaos, ServiceConfig
+from repro.service.queries import evaluate, reference
+from repro.service.snapshot import load_snapshot
+from repro.service.wire import read_message, write_message
+
+PLAN_A = {"p": 4, "k": 8, "l": 4, "s": 9, "m": 1}
+PLAN_B = {"p": 4, "k": 8, "l": 4, "s": 7, "m": 2}
+PLAN_C = {"p": 3, "k": 5, "l": 2, "s": 7, "m": 0}
+
+
+def canonical(obj) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+class Conn:
+    """One raw client connection speaking the framed-JSON protocol."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def open(cls, path: str) -> "Conn":
+        reader, writer = await asyncio.open_unix_connection(path)
+        return cls(reader, writer)
+
+    async def request(self, op: str, params=None, deadline_ms=5000, **extra) -> dict:
+        self._next_id += 1
+        msg = {"id": self._next_id, "op": op, "params": params or {},
+               "deadline_ms": deadline_ms, **extra}
+        await write_message(self.writer, msg)
+        return await read_message(self.reader, timeout=15.0)
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def run_with_server(scenario, tmp_path, **cfg_overrides):
+    """Boot a server on a fresh unix socket, run ``scenario(server,
+    path)``, and always stop the server; returns the scenario result."""
+    path = str(tmp_path / "plan.sock")
+    cfg_overrides.setdefault("snapshot_interval_s", 600.0)
+
+    async def main():
+        server = PlanServer(ServiceConfig(unix_path=path, **cfg_overrides))
+        await server.start()
+        try:
+            return await scenario(server, path)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestBasicOps:
+    def test_ping_and_stats(self, tmp_path):
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            pong = await conn.request("ping")
+            assert pong["ok"] and pong["result"]["pong"] and pong["id"] == 1
+            assert pong["source"] == "inline" and not pong["degraded"]
+            stats = await conn.request("stats")
+            assert stats["result"]["counters"]["requests"] == 2
+            assert stats["result"]["cache"]["entries"] == 0
+            assert stats["result"]["inflight"] == 0
+            await conn.close()
+
+        run_with_server(scenario, tmp_path)
+
+    def test_served_plans_bit_identical_to_direct_and_oracle(self, tmp_path):
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            for op, params in [
+                ("plan", PLAN_A),
+                ("localize", dict(p=4, k=8, extent=64, align_a=1, align_b=0,
+                                  lower=0, upper=63, stride=3, rank=2)),
+                ("schedule", {
+                    "n": 64, "p": 4,
+                    "lhs": {"k": 8, "align_a": 1, "align_b": 0, "lower": 0,
+                            "upper": 63, "stride": 1},
+                    "rhs": {"k": 4, "align_a": 1, "align_b": 0, "lower": 0,
+                            "upper": 63, "stride": 1},
+                }),
+            ]:
+                resp = await conn.request(op, params)
+                assert resp["ok"], resp
+                served = canonical(resp["result"])
+                assert served == canonical(evaluate(op, params))
+                assert served == canonical(reference(op, params))
+            await conn.close()
+
+        run_with_server(scenario, tmp_path)
+
+    def test_source_transitions_computed_then_cache(self, tmp_path):
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            first = await conn.request("plan", PLAN_A)
+            second = await conn.request("plan", PLAN_A)
+            assert first["source"] == "computed" and second["source"] == "cache"
+            assert first["result"] == second["result"]
+            assert not first["degraded"] and not second["degraded"]
+            assert server.counters.computed == 1
+            assert server.counters.cache_hits == 1
+            await conn.close()
+
+        run_with_server(scenario, tmp_path)
+
+    def test_bad_requests_answered_without_dropping_connection(self, tmp_path):
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            bad_op = await conn.request("frobnicate")
+            assert not bad_op["ok"] and bad_op["error"]["code"] == "BAD_REQUEST"
+            bad_param = await conn.request("plan", {**PLAN_A, "m": 99})
+            assert "must be <=" in bad_param["error"]["message"]
+            # The connection survives request-level errors.
+            assert (await conn.request("ping"))["ok"]
+            assert server.counters.bad_requests == 2
+            await conn.close()
+
+        run_with_server(scenario, tmp_path)
+
+    def test_garbage_frame_gets_diagnostic_then_close(self, tmp_path):
+        async def scenario(server, path):
+            reader, writer = await asyncio.open_unix_connection(path)
+            writer.write(b"this is not a frame!")
+            await writer.drain()
+            resp = await read_message(reader, timeout=10.0)
+            assert not resp["ok"] and resp["error"]["code"] == "BAD_REQUEST"
+            assert await reader.read() == b""  # server closed: resync by reconnect
+            writer.close()
+            assert server.counters.frame_errors == 1
+
+        run_with_server(scenario, tmp_path)
+
+    def test_connection_limit_refuses_with_retry_hint(self, tmp_path):
+        async def scenario(server, path):
+            conn1 = await Conn.open(path)
+            assert (await conn1.request("ping"))["ok"]
+            reader, writer = await asyncio.open_unix_connection(path)
+            refusal = await read_message(reader, timeout=10.0)
+            assert refusal["error"]["code"] == "OVERLOADED"
+            assert refusal["retry_after_ms"] == 50
+            writer.close()
+            assert server.counters.connections_refused == 1
+            await conn1.close()
+
+        run_with_server(scenario, tmp_path, max_connections=1)
+
+
+class TestDeadlines:
+    def test_stalled_compute_hits_server_side_deadline(self, tmp_path):
+        chaos = ServiceChaos(seed=11, stall_rate=1.0, stall_s=0.8)
+
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            t0 = time.monotonic()
+            resp = await conn.request("plan", PLAN_A, deadline_ms=150)
+            elapsed = time.monotonic() - t0
+            assert resp["error"]["code"] == "DEADLINE_EXCEEDED"
+            assert "150ms" in resp["error"]["message"]
+            assert elapsed < 0.7  # answered at the deadline, not after the stall
+            assert server.counters.deadline_exceeded == 1
+            await conn.close()
+
+        run_with_server(scenario, tmp_path, chaos=chaos)
+
+    def test_client_deadline_capped_by_server_max(self, tmp_path):
+        chaos = ServiceChaos(seed=11, stall_rate=1.0, stall_s=2.0)
+
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            resp = await conn.request("plan", PLAN_A, deadline_ms=60000)
+            assert resp["error"]["code"] == "DEADLINE_EXCEEDED"
+            assert "200ms" in resp["error"]["message"]  # the server's cap
+            await conn.close()
+
+        run_with_server(
+            scenario, tmp_path, chaos=chaos,
+            default_deadline_ms=100, max_deadline_ms=200,
+        )
+
+
+class TestBackpressure:
+    def test_saturated_queue_sheds_with_retry_after(self, tmp_path, monkeypatch):
+        real = evaluate
+
+        def slow_evaluate(op, params, use_cache=True):
+            if params.get("s") == 9:
+                time.sleep(0.6)
+            return real(op, params, use_cache)
+
+        monkeypatch.setattr("repro.service.server.evaluate", slow_evaluate)
+
+        async def scenario(server, path):
+            conn1 = await Conn.open(path)
+            conn2 = await Conn.open(path)
+            slow = asyncio.create_task(conn1.request("plan", PLAN_A))
+            await asyncio.sleep(0.2)  # let the slow compute occupy the slot
+            shed = await conn2.request("plan", PLAN_C)
+            assert shed["error"]["code"] == "OVERLOADED"
+            assert shed["retry_after_ms"] == 25
+            assert "1 requests in flight" in shed["error"]["message"]
+            ok = await slow
+            assert ok["ok"] and ok["source"] == "computed"
+            assert server.counters.shed_overload == 1
+            await conn1.close()
+            await conn2.close()
+
+        run_with_server(
+            scenario, tmp_path, max_inflight=1, retry_after_ms=25,
+        )
+
+    def test_stale_entry_served_degraded_under_overload(self, tmp_path, monkeypatch):
+        real = evaluate
+
+        def slow_evaluate(op, params, use_cache=True):
+            if params.get("s") == 9:
+                time.sleep(0.6)
+            return real(op, params, use_cache)
+
+        monkeypatch.setattr("repro.service.server.evaluate", slow_evaluate)
+
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            fresh = await conn.request("plan", PLAN_B)
+            assert fresh["source"] == "computed"
+            await asyncio.sleep(0.3)  # let the entry pass its TTL
+            conn2 = await Conn.open(path)
+            slow = asyncio.create_task(conn.request("plan", PLAN_A))
+            await asyncio.sleep(0.2)
+            stale = await conn2.request("plan", PLAN_B)
+            assert stale["ok"] and stale["degraded"]
+            assert stale["source"] == "stale-cache"
+            # Degraded but never wrong: bit-identical to the fresh plan.
+            assert canonical(stale["result"]) == canonical(fresh["result"])
+            await slow
+            assert server.counters.degraded_stale == 1
+            await conn.close()
+            await conn2.close()
+
+        run_with_server(
+            scenario, tmp_path, max_inflight=1, cache_ttl_s=0.2,
+        )
+
+    def test_fresh_hits_still_served_under_overload(self, tmp_path, monkeypatch):
+        real = evaluate
+
+        def slow_evaluate(op, params, use_cache=True):
+            if params.get("s") == 9:
+                time.sleep(0.6)
+            return real(op, params, use_cache)
+
+        monkeypatch.setattr("repro.service.server.evaluate", slow_evaluate)
+
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            primed = await conn.request("plan", PLAN_B)
+            conn2 = await Conn.open(path)
+            slow = asyncio.create_task(conn.request("plan", PLAN_A))
+            await asyncio.sleep(0.2)
+            hit = await conn2.request("plan", PLAN_B)
+            assert hit["ok"] and hit["source"] == "cache" and not hit["degraded"]
+            assert hit["result"] == primed["result"]
+            await slow
+            await conn.close()
+            await conn2.close()
+
+        run_with_server(scenario, tmp_path, max_inflight=1)
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_compute_once(self, tmp_path, monkeypatch):
+        real = evaluate
+        calls = []
+
+        def counting_evaluate(op, params, use_cache=True):
+            calls.append(op)
+            time.sleep(0.25)
+            return real(op, params, use_cache)
+
+        monkeypatch.setattr("repro.service.server.evaluate", counting_evaluate)
+
+        async def scenario(server, path):
+            conns = [await Conn.open(path) for _ in range(4)]
+            responses = await asyncio.gather(
+                *(c.request("plan", PLAN_A) for c in conns)
+            )
+            assert all(r["ok"] for r in responses)
+            assert len({canonical(r["result"]) for r in responses}) == 1
+            assert len(calls) == 1  # one compute across four clients
+            assert server._cache.stats()["coalesced"] == 3
+            for c in conns:
+                await c.close()
+
+        run_with_server(scenario, tmp_path, max_inflight=8)
+
+
+class TestCircuitBreaker:
+    def test_failures_trip_shard_then_reference_degrades(self, tmp_path):
+        chaos = ServiceChaos(seed=2, fail_rate=1.0)
+
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            for params in (PLAN_A, PLAN_B):
+                resp = await conn.request("plan", params)
+                assert resp["error"]["code"] == "INTERNAL"
+                assert "injected compute failure" in resp["error"]["message"]
+            # Threshold reached: breaker open, the ladder answers from the
+            # (chaos-free) reference path, tagged degraded.
+            resp = await conn.request("plan", PLAN_C)
+            assert resp["ok"] and resp["degraded"]
+            assert resp["source"] == "reference"
+            assert canonical(resp["result"]) == canonical(evaluate("plan", PLAN_C))
+            stats = await conn.request("stats")
+            breaker = stats["result"]["breakers"][0]
+            assert breaker["state"] == "open" and breaker["trips"] == 1
+            assert server.counters.degraded_reference == 1
+            assert server.counters.breaker_rejections == 1
+            await conn.close()
+
+        run_with_server(
+            scenario, tmp_path, chaos=chaos, cache_shards=1,
+            breaker_threshold=2, breaker_reset_s=60.0,
+        )
+
+    def test_breaker_recovers_after_cooldown(self, tmp_path):
+        chaos = ServiceChaos(seed=2, fail_rate=1.0)
+
+        async def scenario(server, path):
+            conn = await Conn.open(path)
+            resp = await conn.request("plan", PLAN_A)
+            assert resp["error"]["code"] == "INTERNAL"
+            assert (await conn.request("plan", PLAN_B))["source"] == "reference"
+            await asyncio.sleep(0.25)  # cooldown -> half-open
+            chaos.fail_rate = 0.0  # the fault clears
+            probe = await conn.request("plan", PLAN_C)
+            assert probe["ok"] and not probe["degraded"]
+            assert probe["source"] == "computed"
+            stats = await conn.request("stats")
+            assert stats["result"]["breakers"][0]["state"] == "closed"
+            await conn.close()
+
+        run_with_server(
+            scenario, tmp_path, chaos=chaos, cache_shards=1,
+            breaker_threshold=1, breaker_reset_s=0.2,
+        )
+
+
+class TestSnapshots:
+    def test_warm_start_serves_from_restored_cache(self, tmp_path):
+        sock = str(tmp_path / "a.sock")
+        snap = str(tmp_path / "plan.snap")
+
+        async def main():
+            cfg = ServiceConfig(
+                unix_path=sock, snapshot_path=snap, snapshot_interval_s=600.0
+            )
+            first = PlanServer(cfg)
+            await first.start()
+            conn = await Conn.open(sock)
+            original = await conn.request("plan", PLAN_A)
+            await conn.close()
+            await first.stop()  # writes the final snapshot
+
+            entries, meta = load_snapshot(snap)
+            assert len(entries) == 1 and meta["entries"] == 1
+
+            second = PlanServer(cfg)
+            await second.start()
+            assert second.warm_started_entries == 1
+            conn = await Conn.open(sock)
+            restored = await conn.request("plan", PLAN_A)
+            # Served from the warm cache: no compute happened.
+            assert restored["source"] == "cache" and not restored["degraded"]
+            assert canonical(restored["result"]) == canonical(original["result"])
+            assert second.counters.computed == 0
+            await conn.close()
+            await second.stop()
+
+        asyncio.run(main())
+
+    def test_corrupt_snapshot_boots_cold_with_diagnostic(self, tmp_path, capsys):
+        sock = str(tmp_path / "a.sock")
+        snap = tmp_path / "plan.snap"
+
+        async def main():
+            cfg = ServiceConfig(
+                unix_path=sock, snapshot_path=str(snap), snapshot_interval_s=600.0
+            )
+            first = PlanServer(cfg)
+            await first.start()
+            conn = await Conn.open(sock)
+            await conn.request("plan", PLAN_A)
+            await conn.close()
+            await first.stop()
+
+            blob = bytearray(snap.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF  # torn/corrupt write
+            snap.write_bytes(bytes(blob))
+
+            second = PlanServer(cfg)
+            await second.start()
+            assert second.warm_started_entries == 0
+            assert "corrupt" in second.snapshot_diagnostic
+            conn = await Conn.open(sock)
+            stats = await conn.request("stats")
+            assert "corrupt" in stats["result"]["snapshot_diagnostic"]
+            # Cold but correct: the plan is recomputed, not resurrected.
+            resp = await conn.request("plan", PLAN_A)
+            assert resp["ok"] and resp["source"] == "computed"
+            await conn.close()
+            await second.stop()
+
+        asyncio.run(main())
+        assert "cold start" in capsys.readouterr().err
+
+    def test_periodic_snapshot_loop_writes(self, tmp_path):
+        sock = str(tmp_path / "a.sock")
+        snap = tmp_path / "plan.snap"
+
+        async def main():
+            server = PlanServer(
+                ServiceConfig(
+                    unix_path=sock, snapshot_path=str(snap),
+                    snapshot_interval_s=0.15,
+                )
+            )
+            await server.start()
+            conn = await Conn.open(sock)
+            await conn.request("plan", PLAN_A)
+            await asyncio.sleep(0.4)
+            assert snap.exists()
+            assert server.counters.snapshots_saved >= 1
+            entries, _ = load_snapshot(snap)
+            assert len(entries) == 1
+            await conn.close()
+            await server.stop()
+
+        asyncio.run(main())

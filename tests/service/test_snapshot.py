@@ -1,0 +1,130 @@
+"""Crash-safe snapshot persistence: atomicity and paranoid loading."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.machine.mp.framing import HEADER_SIZE
+from repro.service.snapshot import SnapshotError, load_snapshot, save_snapshot
+
+ENTRIES = [
+    ('plan:{"k":8,"l":4,"m":1,"p":4,"s":9}', {"start": 13, "length": 8}, 7),
+    ('plan:{"k":8,"l":4,"m":2,"p":4,"s":9}', {"start": 20, "length": 8}, 2),
+]
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "plan.snap"
+        save_snapshot(path, ENTRIES, meta={"pid": 42})
+        entries, meta = load_snapshot(path)
+        assert entries == ENTRIES
+        assert meta["pid"] == 42
+
+    def test_empty_entries_ok(self, tmp_path):
+        path = tmp_path / "plan.snap"
+        save_snapshot(path, [])
+        assert load_snapshot(path) == ([], {})
+
+    def test_no_tmp_residue_and_overwrite(self, tmp_path):
+        path = tmp_path / "plan.snap"
+        save_snapshot(path, ENTRIES)
+        save_snapshot(path, ENTRIES[:1])
+        assert [p.name for p in tmp_path.iterdir()] == ["plan.snap"]
+        entries, _ = load_snapshot(path)
+        assert len(entries) == 1
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "plan.snap"
+        save_snapshot(path, ENTRIES)
+        assert load_snapshot(path)[0] == ENTRIES
+
+
+class TestDiagnosticRejection:
+    """Every corruption mode is rejected with a message naming it."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(tmp_path / "absent.snap")
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "s"
+        path.write_bytes(b"\xab")
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "s"
+        save_snapshot(path, ENTRIES)
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="header invalid"):
+            load_snapshot(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "s"
+        save_snapshot(path, ENTRIES)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])  # torn write
+        with pytest.raises(SnapshotError, match="truncated or padded"):
+            load_snapshot(path)
+
+    def test_flipped_payload_byte_fails_crc(self, tmp_path):
+        path = tmp_path / "s"
+        save_snapshot(path, ENTRIES)
+        blob = bytearray(path.read_bytes())
+        blob[HEADER_SIZE + 3] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="corrupt"):
+            load_snapshot(path)
+
+    def _write_frame(self, path, doc) -> None:
+        from repro.machine.mp.framing import pack_frame
+
+        payload = json.dumps(doc).encode()
+        path.write_bytes(pack_frame(payload))
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "s"
+        self._write_frame(path, {"format": 99, "entries": []})
+        with pytest.raises(SnapshotError, match="unsupported format"):
+            load_snapshot(path)
+
+    def test_non_dict_document(self, tmp_path):
+        path = tmp_path / "s"
+        self._write_frame(path, [1, 2, 3])
+        with pytest.raises(SnapshotError, match="unsupported format"):
+            load_snapshot(path)
+
+    def test_missing_entries_list(self, tmp_path):
+        path = tmp_path / "s"
+        self._write_frame(path, {"format": 1, "entries": "nope"})
+        with pytest.raises(SnapshotError, match="no entries list"):
+            load_snapshot(path)
+
+    def test_malformed_entry_named_by_index(self, tmp_path):
+        path = tmp_path / "s"
+        self._write_frame(
+            path,
+            {
+                "format": 1,
+                "entries": [
+                    {"key": "k", "value": {}, "freq": 1},
+                    {"key": 5, "value": {}, "freq": 1},
+                ],
+            },
+        )
+        with pytest.raises(SnapshotError, match="entry 1 malformed"):
+            load_snapshot(path)
+
+    def test_valid_crc_but_not_json(self, tmp_path):
+        from repro.machine.mp.framing import pack_frame
+
+        path = tmp_path / "s"
+        path.write_bytes(pack_frame(b"\xff\xfe not json"))
+        with pytest.raises(SnapshotError, match="not JSON"):
+            load_snapshot(path)

@@ -1,0 +1,163 @@
+"""Wire framing and protocol-envelope units for the planning service."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.machine.mp.framing import FrameError
+from repro.machine.mp.timeouts import Deadline
+from repro.service.protocol import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
+    RequestError,
+    ServiceError,
+    canonical_key,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.service.wire import (
+    decode_payload,
+    encode_message,
+    read_message,
+    recv_message,
+    send_message,
+    write_message,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        msg = {"id": 1, "op": "plan", "params": {"p": 4, "k": 8}}
+        frame = encode_message(msg)
+        from repro.machine.mp.framing import HEADER_SIZE, parse_header, verify_payload
+
+        length, crc = parse_header(frame[:HEADER_SIZE])
+        assert len(frame) == HEADER_SIZE + length
+        assert decode_payload(verify_payload(frame[HEADER_SIZE:], crc)) == msg
+
+    def test_canonical_field_order_equal_bytes(self):
+        a = encode_message({"b": 1, "a": {"y": 2, "x": 3}})
+        b = encode_message({"a": {"x": 3, "y": 2}, "b": 1})
+        assert a == b
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            encode_message({"x": float("nan")})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_payload(b"[1,2,3]")
+        with pytest.raises(FrameError, match="not valid JSON"):
+            decode_payload(b"{nope")
+
+    def test_corrupted_frame_caught_by_crc(self):
+        frame = bytearray(encode_message({"id": 1, "op": "ping"}))
+        frame[-1] ^= 0xFF
+        from repro.machine.mp.framing import HEADER_SIZE, parse_header, verify_payload
+
+        length, crc = parse_header(bytes(frame[:HEADER_SIZE]))
+        with pytest.raises(FrameError, match="CRC mismatch"):
+            verify_payload(bytes(frame[HEADER_SIZE:]), crc)
+
+
+class TestSyncTransport:
+    def test_socketpair_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"id": 7, "op": "ping", "params": {}})
+            msg = recv_message(b, Deadline(2.0))
+            assert msg == {"id": 7, "op": "ping", "params": {}}
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncTransport:
+    def test_stream_roundtrip_and_timeout(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            # Feed an encoded message plus trailing silence.
+            reader.feed_data(encode_message({"id": 3, "op": "stats"}))
+            msg = await read_message(reader, timeout=1.0)
+            assert msg["id"] == 3
+            from repro.machine.mp.framing import FrameTimeout
+
+            with pytest.raises(FrameTimeout):
+                await read_message(reader, timeout=0.05)
+
+        asyncio.run(main())
+
+    def test_eof_is_frame_closed(self):
+        async def main():
+            from repro.machine.mp.framing import FrameClosed
+
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            with pytest.raises(FrameClosed):
+                await read_message(reader, timeout=1.0)
+
+        asyncio.run(main())
+
+    def test_partial_close_is_frame_error(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_message({"id": 1, "op": "ping"})[:5])
+            reader.feed_eof()
+            with pytest.raises(FrameError, match="mid-"):
+                await read_message(reader, timeout=1.0)
+
+        asyncio.run(main())
+
+
+class TestRequestEnvelope:
+    def test_valid(self):
+        req = parse_request(
+            {"id": 5, "op": "plan", "params": {"p": 2}, "deadline_ms": 100}
+        )
+        assert (req.id, req.op, req.deadline_ms) == (5, "plan", 100)
+        assert req.params == {"p": 2}
+
+    def test_deadline_optional(self):
+        assert parse_request({"id": 1, "op": "ping"}).deadline_ms is None
+
+    @pytest.mark.parametrize(
+        "msg",
+        [
+            {"op": "ping"},  # no id
+            {"id": True, "op": "ping"},  # bool id
+            {"id": "x", "op": "ping"},  # non-int id
+            {"id": 1, "op": "frobnicate"},  # unknown op
+            {"id": 1},  # no op
+            {"id": 1, "op": "plan", "params": [1]},  # non-dict params
+            {"id": 1, "op": "ping", "deadline_ms": 0},  # non-positive
+            {"id": 1, "op": "ping", "deadline_ms": True},  # bool deadline
+            {"id": 1, "op": "ping", "extra": 1},  # unknown field
+        ],
+    )
+    def test_malformed_rejected(self, msg):
+        with pytest.raises(RequestError):
+            parse_request(msg)
+
+    def test_canonical_key_field_order_independent(self):
+        assert canonical_key("plan", {"p": 4, "k": 8}) == canonical_key(
+            "plan", {"k": 8, "p": 4}
+        )
+        assert canonical_key("plan", {"p": 4}) != canonical_key("localize", {"p": 4})
+
+    def test_responses(self):
+        ok = ok_response(3, {"x": 1}, source="cache", degraded=False, server_ms=1.234)
+        assert ok["ok"] and ok["id"] == 3 and ok["server_ms"] == 1.234
+        err = error_response(4, OVERLOADED, "full", retry_after_ms=50)
+        assert not err["ok"] and err["retry_after_ms"] == 50
+        assert error_response(None, BAD_REQUEST, "x").get("retry_after_ms") is None
+
+    def test_retryability_partition(self):
+        assert ServiceError(OVERLOADED, "x").retryable
+        assert ServiceError(DEADLINE_EXCEEDED, "x").retryable
+        assert not ServiceError(BAD_REQUEST, "x").retryable
+        assert not RequestError("x").retryable
