@@ -1,8 +1,8 @@
 # Convenience targets for the PPoPP '95 reproduction.
 
-.PHONY: install test bench bench-kernels bench-elastic bench-service faults \
-	soak mp-soak elastic-soak service-soak reproduce examples trace clean \
-	clean-reports
+.PHONY: install test bench bench-kernels bench-native bench-elastic \
+	bench-service faults soak mp-soak elastic-soak service-soak reproduce \
+	examples trace clean clean-reports
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
@@ -32,9 +32,19 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Vectorized-kernel + plan-cache benchmark; verifies the vectorized
-# paths against the scalar oracles and writes BENCH_kernels.json.
+# paths against the scalar oracles and writes BENCH_kernels.json
+# (includes the native fill columns when a C compiler is present).
 bench-kernels:
 	python benchmarks/bench_kernels.py
+
+# Native-kernel focus (docs/NATIVE.md): the compiled-kernel tests, the
+# kernels benchmark with native dispatch forced on, and the compiled
+# Table 1/2 reproductions through the hashed artifact cache.
+bench-native:
+	pytest -q tests/runtime/test_native.py tests/runtime/test_emit_c.py
+	REPRO_NATIVE=on python benchmarks/bench_kernels.py
+	python -m repro table1c
+	python -m repro table2c
 
 # Live re-layout benchmark; verifies every migration against a
 # static-p' oracle and writes BENCH_elastic.json.
@@ -187,6 +197,7 @@ examples:
 
 clean: clean-reports
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	rm -rf .repro-native-cache
 	find . -name __pycache__ -type d -exec rm -rf {} +
 
 # Drop run artifacts: fault/soak sweep logs, flight-recorder and

@@ -36,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.environment import environment_metadata
 from repro.distribution import AxisMap, CyclicK, DistributedArray, ProcessorGrid
 from repro.machine.checkpoint import CheckpointPolicy, CheckpointStore
 from repro.machine.faults import FaultPlan
@@ -161,6 +162,7 @@ def main(argv=None) -> int:
     report = {
         "config": {"sizes": sizes, "n_shapes": n_shapes, "repeats": repeats,
                    "quick": args.quick},
+        "environment": environment_metadata(),
         "rows": rows,
     }
     args.output.write_text(json.dumps(report, indent=1) + "\n")

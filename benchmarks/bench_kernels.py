@@ -1,22 +1,33 @@
 #!/usr/bin/env python
 """Benchmark the vectorized access-sequence kernels and the plan cache.
 
-Times three variants of the runtime's hot paths and writes the results
-as machine-readable rows to ``BENCH_kernels.json``:
+Times the runtime's hot paths and writes the results as
+machine-readable rows to ``BENCH_kernels.json``:
 
 * ``scalar``     -- the element-at-a-time reference implementations
   (``compute_comm_schedule_reference``, ``distribute_reference``,
-  ``collect_reference``, ``localized_elements``);
+  ``collect_reference``, ``localized_elements``, and the interpreted
+  Figure 8 fill loops);
 * ``vectorized`` -- the NumPy closed-form kernels with cold plan caches
   (every call constructs its plans afresh);
 * ``cached``     -- the same calls with warm plan caches (the
-  steady-state of an iterative solver re-running one statement).
+  steady-state of an iterative solver re-running one statement);
+* ``native``     -- the compiled-kernel subsystem
+  (:mod:`repro.runtime.native`): the emitted Figure 8 node code as a
+  cached .so, dispatched in-process.  The ``fill_*`` benchmarks run the
+  Table 2 grid through both the interpreter and the native kernels;
+  rows are skipped (with a note in the report) when no C compiler is
+  usable.
 
 Before timing anything the script cross-checks every vectorized path
 against its scalar oracle over a sweep of randomized configurations
 (including affine alignments, strided/negative-stride sections, empty
-owners) and **exits nonzero on any mismatch** -- CI runs it with
-``--quick`` as a correctness smoke test.
+owners), cross-checks the compiled kernels against the interpreted
+shapes on randomized plans, and **exits nonzero on any mismatch** -- CI
+runs it with ``--quick`` as a correctness smoke test.  After the native
+timings it re-runs every native fill from a cold process-state against
+the warm on-disk cache and exits nonzero if that pass performed any
+compilation (the cache contract: warm runs never invoke cc).
 
 Usage::
 
@@ -44,6 +55,9 @@ from repro.distribution import (
     localized_arrays,
     localized_elements,
 )
+from repro.bench.environment import environment_metadata
+from repro.bench.workloads import Table2Case, table2_cases
+from repro.core.counting import local_allocation_size
 from repro.machine.vm import VirtualMachine
 from repro.runtime import (
     cache_stats,
@@ -56,7 +70,11 @@ from repro.runtime import (
     compute_comm_schedule_reference,
     distribute,
     distribute_reference,
+    get_shape,
+    make_plan,
+    native_available,
 )
+from repro.runtime.native import get_runtime_kernels, reset_native_state
 
 
 def make_1d(name: str, n: int, p: int, k: int, a: int = 1, b: int = 0) -> DistributedArray:
@@ -146,6 +164,49 @@ def verify(draws: int, seed: int = 20260806) -> list[str]:
     return failures
 
 
+def verify_native(draws: int, seed: int = 20260807) -> list[str]:
+    """Cross-check the compiled kernels against the interpreted Figure 8
+    shapes on randomized plans; empty list when no compiler is usable
+    (nothing to check -- dispatch falls back to the verified paths)."""
+    kernels = get_runtime_kernels()
+    if kernels is None:
+        return []
+    rng = np.random.default_rng(seed)
+    failures: list[str] = []
+    for i in range(draws):
+        p = int(rng.integers(1, 9))
+        k = int(rng.integers(1, 17))
+        l = int(rng.integers(0, 40))
+        s = int(rng.integers(1, 120))
+        u = l + int(rng.integers(0, 500))
+        m = int(rng.integers(0, p))
+        plan = make_plan(p, k, l, u, s, m)
+        size = local_allocation_size(p, k, u + 1, m)
+        tag = f"native draw {i}: p={p} k={k} l={l} u={u} s={s} m={m}"
+        value = float(rng.standard_normal())
+        for shape in "abcdv":
+            ref = np.zeros(size)
+            want = get_shape(shape, native=False)(ref, plan, value)
+            got_mem = np.zeros(size)
+            got = kernels.fill(got_mem, plan, value, shape)
+            if got != want or not np.array_equal(got_mem, ref):
+                failures.append(f"fill mismatch: {tag} shape={shape}")
+        if size:
+            src = rng.standard_normal(size)
+            idx = rng.integers(0, size, size=int(rng.integers(0, 64)))
+            packed = kernels.gather(src, idx)
+            if packed is None or not np.array_equal(packed, src[idx]):
+                failures.append(f"gather mismatch: {tag}")
+            dst_n, dst_c = np.zeros(size), np.zeros(size)
+            vals = rng.standard_normal(len(idx))
+            dst_n[idx] = vals
+            if not kernels.scatter(dst_c, idx, vals) or not np.array_equal(
+                dst_c, dst_n
+            ):
+                failures.append(f"scatter mismatch: {tag}")
+    return failures
+
+
 # ----------------------------------------------------------------------
 # Timed rows
 # ----------------------------------------------------------------------
@@ -231,6 +292,66 @@ def bench_localized(n: int, p: int, repeats: int) -> list[dict]:
     return rows
 
 
+def _fill_cells(cases: list[Table2Case]) -> list[tuple]:
+    """(bench-name, plan, arena) for every (Table 2 cell, Figure 8 shape)."""
+    cells = []
+    for case in cases:
+        rank = case.p // 2
+        plan = make_plan(case.p, case.k, case.l, case.upper, case.s, rank)
+        size = local_allocation_size(case.p, case.k, case.upper + 1, rank)
+        memory = np.zeros(size)
+        for shape in "abcd":
+            cells.append((f"fill_{shape}[k={case.k},s={case.s}]", shape, plan, memory))
+    return cells
+
+
+def bench_fill_shapes(cases: list[Table2Case], repeats: int) -> list[dict]:
+    """The Table 2 experiment through this runtime: every Figure 8 shape
+    on every grid cell, interpreted vs compiled.  Native rows are
+    omitted when no compiler is usable."""
+    rows = []
+    with_native = native_available()
+    for bench, shape, plan, memory in _fill_cells(cases):
+        interp = get_shape(shape, native=False)
+        t = timeit(lambda: interp(memory, plan, 100.0), repeats)
+        rows.append({"benchmark": bench, "variant": "scalar", "seconds": t,
+                     "n": plan.count, "p": plan.p})
+        if with_native:
+            nat = get_shape(shape, native=True)
+            t = timeit(lambda: nat(memory, plan, 100.0), max(repeats, 20))
+            rows.append({"benchmark": bench, "variant": "native", "seconds": t,
+                         "n": plan.count, "p": plan.p})
+    return rows
+
+
+def warm_cache_check(cases: list[Table2Case]) -> list[str]:
+    """Re-run every native fill after dropping all in-process native
+    state: the on-disk cache is warm, so the pass must dlopen existing
+    artifacts and perform **zero** compilations.  Returns violations."""
+    if not native_available():
+        return []
+    from repro.obs import Observability, set_ambient
+
+    reset_native_state()  # forget handles; disk cache stays
+    obs = Observability()
+    prev = set_ambient(obs)
+    try:
+        for _, shape, plan, memory in _fill_cells(cases):
+            get_shape(shape, native=True)(memory, plan, 100.0)
+    finally:
+        set_ambient(prev)
+    problems = []
+    compiles = obs.metrics.value("native.compile")
+    if compiles:
+        problems.append(
+            f"warm-cache pass performed {compiles} compilations "
+            "(cache key instability or a broken install path)"
+        )
+    if not obs.metrics.value("native.dispatch_native"):
+        problems.append("warm-cache pass never dispatched a native kernel")
+    return problems
+
+
 def collect_metrics(n: int, p: int) -> dict:
     """One instrumented warm pass over the benched workloads.
 
@@ -268,7 +389,7 @@ def speedups(rows: list[dict]) -> dict:
     for bench in {r["benchmark"] for r in rows}:
         scalar = by.get((bench, "scalar"))
         entry = {}
-        for variant in ("vectorized", "cached"):
+        for variant in ("vectorized", "cached", "native"):
             sec = by.get((bench, variant))
             if scalar and sec:
                 entry[variant] = round(scalar / sec, 2)
@@ -303,15 +424,59 @@ def main(argv=None) -> int:
         return 1
     print("ok: vectorized kernels bit-identical to scalar paths")
 
+    if native_available():
+        print(f"verifying compiled kernels against interpreted shapes "
+              f"({draws} draws)...")
+        failures = verify_native(draws)
+        if failures:
+            for f in failures:
+                print(f"MISMATCH: {f}", file=sys.stderr)
+            print(f"{len(failures)} native-vs-interpreted mismatches",
+                  file=sys.stderr)
+            return 1
+        print("ok: compiled kernels bit-identical to interpreted shapes")
+    else:
+        print("note: no usable C compiler -- native rows skipped, "
+              "NumPy fallback covers dispatch")
+
+    fill_cases = table2_cases()
+    if args.quick:
+        fill_cases = [c for c in fill_cases if c.k <= 32 and c.s <= 15]
+
     clear_plan_caches()
     rows = []
     rows += bench_localized(n, args.procs, repeats)
     rows += bench_comm_schedule(n, args.procs, repeats)
     rows += bench_distribute_collect(n, args.procs, repeats)
+    rows += bench_fill_shapes(fill_cases, repeats)
+
+    problems = warm_cache_check(fill_cases)
+    if problems:
+        for prob in problems:
+            print(f"CACHE VIOLATION: {prob}", file=sys.stderr)
+        return 1
+    if native_available():
+        print("ok: warm-cache native pass performed zero compilations")
+        # The perf gate: compiled Figure 8 shapes must beat the
+        # interpreter by >=5x on every Table 2 cell (typical: 15-100x).
+        by = {(r["benchmark"], r["variant"]): r["seconds"] for r in rows}
+        slow = [
+            (bench, by[bench, "scalar"] / sec)
+            for (bench, variant), sec in by.items()
+            if variant == "native" and by[bench, "scalar"] / sec < 5.0
+        ]
+        if slow:
+            for bench, ratio in slow:
+                print(f"PERF GATE: {bench} native only {ratio:.1f}x over "
+                      "interpreted (need >=5x)", file=sys.stderr)
+            return 1
+        print("ok: native fill columns >=5x over the interpreter")
 
     report = {
         "config": {"n": n, "p": args.procs, "repeats": repeats,
-                   "quick": args.quick, "verify_draws": draws},
+                   "quick": args.quick, "verify_draws": draws,
+                   "native": native_available()},
+        "environment": environment_metadata(),
         "rows": rows,
         "speedups": speedups(rows),
         "cache_stats": cache_stats(),

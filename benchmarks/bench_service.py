@@ -40,6 +40,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.bench.environment import environment_metadata
 from repro.service import PlanClient, PlanServer, ServiceChaos, ServiceConfig
 from repro.service.protocol import RETRYABLE_CODES, ServiceError
 from repro.service.queries import evaluate
@@ -306,6 +307,7 @@ def main(argv=None) -> int:
                    "distinct_queries": distinct,
                    "requests_main": requests_main,
                    "requests_sweep": requests_sweep},
+        "environment": environment_metadata(),
         "rows": rows,
     }
     args.output.write_text(json.dumps(report, indent=1) + "\n")

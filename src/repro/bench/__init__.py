@@ -6,6 +6,7 @@ Each experiment module is runnable: ``python -m repro.bench.table1``,
 ``benchmarks/`` wrap the same workloads for statistical reporting.
 """
 
+from .environment import environment_metadata
 from .report import ascii_plot, format_markdown, format_table
 from .timers import Timing, max_over_ranks, time_us
 from .workloads import (
@@ -22,6 +23,7 @@ from .workloads import (
 )
 
 __all__ = [
+    "environment_metadata",
     "Timing",
     "time_us",
     "max_over_ranks",

@@ -1,0 +1,57 @@
+"""Host environment metadata for benchmark reports.
+
+Every ``BENCH_*.json`` embeds :func:`environment_metadata` so numbers
+can be compared across machines and across time: the paper's Table 1/2
+figures are meaningless without "on an i860", and ours are meaningless
+without the CPU model, the Python, and -- for the native-kernel columns
+-- the exact C compiler (or ``"none"`` when the run fell back to NumPy).
+
+Everything here is best-effort and allocation-free of external
+dependencies: unknown fields degrade to ``"unknown"`` rather than
+raising, because a bench run must never die on metadata.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+__all__ = ["cpu_model", "environment_metadata"]
+
+
+def cpu_model() -> str:
+    """Human CPU model string (``/proc/cpuinfo`` on Linux, else
+    :func:`platform.processor`, else ``"unknown"``)."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith(("model name", "hardware", "cpu model")):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def environment_metadata() -> dict:
+    """JSON-ready description of the benchmarking host.
+
+    Keys: ``cpu``, ``cpu_count``, ``python``, ``platform``, ``numpy``,
+    ``compiler`` (the native subsystem's :func:`compiler_id`, ``"none"``
+    when no C compiler is usable -- which is itself a result worth
+    recording: it means every native column in that report is a NumPy
+    fallback).
+    """
+    import os
+
+    import numpy as np
+
+    from ..runtime.native.build import compiler_id
+
+    return {
+        "cpu": cpu_model(),
+        "cpu_count": os.cpu_count() or 0,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "compiler": compiler_id(),
+    }

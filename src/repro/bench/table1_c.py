@@ -20,11 +20,10 @@ Run with ``python -m repro.bench.table1_c`` (requires ``cc``/``gcc``).
 from __future__ import annotations
 
 import argparse
-import shutil
 import subprocess
-import tempfile
 from pathlib import Path
 
+from ..runtime.native.build import NativeBuildError, build_cached, find_compiler
 from .report import format_markdown, format_table
 from .workloads import PAPER_P, TABLE1_BLOCK_SIZES, table1_strides
 
@@ -206,17 +205,15 @@ int main(int argc, char **argv)
 
 
 def compiler_available() -> str | None:
-    """Path of the host C compiler (cc or gcc), or None."""
-    return shutil.which("cc") or shutil.which("gcc")
+    """Path of the host C compiler, or None (delegates to the native
+    subsystem's discovery, including the ``REPRO_NATIVE_CC`` pin)."""
+    return find_compiler()
 
 
-def _build(workdir: Path, cc: str) -> Path:
-    source = workdir / "table1.c"
-    binary = workdir / "table1"
-    source.write_text(C_SOURCE)
-    subprocess.run([cc, "-O2", "-o", str(binary), str(source)],
-                   check=True, capture_output=True)
-    return binary
+def _build() -> Path:
+    """The Table 1 measurement binary, via the hashed artifact cache
+    (compiled once per source/compiler revision, then reused forever)."""
+    return build_cached(C_SOURCE, {"unit": "table1_bench"}, kind="exe")
 
 
 def run_table1_c(
@@ -227,27 +224,25 @@ def run_table1_c(
     reps: int = 2000,
 ) -> list[dict]:
     """Per-k rows of ``{label: (lattice_us, sorting_us)}`` measured in C
-    (rank p//2, as in the Python quick mode)."""
-    cc = compiler_available()
-    if cc is None:
-        raise RuntimeError("no C compiler (cc/gcc) on this host")
+    (rank p//2, as in the Python quick mode).  Raises
+    :class:`~repro.runtime.native.NativeBuildError` when the binary must
+    be compiled and no C compiler is available."""
+    binary = _build()
     rows = []
-    with tempfile.TemporaryDirectory(prefix="repro_table1c_") as tmp:
-        binary = _build(Path(tmp), cc)
-        m = p // 2
-        for k in block_sizes:
-            results = {}
-            for label, s in table1_strides(k, p).items():
-                cell = []
-                for alg in ("lattice", "sorting"):
-                    out = subprocess.run(
-                        [str(binary), alg, str(p), str(k), str(l), str(s),
-                         str(m), str(reps)],
-                        check=True, capture_output=True, text=True,
-                    )
-                    cell.append(float(out.stdout.strip()))
-                results[label] = tuple(cell)
-            rows.append({"k": k, "results": results})
+    m = p // 2
+    for k in block_sizes:
+        results = {}
+        for label, s in table1_strides(k, p).items():
+            cell = []
+            for alg in ("lattice", "sorting"):
+                out = subprocess.run(
+                    [str(binary), alg, str(p), str(k), str(l), str(s),
+                     str(m), str(reps)],
+                    check=True, capture_output=True, text=True,
+                )
+                cell.append(float(out.stdout.strip()))
+            results[label] = tuple(cell)
+        rows.append({"k": k, "results": results})
     return rows
 
 
@@ -287,9 +282,10 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--reps", type=int, default=2000)
     parser.add_argument("--markdown", action="store_true")
     args = parser.parse_args(argv)
-    if compiler_available() is None:
-        raise SystemExit("no C compiler (cc/gcc) found on this host")
-    rows = run_table1_c(reps=args.reps)
+    try:
+        rows = run_table1_c(reps=args.reps)
+    except NativeBuildError as exc:
+        raise SystemExit(f"cannot build Table 1 harness: {exc}")
     print(f"Table 1 in compiled C (-O2): construction time in us "
           f"(p={PAPER_P}, l=0, rank {PAPER_P // 2}, best of {args.reps})")
     print(render(rows, markdown=args.markdown))

@@ -190,11 +190,37 @@ SHAPES: dict[str, Callable] = {
 }
 
 
-def get_shape(name: str) -> Callable:
-    """Look up a node-code shape by its Figure 8 label (a/b/c/d/v)."""
+def get_shape(name: str, native: bool | None = None) -> Callable:
+    """Look up a node-code shape by its Figure 8 label (a/b/c/d/v).
+
+    ``native`` selects the compiled-kernel dispatch seam
+    (:mod:`repro.runtime.native`): ``True`` prefers the compiled shape
+    (falling back per call when the memory is not native-servable or no
+    compiler exists), ``False`` pins the interpreter, ``None`` follows
+    the global mode.  Either way the returned callable has the same
+    ``(memory, plan, value) -> written`` contract and writes the same
+    bits -- the Python shapes remain the semantics of record.
+    """
     try:
-        return SHAPES[name]
+        fill = SHAPES[name]
     except KeyError:
         raise ValueError(
             f"unknown node-code shape {name!r}; choose from {sorted(SHAPES)}"
         ) from None
+    from .native import kernels_for
+
+    kernels = kernels_for(native)
+    if kernels is None:
+        return fill
+
+    from ..obs import ambient
+
+    def native_fill(memory, plan: AccessPlan, value) -> int:
+        written = kernels.fill(memory, plan, value, name)
+        if written is None:
+            ambient().inc("native.dispatch_numpy")
+            return fill(memory, plan, value)
+        ambient().inc("native.dispatch_native")
+        return written
+
+    return native_fill

@@ -12,13 +12,37 @@ The emitted code is self-contained C89 (plus a ``main`` harness option)
 so it can be eyeballed against the paper or compiled elsewhere; the
 Python test suite checks its structure and -- via a tiny C interpreter
 shim -- its address stream.
+
+Beyond the eyeballable fragments, this module also emits *library*
+translation units for the compiled-kernel subsystem
+(:mod:`repro.runtime.native`): :func:`emit_runtime_kernels` produces the
+generic table-driven node-code shapes plus the ΔM-driven pack/unpack
+(gather/scatter) loops with ``extern`` entry points, and
+:func:`emit_timing_library` wraps one specialized plan's node code in a
+natively timed entry point.  Both are ``-fPIC``-able C99 with no
+dependencies beyond libc, built and cached by
+:mod:`repro.runtime.native.build`.
 """
 
 from __future__ import annotations
 
 from .address import AccessPlan
 
-__all__ = ["emit_node_code", "emit_harness", "emit_timing_harness"]
+__all__ = [
+    "EMITTER_VERSION",
+    "KERNELS_ABI",
+    "emit_node_code",
+    "emit_harness",
+    "emit_timing_harness",
+    "emit_runtime_kernels",
+    "emit_timing_library",
+]
+
+#: Version of the emitted C.  Part of every native-cache descriptor hash
+#: (:mod:`repro.runtime.native.build`), so changing any emitter output
+#: MUST bump this -- stale cached .so files would otherwise keep serving
+#: the old code.
+EMITTER_VERSION = 1
 
 _HEADERS = {
     "a": "shape (a): cycle the table index with mod (Figure 8(a))",
@@ -170,5 +194,189 @@ def emit_timing_harness(plan: AccessPlan, shape: str, memory_size: int,
         "    printf(\"%.3f\\n\", best);\n"
         "    free(A);\n"
         "    return 0;\n"
+        "}\n"
+    )
+
+
+#: Generic runtime kernels: the four Figure 8 node-code shapes with the
+#: ΔM tables passed at run time (the paper's Section 6.1 "runtime
+#: constructor" scenario), plus the ΔM-driven pack/unpack loops behind
+#: distribute/collect and the resilient exchange.  ``long`` matches
+#: NumPy's int64 on every LP64 platform the repo targets; the builder
+#: rejects others.  Each fill returns the number of elements written so
+#: the Python wrappers can preserve the interpreter shapes' contract.
+_RUNTIME_KERNELS_C = r"""
+/* Generic access-sequence kernels (Figure 8 shapes + pack/unpack).
+ * Table-driven: distribution parameters arrive as arguments, so one
+ * shared library serves every plan.  Emitted by repro.runtime.emit_c
+ * (EMITTER_VERSION pins the cache key). */
+
+long repro_fill_a(double *A, double value, long start, long last,
+                  const long *deltaM, long length)
+{
+    double *base = A + start;
+    double *end = A + last;
+    long i = 0, written = 0;
+    while (base <= end) {
+        *base = value;
+        written++;
+        base += deltaM[i];
+        i = (i + 1) % length;
+    }
+    return written;
+}
+
+long repro_fill_b(double *A, double value, long start, long last,
+                  const long *deltaM, long length)
+{
+    double *base = A + start;
+    double *end = A + last;
+    long i = 0, written = 0;
+    while (base <= end) {
+        *base = value;
+        written++;
+        base += deltaM[i++];
+        if (i == length) i = 0;
+    }
+    return written;
+}
+
+long repro_fill_c(double *A, double value, long start, long last,
+                  const long *deltaM, long length)
+{
+    double *base = A + start;
+    double *end = A + last;
+    long i, written = 0;
+    while (1) {
+        for (i = 0; i < length; i++) {
+            *base = value;
+            written++;
+            base += deltaM[i];
+            if (base > end) goto done;
+        }
+    }
+done:
+    return written;
+}
+
+long repro_fill_d(double *A, double value, long start, long last,
+                  const long *deltaM, const long *nextOffset,
+                  long startOffset)
+{
+    double *base = A + start;
+    double *end = A + last;
+    long i = startOffset, written = 0;
+    while (base <= end) {
+        *base = value;
+        written++;
+        base += deltaM[i];
+        i = nextOffset[i];
+    }
+    return written;
+}
+
+/* Descending traversal (negative gaps, start >= last) -- the
+ * negative-stride analogue of shape (b). */
+long repro_fill_desc(double *A, double value, long start, long last,
+                     const long *deltaM, long length)
+{
+    double *base = A + start;
+    double *end = A + last;
+    long i = 0, written = 0;
+    while (base >= end) {
+        *base = value;
+        written++;
+        base += deltaM[i++];
+        if (i == length) i = 0;
+    }
+    return written;
+}
+
+/* Fancy-indexed store over a materialized address vector (shape (v)
+ * and the multidimensional execute_fill fast path). */
+void repro_fill_indexed(double *A, const long *idx, long n, double value)
+{
+    long t;
+    for (t = 0; t < n; t++)
+        A[idx[t]] = value;
+}
+
+/* Pack: gather section elements into a contiguous send buffer. */
+void repro_gather_f64(double *dst, const double *src, const long *idx,
+                      long n)
+{
+    long t;
+    for (t = 0; t < n; t++)
+        dst[t] = src[idx[t]];
+}
+
+/* Unpack: scatter a contiguous receive buffer into local memory. */
+void repro_scatter_f64(double *dst, const long *idx, const double *src,
+                       long n)
+{
+    long t;
+    for (t = 0; t < n; t++)
+        dst[idx[t]] = src[t];
+}
+
+/* ABI probe: the loader checks this to reject stale/corrupt builds. */
+long repro_kernels_abi(void) { return @ABI@; }
+"""
+
+#: The ABI stamp baked into the generic library and checked at load
+#: time; bumped with EMITTER_VERSION.
+KERNELS_ABI = 1
+
+
+def emit_runtime_kernels() -> str:
+    """The generic kernel library: table-driven Figure 8 shapes (a)-(d),
+    the descending fill, the indexed fill, and the pack/unpack
+    gather/scatter -- one ``-fPIC``-able translation unit."""
+    return _RUNTIME_KERNELS_C.replace("@ABI@", str(KERNELS_ABI))
+
+
+def emit_timing_library(plan: AccessPlan, shape: str, memory_size: int,
+                        value: float = 100.0) -> str:
+    """Shared-library variant of :func:`emit_timing_harness`.
+
+    Exports the specialized ``node_code`` plus ``repro_best_us(reps)``,
+    which allocates the local arena, runs the warm-up and the min-of-N
+    repetition loop natively, and returns the best per-invocation
+    microseconds as a double -- the Table 2 cell measurement without a
+    process launch per cell.  ``repro_touched(A, cap)`` re-runs the node
+    code on a caller-provided arena so the address stream stays
+    checkable from Python.
+    """
+    node = emit_node_code(plan, shape, value)
+    return (
+        "#include <stdlib.h>\n"
+        "#include <time.h>\n\n"
+        + node
+        + "\n"
+        "static double now_us(void)\n"
+        "{\n"
+        "    struct timespec ts;\n"
+        "    clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+        "    return ts.tv_sec * 1e6 + ts.tv_nsec * 1e-3;\n"
+        "}\n\n"
+        "double repro_best_us(long reps)\n"
+        "{\n"
+        f"    double *A = calloc({memory_size}, sizeof(double));\n"
+        "    double best = 1e30;\n"
+        "    long r;\n"
+        "    if (!A) return -1.0;\n"
+        "    node_code(A); /* warm up */\n"
+        "    for (r = 0; r < reps; r++) {\n"
+        "        double t0 = now_us();\n"
+        "        node_code(A);\n"
+        "        double dt = now_us() - t0;\n"
+        "        if (dt < best) best = dt;\n"
+        "    }\n"
+        "    free(A);\n"
+        "    return best;\n"
+        "}\n\n"
+        "void repro_touched(double *A)\n"
+        "{\n"
+        "    node_code(A);\n"
         "}\n"
     )

@@ -20,8 +20,10 @@ import numpy as np
 from ..distribution.array import DistributedArray
 from ..distribution.section import RegularSection
 from ..machine.vm import VirtualMachine
+from ..obs import ambient
 from .address import flat_local_addresses
 from .codegen import get_shape, materialize_addresses
+from .native import kernels_for
 from .commsets import CommSchedule
 from .plancache import (
     cached_array_plan,
@@ -32,6 +34,8 @@ from .plancache import (
 
 __all__ = [
     "as_index",
+    "gather_slots",
+    "scatter_slots",
     "distribute",
     "collect",
     "distribute_reference",
@@ -48,6 +52,31 @@ def as_index(slots) -> np.ndarray:
     """Slot tuple -> int64 fancy-index array (the packing/unpacking idiom
     shared by every executor, including :mod:`repro.runtime.resilient`)."""
     return np.asarray(slots, dtype=np.int64)
+
+
+def gather_slots(mem, slots, kernels) -> np.ndarray:
+    """Pack ``mem[slots]`` into a fresh buffer -- natively when
+    ``kernels`` (from :func:`repro.runtime.native.kernels_for`) can
+    serve the call, else the NumPy fancy-index copy.  The executors'
+    and the resilient exchange's one packing idiom."""
+    if kernels is not None:
+        out = kernels.gather(mem, as_index(slots))
+        if out is not None:
+            ambient().inc("native.dispatch_native")
+            return out
+        ambient().inc("native.dispatch_numpy")
+    return mem[as_index(slots)].copy()
+
+
+def scatter_slots(mem, slots, values, kernels) -> None:
+    """Unpack ``values`` into ``mem[slots]`` -- the scatter twin of
+    :func:`gather_slots`, with the same native-or-NumPy dispatch."""
+    if kernels is not None:
+        if kernels.scatter(mem, as_index(slots), values):
+            ambient().inc("native.dispatch_native")
+            return
+        ambient().inc("native.dispatch_numpy")
+    mem[as_index(slots)] = values
 
 
 def _check_vm(vm: VirtualMachine, array: DistributedArray) -> None:
@@ -98,7 +127,12 @@ def _is_lowest_owner(array: DistributedArray, rank: int) -> bool:
     )
 
 
-def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) -> None:
+def distribute(
+    vm: VirtualMachine,
+    array: DistributedArray,
+    values: np.ndarray,
+    native: bool | None = None,
+) -> None:
     """Scatter a host image into per-rank local memories (named after the
     array).  Replicated axes receive full copies.
 
@@ -106,6 +140,8 @@ def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) 
     gather/scatter built from the per-dimension layout closed forms --
     no per-element ownership tests
     (:func:`distribute_reference` keeps that scalar sweep as the oracle).
+    With ``native`` (see :mod:`repro.runtime.native`), rank-1 arrays run
+    the gather/scatter pair through the compiled pack/unpack kernels.
     """
     _check_vm(vm, array)
     values = np.asarray(values)
@@ -113,29 +149,42 @@ def distribute(vm: VirtualMachine, array: DistributedArray, values: np.ndarray) 
         raise ValueError(
             f"host image shape {values.shape} != array shape {array.shape}"
         )
+    kernels = kernels_for(native)
     with vm.obs.span("distribute", array=array.name):
         for rank in range(array.grid.size):
             shape = array.local_shape(rank)
             local = np.zeros(shape, dtype=values.dtype)
             dims = _dim_images(array, rank)
-            local[np.ix_(*[slots for _, slots in dims])] = values[
-                np.ix_(*[idx for idx, _ in dims])
-            ]
+            if kernels is not None and array.rank == 1:
+                idx, slots = dims[0]
+                scatter_slots(local, slots, gather_slots(values, idx, kernels),
+                              kernels)
+            else:
+                local[np.ix_(*[slots for _, slots in dims])] = values[
+                    np.ix_(*[idx for idx, _ in dims])
+                ]
             proc = vm.processors[rank]
             proc.allocate(array.name, local.size, dtype=values.dtype)
             proc.memory(array.name)[:] = local.reshape(-1)
 
 
-def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np.ndarray:
+def collect(
+    vm: VirtualMachine,
+    array: DistributedArray,
+    dtype=np.float64,
+    native: bool | None = None,
+) -> np.ndarray:
     """Gather per-rank local memories back into one host image.
 
     Replicated elements are taken from the lowest owning rank; the
     integration tests separately assert replica coherence.  Vectorized
     like :func:`distribute`: one cross-product fancy-index per
-    contributing rank instead of a per-element ownership sweep.
+    contributing rank instead of a per-element ownership sweep (and the
+    compiled gather/scatter pair for rank-1 arrays under ``native``).
     """
     _check_vm(vm, array)
     out = np.zeros(array.shape, dtype=dtype)
+    kernels = kernels_for(native)
     with vm.obs.span("collect", array=array.name):
         for rank in range(array.grid.size):
             if not _is_lowest_owner(array, rank):
@@ -144,9 +193,14 @@ def collect(vm: VirtualMachine, array: DistributedArray, dtype=np.float64) -> np
             local = vm.processors[rank].memory(array.name).reshape(
                 array.local_shape(rank)
             )
-            out[np.ix_(*[idx for idx, _ in dims])] = local[
-                np.ix_(*[slots for _, slots in dims])
-            ]
+            if kernels is not None and array.rank == 1:
+                idx, slots = dims[0]
+                scatter_slots(out, idx, gather_slots(local, slots, kernels),
+                              kernels)
+            else:
+                out[np.ix_(*[idx for idx, _ in dims])] = local[
+                    np.ix_(*[slots for _, slots in dims])
+                ]
     return out
 
 
@@ -156,8 +210,6 @@ def distribute_reference(
     """Element-at-a-time :func:`distribute` (the original ``np.ndindex``
     sweep), kept as the oracle the property tests and the kernel
     benchmarks compare the vectorized path against."""
-    from ..obs import ambient
-
     ambient().inc("kernels.scalar_path_calls")
     _check_vm(vm, array)
     values = np.asarray(values)
@@ -180,8 +232,6 @@ def collect_reference(
 ) -> np.ndarray:
     """Element-at-a-time :func:`collect` (the original per-element
     ownership sweep), kept as the oracle for the vectorized path."""
-    from ..obs import ambient
-
     ambient().inc("kernels.scalar_path_calls")
     _check_vm(vm, array)
     out = np.zeros(array.shape, dtype=dtype)
@@ -197,6 +247,7 @@ def execute_fill(
     sections: tuple[RegularSection, ...],
     value,
     shape: str = "d",
+    native: bool | None = None,
 ) -> int:
     """Run ``A(sections) = value`` on every rank; returns elements written.
 
@@ -204,14 +255,17 @@ def execute_fill(
     paper's Figure 8 experiment); multidimensional arrays traverse the
     per-dimension plans with vectorized address materialization (outer
     dims) around the requested shape is not meaningful there, so they
-    always use the vectorized path.
+    always use the vectorized path.  ``native`` selects the compiled
+    node-code kernels (:mod:`repro.runtime.native`) for both cases,
+    falling back to the interpreter/NumPy paths bit-identically.
     """
     _check_vm(vm, array)
     if len(sections) != array.rank:
         raise ValueError(
             f"need {array.rank} sections for {array.name}, got {len(sections)}"
         )
-    fill = get_shape(shape)
+    fill = get_shape(shape, native=native)
+    kernels = kernels_for(native)
     total = 0
     with vm.obs.span("execute_fill", array=array.name, shape=shape):
         if array.rank == 1:
@@ -241,10 +295,13 @@ def execute_fill(
                 total += sum(1 for idx, _ in pairs if array.owners(idx)[0] == rank)
             else:
                 # Fast path (the Section-2 reduction, vectorized): outer-sum of
-                # the per-dimension 1-D slot vectors, one fancy-indexed store.
+                # the per-dimension 1-D slot vectors, one fancy-indexed store
+                # (compiled when the native kernels can serve it).
                 addrs = flat_local_addresses(array, sections, rank)
                 if len(addrs):
-                    memory[addrs] = value
+                    if (kernels is None
+                            or kernels.fill_indexed(memory, addrs, value) is None):
+                        memory[addrs] = value
                 total += len(addrs)
     return total
 
@@ -256,6 +313,7 @@ def execute_copy(
     b: DistributedArray,
     sec_b: RegularSection,
     schedule: CommSchedule | None = None,
+    native: bool | None = None,
 ) -> CommSchedule:
     """Run ``A(sec_a) = B(sec_b)`` with generated communication.
 
@@ -263,7 +321,9 @@ def execute_copy(
     unpack into LHS local memory.  A precomputed ``schedule`` may be
     passed (the compile-time-constants case the paper discusses);
     otherwise one comes from the plan cache (repeated statements over
-    identically mapped operands reuse the schedule object).
+    identically mapped operands reuse the schedule object).  ``native``
+    routes the pack/unpack hot loops through the compiled
+    gather/scatter kernels (:mod:`repro.runtime.native`).
     """
     _check_vm(vm, a)
     _check_vm(vm, b)
@@ -271,6 +331,7 @@ def execute_copy(
         with vm.obs.span("schedule", statement="copy"):
             schedule = cached_comm_schedule(a, sec_a, b, sec_b)
     tag = ("copy", a.name, b.name)
+    kernels = kernels_for(native)
 
     # Fortran semantics: the RHS is read in full before any element is
     # stored.  All payloads -- remote sends AND local copies -- are
@@ -283,17 +344,16 @@ def execute_copy(
             return
         src_mem = ctx.memory(b.name)
         for tr in schedule.sends_from(ctx.rank):
-            payload = src_mem[as_index(tr.src_slots)].copy()
-            ctx.send(tr.dest, tag, payload)
+            ctx.send(tr.dest, tag, gather_slots(src_mem, tr.src_slots, kernels))
         staged = [
-            (tr, src_mem[as_index(tr.src_slots)].copy())
+            (tr, gather_slots(src_mem, tr.src_slots, kernels))
             for tr in schedule.locals_
             if tr.source == ctx.rank
         ]
         if staged:
             dst_mem = ctx.memory(a.name)
             for tr, values in staged:
-                dst_mem[as_index(tr.dst_slots)] = values
+                scatter_slots(dst_mem, tr.dst_slots, values, kernels)
 
     def unpack_phase(ctx):
         if ctx.rank >= a.grid.size:
@@ -301,7 +361,7 @@ def execute_copy(
         dst_mem = ctx.memory(a.name)
         for tr in schedule.receives_at(ctx.rank):
             payload = ctx.recv(tr.source, tag)
-            dst_mem[as_index(tr.dst_slots)] = payload
+            scatter_slots(dst_mem, tr.dst_slots, payload, kernels)
 
     with vm.obs.span("execute_copy", array=a.name, rhs=b.name):
         vm.bsp(pack_phase, unpack_phase)
@@ -405,14 +465,16 @@ def execute_copy_2d(
     secs_b,
     schedule=None,
     rhs_dims: tuple[int, int] = (0, 1),
+    native: bool | None = None,
 ):
     """Run the 2-D statement ``A(secs_a) = B(secs_b)`` with communication.
 
     The tensor-product schedule of
     :func:`repro.runtime.commsets2d.compute_comm_schedule_2d`; the same
-    pack / exchange / unpack supersteps as :func:`execute_copy`.
-    ``rhs_dims=(1, 0)`` pairs LHS dimension 0 with RHS dimension 1 --
-    the distributed transpose (see :func:`execute_transpose`).
+    pack / exchange / unpack supersteps (and ``native`` pack/unpack
+    dispatch) as :func:`execute_copy`.  ``rhs_dims=(1, 0)`` pairs LHS
+    dimension 0 with RHS dimension 1 -- the distributed transpose (see
+    :func:`execute_transpose`).
     """
     _check_vm(vm, a)
     _check_vm(vm, b)
@@ -421,6 +483,7 @@ def execute_copy_2d(
             a, tuple(secs_a), b, tuple(secs_b), rhs_dims
         )
     tag = ("copy2d", a.name, b.name)
+    kernels = kernels_for(native)
 
     # Read-before-write staging, as in execute_copy (a rank may carry
     # several local transfers in 2-D, so all are gathered first).
@@ -429,17 +492,16 @@ def execute_copy_2d(
             return
         src_mem = ctx.memory(b.name)
         for tr in schedule.sends_from(ctx.rank):
-            payload = src_mem[as_index(tr.src_slots)].copy()
-            ctx.send(tr.dest, tag, payload)
+            ctx.send(tr.dest, tag, gather_slots(src_mem, tr.src_slots, kernels))
         staged = [
-            (tr, src_mem[as_index(tr.src_slots)].copy())
+            (tr, gather_slots(src_mem, tr.src_slots, kernels))
             for tr in schedule.locals_
             if tr.source == ctx.rank
         ]
         if staged:
             dst_mem = ctx.memory(a.name)
             for tr, values in staged:
-                dst_mem[as_index(tr.dst_slots)] = values
+                scatter_slots(dst_mem, tr.dst_slots, values, kernels)
 
     def unpack_phase(ctx):
         if ctx.rank >= a.grid.size:
@@ -447,7 +509,7 @@ def execute_copy_2d(
         dst_mem = ctx.memory(a.name)
         for tr in schedule.receives_at(ctx.rank):
             payload = ctx.recv(tr.source, tag)
-            dst_mem[as_index(tr.dst_slots)] = payload
+            scatter_slots(dst_mem, tr.dst_slots, payload, kernels)
 
     with vm.obs.span("execute_copy_2d", array=a.name, rhs=b.name):
         vm.bsp(pack_phase, unpack_phase)

@@ -75,7 +75,8 @@ from ..machine.trace import FlightRecorder
 from ..machine.iface import Machine
 from .commsets import CommSchedule, Transfer
 from .plancache import cached_comm_schedule
-from .exec import _check_vm, as_index
+from .exec import _check_vm, as_index, gather_slots, scatter_slots
+from .native import kernels_for
 from .redistribute import RedistributionStats, stats_from_schedule
 
 __all__ = [
@@ -739,14 +740,18 @@ def _execute_copy_resilient(
         if ctx.rank >= b.grid.size:
             return
         src_mem = ctx.memory(b.name)
+        # Packing runs through the native/NumPy dispatch seam
+        # (repro.runtime.native, global mode): the hot gather loops are
+        # compiled when available, bit-identical either way.
+        kernels = kernels_for(None)
         for tid, tr in enumerate(transfers):
             if tr.source != ctx.rank:
                 continue
-            payload = src_mem[as_index(tr.src_slots)].copy()
+            payload = gather_slots(src_mem, tr.src_slots, kernels)
             outbox[ctx.rank][tid] = _Outbound(tr, payload)
             ctx.send(tr.dest, data_tag, Packet(tid, 0, _packet_checksum(tid, 0, payload), payload))
         staged = [
-            (tr, src_mem[as_index(tr.src_slots)].copy())
+            (tr, gather_slots(src_mem, tr.src_slots, kernels))
             for tr in schedule.locals_
             if tr.source == ctx.rank
         ]
@@ -754,7 +759,7 @@ def _execute_copy_resilient(
         if staged:
             dst_mem = ctx.memory(a.name)
             for tr, values in staged:
-                dst_mem[as_index(tr.dst_slots)] = values
+                scatter_slots(dst_mem, tr.dst_slots, values, kernels)
                 if auditor is not None:
                     auditor.note_write(ctx.rank, a.name, tr.dst_slots)
 

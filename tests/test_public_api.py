@@ -80,7 +80,8 @@ class TestTopLevel:
             "repro.runtime.commsets", "repro.runtime.commsets2d",
             "repro.runtime.exec", "repro.runtime.redistribute",
             "repro.runtime.triangular", "repro.runtime.sections_io",
-            "repro.runtime.emit_c",
+            "repro.runtime.emit_c", "repro.runtime.native",
+            "repro.runtime.native.build",
             "repro.lang.parser", "repro.lang.compiler", "repro.lang.reference",
             "repro.lang.desugar",
             "repro.viz.layout_ascii", "repro.viz.lattice_diagram",
@@ -90,6 +91,7 @@ class TestTopLevel:
             "repro.bench.ablations", "repro.bench.opcounts",
             "repro.bench.claims", "repro.bench.costs",
             "repro.bench.table1_c", "repro.bench.table2_c",
+            "repro.bench.environment",
         ]
         for modname in modules:
             module = importlib.import_module(modname)
