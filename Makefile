@@ -2,7 +2,7 @@
 
 .PHONY: install test bench bench-kernels bench-native bench-elastic \
 	bench-service faults soak mp-soak elastic-soak service-soak reproduce \
-	examples trace clean clean-reports
+	examples trace profile clean clean-reports
 
 # Seeds the fault-injection sweep runs under (space separated).
 FAULT_SEED_SWEEP ?= 0 1 2 7 42
@@ -180,6 +180,17 @@ trace:
 	python -m repro trace copy redistribute resilient --drop 0.2 \
 		--out trace.json --summary trace-summary.txt
 
+# Measured superstep profiles + cost-model calibration on both backends
+# (docs/OBSERVABILITY.md "Profiles & calibration").  --require-traffic
+# makes a silently-unattached collector a hard failure; the calibration
+# gate itself is benchmarks/bench_profile.py (BENCH_profile.json).
+profile:
+	python -m repro profile copy redistribute --backend inprocess \
+		--out PROFILE.json --require-traffic
+	python -m repro profile copy redistribute --backend mp \
+		--out PROFILE_mp.json --require-traffic
+	python benchmarks/bench_profile.py --quick
+
 # Regenerate every table/figure of the paper (writes to stdout).
 reproduce:
 	python -m repro table1
@@ -205,3 +216,4 @@ clean: clean-reports
 clean-reports:
 	rm -rf $(FAULT_REPORT_DIR)
 	rm -f trace.json trace.jsonl trace-summary.txt BENCH_*_metrics.json
+	rm -f PROFILE.json PROFILE_mp.json

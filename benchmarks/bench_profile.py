@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Benchmark profile-driven cost-model calibration; write BENCH_profile.json.
+
+Runs a seeded redistribution workload on the in-process oracle across
+several sizes and block-size pairs with a
+:class:`repro.obs.profile.ProfileCollector` attached, fits the cost
+model to the measured supersteps (:func:`repro.obs.calibrate.fit`), and
+records how much the fitted model reduces the mean absolute residual
+against the default iPSC/860 constants.  **Exits nonzero if calibration
+fails to improve on the default model** (``mae_calibrated >
+mae_default``) -- the acceptance gate for the observability PR -- or if
+any run measures zero traffic (a silently-unattached collector).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py           # full size
+    PYTHONPATH=src python benchmarks/bench_profile.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.environment import environment_metadata
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.machine.costmodel import CostModel
+from repro.machine.topology import CrossbarTopology
+from repro.machine.vm import VirtualMachine
+from repro.obs import Observability
+from repro.obs.calibrate import fit, replay
+from repro.obs.profile import ProfileCollector, RunProfile
+from repro.runtime.exec import collect, distribute
+from repro.runtime.redistribute import redistribute
+
+
+def _vector(name: str, n: int, p: int, k: int) -> DistributedArray:
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(name, (n,), grid, (AxisMap(CyclicK(k), grid_axis=0),))
+
+
+def run_workload(p: int, sizes: list[int], pairs: list[tuple[int, int]],
+                 seed: int) -> RunProfile:
+    """One seeded oracle run per (size, k-pair); pooled supersteps."""
+    rng = np.random.default_rng(seed)
+    supersteps = []
+    total_counters: dict[str, int] = {}
+    for n in sizes:
+        for k_src, k_dst in pairs:
+            obs = Observability(enabled=True)
+            vm = VirtualMachine(p, obs=obs)
+            collector = ProfileCollector()
+            with collector.attach(vm):
+                src = _vector("S", n, p, k_src)
+                dst = _vector("D", n, p, k_dst)
+                distribute(vm, src, rng.standard_normal(n))
+                distribute(vm, dst, np.zeros(n))
+                redistribute(vm, dst, src)
+                collect(vm, dst)
+            profile = collector.build(n=n, k_src=k_src, k_dst=k_dst, seed=seed)
+            if profile.total_sent_bytes == 0:
+                raise SystemExit(
+                    f"bench_profile: zero traffic for n={n} "
+                    f"k={k_src}->{k_dst} (collector unattached?)"
+                )
+            supersteps.extend(profile.supersteps)
+            for name, value in profile.counters.items():
+                total_counters[name] = total_counters.get(name, 0) + value
+    return RunProfile(
+        p=p, backend="inprocess", supersteps=supersteps, counters=total_counters,
+        meta={"sizes": sizes, "pairs": pairs, "seed": seed},
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for the CI smoke run")
+    parser.add_argument("--p", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_profile.json",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [240, 960] if args.quick else [240, 960, 3840, 15360]
+    pairs = [(3, 7), (1, 8)] if args.quick else [(3, 7), (1, 8), (8, 1), (5, 5)]
+
+    profile = run_workload(args.p, sizes, pairs, args.seed)
+    topology = CrossbarTopology(args.p)
+    result = fit(profile, topology)
+    default_rows = replay(profile, topology, CostModel())
+
+    report = {
+        "environment": environment_metadata(),
+        "workload": {
+            "p": args.p, "sizes": sizes, "pairs": pairs, "seed": args.seed,
+            "supersteps": len(profile.supersteps),
+            "measured_supersteps": len(profile.measured_steps),
+            "total_sent_bytes": profile.total_sent_bytes,
+        },
+        "model": result.model.to_json(),
+        "mae_default_us": result.mae_default_us,
+        "mae_calibrated_us": result.mae_calibrated_us,
+        "improvement_us": result.improvement_us,
+        "max_abs_residual_us": result.max_abs_residual_us,
+    }
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(
+        f"calibrated {result.n_steps} supersteps: "
+        f"MAE {result.mae_default_us:.1f}us -> {result.mae_calibrated_us:.1f}us "
+        f"(improvement {result.improvement_us:.1f}us); wrote {args.output}"
+    )
+    if result.mae_calibrated_us > result.mae_default_us:
+        print(
+            "bench_profile: FAIL -- calibration did not improve on the "
+            "default model", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

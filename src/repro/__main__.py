@@ -10,6 +10,7 @@ Commands map one-to-one onto the paper's evaluation artifacts::
     python -m repro opcounts   # platform-independent operation counts
     python -m repro claims     # Section 6.1 sensitivity claims
     python -m repro trace      # run instrumented programs, export traces
+    python -m repro profile    # measured superstep profiles + calibration
 
 Plus the long-running planning service (ROADMAP item 3)::
 
@@ -34,6 +35,7 @@ COMMANDS = {
     "table2c": "repro.bench.table2_c",
     "table1c": "repro.bench.table1_c",
     "trace": "repro.obs.cli",
+    "profile": "repro.obs.profilecli",
     # "module:function" targets call that function instead of main().
     "serve": "repro.service.cli:serve_main",
     "plan-client": "repro.service.cli:client_main",

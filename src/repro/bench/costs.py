@@ -84,19 +84,55 @@ def main(argv: list[str] | None = None) -> None:
     """CLI entry point; see the module docstring for what it prints."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=4096)
+    parser.add_argument(
+        "--calibrated", metavar="PROFILE.json", default=None,
+        help="also price every schedule under the fitted cost model from "
+             "a ``python -m repro profile`` output (two extra columns)",
+    )
     args = parser.parse_args(argv)
+
+    fitted = None
+    if args.calibrated:
+        from ..obs.calibrate import load_model
+
+        fitted = load_model(args.calibrated)
+        print(
+            f"calibrated model from {args.calibrated}: "
+            f"alpha={fitted.alpha_us:.1f}us "
+            f"beta={fitted.beta_us_per_byte:.4f}us/B "
+            f"gamma={fitted.gamma_us_per_hop:.1f}us/hop "
+            f"(+{fitted.fixed_us:.1f}us fixed per superstep)"
+        )
+        print()
 
     print("Modeled redistribution cost (alpha=70us, beta=0.36us/B, "
           "gamma=10us/hop; 32-rank 5-cube vs crossbar)")
     rows = run_redistribution_costs(n=args.n)
-    print(format_table(
-        ["pattern", "remote elems", "messages", "hypercube (us)", "crossbar (us)"],
-        rows,
-    ))
+    headers = ["pattern", "remote elems", "messages",
+               "hypercube (us)", "crossbar (us)"]
+    if fitted is not None:
+        # Default and calibrated prices side by side: the relative
+        # ranking of layouts is what a planner consumes, and it can
+        # change when measured beta dominates modeled alpha.
+        calibrated = run_redistribution_costs(n=args.n, model=fitted)
+        rows = [
+            (*row, crow[3] + fitted.fixed_us, crow[4] + fitted.fixed_us)
+            for row, crow in zip(rows, calibrated)
+        ]
+        headers += ["calib cube (us)", "calib xbar (us)"]
+    print(format_table(headers, rows))
     print()
     print("Modeled transpose cost (2x2 grid = 2-cube, 256x256 array)")
     rows = run_transpose_costs()
-    print(format_table(["distribution", "remote elems", "modeled (us)"], rows))
+    headers = ["distribution", "remote elems", "modeled (us)"]
+    if fitted is not None:
+        calibrated = run_transpose_costs(model=fitted)
+        rows = [
+            (*row, crow[2] + fitted.fixed_us)
+            for row, crow in zip(rows, calibrated)
+        ]
+        headers += ["calibrated (us)"]
+    print(format_table(headers, rows))
 
 
 if __name__ == "__main__":

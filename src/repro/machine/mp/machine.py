@@ -249,6 +249,10 @@ class MpMachine:
         self._staged: dict[int, list[tuple[int, Any, Any]]] = {
             r: [] for r in range(p)
         }
+        # Optional per-superstep traffic sink (repro.obs.profile): sends
+        # are recorded here (they stage driver-side anyway), deliveries
+        # from the per-source deltas in the workers' barrier replies.
+        self.profile = None
         self._session_dir = tempfile.mkdtemp(prefix="repro-mp-")
         self._socks: list = []
         self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -395,6 +399,8 @@ class MpMachine:
             obs.inc("net.messages_sent")
             obs.inc("net.bytes_sent", nbytes)
             obs.observe("net.message_bytes", nbytes)
+        if self.profile is not None:
+            self.profile.record_send(self._superstep, source, dest, msg.nbytes)
         if obs.events.enabled:
             obs.events.record(
                 source, self._superstep, "send",
@@ -617,10 +623,11 @@ class MpMachine:
             if dest >= 0 and dest != source:
                 obs.events.record(dest, step, "quarantine", detail)
 
-    def _merge_reply(self, step: int, reply: dict) -> None:
+    def _merge_reply(self, step: int, rank: int, reply: dict) -> None:
         """Fold a worker's per-barrier events and counters into the
         driver-side trace -- the per-process rings merge into one
-        machine-wide record here."""
+        machine-wide record here.  ``rank`` is the replying worker (the
+        destination of any deliveries it reports)."""
         for event in reply.get("events", ()):
             _step, kind, source, dest, tag, seq = event
             if kind == "quarantine":
@@ -628,11 +635,25 @@ class MpMachine:
             else:
                 self.record_fault(step, kind, source, dest, tag, seq)
         counters = reply.get("counters", {})
-        self.stats.delivered += counters.get("delivered", 0)
+        delivered = counters.get("delivered", 0)
+        self.stats.delivered += delivered
+        self.stats.bytes_delivered += counters.get("bytes_delivered", 0)
         self.stats.dropped += counters.get("dropped", 0)
         self.stats.duplicated += counters.get("duplicated", 0)
         self.stats.corrupted += counters.get("corrupted", 0)
         self.stats.stalled += counters.get("stalled", 0)
+        if delivered and self.obs.enabled:
+            # Oracle-parity delivery counters: the in-process network
+            # increments these per delivered copy.
+            self.obs.inc("net.messages_delivered", delivered)
+            self.obs.inc("net.bytes_delivered", counters.get("bytes_delivered", 0))
+        if self.profile is not None:
+            for source, (messages, nbytes, max_nbytes) in reply.get(
+                "received", {}
+            ).items():
+                self.profile.record_delivery_batch(
+                    step, source, rank, messages, nbytes, max_nbytes
+                )
 
     # ------------------------------------------------------------------
     # Barrier
@@ -805,7 +826,7 @@ class MpMachine:
         deadline = Deadline(self.config.mark_timeout + self.config.barrier_grace)
         replies = self._collect(step, posted, deadline, "barrier flush")
         for rank, reply in replies.items():
-            self._merge_reply(step, reply)
+            self._merge_reply(step, rank, reply)
         # Marks missing from ranks that are still alive mean a straggler
         # flush, not a death: one bounded re-wait round (flush is
         # idempotent per step), then give up loudly.
@@ -862,7 +883,7 @@ class MpMachine:
             step, posted, Deadline(self.config.ctrl_timeout), "barrier deliver"
         )
         for rank, reply in replies.items():
-            self._merge_reply(step, reply)
+            self._merge_reply(step, rank, reply)
 
     # ------------------------------------------------------------------
     # Execution (oracle-parity run loop)

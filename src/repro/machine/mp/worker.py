@@ -44,6 +44,7 @@ from collections import deque
 from typing import Any
 
 from ..faults import corrupt_payload, plan_channel_delivery, scribble_arena
+from ..network import payload_nbytes
 from .framing import FrameClosed, FrameError, connect_framed, recv_frame, send_frame
 from .shm import attach_array
 from .timeouts import Deadline
@@ -419,7 +420,25 @@ class Worker:
             "duplicated": 0,
             "corrupted": 0,
             "quarantined": 0,
+            "bytes_delivered": 0,
         }
+        # Per-source delivery deltas (at most one entry per peer rank),
+        # piggybacked on this reply so the driver can assemble
+        # per-superstep profiles (repro.obs.profile) without extra wire
+        # round-trips: source -> [messages, bytes, max_bytes].
+        received: dict[int, list[int]] = {}
+
+        def note_delivery(source: int, payload: Any) -> None:
+            nbytes = payload_nbytes(payload)
+            counters["bytes_delivered"] += nbytes
+            slot = received.get(source)
+            if slot is None:
+                slot = received[source] = [0, 0, 0]
+            slot[0] += 1
+            slot[1] += nbytes
+            if nbytes > slot[2]:
+                slot[2] = nbytes
+
         with self._cond:
             batches = self.recv_buf.pop(step, {})
             self.marks.pop(step, None)
@@ -434,6 +453,7 @@ class Worker:
                 for tag, payload in msgs:
                     self.queues.setdefault((source, tag), deque()).append(payload)
                     counters["delivered"] += 1
+                    note_delivery(source, payload)
                 continue
             actions, reordered = plan_channel_delivery(
                 self.plan, step, source, self.rank, len(msgs)
@@ -458,7 +478,13 @@ class Worker:
                 for _ in range(act.copies):
                     self.queues.setdefault((source, tag), deque()).append(payload)
                     counters["delivered"] += 1
-        return {"ok": True, "events": events, "counters": counters}
+                    note_delivery(source, payload)
+        return {
+            "ok": True,
+            "events": events,
+            "counters": counters,
+            "received": received,
+        }
 
     # ------------------------------------------------------------------
     # Mailbox ops

@@ -162,6 +162,10 @@ class Network:
         # counters when enabled, and the per-rank machine-event rings
         # the flight recorder is a view over (see repro.obs).
         self.obs = obs if obs is not None else Observability(enabled=False)
+        # Optional per-superstep traffic sink: a
+        # :class:`repro.obs.profile.ProfileCollector` while one is
+        # attached, consulted on every send and delivered copy.
+        self.profile = None
 
     def _observe(self, event: str, msg: Message, step: int) -> None:
         """Route a traffic event into the machine-event rings: sends to
@@ -214,6 +218,8 @@ class Network:
             obs.inc("net.messages_sent")
             obs.inc("net.bytes_sent", nbytes)
             obs.observe("net.message_bytes", nbytes)
+        if self.profile is not None:
+            self.profile.record_send(self.superstep, source, dest, msg.nbytes)
         self._observe("send", msg, self.superstep)
 
     # ------------------------------------------------------------------
@@ -325,17 +331,19 @@ class Network:
                 key = (msg.source, msg.dest, msg.tag)
                 self._queues.setdefault(key, deque()).append(msg)
                 self.stats.record_delivered(msg)
-                self._record_delivered_obs(msg)
+                self._record_delivered_obs(msg, step)
                 self._observe("deliver", msg, step)
             self._pending.clear()
             return n
         return self._deliver_faulty(plan, step)
 
-    def _record_delivered_obs(self, msg: Message) -> None:
+    def _record_delivered_obs(self, msg: Message, step: int) -> None:
         obs = self.obs
         if obs.enabled:
             obs.inc("net.messages_delivered")
             obs.inc("net.bytes_delivered", msg.nbytes)
+        if self.profile is not None:
+            self.profile.record_delivery(step, msg.source, msg.dest, msg.nbytes)
 
     def _deliver_faulty(self, plan: FaultPlan, step: int) -> int:
         # Stalled ranks: their messages stay pending until a barrier at
@@ -397,7 +405,7 @@ class Network:
                 for _ in range(act.copies):
                     self._queues.setdefault(key, deque()).append(msg)
                     self.stats.record_delivered(msg)
-                    self._record_delivered_obs(msg)
+                    self._record_delivered_obs(msg, step)
                     self._observe("deliver", msg, step)
                     delivered += 1
         return delivered

@@ -113,6 +113,17 @@ class VirtualMachine:
         """Number of barriers crossed so far (the fault plan's clock)."""
         return self.network.superstep
 
+    @property
+    def profile(self):
+        """The attached :class:`repro.obs.profile.ProfileCollector`, if
+        any -- the traffic seam lives on the network, where sends and
+        barrier deliveries happen."""
+        return self.network.profile
+
+    @profile.setter
+    def profile(self, collector) -> None:
+        self.network.profile = collector
+
     # ------------------------------------------------------------------
     # Machine-level messaging (the Machine protocol surface; the
     # in-process backend simply delegates to its Network)

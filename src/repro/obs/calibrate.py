@@ -1,0 +1,305 @@
+"""Replay measured profiles against the cost model, and fit it.
+
+:func:`predicted_superstep_us` re-prices a measured
+:class:`~repro.obs.profile.SuperstepProfile` in closed form: the
+per-channel ``(messages, bytes, max_bytes)`` triples a profile records
+are exactly the sufficient statistics of the BSP model in
+:mod:`repro.machine.costmodel` --
+
+    per-channel cost  = alpha*messages + beta*bytes + gamma*(hops-1)*messages
+    per-rank load     = sum of its channels' costs (sending and receiving)
+    superstep time    = max per-rank load + slowest single transit
+
+-- so the result coincides with
+:func:`repro.machine.costmodel.estimate_superstep` whenever the profile
+was produced by one message per transfer (``tests/obs/test_calibrate.py``
+asserts the coincidence bit-for-bit).
+
+:func:`replay` tabulates predicted-vs-measured residuals per superstep;
+:func:`fit` least-squares-fits the model's ``(alpha, beta, gamma)`` plus
+a fixed per-superstep overhead from the measured wall-times, yielding a
+:class:`CalibratedCostModel` and residual statistics.  The fit
+linearizes the BSP ``max`` by freezing the bottleneck decomposition
+under the default model (which rank is the bottleneck, which transit is
+slowest), turning each measured superstep into one linear equation in
+the four parameters; negative coefficients are clamped to zero and the
+system re-solved (simple active-set), since a negative latency or
+bandwidth is physically meaningless.
+
+The default constants model a 1995 iPSC/860 in microseconds; measured
+Python supersteps are dominated by interpreter overhead, so calibration
+routinely cuts the mean absolute residual by an order of magnitude --
+that fitted model is what ROADMAP item 2's layout search should rank
+candidate distributions with (``bench/costs.py --calibrated``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..machine.costmodel import CostModel
+from ..machine.topology import Topology
+from .profile import RunProfile, SuperstepProfile
+
+__all__ = [
+    "CalibratedCostModel",
+    "CalibrationResult",
+    "ResidualRow",
+    "fit",
+    "load_model",
+    "predicted_superstep_us",
+    "replay",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CalibratedCostModel(CostModel):
+    """A :class:`~repro.machine.costmodel.CostModel` with parameters
+    fitted from measured supersteps, plus a fixed per-superstep overhead
+    (barrier + interpreter time that exists even with zero traffic).
+
+    Drop-in everywhere a ``CostModel`` is accepted --
+    ``estimate_superstep`` and the closed-form replay both work;
+    ``fixed_us`` is only added by superstep-level predictions, never by
+    ``message_us``.
+    """
+
+    fixed_us: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "alpha_us": self.alpha_us,
+            "beta_us_per_byte": self.beta_us_per_byte,
+            "gamma_us_per_hop": self.gamma_us_per_hop,
+            "word_bytes": self.word_bytes,
+            "fixed_us": self.fixed_us,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CalibratedCostModel":
+        return cls(
+            alpha_us=float(data["alpha_us"]),
+            beta_us_per_byte=float(data["beta_us_per_byte"]),
+            gamma_us_per_hop=float(data["gamma_us_per_hop"]),
+            word_bytes=int(data.get("word_bytes", 8)),
+            fixed_us=float(data.get("fixed_us", 0.0)),
+        )
+
+
+def predicted_superstep_us(
+    sp: SuperstepProfile, topology: Topology, model: CostModel | None = None
+) -> float:
+    """Closed-form BSP prediction for one measured superstep.
+
+    Uses the profile's per-channel triples directly -- no transfer list
+    needed.  Self-channels cost nothing (``estimate_superstep`` parity);
+    a :class:`CalibratedCostModel`'s ``fixed_us`` is added on top.
+    """
+    if model is None:
+        model = CostModel()
+    alpha = model.alpha_us
+    beta = model.beta_us_per_byte
+    gamma = model.gamma_us_per_hop
+    load: dict[int, float] = {}
+    slowest = 0.0
+    for (source, dest), ch in sp.remote_channels.items():
+        hops = max(topology.distance(source, dest), 1)
+        cost = alpha * ch.messages + beta * ch.bytes + gamma * (hops - 1) * ch.messages
+        load[source] = load.get(source, 0.0) + cost
+        load[dest] = load.get(dest, 0.0) + cost
+        transit = alpha + beta * ch.max_bytes + gamma * (hops - 1)
+        if transit > slowest:
+            slowest = transit
+    total = (max(load.values()) + slowest) if load else 0.0
+    return total + getattr(model, "fixed_us", 0.0)
+
+
+@dataclass
+class ResidualRow:
+    """Predicted vs measured for one superstep."""
+
+    step: int
+    phase: str | None
+    messages: int
+    bytes: int
+    predicted_us: float
+    measured_us: float | None
+
+    @property
+    def residual_us(self) -> float | None:
+        if self.measured_us is None:
+            return None
+        return self.measured_us - self.predicted_us
+
+    def to_json(self) -> dict:
+        return {
+            "step": self.step,
+            "phase": self.phase,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "predicted_us": self.predicted_us,
+            "measured_us": self.measured_us,
+            "residual_us": self.residual_us,
+        }
+
+
+def replay(
+    profile: RunProfile, topology: Topology, model: CostModel | None = None
+) -> list[ResidualRow]:
+    """Re-price every superstep of a profile under ``model`` and pair
+    each prediction with the measured wall-time (``measured_us`` is
+    ``None`` for steps whose span fell out of the bounded trace ring)."""
+    return [
+        ResidualRow(
+            step=sp.step,
+            phase=sp.phase,
+            messages=sp.delivered_messages,
+            bytes=sp.delivered_bytes,
+            predicted_us=predicted_superstep_us(sp, topology, model),
+            measured_us=sp.wall_us,
+        )
+        for sp in profile.supersteps
+    ]
+
+
+def _mae(rows: list[ResidualRow]) -> float:
+    residuals = [abs(r.residual_us) for r in rows if r.residual_us is not None]
+    return float(np.mean(residuals)) if residuals else 0.0
+
+
+@dataclass
+class CalibrationResult:
+    """A fitted model plus how much better it explains the run."""
+
+    model: CalibratedCostModel
+    n_steps: int
+    mae_default_us: float
+    mae_calibrated_us: float
+    max_abs_residual_us: float
+    rows: list[ResidualRow] = field(default_factory=list)
+
+    @property
+    def improvement_us(self) -> float:
+        return self.mae_default_us - self.mae_calibrated_us
+
+    def to_json(self) -> dict:
+        return {
+            "model": self.model.to_json(),
+            "n_steps": self.n_steps,
+            "mae_default_us": self.mae_default_us,
+            "mae_calibrated_us": self.mae_calibrated_us,
+            "max_abs_residual_us": self.max_abs_residual_us,
+            "improvement_us": self.improvement_us,
+            "rows": [r.to_json() for r in self.rows],
+        }
+
+
+def _features(sp: SuperstepProfile, topology: Topology) -> tuple[float, float, float]:
+    """One measured superstep as a linear equation in (alpha, beta,
+    gamma): coefficient = messages / bytes / hop-messages at the default
+    model's bottleneck rank, plus the default-slowest transit's own
+    (1, max_bytes, hops-1).  Freezing the decomposition under the
+    default model linearizes the BSP max; with zero remote traffic all
+    three coefficients are zero and the step anchors the fixed term."""
+    default = CostModel()
+    load: dict[int, tuple[float, float, float]] = {}
+    best_transit = None
+    best_transit_cost = -1.0
+    for (source, dest), ch in sp.remote_channels.items():
+        hops = max(topology.distance(source, dest), 1)
+        contrib = (float(ch.messages), float(ch.bytes), float((hops - 1) * ch.messages))
+        for rank in (source, dest):
+            a, b, h = load.get(rank, (0.0, 0.0, 0.0))
+            load[rank] = (a + contrib[0], b + contrib[1], h + contrib[2])
+        transit_cost = (
+            default.alpha_us
+            + default.beta_us_per_byte * ch.max_bytes
+            + default.gamma_us_per_hop * (hops - 1)
+        )
+        if transit_cost > best_transit_cost:
+            best_transit_cost = transit_cost
+            best_transit = (1.0, float(ch.max_bytes), float(hops - 1))
+    if not load:
+        return (0.0, 0.0, 0.0)
+    bottleneck = max(
+        load.values(),
+        key=lambda f: default.alpha_us * f[0]
+        + default.beta_us_per_byte * f[1]
+        + default.gamma_us_per_hop * f[2],
+    )
+    assert best_transit is not None
+    return (
+        bottleneck[0] + best_transit[0],
+        bottleneck[1] + best_transit[1],
+        bottleneck[2] + best_transit[2],
+    )
+
+
+def fit(profile: RunProfile, topology: Topology) -> CalibrationResult:
+    """Least-squares-fit ``(alpha, beta, gamma, fixed)`` to the
+    profile's measured supersteps.  Raises :class:`ValueError` when the
+    profile has no measured steps (nothing to fit against)."""
+    measured = profile.measured_steps
+    if not measured:
+        raise ValueError(
+            "profile has no measured supersteps (wall_us is None everywhere); "
+            "was the machine's obs handle enabled?"
+        )
+    rows = [_features(sp, topology) for sp in measured]
+    design = np.array([[a, b, h, 1.0] for a, b, h in rows], dtype=np.float64)
+    target = np.array([sp.wall_us for sp in measured], dtype=np.float64)
+    active = [True, True, True, True]
+    coef = np.zeros(4)
+    for _ in range(5):
+        cols = [i for i in range(4) if active[i]]
+        if not cols:
+            break
+        sol, *_ = np.linalg.lstsq(design[:, cols], target, rcond=None)
+        coef[:] = 0.0
+        coef[cols] = sol
+        negative = [i for i in cols if coef[i] < 0.0]
+        if not negative:
+            break
+        for i in negative:
+            active[i] = False
+            coef[i] = 0.0
+    model = CalibratedCostModel(
+        alpha_us=float(coef[0]),
+        beta_us_per_byte=float(coef[1]),
+        gamma_us_per_hop=float(coef[2]),
+        fixed_us=float(coef[3]),
+    )
+    calibrated_rows = replay(profile, topology, model)
+    default_rows = replay(profile, topology, CostModel())
+    abs_residuals = [
+        abs(r.residual_us) for r in calibrated_rows if r.residual_us is not None
+    ]
+    return CalibrationResult(
+        model=model,
+        n_steps=len(measured),
+        mae_default_us=_mae(default_rows),
+        mae_calibrated_us=_mae(calibrated_rows),
+        max_abs_residual_us=float(max(abs_residuals)) if abs_residuals else 0.0,
+        rows=calibrated_rows,
+    )
+
+
+def load_model(path: str) -> CalibratedCostModel:
+    """Load a fitted model from a ``PROFILE.json`` written by
+    ``python -m repro profile`` (or from a bare calibration dict)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data: Any = json.load(fh)
+    if isinstance(data, dict) and "calibration" in data:
+        data = data["calibration"]
+    if isinstance(data, dict) and "model" in data:
+        data = data["model"]
+    if not isinstance(data, dict) or "alpha_us" not in data:
+        raise ValueError(
+            f"{path}: no fitted cost model found (expected a PROFILE.json "
+            "with a top-level 'calibration' section)"
+        )
+    return CalibratedCostModel.from_json(data)

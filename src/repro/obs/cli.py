@@ -170,6 +170,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write a JSON-lines dump to this path")
     parser.add_argument("--summary", default=None, metavar="PATH",
                         help="also write the text summary ('-' for stdout)")
+    parser.add_argument("--prom", default=None, metavar="PATH",
+                        help="also dump the metrics registry as Prometheus "
+                             "exposition text ('-' for stdout), the same "
+                             "body a /metrics scrape would see")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the closing one-line report")
     args = parser.parse_args(argv)
@@ -207,6 +211,15 @@ def main(argv: list[str] | None = None) -> int:
         print(summary(obs))
     elif args.summary:
         write_summary(obs, args.summary)
+    if args.prom:
+        from .promexport import prometheus_text
+
+        text = prometheus_text(obs.metrics.snapshot())
+        if args.prom == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(text)
     if not args.quiet:
         snap = obs.snapshot()
         print(

@@ -182,7 +182,14 @@ class MetricsRegistry:
         return c.value if c is not None else 0
 
     def snapshot(self) -> dict:
-        """JSON-ready ``{counters, gauges, histograms}`` view."""
+        """JSON-ready ``{counters, gauges, histograms}`` view.
+
+        A histogram with zero observations exports empty bucket counts
+        (``count == 0`` guard): an instrument that exists but never
+        observed anything must not produce rows of misleading zeros in
+        text summaries or scrapes -- renderers show "(no observations)"
+        and the Prometheus exporter emits only ``_sum``/``_count``.
+        """
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
@@ -193,7 +200,7 @@ class MetricsRegistry:
             "histograms": {
                 name: {
                     "buckets": list(h.buckets),
-                    "counts": list(h.counts),
+                    "counts": list(h.counts) if h.count > 0 else [],
                     "count": h.count,
                     "total": h.total,
                     "mean": h.mean,

@@ -1,0 +1,530 @@
+"""Measured superstep profiles: what the machine *actually* did.
+
+:mod:`repro.machine.costmodel` prices a :class:`~repro.runtime.commsets.CommSchedule`
+before it runs; this module records what crossed the fabric while it
+ran, per superstep, so the two can be compared
+(:mod:`repro.obs.calibrate`).  A :class:`ProfileCollector` attaches to
+either backend through the same seam:
+
+* the in-process oracle (:class:`repro.machine.vm.VirtualMachine`)
+  exposes it as ``network.profile`` -- ``Network.send`` and the barrier
+  delivery paths feed it one record per message (per delivered copy,
+  duplicates included, drops excluded);
+* the multiprocess backend (:class:`repro.machine.mp.machine.MpMachine`)
+  records sends driver-side (they are staged there anyway) and receives
+  from the **bounded per-source delta table** each worker piggybacks on
+  its existing ``deliver`` barrier reply -- at most ``p`` entries of
+  ``(messages, bytes, max_bytes)`` per rank per superstep, so profiling
+  adds no new wire round-trips.
+
+Because both backends share the seeded fault schedule
+(:func:`repro.machine.faults.plan_channel_delivery`) and byte accounting
+(:func:`repro.machine.network.payload_nbytes`), the *deterministic*
+fields of the resulting :class:`RunProfile` -- message and byte counts
+per rank and per channel -- agree bit-exactly across backends for
+array-payload programs; only wall-times differ.  The per-channel
+``(messages, bytes, max_bytes)`` triples are exactly the sufficient
+statistics of the paper-style BSP cost model, so a profile can be
+re-priced in closed form without replaying the run
+(:func:`repro.obs.calibrate.predicted_superstep_us`).
+
+Wall-times come from the spans the PR 5 substrate already emits:
+``superstep`` and ``barrier`` spans keyed by their ``step`` attribute,
+phase labels (``pack_phase``, ``protocol_round``, ...) by interval
+containment, retransmit/repair/restore instants by timestamp.  The
+trace ring is bounded, so on very long runs the oldest steps may lack
+wall-times (``wall_us is None``) while their traffic counts -- collected
+independently of the ring -- stay complete.
+
+This module is pure data + stdlib (no machine imports), so it is safe
+to re-export from :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "ChannelTraffic",
+    "DETERMINISTIC_COUNTERS",
+    "DETERMINISTIC_COUNTER_PREFIXES",
+    "ProfileCollector",
+    "RankTraffic",
+    "RunProfile",
+    "SuperstepProfile",
+]
+
+#: Exact counter names whose run-deltas must agree across backends.
+DETERMINISTIC_COUNTERS = frozenset({
+    "net.messages_sent",
+    "net.bytes_sent",
+    "net.messages_delivered",
+    "net.bytes_delivered",
+    "net.messages_quarantined",
+    "vm.supersteps",
+})
+
+#: Counter-name prefixes whose run-deltas must agree across backends
+#: (the resilient protocol and the injected-fault taxonomy are seeded
+#: and schedule-shared, hence deterministic).
+DETERMINISTIC_COUNTER_PREFIXES = ("resilient.", "faults.")
+
+#: Span names that never label a phase (they *are* the superstep
+#: machinery, or per-rank execution inside it).
+_NON_PHASE_SPANS = frozenset({"superstep", "barrier", "node"})
+
+#: Instant names folded into per-step repair counts.
+_REPAIR_INSTANTS = ("repair", "restore")
+
+
+@dataclass
+class RankTraffic:
+    """Per-rank traffic within one superstep (both directions)."""
+
+    sent_messages: int = 0
+    sent_bytes: int = 0
+    recv_messages: int = 0
+    recv_bytes: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "sent_messages": self.sent_messages,
+            "sent_bytes": self.sent_bytes,
+            "recv_messages": self.recv_messages,
+            "recv_bytes": self.recv_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RankTraffic":
+        return cls(**data)
+
+
+@dataclass
+class ChannelTraffic:
+    """Delivered traffic on one ``(source, dest)`` channel in one
+    superstep.  ``(messages, bytes, max_bytes)`` is the sufficient
+    statistic for the BSP cost model: total per-channel cost is linear
+    in messages and bytes, and the slowest-transit term only needs the
+    largest single message."""
+
+    messages: int = 0
+    bytes: int = 0
+    max_bytes: int = 0
+
+    def add(self, nbytes: int, messages: int = 1, max_nbytes: int | None = None) -> None:
+        self.messages += messages
+        self.bytes += nbytes
+        self.max_bytes = max(
+            self.max_bytes, nbytes if max_nbytes is None else max_nbytes
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChannelTraffic":
+        return cls(**data)
+
+
+@dataclass
+class SuperstepProfile:
+    """Everything measured about one superstep.
+
+    ``ranks`` and ``channels`` are the deterministic fields (identical
+    across backends under the same seed); ``wall_us``/``barrier_us``
+    are measured wall-times (``None`` when the bounded trace ring no
+    longer holds the step's span); ``phase`` is the innermost enclosing
+    runtime span (``pack_phase``, ``protocol_round``, ...), if any.
+    """
+
+    step: int
+    ranks: dict[int, RankTraffic] = field(default_factory=dict)
+    channels: dict[tuple[int, int], ChannelTraffic] = field(default_factory=dict)
+    wall_us: float | None = None
+    barrier_us: float | None = None
+    phase: str | None = None
+    retransmits: int = 0
+    repairs: int = 0
+
+    # -- aggregates ----------------------------------------------------
+
+    @property
+    def sent_messages(self) -> int:
+        return sum(r.sent_messages for r in self.ranks.values())
+
+    @property
+    def sent_bytes(self) -> int:
+        return sum(r.sent_bytes for r in self.ranks.values())
+
+    @property
+    def delivered_messages(self) -> int:
+        return sum(c.messages for c in self.channels.values())
+
+    @property
+    def delivered_bytes(self) -> int:
+        return sum(c.bytes for c in self.channels.values())
+
+    @property
+    def remote_channels(self) -> dict[tuple[int, int], ChannelTraffic]:
+        """Channels that cross ranks (self-sends cost no network time in
+        the cost model, exactly as ``estimate_superstep`` skips
+        ``q == r`` transfers)."""
+        return {k: v for k, v in self.channels.items() if k[0] != k[1]}
+
+    def deterministic_view(self) -> dict:
+        """The backend-independent fields, JSON-keyed for comparison."""
+        return {
+            "step": self.step,
+            "ranks": {
+                str(r): t.to_json() for r, t in sorted(self.ranks.items())
+            },
+            "channels": {
+                f"{s}->{d}": c.to_json()
+                for (s, d), c in sorted(self.channels.items())
+            },
+        }
+
+    # -- JSON ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            **self.deterministic_view(),
+            "wall_us": self.wall_us,
+            "barrier_us": self.barrier_us,
+            "phase": self.phase,
+            "retransmits": self.retransmits,
+            "repairs": self.repairs,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SuperstepProfile":
+        channels = {}
+        for key, val in data.get("channels", {}).items():
+            src, _, dst = key.partition("->")
+            channels[(int(src), int(dst))] = ChannelTraffic.from_json(val)
+        return cls(
+            step=data["step"],
+            ranks={
+                int(r): RankTraffic.from_json(t)
+                for r, t in data.get("ranks", {}).items()
+            },
+            channels=channels,
+            wall_us=data.get("wall_us"),
+            barrier_us=data.get("barrier_us"),
+            phase=data.get("phase"),
+            retransmits=data.get("retransmits", 0),
+            repairs=data.get("repairs", 0),
+        )
+
+
+@dataclass
+class RunProfile:
+    """A whole run's measured superstep profiles plus run-level views:
+    metric-counter deltas over the collection window and total
+    wall-time per phase span (``pack_phase``, ``exchange``, ``barrier``,
+    ``audit``, ...)."""
+
+    p: int
+    backend: str
+    supersteps: list[SuperstepProfile] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    phase_wall_us: dict[str, float] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.supersteps)
+
+    def step(self, n: int) -> SuperstepProfile:
+        for sp in self.supersteps:
+            if sp.step == n:
+                return sp
+        raise KeyError(f"no superstep {n} in profile (steps: {self.steps()})")
+
+    def steps(self) -> list[int]:
+        return [sp.step for sp in self.supersteps]
+
+    @property
+    def total_sent_messages(self) -> int:
+        return sum(sp.sent_messages for sp in self.supersteps)
+
+    @property
+    def total_sent_bytes(self) -> int:
+        return sum(sp.sent_bytes for sp in self.supersteps)
+
+    @property
+    def total_delivered_bytes(self) -> int:
+        return sum(sp.delivered_bytes for sp in self.supersteps)
+
+    @property
+    def measured_steps(self) -> list[SuperstepProfile]:
+        """Supersteps whose wall-time survived the bounded trace ring."""
+        return [sp for sp in self.supersteps if sp.wall_us is not None]
+
+    def deterministic_view(self) -> dict:
+        """The fields a same-seed run on the other backend must
+        reproduce bit-exactly (array-payload programs; see module
+        docstring for the byte-accounting caveat on deep containers)."""
+        return {
+            "p": self.p,
+            "supersteps": [sp.deterministic_view() for sp in self.supersteps],
+            "counters": {
+                name: value
+                for name, value in sorted(self.counters.items())
+                if name in DETERMINISTIC_COUNTERS
+                or name.startswith(DETERMINISTIC_COUNTER_PREFIXES)
+            },
+        }
+
+    # -- JSON ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "p": self.p,
+            "backend": self.backend,
+            "supersteps": [sp.to_json() for sp in self.supersteps],
+            "counters": dict(sorted(self.counters.items())),
+            "phase_wall_us": dict(sorted(self.phase_wall_us.items())),
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunProfile":
+        return cls(
+            p=data["p"],
+            backend=data.get("backend", "unknown"),
+            supersteps=[
+                SuperstepProfile.from_json(sp) for sp in data.get("supersteps", [])
+            ],
+            counters=dict(data.get("counters", {})),
+            phase_wall_us=dict(data.get("phase_wall_us", {})),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RunProfile":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+
+class _StepAccum:
+    """Mutable per-superstep traffic accumulator (collector internal)."""
+
+    __slots__ = ("ranks", "channels")
+
+    def __init__(self) -> None:
+        self.ranks: dict[int, RankTraffic] = {}
+        self.channels: dict[tuple[int, int], ChannelTraffic] = {}
+
+    def rank(self, r: int) -> RankTraffic:
+        t = self.ranks.get(r)
+        if t is None:
+            t = self.ranks[r] = RankTraffic()
+        return t
+
+    def channel(self, source: int, dest: int) -> ChannelTraffic:
+        c = self.channels.get((source, dest))
+        if c is None:
+            c = self.channels[(source, dest)] = ChannelTraffic()
+        return c
+
+
+class ProfileCollector:
+    """Collect a :class:`RunProfile` from a live machine.
+
+    Usage::
+
+        collector = ProfileCollector()
+        with collector.attach(machine):
+            run_program(machine)
+        profile = collector.build()
+
+    ``attach`` plugs the collector into the backend's traffic seam and
+    snapshots the obs counter baseline; ``build`` assembles the
+    :class:`RunProfile`, folding in span wall-times and counter deltas.
+    One collector observes one machine at a time (the superstep clock is
+    per-machine); ``build`` may be called while still attached.
+    """
+
+    def __init__(self) -> None:
+        self._machine: Any = None
+        self._host: Any = None
+        self._backend = "unattached"
+        self._steps: dict[int, _StepAccum] = {}
+        self._base_counters: dict[str, int] = {}
+
+    # -- attachment ----------------------------------------------------
+
+    def attach(self, machine: Any) -> "ProfileCollector":
+        if self._machine is not None:
+            raise RuntimeError("collector is already attached to a machine")
+        network = getattr(machine, "network", None)
+        host = network if network is not None else machine
+        if getattr(host, "profile", None) is not None:
+            raise RuntimeError("machine already has a profile collector attached")
+        host.profile = self
+        self._machine = machine
+        self._host = host
+        self._backend = "inprocess" if network is not None else "mp"
+        self._base_counters = dict(
+            machine.obs.metrics.snapshot().get("counters", {})
+        )
+        return self
+
+    def detach(self) -> None:
+        if self._host is not None:
+            self._host.profile = None
+        self._host = None
+
+    def __enter__(self) -> "ProfileCollector":
+        if self._machine is None:
+            raise RuntimeError("attach(machine) before entering the collector")
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.detach()
+        return False
+
+    # -- the traffic seam (called by the machine layers) ---------------
+
+    def record_send(self, step: int, source: int, dest: int, nbytes: int) -> None:
+        acc = self._steps.get(step)
+        if acc is None:
+            acc = self._steps[step] = _StepAccum()
+        rank = acc.rank(source)
+        rank.sent_messages += 1
+        rank.sent_bytes += nbytes
+
+    def record_delivery(self, step: int, source: int, dest: int, nbytes: int) -> None:
+        """One delivered copy (the oracle's per-message path)."""
+        self.record_delivery_batch(step, source, dest, 1, nbytes, nbytes)
+
+    def record_delivery_batch(
+        self,
+        step: int,
+        source: int,
+        dest: int,
+        messages: int,
+        nbytes: int,
+        max_nbytes: int,
+    ) -> None:
+        """A worker's per-source delivery delta (the mp barrier path)."""
+        if messages <= 0:
+            return
+        acc = self._steps.get(step)
+        if acc is None:
+            acc = self._steps[step] = _StepAccum()
+        rank = acc.rank(dest)
+        rank.recv_messages += messages
+        rank.recv_bytes += nbytes
+        acc.channel(source, dest).add(nbytes, messages, max_nbytes)
+
+    # -- assembly ------------------------------------------------------
+
+    def build(self, **meta: Any) -> RunProfile:
+        if self._machine is None:
+            raise RuntimeError("collector was never attached to a machine")
+        machine = self._machine
+        obs = machine.obs
+        counters_now = obs.metrics.snapshot().get("counters", {})
+        deltas = {
+            name: value - self._base_counters.get(name, 0)
+            for name, value in counters_now.items()
+            if value - self._base_counters.get(name, 0)
+        }
+        profile = RunProfile(
+            p=machine.p,
+            backend=self._backend,
+            counters=deltas,
+            meta=dict(meta),
+        )
+        records = obs.trace.records()
+        step_spans = _spans_by_step(records, "superstep")
+        barrier_spans = _spans_by_step(records, "barrier")
+        phase_spans = [
+            r
+            for r in records
+            if not r.is_instant and r.name not in _NON_PHASE_SPANS
+        ]
+        retransmits = [r for r in records if r.is_instant and r.name == "retransmit"]
+        repairs = [
+            r for r in records if r.is_instant and r.name in _REPAIR_INSTANTS
+        ]
+        for step in sorted(self._steps):
+            acc = self._steps[step]
+            sp = SuperstepProfile(step=step, ranks=acc.ranks, channels=acc.channels)
+            span = step_spans.get(step)
+            if span is not None:
+                sp.wall_us = span.dur_ns / 1_000.0
+                sp.phase = _innermost_phase(phase_spans, span)
+                sp.retransmits = _instants_within(retransmits, span)
+                sp.repairs = _instants_within(repairs, span)
+            barrier = barrier_spans.get(step)
+            if barrier is not None:
+                sp.barrier_us = barrier.dur_ns / 1_000.0
+            profile.supersteps.append(sp)
+        # Steps with a span but no traffic still carry timing info
+        # (pure-compute supersteps anchor the fixed per-step overhead).
+        for step, span in sorted(step_spans.items()):
+            if step in self._steps:
+                continue
+            sp = SuperstepProfile(step=step, wall_us=span.dur_ns / 1_000.0)
+            sp.phase = _innermost_phase(phase_spans, span)
+            sp.retransmits = _instants_within(retransmits, span)
+            sp.repairs = _instants_within(repairs, span)
+            barrier = barrier_spans.get(step)
+            if barrier is not None:
+                sp.barrier_us = barrier.dur_ns / 1_000.0
+            profile.supersteps.append(sp)
+        profile.supersteps.sort(key=lambda sp: sp.step)
+        totals: dict[str, float] = {}
+        for r in phase_spans:
+            totals[r.name] = totals.get(r.name, 0.0) + r.dur_ns / 1_000.0
+        for name in ("superstep", "barrier"):
+            total = sum(r.dur_ns for r in records if not r.is_instant and r.name == name)
+            if total:
+                totals[name] = total / 1_000.0
+        profile.phase_wall_us = totals
+        return profile
+
+
+def _spans_by_step(records: Iterable[Any], name: str) -> dict[int, Any]:
+    """Latest span per ``step`` attribute value (steps are unique per
+    machine; "latest" only matters if an obs handle is shared across
+    machines, where later machines win)."""
+    out: dict[int, Any] = {}
+    for r in records:
+        if r.is_instant or r.name != name:
+            continue
+        step = r.attrs_dict().get("step")
+        if step is not None:
+            out[int(step)] = r
+    return out
+
+
+def _innermost_phase(phase_spans: list[Any], span: Any) -> str | None:
+    """Name of the smallest phase span whose interval contains the
+    superstep span's start (phases like ``pack_phase`` fully enclose the
+    supersteps they drive)."""
+    best = None
+    best_dur = None
+    for r in phase_spans:
+        if r.ts_ns <= span.ts_ns and span.ts_ns + span.dur_ns <= r.ts_ns + r.dur_ns:
+            if best_dur is None or r.dur_ns < best_dur:
+                best, best_dur = r.name, r.dur_ns
+    return best
+
+
+def _instants_within(instants: list[Any], span: Any) -> int:
+    end = span.ts_ns + span.dur_ns
+    return sum(1 for r in instants if span.ts_ns <= r.ts_ns < end)

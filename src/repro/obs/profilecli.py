@@ -1,0 +1,215 @@
+"""``python -m repro profile`` -- measure, compare, and calibrate.
+
+Runs one or more built-in SPMD programs (the same set as ``python -m
+repro trace``) on either backend with a :class:`ProfileCollector`
+attached, prints a per-superstep predicted-vs-measured table
+(:func:`repro.viz.tables.render_profile`), least-squares-fits the cost
+model to the measured wall-times (:func:`repro.obs.calibrate.fit`), and
+writes everything -- per-program profiles plus the fitted model -- to a
+``PROFILE.json`` that ``python -m repro costs --calibrated`` and
+:func:`repro.obs.calibrate.load_model` consume.
+
+Examples::
+
+    python -m repro profile copy --backend inprocess
+    python -m repro profile copy redistribute --backend mp --p 4
+    python -m repro profile redistribute --topology hypercube --p 8 \\
+        --out PROFILE.json --prom metrics.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import Observability, set_ambient
+from .cli import PROGRAMS, run_program
+from .profile import ProfileCollector
+
+__all__ = ["main"]
+
+#: CLI topology names -> constructor (p -> Topology).
+_TOPOLOGIES = ("crossbar", "hypercube", "ring")
+
+
+def _make_topology(name: str, p: int):
+    from ..machine.topology import (
+        CrossbarTopology,
+        HypercubeTopology,
+        RingTopology,
+    )
+
+    if name == "crossbar":
+        return CrossbarTopology(p)
+    if name == "ring":
+        return RingTopology(p)
+    dim = p.bit_length() - 1
+    if 1 << dim != p:
+        raise SystemExit(
+            f"--topology hypercube needs a power-of-two --p, got {p}"
+        )
+    return HypercubeTopology(dim)
+
+
+def _profile_rows(profile, topology, model) -> list[dict]:
+    """Merge default and (optional) calibrated replays into
+    :func:`render_profile` rows."""
+    from .calibrate import replay
+
+    default_rows = replay(profile, topology)
+    calibrated_rows = replay(profile, topology, model) if model else None
+    rows = []
+    for i, r in enumerate(default_rows):
+        row = r.to_json()
+        if calibrated_rows is not None:
+            row["calibrated_us"] = calibrated_rows[i].predicted_us
+        rows.append(row)
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "programs", nargs="+", choices=sorted(PROGRAMS),
+        help="programs to profile, each on a fresh machine",
+    )
+    parser.add_argument(
+        "--backend", default="inprocess", choices=("inprocess", "oracle", "mp"),
+        help="execution backend ('oracle' is an alias for 'inprocess')",
+    )
+    parser.add_argument("--p", type=int, default=4, help="ranks (default 4)")
+    parser.add_argument("--n", type=int, default=240, help="elements (default 240)")
+    parser.add_argument("--k-src", type=int, default=3, help="source block size")
+    parser.add_argument("--k-dst", type=int, default=7, help="dest block size")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="statement repetitions per program")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="recorded in the profile metadata")
+    parser.add_argument(
+        "--topology", default="crossbar", choices=_TOPOLOGIES,
+        help="topology to price against (crossbar default: any p)",
+    )
+    parser.add_argument("--out", default="PROFILE.json", metavar="PATH",
+                        help="profile + calibration output (default PROFILE.json)")
+    parser.add_argument("--prom", default=None, metavar="PATH",
+                        help="also dump the metrics registry as Prometheus "
+                             "exposition text ('-' for stdout)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-superstep tables")
+    parser.add_argument(
+        "--require-traffic", action="store_true",
+        help="exit 1 unless every program measured nonzero sent bytes "
+             "(the CI guard against silently-unattached collectors)",
+    )
+    args = parser.parse_args(argv)
+
+    backend = "inprocess" if args.backend == "oracle" else args.backend
+    topology = _make_topology(args.topology, args.p)
+
+    from ..machine.iface import create_machine
+    from ..viz.tables import render_profile
+    from .calibrate import fit
+    from .profile import RunProfile
+
+    profiles: dict[str, RunProfile] = {}
+    for name in args.programs:
+        # Fresh obs handle + machine per program so superstep numbers,
+        # span rings, and counter deltas never bleed across programs.
+        obs = Observability(enabled=True)
+        previous = set_ambient(obs)
+        machine = create_machine(args.p, backend, obs=obs)
+        collector = ProfileCollector()
+        try:
+            with collector.attach(machine):
+                run_program(name, machine, args)
+            profiles[name] = collector.build(
+                program=name, seed=args.seed, n=args.n,
+                k_src=args.k_src, k_dst=args.k_dst, repeat=args.repeat,
+                topology=args.topology,
+            )
+        finally:
+            set_ambient(previous)
+            machine.close()
+
+    if args.require_traffic:
+        silent = [n for n, pr in profiles.items() if pr.total_sent_bytes == 0]
+        if silent:
+            print(
+                f"profile: no traffic measured for {', '.join(silent)} "
+                f"(collector unattached?)",
+                file=sys.stderr,
+            )
+            return 1
+
+    # Calibrate on the pooled measured supersteps: the fit only consumes
+    # per-channel triples and wall-times, so step numbers may repeat
+    # across programs.
+    pooled = RunProfile(
+        p=args.p,
+        backend=backend,
+        supersteps=[sp for pr in profiles.values() for sp in pr.supersteps],
+    )
+    calibration = None
+    if pooled.measured_steps:
+        calibration = fit(pooled, topology)
+
+    for name, pr in profiles.items():
+        rows = _profile_rows(
+            pr, topology, calibration.model if calibration else None
+        )
+        if not args.quiet:
+            print(render_profile(rows, title=f"{name} ({pr.backend}, p={pr.p})"))
+            print()
+
+    if calibration is not None and not args.quiet:
+        m = calibration.model
+        print(
+            f"calibrated over {calibration.n_steps} supersteps: "
+            f"alpha={m.alpha_us:.1f}us beta={m.beta_us_per_byte:.4f}us/B "
+            f"gamma={m.gamma_us_per_hop:.1f}us/hop fixed={m.fixed_us:.1f}us"
+        )
+        print(
+            f"mean |residual|: default {calibration.mae_default_us:.1f}us "
+            f"-> calibrated {calibration.mae_calibrated_us:.1f}us"
+        )
+
+    document = {
+        "backend": backend,
+        "p": args.p,
+        "topology": args.topology,
+        "programs": {name: pr.to_json() for name, pr in profiles.items()},
+        "calibration": calibration.to_json() if calibration else None,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if not args.quiet:
+        total = sum(pr.total_sent_bytes for pr in profiles.values())
+        print(f"wrote {args.out} ({len(profiles)} program(s), {total} bytes sent)")
+
+    if args.prom:
+        # One-shot scrape body over the *last* program's registry would
+        # be misleading; re-render from each profile's counter deltas
+        # instead so the dump covers the whole invocation.
+        from .promexport import prometheus_text
+
+        merged: dict[str, int] = {}
+        for pr in profiles.values():
+            for cname, value in pr.counters.items():
+                merged[cname] = merged.get(cname, 0) + value
+        text = prometheus_text({"counters": merged})
+        if args.prom == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Prometheus text-format exposition of the obs metrics (stdlib-only).
+
+Renders a :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (plus any
+caller-supplied extra samples, e.g. the plan server's request counters)
+as Prometheus text exposition format v0.0.4 -- the format every
+standard scraper speaks.  No client library involved: the format is a
+few lines of string handling, and this repository adds no dependencies.
+
+Conventions:
+
+* dotted metric names are sanitized and prefixed: ``net.bytes_sent``
+  becomes ``repro_net_bytes_sent_total`` (counters get the ``_total``
+  suffix Prometheus naming rules require);
+* histograms are converted from the registry's per-bucket counts to
+  Prometheus's *cumulative* ``_bucket{le="..."}`` series, closed by the
+  mandatory ``le="+Inf"`` bucket plus ``_sum`` and ``_count``;
+* a histogram with **zero observations** emits only its ``_count 0``
+  and ``_sum 0`` samples -- no misleading all-zero bucket rows (the
+  same guard :func:`repro.viz.tables.render_metrics` applies).
+
+:func:`parse_prometheus_text` is the line-format validator the tests
+and the CI ``profile`` leg use to assert a live scrape parses: it
+checks ``# HELP`` / ``# TYPE`` comment shape and sample-line grammar,
+returning ``{name{labels}: value}`` and raising :class:`ValueError`
+with the offending line otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable
+
+__all__ = ["parse_prometheus_text", "prometheus_text", "sanitize_metric_name"]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Sample line grammar: name, optional {labels}, value, optional timestamp.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?: [-+]?[0-9]+)?$"
+)
+
+_LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$'
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Dotted obs name -> legal Prometheus metric name."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def _labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{str(val).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for key, val in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(
+    snapshot: dict | None = None,
+    *,
+    prefix: str = "repro_",
+    extra: Iterable[tuple[str, dict | None, Any, str]] = (),
+) -> str:
+    """Render a metrics snapshot (and extra samples) as exposition text.
+
+    ``snapshot`` is :meth:`MetricsRegistry.snapshot`-shaped
+    (``{"counters": .., "gauges": .., "histograms": ..}``); ``extra`` is
+    an iterable of ``(name, labels_or_None, value, kind)`` with ``kind``
+    in ``{"counter", "gauge"}`` for samples that live outside the
+    registry (server counters, cache stats, uptime).
+    """
+    lines: list[str] = []
+    snapshot = snapshot or {}
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# HELP {metric} Counter {name} from the obs registry.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {metric} Gauge {name} from the obs registry.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {metric} Histogram {name} from the obs registry.")
+        lines.append(f"# TYPE {metric} histogram")
+        count = hist.get("count", 0)
+        if count > 0:
+            # The registry stores per-bucket counts (<= bound each, one
+            # overflow slot); Prometheus buckets are cumulative.
+            cumulative = 0
+            for bound, bucket_count in zip(hist["buckets"], hist["counts"]):
+                cumulative += bucket_count
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {_fmt(hist.get('total', 0))}")
+        lines.append(f"{metric}_count {count}")
+
+    grouped: dict[str, list[tuple[dict | None, Any]]] = {}
+    kinds: dict[str, str] = {}
+    for name, labels, value, kind in extra:
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"extra sample {name!r}: kind must be counter|gauge")
+        metric = sanitize_metric_name(name, prefix)
+        if kind == "counter":
+            metric += "_total"
+        grouped.setdefault(metric, []).append((labels, value))
+        kinds[metric] = kind
+    for metric in sorted(grouped):
+        lines.append(f"# TYPE {metric} {kinds[metric]}")
+        for labels, value in grouped[metric]:
+            lines.append(f"{metric}{_labels(labels)} {_fmt(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Validate exposition text line by line; return ``{series: value}``.
+
+    ``series`` keys include the label set verbatim
+    (``repro_plan_cache_hits_total{cache="plan"}``).  Raises
+    :class:`ValueError` naming the first malformed line -- this is the
+    scrape validator the CI profile leg runs against a live server.
+    """
+    samples: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(
+                    f"line {lineno}: malformed comment (expected "
+                    f"'# HELP name ...' or '# TYPE name kind'): {line!r}"
+                )
+            if parts[1] == "TYPE" and (
+                len(parts) < 4
+                or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped")
+            ):
+                raise ValueError(f"line {lineno}: bad metric type: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        labels = match.group("labels")
+        if labels:
+            body = labels[1:-1].strip()
+            if body:
+                for pair in _split_labels(body):
+                    if not _LABEL_RE.match(pair.strip()):
+                        raise ValueError(
+                            f"line {lineno}: malformed label {pair!r}: {line!r}"
+                        )
+        key = match.group("name") + (labels or "")
+        samples[key] = float(match.group("value").replace("Inf", "inf"))
+    return samples
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts

@@ -326,7 +326,17 @@ def execute_copy_resilient(
         if auditor is not None:
             auditor.attach(vm)
             attached_auditor = True
-        with vm.obs.span("exchange", array=a.name):
+        if schedule is None:
+            schedule = cached_comm_schedule(a, sec_a, b, sec_b)
+        with vm.obs.span(
+            "exchange",
+            array=a.name,
+            transfers=len(schedule.transfers),
+            elements=schedule.communicated_elements,
+            payload_bytes=sum(
+                 8 * len(tr) + _HEADER_BYTES for tr in schedule.transfers
+            ),
+        ):
             return _execute_copy_resilient(
                 vm, a, sec_a, b, sec_b, schedule, policy, checkpoints,
                 auditor, recorder,
@@ -763,7 +773,13 @@ def _execute_copy_resilient(
                 if auditor is not None:
                     auditor.note_write(ctx.rank, a.name, tr.dst_slots)
 
-    with obs.span("pack_phase", array=a.name, transfers=len(transfers)):
+    with obs.span(
+        "pack_phase",
+        array=a.name,
+        transfers=len(transfers),
+        elements=sum(len(tr) for tr in transfers),
+        payload_bytes=sum(8 * len(tr) + _HEADER_BYTES for tr in transfers),
+    ):
         vm.run(pack_phase)
     report.supersteps += 1
     locals_applied = True

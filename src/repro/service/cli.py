@@ -122,6 +122,15 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="span ring size (with --trace-dir)",
     )
     parser.add_argument(
+        "--http-host", default=None, metavar="HOST",
+        help="bind an aux HTTP listener (/metrics, /healthz, /statusz) "
+             "on this host; off unless set",
+    )
+    parser.add_argument(
+        "--http-port", type=int, default=0,
+        help="aux HTTP port (0 = kernel-assigned; with --http-host)",
+    )
+    parser.add_argument(
         "--chaos-seed", type=int, default=None,
         help="enable deterministic compute chaos with this seed (soak only)",
     )
@@ -173,6 +182,8 @@ def _build_config(args):
         flush_dir=args.trace_dir,
         flush_interval_s=args.flush_interval_s,
         chaos=chaos,
+        http_host=args.http_host,
+        http_port=args.http_port,
     )
 
 
@@ -190,6 +201,12 @@ async def _run_server(config) -> None:
         ),
         flush=True,
     )
+    if server.http is not None:
+        host, port = server.http.address
+        print(
+            f"[repro.service] metrics on http://{host}:{port}/metrics",
+            flush=True,
+        )
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):

@@ -1,0 +1,224 @@
+"""Auxiliary HTTP listener for the planning service: ``/metrics``,
+``/healthz``, ``/statusz``.
+
+The plan protocol itself stays on the CRC-framed transport
+(:mod:`repro.service.wire`); this module adds the small, read-only
+HTTP/1.1 surface standard tooling expects -- a Prometheus scrape
+target, a load-balancer health probe, and a human-readable status page
+-- using only ``asyncio`` and the stdlib (no web framework, no client
+library).
+
+Endpoints (GET only; anything else is 405, unknown paths 404):
+
+* ``/metrics`` -- Prometheus text exposition v0.0.4
+  (:func:`repro.obs.promexport.prometheus_text`) of the server's obs
+  registry plus its lifetime request counters
+  (``repro_plan_server_*_total``), result-cache and plan-cache stats
+  (labeled gauges), and liveness gauges (uptime, inflight,
+  connections).
+* ``/healthz`` -- ``200 ok`` while serving, ``503 draining`` once
+  shutdown has begun (so a scraping LB stops routing before the plan
+  listener closes).
+* ``/statusz`` -- the full ``stats`` op result as JSON (the same dict a
+  plan client gets from the ``stats`` query).
+
+Lifecycle mirrors the main listener: :meth:`MetricsHttpServer.stop`
+closes the listener first, then *drains* in-flight request handlers
+(bounded wait, then cancellation) -- a scrape racing shutdown gets its
+response or a clean connection close, never a half-written frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from ..obs.promexport import prometheus_text
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server -> http)
+    from .server import PlanServer
+
+__all__ = ["MetricsHttpServer"]
+
+#: Maximum request head (request line + headers) we will buffer.
+_MAX_REQUEST_BYTES = 8192
+
+#: Per-request read deadline: a scraper sends its GET immediately.
+_READ_TIMEOUT_S = 5.0
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+class MetricsHttpServer:
+    """The aux HTTP listener; owned and lifecycled by a
+    :class:`~repro.service.server.PlanServer`."""
+
+    def __init__(
+        self, plan_server: "PlanServer", host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.plan_server = plan_server
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` with a kernel-assigned port resolved."""
+        assert self._server is not None, "http server not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self, drain_timeout_s: float = 2.0) -> None:
+        """Graceful drain: stop accepting, give in-flight scrapes a
+        bounded window to finish, then cancel stragglers."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._handlers:
+            done, pending = await asyncio.wait(
+                self._handlers, timeout=drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            for task in pending:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._handlers.clear()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=_READ_TIMEOUT_S
+                )
+            except asyncio.LimitOverrunError:
+                await self._respond(writer, 400, "request head too large\n")
+                return
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+                return  # client went away or never sent a request
+            if len(head) > _MAX_REQUEST_BYTES:
+                await self._respond(writer, 400, "request head too large\n")
+                return
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = request_line.split()
+            if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+                await self._respond(writer, 400, "malformed request line\n")
+                return
+            method, target, _version = parts
+            if method != "GET":
+                await self._respond(
+                    writer, 405, "only GET is supported\n", allow="GET"
+                )
+                return
+            path = target.split("?", 1)[0]
+            if path == "/metrics":
+                await self._respond(
+                    writer,
+                    200,
+                    self._render_metrics(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/healthz":
+                if self._closing or self.plan_server._closing:
+                    await self._respond(writer, 503, "draining\n")
+                else:
+                    await self._respond(writer, 200, "ok\n")
+            elif path == "/statusz":
+                body = json.dumps(
+                    self.plan_server._stats_result(), indent=2, sort_keys=True,
+                    default=str,
+                )
+                await self._respond(
+                    writer, 200, body + "\n", content_type="application/json"
+                )
+            else:
+                await self._respond(writer, 404, f"no such endpoint: {path}\n")
+        except (ConnectionError, OSError):
+            pass  # peer reset mid-response; nothing to clean up
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        *,
+        content_type: str = "text/plain; charset=utf-8",
+        allow: str | None = None,
+    ) -> None:
+        payload = body.encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        if allow is not None:
+            headers.append(f"Allow: {allow}")
+        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # /metrics assembly
+    # ------------------------------------------------------------------
+
+    def _render_metrics(self) -> str:
+        server = self.plan_server
+        stats = server._stats_result()
+        extra: list[tuple[str, dict | None, object, str]] = []
+        for name, value in sorted(stats["counters"].items()):
+            extra.append((f"plan_server.{name}", None, value, "counter"))
+        extra.append(("plan_server.uptime_seconds", None, stats["uptime_s"], "gauge"))
+        extra.append(("plan_server.inflight", None, stats["inflight"], "gauge"))
+        extra.append(
+            ("plan_server.connections", None, stats["connections"], "gauge")
+        )
+        cache = stats.get("cache", {})
+        for key, value in sorted(cache.items()):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                extra.append(
+                    (f"plan_server.cache.{key}", None, value, "gauge")
+                )
+        for cache_name, st in sorted(stats.get("plan_caches", {}).items()):
+            for key, value in sorted(st.items()):
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    extra.append(
+                        (f"plan_cache.{key}", {"cache": cache_name}, value, "gauge")
+                    )
+        snapshot = server._obs.metrics.snapshot()
+        return prometheus_text(snapshot, extra=extra)

@@ -107,6 +107,12 @@ class ServiceConfig:
     flush_dir: str | None = None
     flush_interval_s: float = 60.0
 
+    # Optional aux HTTP listener (/metrics, /healthz, /statusz); off
+    # unless http_host is set.  Always TCP -- Prometheus scrapes TCP --
+    # independent of whether the plan transport is unix or TCP.
+    http_host: str | None = None
+    http_port: int = 0
+
     # Deterministic fault injection (soak/bench only).
     chaos: ServiceChaos | None = None
 
@@ -178,6 +184,9 @@ class PlanServer:
         self._started_at = time.monotonic()
         self.warm_started_entries = 0
         self.snapshot_diagnostic: str | None = None
+        # The aux HTTP listener (/metrics, /healthz, /statusz); created
+        # by start() when config.http_host is set.
+        self.http = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -203,6 +212,13 @@ class PlanServer:
         for factory, enabled in loop_specs:
             if enabled:
                 self._tasks.append(asyncio.get_running_loop().create_task(factory()))
+        if self.config.http_host is not None:
+            from .http import MetricsHttpServer
+
+            self.http = MetricsHttpServer(
+                self, self.config.http_host, self.config.http_port
+            )
+            await self.http.start()
 
     @property
     def address(self):
@@ -223,6 +239,11 @@ class PlanServer:
         """Graceful shutdown: stop accepting, cancel maintenance, write a
         final snapshot, release the compute pool."""
         self._closing = True
+        if self.http is not None:
+            # Drain the scrape surface first so /healthz flips to 503
+            # before the plan listener disappears.
+            await self.http.stop()
+            self.http = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

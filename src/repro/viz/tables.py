@@ -18,6 +18,7 @@ from ..core.access import compute_access_table
 __all__ = [
     "render_am_tables",
     "render_metrics",
+    "render_profile",
     "render_span_stats",
     "render_traffic",
 ]
@@ -56,6 +57,11 @@ def render_metrics(snapshot: dict, plan_caches: dict | None = None) -> str:
     for name, value in gauges.items():
         lines.append(f"  {name:<{width}}  {value} (gauge)")
     for name, h in histograms.items():
+        if h["count"] == 0:
+            # observations == 0 guard: an instrument that exists but
+            # never observed must not render misleading zero rows.
+            lines.append(f"  {name:<{width}}  (no observations)")
+            continue
         lines.append(
             f"  {name:<{width}}  n={h['count']} mean={h['mean']:.1f} "
             f"total={h['total']}"
@@ -69,6 +75,49 @@ def render_metrics(snapshot: dict, plan_caches: dict | None = None) -> str:
                 f"/{st.get('evictions', 0)}  "
                 f"{st['entries']}/{st['maxsize']} entries"
             )
+    return "\n".join(lines)
+
+
+def render_profile(rows: list[dict], *, title: str = "superstep profile") -> str:
+    """Per-superstep predicted-vs-measured table.
+
+    ``rows`` are dicts with ``step``, ``phase``, ``messages``,
+    ``bytes``, ``predicted_us`` (default-model), optional
+    ``calibrated_us``, and ``measured_us`` (``None`` when the span fell
+    out of the bounded trace ring).  Residual shown is measured minus
+    the best available prediction (calibrated when present).
+    """
+    lines = [f"{title} (predicted vs measured):"]
+    if not rows:
+        lines.append("  (no supersteps profiled)")
+        return "\n".join(lines)
+    has_calibrated = any(r.get("calibrated_us") is not None for r in rows)
+    phase_width = max(5, max(len(str(r.get("phase") or "-")) for r in rows))
+    header = (
+        f"  {'step':>4}  {'phase':<{phase_width}}  {'msgs':>6}  {'bytes':>10}  "
+        f"{'model us':>10}"
+    )
+    if has_calibrated:
+        header += f"  {'calib us':>10}"
+    header += f"  {'meas us':>10}  {'resid us':>10}"
+    lines.append(header)
+    for r in rows:
+        phase = str(r.get("phase") or "-")
+        measured = r.get("measured_us")
+        predicted = r.get("calibrated_us") if has_calibrated else r.get("predicted_us")
+        line = (
+            f"  {r['step']:>4}  {phase:<{phase_width}}  {r['messages']:>6}  "
+            f"{r['bytes']:>10}  {r['predicted_us']:>10.1f}"
+        )
+        if has_calibrated:
+            calibrated = r.get("calibrated_us")
+            line += f"  {calibrated:>10.1f}" if calibrated is not None else f"  {'-':>10}"
+        if measured is None:
+            line += f"  {'-':>10}  {'-':>10}"
+        else:
+            residual = measured - (predicted if predicted is not None else 0.0)
+            line += f"  {measured:>10.1f}  {residual:>+10.1f}"
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -1,0 +1,194 @@
+"""Cost-model replay and calibration: the closed-form profile pricing
+must coincide bit-for-bit with ``estimate_superstep`` on one-message-
+per-transfer profiles, and the least-squares fit must recover a
+synthetic ground-truth model (and never go negative)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distribution.array import AxisMap, DistributedArray
+from repro.distribution.dist import CyclicK, ProcessorGrid
+from repro.distribution.section import RegularSection
+from repro.machine.costmodel import CostModel, estimate_superstep
+from repro.machine.topology import CrossbarTopology, HypercubeTopology, RingTopology
+from repro.obs.calibrate import (
+    CalibratedCostModel,
+    fit,
+    load_model,
+    predicted_superstep_us,
+    replay,
+)
+from repro.obs.profile import ChannelTraffic, RunProfile, SuperstepProfile
+
+
+def _vector(name: str, n: int, p: int, k: int) -> DistributedArray:
+    grid = ProcessorGrid("P", (p,))
+    return DistributedArray(name, (n,), grid, (AxisMap(CyclicK(k), grid_axis=0),))
+
+
+def _profile_from_schedule(transfers) -> SuperstepProfile:
+    """One message of ``8 * len(tr)`` bytes per remote transfer -- the
+    exact traffic ``execute_copy`` induces."""
+    sp = SuperstepProfile(step=0)
+    for tr in transfers:
+        if tr.source == tr.dest:
+            continue
+        ch = sp.channels.setdefault((tr.source, tr.dest), ChannelTraffic())
+        ch.add(8 * len(tr))
+    return sp
+
+
+class TestClosedFormCoincidence:
+    @pytest.mark.parametrize("topology", [
+        CrossbarTopology(4), RingTopology(4), HypercubeTopology(2),
+    ])
+    def test_matches_estimate_superstep_bit_for_bit(self, topology):
+        from repro.runtime.commsets import compute_comm_schedule
+
+        n, p = 240, 4
+        a = _vector("A", n, p, 7)
+        b = _vector("B", n, p, 3)
+        sec = RegularSection(0, n - 1, 1)
+        schedule = compute_comm_schedule(a, sec, b, sec)
+        assert schedule.transfers, "pattern must communicate"
+
+        sp = _profile_from_schedule(schedule.transfers)
+        for model in (None, CostModel(alpha_us=5.0, beta_us_per_byte=0.01)):
+            expected = estimate_superstep(
+                schedule.transfers, p, topology, model
+            ).time_us
+            assert predicted_superstep_us(sp, topology, model) == expected
+
+    def test_self_channels_cost_nothing(self):
+        sp = SuperstepProfile(step=0)
+        sp.channels[(1, 1)] = ChannelTraffic(messages=5, bytes=4000, max_bytes=800)
+        assert predicted_superstep_us(sp, CrossbarTopology(4)) == 0.0
+
+    def test_fixed_us_added_on_top(self):
+        sp = SuperstepProfile(step=0)
+        sp.channels[(0, 1)] = ChannelTraffic(messages=1, bytes=80, max_bytes=80)
+        base = predicted_superstep_us(sp, CrossbarTopology(2))
+        model = CalibratedCostModel(fixed_us=123.0)
+        assert predicted_superstep_us(sp, CrossbarTopology(2), model) == base + 123.0
+        # ...even on a traffic-free step.
+        empty = SuperstepProfile(step=1)
+        assert predicted_superstep_us(empty, CrossbarTopology(2), model) == 123.0
+
+
+def _synthetic_profile(true_model: CalibratedCostModel, topology,
+                       seed: int = 0, steps: int = 12) -> RunProfile:
+    """Random traffic whose wall-times are *exactly* the true model's
+    predictions -- a fit must recover the model to float precision."""
+    rng = np.random.default_rng(seed)
+    profile = RunProfile(p=topology.p, backend="synthetic")
+    for step in range(steps):
+        sp = SuperstepProfile(step=step)
+        if step % 4 != 3:  # every 4th step is pure-compute (anchors fixed)
+            for _ in range(int(rng.integers(1, 5))):
+                source, dest = rng.choice(topology.p, size=2, replace=False)
+                nbytes = int(rng.integers(8, 4096))
+                sp.channels.setdefault(
+                    (int(source), int(dest)), ChannelTraffic()
+                ).add(nbytes)
+        sp.wall_us = predicted_superstep_us(sp, topology, true_model)
+        profile.supersteps.append(sp)
+    return profile
+
+
+class TestFit:
+    def test_recovers_synthetic_model_and_reduces_mae(self):
+        topology = CrossbarTopology(4)
+        true = CalibratedCostModel(
+            alpha_us=12.0, beta_us_per_byte=0.05, gamma_us_per_hop=0.0,
+            fixed_us=200.0,
+        )
+        profile = _synthetic_profile(true, topology)
+        result = fit(profile, topology)
+        assert result.mae_calibrated_us <= result.mae_default_us
+        assert result.mae_calibrated_us == pytest.approx(0.0, abs=1e-6)
+        assert result.model.alpha_us == pytest.approx(12.0, abs=1e-6)
+        assert result.model.beta_us_per_byte == pytest.approx(0.05, abs=1e-8)
+        assert result.model.fixed_us == pytest.approx(200.0, abs=1e-6)
+        assert result.n_steps == len(profile.supersteps)
+
+    def test_coefficients_never_negative(self):
+        # Wall-times *decreasing* with traffic would push beta negative
+        # in an unconstrained fit; the active-set clamp forbids it.
+        topology = CrossbarTopology(2)
+        profile = RunProfile(p=2, backend="synthetic")
+        for step, nbytes in enumerate([4096, 2048, 1024, 512, 8]):
+            sp = SuperstepProfile(step=step, wall_us=float(step * 100 + 50))
+            sp.channels[(0, 1)] = ChannelTraffic(
+                messages=1, bytes=nbytes, max_bytes=nbytes
+            )
+            profile.supersteps.append(sp)
+        result = fit(profile, topology)
+        m = result.model
+        assert m.alpha_us >= 0.0
+        assert m.beta_us_per_byte >= 0.0
+        assert m.gamma_us_per_hop >= 0.0
+        assert m.fixed_us >= 0.0
+
+    def test_no_measured_steps_raises(self):
+        profile = RunProfile(p=2, backend="synthetic")
+        profile.supersteps.append(SuperstepProfile(step=0))  # wall_us=None
+        with pytest.raises(ValueError, match="no measured supersteps"):
+            fit(profile, CrossbarTopology(2))
+
+    def test_replay_rows_cover_all_steps(self):
+        topology = CrossbarTopology(4)
+        profile = _synthetic_profile(CalibratedCostModel(), topology, steps=6)
+        profile.supersteps.append(SuperstepProfile(step=99))  # unmeasured
+        rows = replay(profile, topology)
+        assert [r.step for r in rows] == [sp.step for sp in profile.supersteps]
+        assert rows[-1].measured_us is None and rows[-1].residual_us is None
+
+
+class TestCalibratedModel:
+    def test_is_a_drop_in_cost_model(self):
+        from repro.runtime.commsets import compute_comm_schedule
+
+        model = CalibratedCostModel(
+            alpha_us=1.0, beta_us_per_byte=0.5, fixed_us=10.0
+        )
+        assert isinstance(model, CostModel)
+        n, p = 120, 4
+        a = _vector("A", n, p, 7)
+        b = _vector("B", n, p, 3)
+        sec = RegularSection(0, n - 1, 1)
+        schedule = compute_comm_schedule(a, sec, b, sec)
+        est = estimate_superstep(schedule.transfers, p, CrossbarTopology(p), model)
+        assert est.time_us > 0.0  # fixed_us is superstep-level, not message-level
+
+    def test_json_roundtrip(self):
+        model = CalibratedCostModel(
+            alpha_us=3.5, beta_us_per_byte=0.125, gamma_us_per_hop=2.0,
+            word_bytes=8, fixed_us=77.0,
+        )
+        assert CalibratedCostModel.from_json(model.to_json()) == model
+
+
+class TestLoadModel:
+    def test_loads_profile_json_calibration_section(self, tmp_path):
+        model = CalibratedCostModel(alpha_us=4.0, beta_us_per_byte=0.2, fixed_us=9.0)
+        path = tmp_path / "PROFILE.json"
+        path.write_text(json.dumps({
+            "programs": {}, "calibration": {"model": model.to_json()},
+        }))
+        assert load_model(str(path)) == model
+
+    def test_loads_bare_model_dict(self, tmp_path):
+        model = CalibratedCostModel(alpha_us=4.0)
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(model.to_json()))
+        assert load_model(str(path)) == model
+
+    def test_rejects_model_free_json(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"calibration": None}))
+        with pytest.raises(ValueError, match="no fitted cost model"):
+            load_model(str(path))

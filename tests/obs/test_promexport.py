@@ -1,0 +1,136 @@
+"""Prometheus exposition: render -> parse round-trips, the cumulative
+bucket conversion, the empty-histogram guard, and the line-format
+validator's rejection of malformed scrapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    parse_prometheus_text,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.viz.tables import render_metrics
+
+
+class TestSanitize:
+    def test_dots_and_prefix(self):
+        assert sanitize_metric_name("net.bytes_sent") == "repro_net_bytes_sent"
+        assert sanitize_metric_name("a-b c") == "repro_a_b_c"
+
+    def test_leading_digit_gets_underscore(self):
+        name = sanitize_metric_name("9lives", prefix="")
+        assert name == "_9lives"
+
+
+class TestRender:
+    def test_counters_get_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.inc("net.bytes_sent", 320)
+        text = prometheus_text(registry.snapshot())
+        samples = parse_prometheus_text(text)
+        assert samples["repro_net_bytes_sent_total"] == 320.0
+        assert "# TYPE repro_net_bytes_sent_total counter" in text
+
+    def test_gauges(self):
+        registry = MetricsRegistry()
+        registry.set("vm.live_ranks", 4)
+        samples = parse_prometheus_text(prometheus_text(registry.snapshot()))
+        assert samples["repro_vm_live_ranks"] == 4.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (10, 100, 100, 100_000):
+            registry.observe("net.message_bytes", value)
+        text = prometheus_text(registry.snapshot())
+        samples = parse_prometheus_text(text)
+        metric = "repro_net_message_bytes"
+        assert samples[f"{metric}_count"] == 4.0
+        assert samples[f"{metric}_sum"] == 100_210.0
+        # Cumulative: each bucket includes everything below it, closed
+        # by the mandatory +Inf bucket equal to the total count.
+        bucket_values = [
+            v for k, v in samples.items() if k.startswith(f"{metric}_bucket")
+        ]
+        assert bucket_values == sorted(bucket_values)
+        assert samples[f'{metric}_bucket{{le="+Inf"}}'] == 4.0
+        assert samples[f'{metric}_bucket{{le="64"}}'] == 1.0
+
+    def test_empty_histogram_emits_no_bucket_rows(self):
+        """The observations == 0 guard: an instrument that exists but
+        never observed must not emit misleading zero-bucket rows."""
+        registry = MetricsRegistry()
+        registry.histogram("net.message_bytes")  # created, never observed
+        snap = registry.snapshot()
+        assert snap["histograms"]["net.message_bytes"]["counts"] == []
+        text = prometheus_text(snap)
+        assert "_bucket" not in text
+        samples = parse_prometheus_text(text)
+        assert samples["repro_net_message_bytes_count"] == 0.0
+        assert samples["repro_net_message_bytes_sum"] == 0.0
+
+    def test_render_metrics_empty_histogram_guard(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet.histogram")
+        registry.observe("busy.histogram", 7)
+        text = render_metrics(registry.snapshot())
+        assert "(no observations)" in text
+        assert "n=1" in text
+
+    def test_extra_samples_with_labels(self):
+        extra = [
+            ("plan_cache.hits", {"cache": "plan"}, 10, "counter"),
+            ("plan_cache.hits", {"cache": "walk"}, 3, "counter"),
+            ("plan_server.uptime_seconds", None, 12.5, "gauge"),
+        ]
+        text = prometheus_text(extra=extra)
+        samples = parse_prometheus_text(text)
+        assert samples['repro_plan_cache_hits_total{cache="plan"}'] == 10.0
+        assert samples['repro_plan_cache_hits_total{cache="walk"}'] == 3.0
+        assert samples["repro_plan_server_uptime_seconds"] == 12.5
+        # One TYPE line per metric even with several labeled samples.
+        assert text.count("# TYPE repro_plan_cache_hits_total counter") == 1
+
+    def test_extra_sample_bad_kind_raises(self):
+        with pytest.raises(ValueError, match="kind"):
+            prometheus_text(extra=[("x", None, 1, "histogram")])
+
+    def test_label_values_escaped(self):
+        text = prometheus_text(extra=[("m", {"path": 'a"b\\c'}, 1, "gauge")])
+        parse_prometheus_text(text)  # must stay parseable
+
+
+class TestParseValidator:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus_text("this is not a metric line")
+
+    def test_rejects_missing_value(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("repro_thing_total")
+
+    def test_rejects_bad_type_comment(self):
+        with pytest.raises(ValueError, match="bad metric type"):
+            parse_prometheus_text("# TYPE repro_thing pie_chart")
+
+    def test_rejects_bad_comment_shape(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            parse_prometheus_text("# NOPE")
+
+    def test_rejects_malformed_label(self):
+        with pytest.raises(ValueError, match="label"):
+            parse_prometheus_text('repro_x{cache=unquoted} 1')
+
+    def test_accepts_inf_and_scientific(self):
+        samples = parse_prometheus_text(
+            'x_bucket{le="+Inf"} 4\ny 1.5e3\nz -0.25\n'
+        )
+        assert samples['x_bucket{le="+Inf"}'] == 4.0
+        assert samples["y"] == 1500.0
+        assert samples["z"] == -0.25
+
+    def test_blank_lines_and_timestamps_ok(self):
+        samples = parse_prometheus_text("\nmetric_a 1 1700000000000\n\n")
+        assert samples["metric_a"] == 1.0

@@ -1,0 +1,231 @@
+"""The aux HTTP listener: live Prometheus scrapes that parse, health
+probes that flip to draining on shutdown, the JSON status page, and
+protocol edges (404/405/malformed requests).
+
+Runs under ``make service-soak`` (it collects ``tests/service``), so
+every soak exercises a scrape against a serving PlanServer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.promexport import parse_prometheus_text
+from repro.service import PlanServer, ServiceConfig
+from repro.service.wire import read_message, write_message
+
+PLAN_A = {"p": 4, "k": 8, "l": 4, "s": 9, "m": 1}
+
+
+def run_with_http_server(scenario, tmp_path, **cfg_overrides):
+    """Boot a PlanServer with the aux HTTP listener on an ephemeral
+    port, run ``scenario(server, sock_path)``, always stop."""
+    path = str(tmp_path / "plan.sock")
+    cfg_overrides.setdefault("snapshot_interval_s", 600.0)
+
+    async def main():
+        server = PlanServer(ServiceConfig(
+            unix_path=path, http_host="127.0.0.1", http_port=0,
+            **cfg_overrides,
+        ))
+        await server.start()
+        try:
+            return await scenario(server, path)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+async def http_get(address: tuple[str, int], target: str,
+                   request_line: str | None = None) -> tuple[int, dict, str]:
+    """Minimal HTTP/1.1 GET; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(*address)
+    line = request_line or f"GET {target} HTTP/1.1"
+    writer.write(
+        f"{line}\r\nHost: {address[0]}\r\nConnection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await asyncio.wait_for(reader.read(), timeout=10.0)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for h in lines[1:]:
+        key, _, value = h.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body.decode("utf-8")
+
+
+async def plan_request(path: str) -> None:
+    reader, writer = await asyncio.open_unix_connection(path)
+    await write_message(writer, {
+        "id": 1, "op": "plan", "params": PLAN_A, "deadline_ms": 5000,
+    })
+    reply = await read_message(reader, timeout=15.0)
+    assert reply["ok"]
+    writer.close()
+    await writer.wait_closed()
+
+
+class TestMetricsScrape:
+    def test_scrape_parses_with_service_counters(self, tmp_path):
+        async def scenario(server, path):
+            await plan_request(path)  # give the counters something to count
+            status, headers, body = await http_get(server.http.address, "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain; version=0.0.4")
+            samples = parse_prometheus_text(body)  # raises on malformed lines
+            assert samples["repro_plan_server_requests_total"] >= 1.0
+            assert samples["repro_plan_server_responses_ok_total"] >= 1.0
+            assert samples["repro_plan_server_uptime_seconds"] >= 0.0
+            assert samples["repro_plan_server_inflight"] == 0.0
+            # Result-cache stats surface as gauges.
+            assert any(k.startswith("repro_plan_server_cache_") for k in samples)
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+    def test_plan_cache_stats_labeled_per_cache(self, tmp_path):
+        async def scenario(server, path):
+            await plan_request(path)
+            _, _, body = await http_get(server.http.address, "/metrics")
+            samples = parse_prometheus_text(body)
+            labeled = [k for k in samples if k.startswith("repro_plan_cache_")]
+            assert labeled, "plan-cache gauges missing"
+            assert all('cache="' in k for k in labeled)
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+    def test_obs_registry_metrics_included_when_enabled(self, tmp_path):
+        from repro.obs import Observability
+
+        async def scenario(server, path):
+            await plan_request(path)
+            _, _, body = await http_get(server.http.address, "/metrics")
+            samples = parse_prometheus_text(body)
+            # The registry's own instruments ride along: the inflight
+            # gauge is set on every request when obs is enabled.
+            assert "repro_service_inflight" in samples
+            return True
+
+        assert run_with_http_server(
+            scenario, tmp_path, obs=Observability(enabled=True)
+        )
+
+
+class TestHealthAndStatus:
+    def test_healthz_ok_then_draining(self, tmp_path):
+        async def scenario(server, path):
+            status, _, body = await http_get(server.http.address, "/healthz")
+            assert (status, body) == (200, "ok\n")
+            # Flag shutdown without tearing the listener down yet: the
+            # probe must flip before the socket disappears.
+            server._closing = True
+            status, _, body = await http_get(server.http.address, "/healthz")
+            assert (status, body) == (503, "draining\n")
+            server._closing = False
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+    def test_statusz_is_stats_json(self, tmp_path):
+        async def scenario(server, path):
+            await plan_request(path)
+            status, headers, body = await http_get(server.http.address, "/statusz")
+            assert status == 200
+            assert headers["content-type"] == "application/json"
+            stats = json.loads(body)
+            assert stats["counters"]["requests"] >= 1
+            assert stats["pid"] and "uptime_s" in stats
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+
+class TestProtocolEdges:
+    def test_unknown_path_404(self, tmp_path):
+        async def scenario(server, path):
+            status, _, _ = await http_get(server.http.address, "/nope")
+            assert status == 404
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+    def test_non_get_405_with_allow(self, tmp_path):
+        async def scenario(server, path):
+            status, headers, _ = await http_get(
+                server.http.address, "/metrics",
+                request_line="POST /metrics HTTP/1.1",
+            )
+            assert status == 405
+            assert headers["allow"] == "GET"
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+    def test_malformed_request_line_400(self, tmp_path):
+        async def scenario(server, path):
+            status, _, _ = await http_get(
+                server.http.address, "/", request_line="GARBAGE"
+            )
+            assert status == 400
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+    def test_query_string_stripped(self, tmp_path):
+        async def scenario(server, path):
+            status, _, _ = await http_get(
+                server.http.address, "/healthz?probe=lb"
+            )
+            assert status == 200
+            return True
+
+        assert run_with_http_server(scenario, tmp_path)
+
+
+class TestLifecycle:
+    def test_http_off_unless_host_set(self, tmp_path):
+        path = str(tmp_path / "plan.sock")
+
+        async def main():
+            server = PlanServer(ServiceConfig(
+                unix_path=path, snapshot_interval_s=600.0,
+            ))
+            await server.start()
+            try:
+                return server.http
+            finally:
+                await server.stop()
+
+        assert asyncio.run(main()) is None
+
+    def test_stop_closes_http_listener(self, tmp_path):
+        path = str(tmp_path / "plan.sock")
+
+        async def main():
+            server = PlanServer(ServiceConfig(
+                unix_path=path, http_host="127.0.0.1",
+                snapshot_interval_s=600.0,
+            ))
+            await server.start()
+            address = server.http.address
+            await server.stop()
+            assert server.http is None
+            try:
+                await asyncio.wait_for(
+                    asyncio.open_connection(*address), timeout=2.0
+                )
+            except (ConnectionError, OSError):
+                return True
+            return False
+
+        assert asyncio.run(main())

@@ -25,7 +25,8 @@ class TestDispatch:
     def test_command_table_complete(self):
         assert set(COMMANDS) == {
             "table1", "figure7", "table2", "ablations", "opcounts", "claims",
-            "costs", "table2c", "table1c", "trace", "serve", "plan-client",
+            "costs", "table2c", "table1c", "trace", "profile", "serve",
+            "plan-client",
         }
 
     def test_costs_smoke(self, capsys):
